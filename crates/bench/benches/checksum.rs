@@ -1,0 +1,30 @@
+//! Criterion: DSS checksum and SHA-1 costs (feeds the Figure 3 model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mptcp_packet::{checksum, crypto};
+
+fn bench_dss_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dss_checksum");
+    for size in [1460usize, 4096, 9000, 65536] {
+        let payload = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &payload, |b, p| {
+            b.iter(|| checksum::dss_checksum(std::hint::black_box(1000), 1, p.len() as u16, p));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1_key_ops");
+    g.bench_function("token_from_key", |b| {
+        b.iter(|| crypto::token_from_key(std::hint::black_box(0xfeedface)));
+    });
+    g.bench_function("join_synack_mac", |b| {
+        b.iter(|| crypto::join_synack_mac(1, 2, std::hint::black_box(3), 4));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dss_checksum, bench_sha1);
+criterion_main!(benches);

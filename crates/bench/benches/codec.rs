@@ -1,0 +1,60 @@
+//! Criterion: wire codec throughput — segment encode/decode with a full
+//! MPTCP option load (per-packet cost floor of the whole stack).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mptcp_packet::{
+    DssMapping, Endpoint, FourTuple, MptcpOption, SeqNum, TcpFlags, TcpOption, TcpSegment,
+};
+
+fn sample_segment() -> TcpSegment {
+    let mut seg = TcpSegment::new(
+        FourTuple {
+            src: Endpoint::new(0x0a000001, 4242),
+            dst: Endpoint::new(0x0a000002, 80),
+        },
+        SeqNum(123456),
+        SeqNum(654321),
+        TcpFlags::ACK,
+    );
+    seg.window = 1 << 20;
+    seg.options = vec![
+        TcpOption::Timestamps { val: 7, ecr: 9 },
+        TcpOption::Mptcp(MptcpOption::Dss {
+            data_ack: None,
+            mapping: Some(DssMapping {
+                dsn: 0xdeadbeef,
+                subflow_seq: 99,
+                len: 1460,
+                checksum: Some(0x1234),
+            }),
+            data_fin: false,
+        }),
+        TcpOption::Mptcp(MptcpOption::Dss {
+            data_ack: Some(0xcafef00d),
+            mapping: None,
+            data_fin: false,
+        }),
+    ];
+    seg.payload = Bytes::from(vec![0x42u8; 1460]);
+    seg
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let seg = sample_segment();
+    let wire = seg.encode(7).unwrap();
+    let mut g = c.benchmark_group("segment_codec");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| std::hint::black_box(seg.encode(7).unwrap()));
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            std::hint::black_box(TcpSegment::decode(&wire, 0x0a000001, 0x0a000002, 7).unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: connection-setup cost (Figure 10's measurement as a bench):
+//! token generation with growing tables, scan vs hash lookup, key pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mptcp::{KeyPool, TokenTable};
+use mptcp_netsim::SimRng;
+
+fn bench_token_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_generate");
+    for existing in [0usize, 100, 1000] {
+        for scan in [true, false] {
+            let label = if scan { "scan" } else { "hash" };
+            g.bench_with_input(
+                BenchmarkId::new(label, existing),
+                &existing,
+                |b, &existing| {
+                    let mut rng = SimRng::new(7);
+                    let mut table = TokenTable::new();
+                    table.scan_lookup = scan;
+                    for _ in 0..existing {
+                        table.generate(&mut rng);
+                    }
+                    b.iter(|| std::hint::black_box(table.generate(&mut rng)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_key_pool(c: &mut Criterion) {
+    c.bench_function("key_pool_take", |b| {
+        let mut rng = SimRng::new(9);
+        let mut pool = KeyPool::new(1 << 16);
+        pool.refill(&mut rng);
+        let mut table = TokenTable::new();
+        b.iter(|| {
+            if pool.is_empty() {
+                pool.refill(&mut rng);
+            }
+            std::hint::black_box(pool.take(&mut table, &mut rng))
+        });
+    });
+}
+
+criterion_group!(benches, bench_token_generate, bench_key_pool);
+criterion_main!(benches);

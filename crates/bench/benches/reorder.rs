@@ -1,0 +1,52 @@
+//! Criterion: the four out-of-order queue algorithms under a multipath
+//! arrival pattern (real-time counterpart of Figure 8).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mptcp::reorder::make_queue;
+use mptcp::ReorderAlgo;
+
+/// Interleaved batched arrivals from `nsub` subflows, like a live MPTCP
+/// receiver sees: each subflow delivers contiguous runs from its own
+/// region of the data sequence space.
+fn workload(nsub: usize, per_subflow: usize) -> Vec<(u64, usize)> {
+    let mut w = Vec::with_capacity(nsub * per_subflow);
+    for k in 0..per_subflow {
+        for sf in 0..nsub {
+            let base = (sf as u64) * 100_000_000;
+            w.push((base + (k as u64) * 1460, sf));
+        }
+    }
+    w
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorder_insert");
+    for algo in [
+        ReorderAlgo::Regular,
+        ReorderAlgo::Tree,
+        ReorderAlgo::Shortcuts,
+        ReorderAlgo::AllShortcuts,
+    ] {
+        for nsub in [2usize, 8] {
+            let w = workload(nsub, 2048 / nsub);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), nsub),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        let mut q = make_queue(algo);
+                        for &(dsn, sf) in w {
+                            q.insert(dsn, Bytes::from_static(&[0u8; 64]), sf);
+                        }
+                        std::hint::black_box(q.len())
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Scratch diagnostics (not part of the reproduction).
+
+use mptcp::{Mechanisms, MptcpConfig};
+use mptcp_harness::hosts::{ClientApp, ServerApp};
+use mptcp_harness::scenario::{Scenario, TransportKind};
+use mptcp_netsim::{Duration, LinkCfg, Path};
+
+fn main() {
+    let buf: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(500_000);
+    let coupled: bool = std::env::args().nth(2).map(|a| a == "lia").unwrap_or(true);
+    let mut cfg = MptcpConfig::default()
+        .with_buffers(buf)
+        .with_mechanisms(Mechanisms::M1_2);
+    cfg.checksum = false;
+    cfg.coupled_cc = coupled;
+    let paths = vec![
+        Path::symmetric(LinkCfg::wifi()),
+        Path::symmetric(LinkCfg::threeg()),
+    ];
+    let mut sc = Scenario::new(
+        TransportKind::Mptcp(cfg),
+        ClientApp::Bulk {
+            total: usize::MAX / 2,
+            written: 0,
+            close_when_done: false,
+        },
+        ServerApp::Sink,
+        paths,
+        20120425,
+    );
+    let print_links = |sc: &Scenario| {
+        for (i, p) in sc.sim.paths.iter().enumerate() {
+            println!(
+                "  path{i}: fwd tx={} drops={} rand={} | rev tx={} drops={}",
+                p.fwd.stats.tx_packets, p.fwd.stats.queue_drops, p.fwd.stats.random_drops,
+                p.rev.stats.tx_packets, p.rev.stats.queue_drops
+            );
+        }
+    };
+    for step in 0..10 {
+        sc.run_for(Duration::from_secs(2));
+        let received = sc.server().app_bytes_received;
+        let client = sc.client_mut();
+        let conn = client.transport.as_mptcp().unwrap();
+        println!(
+            "t={}s received={}KB stats={:?}",
+            (step + 1) * 2,
+            received / 1000,
+            conn.stats
+        );
+        for (i, sf) in conn.subflows().iter().enumerate() {
+            println!(
+                "  sf{i}: usable={} cwnd={} inflight={} srtt={:?} rtos={} fast={} acked={} penalties={}",
+                sf.usable(),
+                sf.sock.cwnd(),
+                sf.sock.bytes_in_flight(),
+                sf.sock.srtt(),
+                sf.sock.stats.rtos,
+                sf.sock.stats.fast_retransmits,
+                sf.sock.stats.bytes_acked,
+                sf.penalties,
+            );
+        }
+        println!(
+            "  outstanding={} window={} room={} fallback={}",
+            conn.data_outstanding(),
+            conn.rcv_window(),
+            conn.snd_window_room(),
+            conn.is_fallback()
+        );
+        print_links(&sc);
+    }
+}

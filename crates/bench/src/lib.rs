@@ -1,0 +1,1 @@
+//! Bench crate: see the `repro` binary and Criterion benches.

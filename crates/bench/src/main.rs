@@ -1,0 +1,319 @@
+//! `repro` — regenerate every table and figure of the NSDI 2012 MPTCP
+//! paper from the simulated reproduction.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//!
+//! experiments:
+//!   fig3    goodput vs MSS, DSM checksum on/off (10 Gbps model)
+//!   fig4    throughput vs receive buffer, WiFi+3G, mechanisms M1/M2
+//!   fig5    memory use vs configured buffer (autotuning, capping)
+//!   fig6a   WiFi + weak 3G buffer sweep
+//!   fig6b   1 Gbps + 100 Mbps buffer sweep
+//!   fig6c   three 1 Gbps links buffer sweep
+//!   fig7    application-delay PDF (8 KB blocks, 200 KB buffers)
+//!   fig8    receiver CPU load of the reorder algorithms
+//!   fig9    "real" 2 Mbps WiFi + 2 Mbps 3G buffer sweep
+//!   fig10   connection-setup latency PDF (wall-clock measurement)
+//!   fig11   HTTP requests/sec vs file size (TCP / bonding / MPTCP)
+//!   mbox    the §3 middlebox × design survival matrix
+//!   all     run everything
+//! ```
+//!
+//! `--quick` shrinks sweeps for a fast smoke run.
+
+use mptcp_harness::experiments::*;
+use mptcp_netsim::Duration;
+
+const SEED: u64 = 20120425; // NSDI'12 presentation date
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.first().map(String::as_str).unwrap_or("all");
+
+    match which {
+        "fig3" => fig3(),
+        "fig4" => fig4(quick),
+        "fig5" => fig5(quick),
+        "fig6a" => fig6(fig6_scenarios::Panel::WeakCellular, quick),
+        "fig6b" => fig6(fig6_scenarios::Panel::Asymmetric, quick),
+        "fig6c" => fig6(fig6_scenarios::Panel::Symmetric3, quick),
+        "fig7" => fig7(quick),
+        "fig8" => fig8(),
+        "fig9" => fig9(quick),
+        "fig10" => fig10(quick),
+        "fig11" => fig11(quick),
+        "mbox" => mbox_matrix(),
+        "all" => {
+            mbox_matrix();
+            fig3();
+            fig4(quick);
+            fig5(quick);
+            fig6(fig6_scenarios::Panel::WeakCellular, quick);
+            fig6(fig6_scenarios::Panel::Asymmetric, quick);
+            fig6(fig6_scenarios::Panel::Symmetric3, quick);
+            fig7(quick);
+            fig8();
+            fig9(quick);
+            fig10(quick);
+            fig11(quick);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+fn fig3() {
+    header("Figure 3: goodput vs MSS, DSM checksum on/off (10 Gbps)");
+    let measured = fig3_checksum::calibrate();
+    println!(
+        "this machine: per-packet {:.0} ns, checksum {:.3} ns/byte — modern CPUs\n         checksum at >10 GB/s, so the 2012 bottleneck vanishes here. Both views:",
+        measured.t_pkt * 1e9,
+        measured.t_byte * 1e9
+    );
+    for (label, cal) in [
+        ("paper-era Xeon calibration", fig3_checksum::Calibration::PAPER_ERA),
+        ("this machine (measured)", measured),
+    ] {
+        println!("\n[{label}]");
+        println!("{:>6}  {:>14}  {:>14}  {:>7}", "MSS", "no-cksum Gbps", "cksum Gbps", "loss%");
+        for r in fig3_checksum::run(cal, &fig3_checksum::default_msss()) {
+            let loss = 100.0 * (1.0 - r.checksum_gbps / r.no_checksum_gbps.max(1e-9));
+            println!(
+                "{:>6}  {:>14.2}  {:>14.2}  {:>6.1}%",
+                r.mss, r.no_checksum_gbps, r.checksum_gbps, loss
+            );
+        }
+    }
+}
+
+fn fig4(quick: bool) {
+    header("Figure 4: throughput vs receive buffer (WiFi 8M/20ms + 3G 2M/150ms)");
+    let bufs = if quick {
+        vec![100_000, 200_000, 400_000, 1_000_000]
+    } else {
+        fig4_rcvbuf::default_bufs()
+    };
+    let rows = fig4_rcvbuf::sweep(&bufs, SEED);
+    print!("{:>9}", "buf KB");
+    for v in fig4_rcvbuf::variants() {
+        print!("  {:>16}", v.label());
+    }
+    println!("  {:>13}", "M1 thruput");
+    for row in rows {
+        print!("{:>9}", row.buf / 1000);
+        let mut m1_thru = 0.0;
+        for (v, r) in &row.results {
+            print!("  {:>13.2} Mb", r.goodput_mbps);
+            if *v == common::Variant::MptcpM1 {
+                m1_thru = r.throughput_mbps;
+            }
+        }
+        println!("  {:>10.2} Mb", m1_thru);
+    }
+    let tcp3g = fig4_rcvbuf::run_tcp_3g(500_000, SEED);
+    println!("(TCP over 3G at 500 KB: {:.2} Mbps)", tcp3g.goodput_mbps);
+}
+
+fn fig5(quick: bool) {
+    header("Figure 5: memory used vs configured receive buffer (autotuning)");
+    let bufs = if quick {
+        vec![200_000, 600_000, 1_000_000]
+    } else {
+        fig5_memory::default_bufs()
+    };
+    let rows = fig5_memory::sweep(&bufs, SEED);
+    if let Some(first) = rows.first() {
+        print!("{:>9}", "buf KB");
+        for (label, _, _) in &first.results {
+            print!("  {:>22}", label);
+        }
+        println!();
+    }
+    for row in &rows {
+        print!("{:>9}", row.buf / 1000);
+        for (_, smem, rmem) in &row.results {
+            print!("  {:>9.0}/{:>9.0} B", smem, rmem);
+        }
+        println!();
+    }
+    println!("(cells are mean sender/receiver memory)");
+}
+
+fn fig6(panel: fig6_scenarios::Panel, quick: bool) {
+    header(&format!("Figure 6 {:?}: goodput vs buffer size", panel));
+    let mut bufs = panel.default_bufs();
+    if quick {
+        bufs.truncate(3);
+    }
+    let rows = fig6_scenarios::sweep(panel, &bufs, SEED);
+    if let Some(first) = rows.first() {
+        print!("{:>9}", "buf KB");
+        for (label, _) in &first.results {
+            print!("  {:>20}", label);
+        }
+        println!();
+    }
+    for row in &rows {
+        print!("{:>9}", row.buf / 1000);
+        for (_, g) in &row.results {
+            print!("  {:>17.2} Mb", g);
+        }
+        println!();
+    }
+}
+
+fn fig7(quick: bool) {
+    header("Figure 7: application-delay PDF (8 KB blocks, 200 KB buffers)");
+    let dur = if quick {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(30)
+    };
+    let curves = fig7_appdelay::run(200_000, dur, SEED);
+    println!(
+        "{:>16}  {:>8}  {:>8}  {:>8}  {:>8}",
+        "curve", "mean ms", "p50 ms", "p95 ms", "p99 ms"
+    );
+    for c in &curves {
+        println!(
+            "{:>16}  {:>8.1}  {:>8.1}  {:>8.1}  {:>8.1}",
+            c.label,
+            c.stats.mean().as_secs_f64() * 1e3,
+            c.stats.quantile(0.5).as_secs_f64() * 1e3,
+            c.stats.quantile(0.95).as_secs_f64() * 1e3,
+            c.stats.quantile(0.99).as_secs_f64() * 1e3,
+        );
+    }
+    println!();
+    println!("PDF (50 ms bins, % of blocks):");
+    print!("{:>16}", "bin");
+    for ms in (0..450).step_by(50) {
+        print!("  {:>5}", ms);
+    }
+    println!();
+    for c in &curves {
+        print!("{:>16}", c.label);
+        for (_, p) in c
+            .stats
+            .pdf(Duration::from_millis(50), Duration::from_millis(400))
+        {
+            print!("  {:>5.1}", p);
+        }
+        println!();
+    }
+}
+
+fn fig8() {
+    header("Figure 8: receiver CPU load by reorder algorithm (2 x 1 Gbps)");
+    println!(
+        "{:>14}  {:>9}  {:>8}  {:>11}  {:>9}  {:>12}",
+        "algorithm", "subflows", "CPU %", "ops/packet", "hit rate", "goodput Mbps"
+    );
+    for r in fig8_reorder::run(SEED) {
+        println!(
+            "{:>14}  {:>9}  {:>8.1}  {:>11.2}  {:>8.0}%  {:>12.0}",
+            r.algo,
+            r.subflows,
+            r.cpu_util,
+            r.ops_per_pkt,
+            r.hit_rate * 100.0,
+            r.goodput_mbps
+        );
+    }
+}
+
+fn fig9(quick: bool) {
+    header("Figure 9: MPTCP over real-like 3G and capped WiFi (both 2 Mbps)");
+    let bufs = if quick {
+        vec![100_000, 500_000]
+    } else {
+        fig9_wifi3g::default_bufs()
+    };
+    let rows = fig9_wifi3g::sweep(&bufs, SEED);
+    if let Some(first) = rows.first() {
+        print!("{:>9}", "buf KB");
+        for (label, _) in &first.results {
+            print!("  {:>16}", label);
+        }
+        println!();
+    }
+    for row in &rows {
+        print!("{:>9}", row.buf / 1000);
+        for (_, g) in &row.results {
+            print!("  {:>13.2} Mb", g);
+        }
+        println!();
+    }
+}
+
+fn fig10(quick: bool) {
+    header("Figure 10: SYN->SYN/ACK latency (wall clock, this machine)");
+    let trials = if quick { 2_000 } else { 20_000 };
+    let rows = fig10_handshake::run(trials, SEED);
+    println!("{:>28}  {:>10}", "configuration", "median us");
+    for r in &rows {
+        println!("{:>28}  {:>10.2}", r.label, r.median_us());
+    }
+}
+
+fn fig11(quick: bool) {
+    header("Figure 11: HTTP requests/sec vs transfer size (closed loop)");
+    let mut cfg = fig11_http::Config::default();
+    let mut sizes = fig11_http::default_sizes();
+    if quick {
+        cfg.clients = 4;
+        cfg.duration = Duration::from_secs(2);
+        sizes = vec![4_096, 30_000, 100_000, 300_000];
+    }
+    println!(
+        "({} clients, 2 x {} Mbps links, {}s per point)",
+        cfg.clients,
+        cfg.link_mbps,
+        cfg.duration.as_secs()
+    );
+    let rows = fig11_http::sweep(cfg, &sizes, SEED);
+    if let Some(first) = rows.first() {
+        print!("{:>9}", "size KB");
+        for (label, _) in &first.results {
+            print!("  {:>13}", label);
+        }
+        println!();
+    }
+    for row in &rows {
+        print!("{:>9}", row.file_size / 1000);
+        for (_, rps) in &row.results {
+            print!("  {:>8.0} req/s", rps);
+        }
+        println!();
+    }
+}
+
+fn mbox_matrix() {
+    header("S3/S4.1: middlebox x design survival matrix (200 KB transfer)");
+    println!(
+        "{:>20}  {:>22}  {:>22}  {:>22}",
+        "middlebox", "MPTCP", "strawman (striped)", "TCP"
+    );
+    let cells = mbox::matrix(SEED);
+    for chunk in cells.chunks(3) {
+        print!("{:>20}", chunk[0].mbox.label());
+        for cell in chunk {
+            let txt = match cell.outcome {
+                mbox::Outcome::Ok => format!("ok {:.1} Mbps", cell.goodput_mbps),
+                mbox::Outcome::FellBack => format!("fell back {:.1} Mbps", cell.goodput_mbps),
+                mbox::Outcome::Stalled(p) => format!("STALLED {p:.0}%"),
+            };
+            print!("  {:>22}", txt);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,156 @@
+//! MPTCP connection configuration: mechanisms, scheduler, reorder algorithm.
+
+use mptcp_tcpstack::TcpConfig;
+
+/// The receive-path out-of-order queue algorithms of §4.3 / Figure 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReorderAlgo {
+    /// Linear scan of the out-of-order queue (stock TCP behaviour).
+    Regular,
+    /// Balanced-tree lookup.
+    Tree,
+    /// Per-subflow expected-position pointers with linear-scan fallback.
+    Shortcuts,
+    /// Shortcuts plus batch-grouped fallback iteration.
+    AllShortcuts,
+}
+
+/// The sender-side receive-buffer mechanisms of §4.2.
+#[derive(Clone, Copy, Debug)]
+pub struct Mechanisms {
+    /// M1: opportunistic retransmission of the segment holding up the
+    /// trailing edge of the receive window.
+    pub opportunistic_retx: bool,
+    /// M2: penalize (halve cwnd of) the subflow holding up the window,
+    /// at most once per subflow RTT.
+    pub penalize: bool,
+    /// M3: send/receive buffer autotuning toward `2·Σxᵢ·RTTmax`.
+    pub autotune: bool,
+    /// M4: cap subflow cwnd when smoothed RTT exceeds 2× base RTT.
+    pub cap_cwnd: bool,
+}
+
+impl Mechanisms {
+    /// "Regular MPTCP" in the paper's figures: no mechanisms.
+    pub const NONE: Mechanisms = Mechanisms {
+        opportunistic_retx: false,
+        penalize: false,
+        autotune: false,
+        cap_cwnd: false,
+    };
+    /// MPTCP+M1.
+    pub const M1: Mechanisms = Mechanisms {
+        opportunistic_retx: true,
+        ..Mechanisms::NONE
+    };
+    /// MPTCP+M1,2 — the configuration the paper recommends.
+    pub const M1_2: Mechanisms = Mechanisms {
+        opportunistic_retx: true,
+        penalize: true,
+        ..Mechanisms::NONE
+    };
+    /// MPTCP+M1,2,3 (autotuning on).
+    pub const M1_2_3: Mechanisms = Mechanisms {
+        opportunistic_retx: true,
+        penalize: true,
+        autotune: true,
+        cap_cwnd: false,
+    };
+    /// MPTCP+M1,2,3,4 (autotuning + cwnd capping).
+    pub const ALL: Mechanisms = Mechanisms {
+        opportunistic_retx: true,
+        penalize: true,
+        autotune: true,
+        cap_cwnd: true,
+    };
+}
+
+/// Configuration for an MPTCP connection.
+#[derive(Clone, Debug)]
+pub struct MptcpConfig {
+    /// Per-subflow TCP parameters.
+    pub tcp: TcpConfig,
+    /// Require and verify DSS checksums (§3.3.6; off for datacenters).
+    pub checksum: bool,
+    /// Receive-buffer mechanisms.
+    pub mech: Mechanisms,
+    /// Out-of-order queue algorithm.
+    pub reorder: ReorderAlgo,
+    /// Use coupled (LIA) congestion control across subflows; plain Reno
+    /// per subflow when false.
+    pub coupled_cc: bool,
+    /// Connection-level send buffer cap in bytes.
+    pub send_buf: usize,
+    /// Connection-level receive buffer cap in bytes.
+    pub recv_buf: usize,
+    /// Automatically open subflows toward addresses learned via ADD_ADDR
+    /// or configured locally.
+    pub auto_join: bool,
+}
+
+impl Default for MptcpConfig {
+    fn default() -> Self {
+        let mut tcp = TcpConfig::default();
+        // Subflow buffers are not the limiting resource: the connection
+        // enforces its own shared pool (§3.3.1) and overrides the window.
+        tcp.send_buf = usize::MAX / 2;
+        tcp.recv_buf = usize::MAX / 2;
+        tcp.autotune = false;
+        MptcpConfig {
+            tcp,
+            checksum: true,
+            mech: Mechanisms::M1_2,
+            reorder: ReorderAlgo::Shortcuts,
+            coupled_cc: true,
+            send_buf: 2 * 1024 * 1024,
+            recv_buf: 2 * 1024 * 1024,
+            auto_join: true,
+        }
+    }
+}
+
+impl MptcpConfig {
+    /// Set both connection-level buffers — the sweep knob of Figs 4–6, 9.
+    pub fn with_buffers(mut self, bytes: usize) -> MptcpConfig {
+        self.send_buf = bytes;
+        self.recv_buf = bytes;
+        self
+    }
+
+    /// Select the mechanism set.
+    pub fn with_mechanisms(mut self, mech: Mechanisms) -> MptcpConfig {
+        self.mech = mech;
+        // M4 is implemented inside the subflow TCP (like FreeBSD's
+        // inflight limiter), so propagate it.
+        self.tcp.cap_cwnd_on_bufferbloat = mech.cap_cwnd;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanism_presets() {
+        assert!(!Mechanisms::NONE.opportunistic_retx);
+        assert!(Mechanisms::M1.opportunistic_retx && !Mechanisms::M1.penalize);
+        assert!(Mechanisms::M1_2.penalize && !Mechanisms::M1_2.autotune);
+        assert!(Mechanisms::ALL.cap_cwnd && Mechanisms::ALL.autotune);
+    }
+
+    #[test]
+    fn mech_propagates_capping_to_tcp() {
+        let cfg = MptcpConfig::default().with_mechanisms(Mechanisms::ALL);
+        assert!(cfg.tcp.cap_cwnd_on_bufferbloat);
+        let cfg = MptcpConfig::default().with_mechanisms(Mechanisms::M1_2);
+        assert!(!cfg.tcp.cap_cwnd_on_bufferbloat);
+    }
+
+    #[test]
+    fn buffer_setter() {
+        let cfg = MptcpConfig::default().with_buffers(123_456);
+        assert_eq!(cfg.send_buf, 123_456);
+        assert_eq!(cfg.recv_buf, 123_456);
+    }
+}

@@ -1,0 +1,1569 @@
+//! The MPTCP connection: subflow management, scheduling, flow control,
+//! reliability at the data level, mechanisms M1–M4, and fallback.
+//!
+//! This is the paper's primary contribution assembled: a connection that
+//! stripes one byte stream over several TCP subflows while surviving the
+//! middlebox bestiary of §3 and performing well under the memory limits of
+//! §4. The structure mirrors the paper:
+//!
+//! * §3.1 — MP_CAPABLE negotiation, fallback when options vanish, "carry
+//!   the option until one has been acked".
+//! * §3.2 — MP_JOIN with token demux and HMAC authentication; ADD_ADDR.
+//! * §3.3 — per-subflow sequence spaces; relative DSS mappings; explicit
+//!   DATA_ACK in options; shared receive pool window semantics; send
+//!   buffer retained until DATA_ACK; DSS checksum + fallback.
+//! * §3.4 — subflow FIN vs DATA_FIN; REMOVE_ADDR.
+//! * §4.2 — opportunistic retransmission (M1), penalizing slow subflows
+//!   (M2), buffer autotuning (M3), cwnd capping (M4, in the subflow TCP).
+//! * §4.3 — pluggable connection-level out-of-order queues.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bytes::Bytes;
+use mptcp_netsim::{Duration, SimRng, SimTime};
+use mptcp_packet::mptcp_opts::AdvertisedAddr;
+use mptcp_packet::{checksum, crypto, DssMapping, Endpoint, FourTuple, MptcpOption, SeqNum, TcpOption, TcpSegment};
+use mptcp_tcpstack::{cc, Lia, TcpSocket};
+
+use crate::config::MptcpConfig;
+use crate::dsn::infer_full_dsn;
+use crate::mapping::{Consumed, MappingTracker};
+use crate::reorder::{make_queue, OooQueue};
+use crate::subflow::{JoinState, Subflow};
+use crate::token::{KeySet, TokenTable};
+
+/// Connection lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnState {
+    /// Initial subflow handshake in progress.
+    Handshake,
+    /// Handshake done, MPTCP negotiated, but not yet confirmed by a
+    /// non-SYN segment carrying an MPTCP option (§3.1's lost-third-ACK /
+    /// stripped-SYN-ACK defence).
+    AwaitingConfirm,
+    /// MPTCP fully operational.
+    Established,
+    /// Operating as plain TCP on the initial subflow (§3.3.6 fallback, or
+    /// MP_CAPABLE never negotiated).
+    Fallback,
+    /// Connection finished or failed.
+    Closed,
+}
+
+/// Notifications surfaced to the owner (host / application glue).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConnEvent {
+    /// The peer advertised an additional address (ADD_ADDR): the owner may
+    /// open a subflow toward it.
+    PeerAddr(AdvertisedAddr),
+    /// A subflow completed its handshake.
+    SubflowUp(usize),
+    /// A subflow died (RST, timeout, or checksum-triggered reset).
+    SubflowDown(usize),
+    /// The connection fell back to regular TCP.
+    FellBack,
+}
+
+/// Counters for the paper's measurements.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnStats {
+    /// Application bytes accepted for sending.
+    pub bytes_written: u64,
+    /// Application bytes delivered in order (goodput numerator).
+    pub bytes_delivered: u64,
+    /// Payload bytes handed to subflows, including re-injections
+    /// (throughput numerator).
+    pub bytes_scheduled: u64,
+    /// M1 opportunistic retransmissions performed.
+    pub opportunistic_retx: u64,
+    /// M2 penalizations applied.
+    pub penalizations: u64,
+    /// Connection-level retransmission timeouts.
+    pub data_rtos: u64,
+    /// Chunks re-injected on another subflow (any reason).
+    pub reinjections: u64,
+    /// DSS checksum failures observed.
+    pub checksum_failures: u64,
+    /// Subflows reset due to checksum failures / bad MACs.
+    pub subflow_resets: u64,
+    /// Duplicate data-level bytes discarded at the receiver.
+    pub dup_bytes: u64,
+    /// MP_JOIN attempts rejected (bad token or MAC).
+    pub joins_rejected: u64,
+}
+
+/// A chunk handed to a subflow, retained until DATA_ACKed (§3.3.5: "even
+/// if a segment is ACKed at the subflow level, its data is kept in memory
+/// until we receive a DATA ACK").
+struct SentChunk {
+    data: Bytes,
+    subflow: usize,
+}
+
+/// One end of a Multipath TCP connection.
+pub struct MptcpConnection {
+    cfg: MptcpConfig,
+    is_client: bool,
+    state: ConnState,
+    rng: SimRng,
+
+    local: KeySet,
+    remote: Option<KeySet>,
+    checksum_on: bool,
+
+    subflows: Vec<Subflow>,
+    next_addr_id: u8,
+
+    // --- Send side -----------------------------------------------------
+    /// Next data sequence number to assign.
+    snd_nxt: u64,
+    /// Oldest un-DATA-ACKed data sequence number.
+    snd_una: u64,
+    /// Right edge of the peer's receive window in data sequence space
+    /// (monotonic max of DATA_ACK + window, §3.3.2).
+    snd_right_edge: u64,
+    /// App data written but not yet mapped onto a subflow.
+    pending: VecDeque<Bytes>,
+    pending_bytes: usize,
+    /// Chunks on subflows awaiting DATA_ACK, keyed by DSN.
+    sent: BTreeMap<u64, SentChunk>,
+    sent_bytes: usize,
+    /// Chunks to re-send (subflow death, data RTO, M1), keyed by DSN.
+    reinject: VecDeque<u64>,
+    /// Connection-level send buffer capacity (M3-autotuned).
+    snd_buf_cap: usize,
+    data_fin_queued: bool,
+    /// DSN assigned to the DATA_FIN once emitted.
+    data_fin_dsn: Option<u64>,
+    data_rto_deadline: Option<SimTime>,
+    data_rto_backoff: u32,
+    /// M1 duplicate-suppression: last opportunistically-retransmitted DSN
+    /// and when.
+    last_opp: Option<(u64, SimTime)>,
+
+    // --- Receive side ---------------------------------------------------
+    /// Next expected data sequence number.
+    rcv_nxt: u64,
+    /// The connection-level out-of-order queue (Figure 8 algorithms).
+    pub ooo: Box<dyn OooQueue>,
+    app_rx: VecDeque<Bytes>,
+    app_rx_bytes: usize,
+    /// Connection-level receive buffer capacity (M3-autotuned).
+    rcv_buf_cap: usize,
+    /// DSN of the peer's DATA_FIN, if announced.
+    rcv_fin_dsn: Option<u64>,
+    /// Peer's stream fully received and FIN consumed.
+    rcv_eof: bool,
+
+    // Fallback bookkeeping.
+    confirmed: bool,
+    /// Consecutive option-less non-SYN segments on the initial subflow
+    /// while MPTCP is unconfirmed.
+    plain_rx_streak: u32,
+
+    events: VecDeque<ConnEvent>,
+    /// Measurement counters.
+    pub stats: ConnStats,
+    poll_cursor: usize,
+}
+
+impl MptcpConnection {
+    // ------------------------------------------------------------------
+    // Construction.
+    // ------------------------------------------------------------------
+
+    /// Active-open an MPTCP connection: the first [`MptcpConnection::poll`]
+    /// emits a SYN carrying MP_CAPABLE with our key.
+    pub fn client(cfg: MptcpConfig, tuple: FourTuple, now: SimTime, mut rng: SimRng) -> MptcpConnection {
+        let local = KeySet::from_key(rng.next_u64());
+        let checksum_on = cfg.checksum;
+        let syn_opts = vec![TcpOption::Mptcp(MptcpOption::MpCapable {
+            version: 0,
+            checksum_required: checksum_on,
+            sender_key: local.key,
+            receiver_key: None,
+        })];
+        let mut sock =
+            TcpSocket::client(cfg.tcp.clone(), tuple, SeqNum(rng.next_u32()), now, syn_opts);
+        MptcpConnection::install_cc(&cfg, &mut sock);
+        let mut conn = MptcpConnection::common(cfg, true, local, rng);
+        conn.subflows.push(Subflow::new(
+            sock,
+            MappingTracker::new(checksum_on),
+            JoinState::Initial,
+            0,
+        ));
+        conn
+    }
+
+    /// Passive-open from a received SYN. If the SYN carries MP_CAPABLE the
+    /// connection negotiates MPTCP (drawing a unique-token key from
+    /// `tokens`); otherwise it starts in fallback (plain TCP).
+    pub fn server_accept(
+        cfg: MptcpConfig,
+        syn: &TcpSegment,
+        now: SimTime,
+        mut rng: SimRng,
+        tokens: &mut TokenTable,
+    ) -> MptcpConnection {
+        let peer_capable = syn.mptcp_options().find_map(|m| match m {
+            MptcpOption::MpCapable {
+                sender_key,
+                checksum_required,
+                ..
+            } => Some((*sender_key, *checksum_required)),
+            _ => None,
+        });
+
+        match peer_capable {
+            Some((peer_key, peer_ck)) => {
+                let local = tokens.generate(&mut rng);
+                let mut cfg = cfg;
+                cfg.checksum = cfg.checksum || peer_ck;
+                let checksum_on = cfg.checksum;
+                let syn_opts = vec![TcpOption::Mptcp(MptcpOption::MpCapable {
+                    version: 0,
+                    checksum_required: checksum_on,
+                    sender_key: local.key,
+                    receiver_key: None,
+                })];
+                let mut sock =
+                    TcpSocket::accept(cfg.tcp.clone(), syn, SeqNum(rng.next_u32()), now, syn_opts);
+                // The SYN's MP_CAPABLE was consumed here; don't let the
+                // harvested copy masquerade as third-ACK confirmation.
+                let _ = sock.take_rx_mptcp();
+                MptcpConnection::install_cc(&cfg, &mut sock);
+                let mut conn = MptcpConnection::common(cfg, false, local, rng);
+                conn.set_remote_key(peer_key);
+                conn.state = ConnState::Handshake;
+                conn.subflows.push(Subflow::new(
+                    sock,
+                    MappingTracker::new(checksum_on),
+                    JoinState::Initial,
+                    0,
+                ));
+                conn
+            }
+            None => {
+                // No MP_CAPABLE (stripped or plain peer): regular TCP.
+                let local = KeySet::from_key(rng.next_u64());
+                let sock = TcpSocket::accept(cfg.tcp.clone(), syn, SeqNum(rng.next_u32()), now, vec![]);
+                let mut conn = MptcpConnection::common(cfg, false, local, rng);
+                conn.state = ConnState::Fallback;
+                conn.subflows.push(Subflow::new(
+                    sock,
+                    MappingTracker::new(false),
+                    JoinState::Initial,
+                    0,
+                ));
+                conn
+            }
+        }
+    }
+
+    fn common(cfg: MptcpConfig, is_client: bool, local: KeySet, rng: SimRng) -> MptcpConnection {
+        let snd_start = local.idsn.wrapping_add(1);
+        let (snd_buf_cap, rcv_buf_cap) = if cfg.mech.autotune {
+            (
+                (64 * 1024).min(cfg.send_buf),
+                (64 * 1024).min(cfg.recv_buf),
+            )
+        } else {
+            (cfg.send_buf, cfg.recv_buf)
+        };
+        MptcpConnection {
+            is_client,
+            state: ConnState::Handshake,
+            rng,
+            local,
+            remote: None,
+            checksum_on: cfg.checksum,
+            subflows: Vec::new(),
+            next_addr_id: 1,
+            snd_nxt: snd_start,
+            snd_una: snd_start,
+            snd_right_edge: snd_start,
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            sent: BTreeMap::new(),
+            sent_bytes: 0,
+            reinject: VecDeque::new(),
+            snd_buf_cap,
+            data_fin_queued: false,
+            data_fin_dsn: None,
+            data_rto_deadline: None,
+            data_rto_backoff: 1,
+            last_opp: None,
+            rcv_nxt: 0,
+            ooo: make_queue(cfg.reorder),
+            app_rx: VecDeque::new(),
+            app_rx_bytes: 0,
+            rcv_buf_cap,
+            rcv_fin_dsn: None,
+            rcv_eof: false,
+            confirmed: false,
+            plain_rx_streak: 0,
+            events: VecDeque::new(),
+            stats: ConnStats::default(),
+            poll_cursor: 0,
+            cfg,
+        }
+    }
+
+    /// Install the configured congestion controller on a subflow socket
+    /// (coupled LIA by default, per-subflow Reno otherwise).
+    fn install_cc(cfg: &MptcpConfig, sock: &mut TcpSocket) {
+        if cfg.coupled_cc {
+            sock.set_cc(Box::new(Lia::new(
+                cfg.tcp.mss as u32,
+                cfg.tcp.init_cwnd_segs,
+            )));
+        }
+    }
+
+    fn set_remote_key(&mut self, key: u64) {
+        let ks = KeySet::from_key(key);
+        self.rcv_nxt = ks.idsn.wrapping_add(1);
+        self.remote = Some(ks);
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// Connection state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Our token (what MP_JOIN SYNs toward us must carry).
+    pub fn local_token(&self) -> u32 {
+        self.local.token
+    }
+
+    /// Is the connection usable for data?
+    pub fn is_established(&self) -> bool {
+        matches!(
+            self.state,
+            ConnState::Established | ConnState::AwaitingConfirm | ConnState::Fallback
+        ) && self.subflows.iter().any(|s| s.usable())
+    }
+
+    /// Did we fall back to regular TCP?
+    pub fn is_fallback(&self) -> bool {
+        self.state == ConnState::Fallback
+    }
+
+    /// Stream EOF reached and drained?
+    pub fn at_eof(&self) -> bool {
+        let fin = if self.state == ConnState::Fallback {
+            self.subflows.first().is_some_and(|s| s.sock.stream_fin())
+        } else {
+            self.rcv_eof
+        };
+        fin && self.app_rx.is_empty()
+    }
+
+    /// Has our DATA_FIN (or fallback FIN) been acknowledged?
+    pub fn send_closed(&self) -> bool {
+        match self.state {
+            ConnState::Fallback => self.subflows.first().is_some_and(|s| s.sock.fin_acked()),
+            _ => self.data_fin_dsn.is_some_and(|f| self.snd_una > f),
+        }
+    }
+
+    /// All subflow sockets closed or dead: nothing further will happen.
+    pub fn fully_closed(&self) -> bool {
+        self.subflows
+            .iter()
+            .all(|s| s.dead || s.sock.state().is_closed())
+    }
+
+    /// Subflow views (testing / instrumentation).
+    pub fn subflows(&self) -> &[Subflow] {
+        &self.subflows
+    }
+
+    /// Mutable subflow access (test harness fault injection).
+    pub fn subflows_mut(&mut self) -> &mut [Subflow] {
+        &mut self.subflows
+    }
+
+    /// Bytes the sender holds: pending + retained-until-DATA_ACK chunks
+    /// (Figure 5a's sender memory).
+    pub fn sender_memory(&self) -> usize {
+        self.pending_bytes + self.sent_bytes
+    }
+
+    /// Bytes the receiver holds: connection out-of-order queue + unread
+    /// in-order data + transient subflow buffers (Figure 5b).
+    pub fn receiver_memory(&self) -> usize {
+        self.ooo.buffered_bytes()
+            + self.app_rx_bytes
+            + self.subflows.iter().map(|s| s.sock.recv_buffered()).sum::<usize>()
+    }
+
+    /// Current connection-level advertised window.
+    pub fn rcv_window(&self) -> u32 {
+        self.rcv_buf_cap
+            .saturating_sub(self.ooo.buffered_bytes() + self.app_rx_bytes) as u32
+    }
+
+    /// Current autotuned receive buffer capacity.
+    pub fn rcv_buf_capacity(&self) -> usize {
+        self.rcv_buf_cap
+    }
+
+    /// Drain pending events.
+    pub fn take_events(&mut self) -> Vec<ConnEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Bytes not yet acknowledged at the data level.
+    pub fn data_outstanding(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Room left before the peer's advertised data-level right edge.
+    pub fn snd_window_room(&self) -> u64 {
+        self.snd_right_edge.saturating_sub(self.snd_nxt)
+    }
+
+    // ------------------------------------------------------------------
+    // Application API.
+    // ------------------------------------------------------------------
+
+    /// Write application data; returns bytes accepted (connection send
+    /// buffer permitting).
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        if self.data_fin_queued || self.state == ConnState::Closed {
+            return 0;
+        }
+        if self.state == ConnState::Fallback {
+            let n = self.subflows[0].sock.send(data);
+            self.stats.bytes_written += n as u64;
+            return n;
+        }
+        let space = self
+            .snd_buf_cap
+            .saturating_sub(self.pending_bytes + self.sent_bytes);
+        let take = data.len().min(space);
+        if take > 0 {
+            self.maybe_grow_sndbuf(take);
+            self.pending.push_back(Bytes::copy_from_slice(&data[..take]));
+            self.pending_bytes += take;
+            self.stats.bytes_written += take as u64;
+        }
+        take
+    }
+
+    /// Read in-order application data.
+    pub fn read(&mut self, max: usize) -> Option<Bytes> {
+        let front = self.app_rx.front_mut()?;
+        let out = if front.len() <= max {
+            self.app_rx.pop_front().unwrap()
+        } else {
+            let head = front.slice(..max);
+            *front = front.slice(max..);
+            head
+        };
+        self.app_rx_bytes -= out.len();
+        self.stats.bytes_delivered += out.len() as u64;
+        out.into()
+    }
+
+    /// Close the sending direction (DATA_FIN, §3.4).
+    pub fn close(&mut self) {
+        if self.state == ConnState::Fallback {
+            self.subflows[0].sock.close();
+        } else {
+            self.data_fin_queued = true;
+        }
+    }
+
+    /// Abort everything.
+    pub fn abort(&mut self) {
+        for sf in &mut self.subflows {
+            if !sf.dead {
+                sf.sock.abort();
+            }
+        }
+        self.state = ConnState::Closed;
+    }
+
+    // ------------------------------------------------------------------
+    // Subflow management.
+    // ------------------------------------------------------------------
+
+    /// Open an additional subflow (MP_JOIN) from `local` to `remote`.
+    /// No-op unless MPTCP is established and keys are known.
+    pub fn open_subflow(&mut self, local: Endpoint, remote: Endpoint, now: SimTime) -> bool {
+        if self.state != ConnState::Established && self.state != ConnState::AwaitingConfirm {
+            return false;
+        }
+        let Some(rk) = self.remote else { return false };
+        // Don't open duplicates.
+        let tuple = FourTuple {
+            src: local,
+            dst: remote,
+        };
+        if self
+            .subflows
+            .iter()
+            .any(|s| !s.dead && s.sock.tuple() == tuple)
+        {
+            return false;
+        }
+        let nonce = self.rng.next_u32();
+        let addr_id = self.next_addr_id;
+        self.next_addr_id += 1;
+        let syn_opts = vec![TcpOption::Mptcp(MptcpOption::MpJoinSyn {
+            token: rk.token,
+            nonce,
+            addr_id,
+            backup: false,
+        })];
+        let mut sock = TcpSocket::client(
+            self.cfg.tcp.clone(),
+            tuple,
+            SeqNum(self.rng.next_u32()),
+            now,
+            syn_opts,
+        );
+        MptcpConnection::install_cc(&self.cfg, &mut sock);
+        let mut sf = Subflow::new(
+            sock,
+            MappingTracker::new(self.checksum_on),
+            JoinState::ClientSyn,
+            addr_id,
+        );
+        sf.nonce_local = nonce;
+        self.subflows.push(sf);
+        true
+    }
+
+    /// Accept an MP_JOIN SYN addressed to this connection (the endpoint
+    /// demuxed it via the token). Returns false if validation failed.
+    pub fn accept_join(&mut self, syn: &TcpSegment, now: SimTime) -> bool {
+        let Some(MptcpOption::MpJoinSyn { token, nonce, addr_id, backup }) = syn
+            .mptcp_options()
+            .find(|m| matches!(m, MptcpOption::MpJoinSyn { .. }))
+            .cloned()
+        else {
+            self.stats.joins_rejected += 1;
+            return false;
+        };
+        if token != self.local.token || self.remote.is_none() {
+            self.stats.joins_rejected += 1;
+            return false;
+        }
+        let rk = self.remote.unwrap();
+        let nonce_local = self.rng.next_u32();
+        let mac = crypto::join_synack_mac(self.local.key, rk.key, nonce, nonce_local);
+        let syn_opts = vec![TcpOption::Mptcp(MptcpOption::MpJoinSynAck {
+            mac,
+            nonce: nonce_local,
+            addr_id: 0,
+            backup: false,
+        })];
+        let mut sock = TcpSocket::accept(
+            self.cfg.tcp.clone(),
+            syn,
+            SeqNum(self.rng.next_u32()),
+            now,
+            syn_opts,
+        );
+        let _ = sock.take_rx_mptcp(); // MP_JOIN SYN consumed above
+        MptcpConnection::install_cc(&self.cfg, &mut sock);
+        let mut sf = Subflow::new(
+            sock,
+            MappingTracker::new(self.checksum_on),
+            JoinState::ServerWait,
+            addr_id,
+        );
+        sf.nonce_local = nonce_local;
+        sf.nonce_remote = nonce;
+        sf.backup = backup;
+        self.subflows.push(sf);
+        true
+    }
+
+    /// Advertise an additional local address to the peer (ADD_ADDR) —
+    /// how a multi-homed server invites NATted clients to open subflows
+    /// toward its other interfaces (§3.2).
+    pub fn advertise_addr(&mut self, addr: u32, port: Option<u16>) {
+        let addr_id = self.next_addr_id;
+        self.next_addr_id += 1;
+        let opt = TcpOption::Mptcp(MptcpOption::AddAddr(AdvertisedAddr {
+            addr_id,
+            addr,
+            port,
+        }));
+        if let Some(sf) = self.subflows.iter_mut().find(|s| s.usable()) {
+            sf.sock.queue_oneshot_options(vec![opt]);
+        }
+    }
+
+    /// Withdraw an address: peers close subflows using it (§3.4 mobility).
+    pub fn remove_addr(&mut self, addr_id: u8) {
+        let opt = TcpOption::Mptcp(MptcpOption::RemoveAddr {
+            addr_ids: vec![addr_id],
+        });
+        if let Some(sf) = self.subflows.iter_mut().find(|s| s.usable()) {
+            sf.sock.queue_oneshot_options(vec![opt]);
+        }
+    }
+
+    /// Does `tuple` (as seen in an incoming segment) belong to one of our
+    /// subflows?
+    pub fn owns_tuple(&self, incoming: FourTuple) -> bool {
+        self.subflows
+            .iter()
+            .any(|s| s.sock.tuple() == incoming.reversed())
+    }
+
+    // ------------------------------------------------------------------
+    // Input path.
+    // ------------------------------------------------------------------
+
+    /// Feed a segment belonging to this connection.
+    pub fn handle_segment(&mut self, now: SimTime, seg: &TcpSegment) {
+        let Some(idx) = self
+            .subflows
+            .iter()
+            .position(|s| s.sock.tuple() == seg.tuple.reversed())
+        else {
+            return;
+        };
+
+        let had_mp = seg.options.iter().any(|o| o.is_mptcp());
+        self.subflows[idx].sock.handle_segment(now, seg);
+
+        // §3.3.2: the receive window is interpreted relative to the
+        // explicit DATA_ACK it travelled with; track the monotonic right
+        // edge. Segments without a DATA_ACK (handshake, pre-confirmation)
+        // anchor the window at the current cumulative DATA_ACK instead —
+        // safe because `snd_una` is always at or behind the peer's real
+        // ack point.
+        if self.state != ConnState::Fallback && seg.flags.ack {
+            let dss_ack = seg.mptcp_options().find_map(|m| match m {
+                MptcpOption::Dss { data_ack: Some(a), .. } => Some(*a),
+                _ => None,
+            });
+            let base = match dss_ack {
+                Some(a) => Some(infer_full_dsn(self.snd_una, a)),
+                // Before confirmation the handshake segments carry no DSS
+                // yet their window must open the connection; afterwards a
+                // DSS-less segment is either fallen-back TCP (no data-level
+                // window) or a middlebox forgery (a pro-active acker's
+                // 1 MB-window ACKs must not inflate the data-level edge).
+                None if !self.confirmed => Some(self.snd_una),
+                None => None,
+            };
+            if let Some(base) = base {
+                let edge = base.wrapping_add(u64::from(seg.window));
+                if edge > self.snd_right_edge {
+                    self.snd_right_edge = edge;
+                }
+            }
+        }
+
+        self.after_input(now, idx);
+
+        // Handshake confirmation / fallback decision (§3.1): "If the
+        // first non-SYN packet received by the server does not contain an
+        // MPTCP option, the server must assume the path is not
+        // MPTCP-capable" — applied symmetrically on both sides, but
+        // hardened to a short streak so a single proxy-forged option-less
+        // ACK cannot trigger a spurious fallback (a real option-stripping
+        // path strips *every* segment).
+        // The active opener cannot use this rule: a pro-active-acking
+        // proxy forges option-less ACKs that always arrive *before* the
+        // peer's genuine option-bearing segments. The client instead falls
+        // back on timer evidence (see `on_data_rto`): data repeatedly
+        // unacknowledged at the data level with no MPTCP option ever seen.
+        if !seg.flags.syn && idx == 0 && !self.confirmed && !self.is_client {
+            if had_mp {
+                self.plain_rx_streak = 0;
+            } else if matches!(self.state, ConnState::AwaitingConfirm | ConnState::Established)
+                && self.subflows[0].sock.is_established()
+            {
+                self.plain_rx_streak += 1;
+                if self.plain_rx_streak >= 3 {
+                    self.enter_fallback();
+                }
+            }
+        }
+    }
+
+    fn after_input(&mut self, now: SimTime, idx: usize) {
+        self.process_handshake(now, idx);
+        self.process_rx_options(now, idx);
+        self.drain_subflow_stream(now, idx);
+        self.reap_dead(now);
+        self.update_ack_state(now);
+    }
+
+    /// Client-side establishment of the first subflow.
+    fn process_handshake(&mut self, _now: SimTime, idx: usize) {
+        if self.state != ConnState::Handshake {
+            return;
+        }
+        let sf = &mut self.subflows[idx];
+        if !sf.sock.is_established() {
+            if sf.sock.is_error() {
+                self.state = ConnState::Closed;
+            }
+            return;
+        }
+        if self.is_client {
+            // Look for the server's MP_CAPABLE in the harvested options.
+            let opts = sf.sock.take_rx_mptcp();
+            let mut server_key = None;
+            for o in &opts {
+                if let MptcpOption::MpCapable {
+                    sender_key,
+                    checksum_required,
+                    ..
+                } = o
+                {
+                    server_key = Some((*sender_key, *checksum_required));
+                }
+            }
+            match server_key {
+                Some((key, ck)) => {
+                    self.set_remote_key(key);
+                    self.checksum_on = self.checksum_on || ck;
+                    self.state = ConnState::AwaitingConfirm;
+                    // Third ACK (and every segment until confirmed)
+                    // carries MP_CAPABLE with both keys (§3.1).
+                    let carry = vec![TcpOption::Mptcp(MptcpOption::MpCapable {
+                        version: 0,
+                        checksum_required: self.checksum_on,
+                        sender_key: self.local.key,
+                        receiver_key: Some(key),
+                    })];
+                    self.subflows[idx].sock.set_carry_options(carry);
+                    self.subflows[idx].sock.request_ack();
+                    self.events.push_back(ConnEvent::SubflowUp(idx));
+                }
+                None => {
+                    // SYN/ACK without MP_CAPABLE: fall back (§3.1).
+                    self.enter_fallback();
+                }
+            }
+        } else {
+            // Server: established; stay unconfirmed until the first
+            // non-SYN segment proves the client received our key.
+            self.state = ConnState::AwaitingConfirm;
+            self.events.push_back(ConnEvent::SubflowUp(idx));
+        }
+    }
+
+    /// Process harvested MPTCP options on an established connection.
+    fn process_rx_options(&mut self, now: SimTime, idx: usize) {
+        if matches!(self.state, ConnState::Handshake | ConnState::Closed) {
+            return;
+        }
+        let opts = self.subflows[idx].sock.take_rx_mptcp();
+        if self.state == ConnState::Fallback {
+            return; // ignore MPTCP signalling once fallen back
+        }
+        for o in opts {
+            match o {
+                MptcpOption::MpCapable { sender_key, .. } => {
+                    // Server learning the client still speaks MPTCP
+                    // (third-ACK echo); key already known from the SYN.
+                    if self.remote.is_none() {
+                        self.set_remote_key(sender_key);
+                    }
+                    self.confirmed = true;
+                    if self.state == ConnState::AwaitingConfirm {
+                        self.state = ConnState::Established;
+                    }
+                }
+                MptcpOption::Dss {
+                    data_ack,
+                    mapping,
+                    data_fin,
+                } => {
+                    self.confirmed = true;
+                    if self.state == ConnState::AwaitingConfirm {
+                        self.state = ConnState::Established;
+                    }
+                    // The server only speaks DSS on a join subflow after
+                    // validating the client's HMAC: stop carrying it.
+                    if self.subflows[idx].join == JoinState::ClientEstablished {
+                        self.subflows[idx].join = JoinState::Active;
+                    }
+                    if let Some(m) = mapping {
+                        if data_fin {
+                            self.rcv_fin_dsn = Some(m.dsn + u64::from(m.len));
+                        }
+                        if m.len > 0 {
+                            self.subflows[idx].tracker.add(&m);
+                        }
+                    } else if data_fin {
+                        // DATA_FIN without mapping: FIN at current edge.
+                        self.rcv_fin_dsn.get_or_insert(self.rcv_nxt);
+                    }
+                    if let Some(a) = data_ack {
+                        let full = infer_full_dsn(self.snd_una.max(1), a);
+                        self.on_data_ack(now, full);
+                    }
+                }
+                MptcpOption::AddAddr(a) => {
+                    self.events.push_back(ConnEvent::PeerAddr(a));
+                }
+                MptcpOption::RemoveAddr { addr_ids } => {
+                    for id in addr_ids {
+                        self.kill_subflows_by_addr_id(now, id);
+                    }
+                }
+                MptcpOption::MpJoinSynAck { mac, nonce, .. } => {
+                    self.handle_join_synack(idx, mac, nonce);
+                }
+                MptcpOption::MpJoinAck { mac } => {
+                    self.handle_join_ack(idx, mac);
+                }
+                MptcpOption::MpJoinSyn { .. } => {
+                    // Handled at accept_join; a duplicate SYN's option.
+                }
+                MptcpOption::MpFail { .. } => {
+                    if self.alive_subflows() <= 1 {
+                        self.enter_fallback();
+                    }
+                }
+                MptcpOption::FastClose { .. } => {
+                    self.abort();
+                }
+                MptcpOption::MpPrio { backup, .. } => {
+                    self.subflows[idx].backup = backup;
+                }
+            }
+        }
+    }
+
+    fn handle_join_synack(&mut self, idx: usize, mac: u64, nonce_remote: u32) {
+        let sf = &mut self.subflows[idx];
+        if sf.join != JoinState::ClientSyn {
+            return;
+        }
+        let Some(rk) = self.remote else { return };
+        let expect = crypto::join_synack_mac(rk.key, self.local.key, sf.nonce_local, nonce_remote);
+        if mac != expect {
+            sf.sock.abort();
+            sf.dead = true;
+            self.stats.joins_rejected += 1;
+            self.stats.subflow_resets += 1;
+            return;
+        }
+        sf.nonce_remote = nonce_remote;
+        sf.join = JoinState::ClientEstablished;
+        // Third ACK carries our full HMAC until the server confirms (by
+        // sending any DSS on this subflow).
+        let ack_mac = crypto::join_ack_mac(self.local.key, rk.key, sf.nonce_local, nonce_remote);
+        sf.sock
+            .set_carry_options(vec![TcpOption::Mptcp(MptcpOption::MpJoinAck { mac: ack_mac })]);
+        sf.sock.request_ack();
+        self.events.push_back(ConnEvent::SubflowUp(idx));
+    }
+
+    fn handle_join_ack(&mut self, idx: usize, mac: [u8; 20]) {
+        let sf = &mut self.subflows[idx];
+        if sf.join != JoinState::ServerWait {
+            return;
+        }
+        let Some(rk) = self.remote else { return };
+        let expect = crypto::join_ack_mac(rk.key, self.local.key, sf.nonce_remote, sf.nonce_local);
+        if mac != expect {
+            sf.sock.abort();
+            sf.dead = true;
+            self.stats.joins_rejected += 1;
+            self.stats.subflow_resets += 1;
+            return;
+        }
+        sf.join = JoinState::Active;
+        self.events.push_back(ConnEvent::SubflowUp(idx));
+    }
+
+    fn kill_subflows_by_addr_id(&mut self, now: SimTime, addr_id: u8) {
+        for i in 0..self.subflows.len() {
+            if self.subflows[i].addr_id == addr_id && !self.subflows[i].dead {
+                self.subflows[i].sock.abort();
+                self.subflows[i].dead = true;
+                self.events.push_back(ConnEvent::SubflowDown(i));
+            }
+        }
+        self.reinject_chunks_of_dead(now);
+    }
+
+    fn on_data_ack(&mut self, _now: SimTime, ack: u64) {
+        if ack <= self.snd_una {
+            return;
+        }
+        let ack = ack.min(self.snd_nxt);
+        // Free retained chunks (§3.3.5). A chunk straddling the ack keeps
+        // its unacknowledged tail — a mid-chunk DATA_ACK (content-length-
+        // changing middleboxes cause these) must not discard bytes the
+        // receiver never got.
+        let keys: Vec<u64> = self.sent.range(..ack).map(|(&k, _)| k).collect();
+        for k in keys {
+            if let Some(c) = self.sent.remove(&k) {
+                self.sent_bytes -= c.data.len();
+                let end = k + c.data.len() as u64;
+                if end > ack {
+                    let cut = (ack - k) as usize;
+                    let tail = c.data.slice(cut..);
+                    self.sent_bytes += tail.len();
+                    self.sent.insert(
+                        ack,
+                        SentChunk {
+                            data: tail,
+                            subflow: c.subflow,
+                        },
+                    );
+                }
+            }
+        }
+        self.snd_una = ack;
+        self.data_rto_backoff = 1;
+        self.data_rto_deadline = None; // re-armed on next poll if needed
+        self.reinject.retain(|&d| d >= ack);
+    }
+
+    /// Pull in-order subflow bytes, translate through mappings, and place
+    /// them in the connection-level receive path.
+    fn drain_subflow_stream(&mut self, now: SimTime, idx: usize) {
+        loop {
+            let piece = self.subflows[idx].sock.read_stream(64 * 1024);
+            let Some((off0, bytes)) = piece else { break };
+            if self.state == ConnState::Fallback {
+                self.deliver_raw(bytes);
+                continue;
+            }
+            let consumed = self.subflows[idx].tracker.consume(off0, bytes);
+            for c in consumed {
+                match c {
+                    Consumed::Mapped { dsn, data } => self.receive_data(dsn, data, idx),
+                    Consumed::ChecksumFail { dsn, data } => {
+                        self.on_checksum_fail(now, idx, dsn, data)
+                    }
+                    Consumed::Unmapped { data } => self.on_unmapped(idx, data),
+                }
+            }
+        }
+        self.check_data_fin();
+    }
+
+    fn deliver_raw(&mut self, data: Bytes) {
+        self.app_rx_bytes += data.len();
+        self.app_rx.push_back(data);
+    }
+
+    fn receive_data(&mut self, dsn: u64, data: Bytes, subflow: usize) {
+        let end = dsn + data.len() as u64;
+        if end <= self.rcv_nxt {
+            self.stats.dup_bytes += data.len() as u64;
+            return;
+        }
+        let (dsn, data) = if dsn < self.rcv_nxt {
+            let cut = (self.rcv_nxt - dsn) as usize;
+            self.stats.dup_bytes += cut as u64;
+            (self.rcv_nxt, data.slice(cut..))
+        } else {
+            (dsn, data)
+        };
+        if dsn > self.rcv_nxt {
+            self.ooo.insert(dsn, data, subflow);
+            return;
+        }
+        // Fast path: in-order at the data level.
+        self.rcv_nxt = dsn + data.len() as u64;
+        self.deliver_raw(data);
+        while let Some((d, b)) = self.ooo.pop_ready(self.rcv_nxt) {
+            debug_assert_eq!(d, self.rcv_nxt);
+            self.rcv_nxt = d + b.len() as u64;
+            self.deliver_raw(b);
+        }
+    }
+
+    fn check_data_fin(&mut self) {
+        if !self.rcv_eof && self.rcv_fin_dsn == Some(self.rcv_nxt) {
+            self.rcv_eof = true;
+            self.rcv_nxt += 1; // the DATA_FIN occupies one sequence number
+        }
+    }
+
+    fn on_checksum_fail(&mut self, now: SimTime, idx: usize, _dsn: u64, data: Bytes) {
+        self.stats.checksum_failures += 1;
+        if self.alive_subflows() > 1 {
+            // §3.3.6: terminate the offending subflow; the transfer
+            // continues on the others after re-injection.
+            self.subflows[idx]
+                .sock
+                .queue_oneshot_options(vec![TcpOption::Mptcp(MptcpOption::MpFail {
+                    dsn: self.rcv_nxt,
+                })]);
+            self.subflows[idx].sock.abort();
+            self.subflows[idx].dead = true;
+            self.stats.subflow_resets += 1;
+            self.events.push_back(ConnEvent::SubflowDown(idx));
+            self.reinject_chunks_of_dead(now);
+        } else {
+            // Only subflow: fall back to regular TCP, letting the
+            // middlebox rewrite as it wishes; the modified bytes continue
+            // the stream.
+            self.enter_fallback();
+            self.deliver_raw(data);
+        }
+    }
+
+    fn on_unmapped(&mut self, idx: usize, data: Bytes) {
+        if self.state == ConnState::Fallback {
+            self.deliver_raw(data);
+            return;
+        }
+        if self.alive_subflows() == 1 && self.subflows[idx].tracker.mappings_received == 0 {
+            // Mid-stream option stripping on the only subflow: infinite
+            // mapping / fallback (§3.3.6, §4.1).
+            self.enter_fallback();
+            self.deliver_raw(data);
+        }
+        // Otherwise: drop; the subflow has acked these bytes but they are
+        // not DATA_ACKed, so the sender re-injects them (§3.3.5).
+    }
+
+    fn enter_fallback(&mut self) {
+        if self.state == ConnState::Fallback {
+            return;
+        }
+        self.state = ConnState::Fallback;
+        self.events.push_back(ConnEvent::FellBack);
+        // Stop MPTCP signalling; plain TCP from here.
+        for sf in &mut self.subflows {
+            sf.sock.set_carry_options(Vec::new());
+            sf.sock.set_window_override(None);
+        }
+        // Data already handed to subflow 0 is delivered by subflow
+        // reliability; connection-level retransmission state is void.
+        self.sent.clear();
+        self.sent_bytes = 0;
+        self.reinject.clear();
+        self.data_rto_deadline = None;
+        // Unsent pending data continues as plain writes.
+        let pending: Vec<Bytes> = self.pending.drain(..).collect();
+        self.pending_bytes = 0;
+        for p in pending {
+            self.subflows[0].sock.send_chunk(p, Vec::new());
+        }
+        if self.data_fin_queued {
+            self.subflows[0].sock.close();
+        }
+    }
+
+    fn alive_subflows(&self) -> usize {
+        self.subflows.iter().filter(|s| !s.dead).count()
+    }
+
+    fn reap_dead(&mut self, now: SimTime) {
+        let mut any_died = false;
+        for i in 0..self.subflows.len() {
+            if !self.subflows[i].dead && self.subflows[i].sock.is_error() {
+                self.subflows[i].dead = true;
+                any_died = true;
+                self.events.push_back(ConnEvent::SubflowDown(i));
+            }
+        }
+        if any_died {
+            self.reinject_chunks_of_dead(now);
+            if self.alive_subflows() == 0 {
+                self.state = ConnState::Closed;
+            }
+        }
+    }
+
+    /// Queue chunks that were riding dead subflows for re-injection on
+    /// live ones — the robustness goal: "if a subflow fails, the
+    /// connection must continue as long as another subflow has
+    /// connectivity".
+    fn reinject_chunks_of_dead(&mut self, _now: SimTime) {
+        if self.state == ConnState::Fallback {
+            return;
+        }
+        let dead: Vec<usize> = self
+            .subflows
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.dead)
+            .map(|(i, _)| i)
+            .collect();
+        for (&dsn, chunk) in &self.sent {
+            if dead.contains(&chunk.subflow) && !self.reinject.contains(&dsn) {
+                self.reinject.push_back(dsn);
+            }
+        }
+        let mut q: Vec<u64> = self.reinject.drain(..).collect();
+        q.sort_unstable();
+        q.dedup();
+        self.reinject = q.into();
+        self.stats.reinjections += self.reinject.len() as u64;
+    }
+
+    // ------------------------------------------------------------------
+    // Output path.
+    // ------------------------------------------------------------------
+
+    /// Emit at most one segment; call until `None`.
+    pub fn poll(&mut self, now: SimTime) -> Option<TcpSegment> {
+        self.tick(now);
+        let n = self.subflows.len();
+        for k in 0..n {
+            let i = (self.poll_cursor + k) % n;
+            // Dead subflows are still polled: an aborted socket must get
+            // to emit its RST so the peer tears down and re-injects.
+            if let Some(seg) = self.subflows[i].sock.poll(now) {
+                self.poll_cursor = i;
+                return Some(seg);
+            }
+        }
+        None
+    }
+
+    /// Earliest deadline across subflows and the data-level timer.
+    pub fn poll_at(&self, now: SimTime) -> Option<SimTime> {
+        let mut t = self.data_rto_deadline;
+        for sf in &self.subflows {
+            if sf.dead {
+                continue;
+            }
+            t = match (t, sf.sock.poll_at(now)) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+        }
+        t
+    }
+
+    /// Periodic work: timers, scheduling, window/ack refresh.
+    fn tick(&mut self, now: SimTime) {
+        if matches!(self.state, ConnState::Closed) {
+            return;
+        }
+        self.reap_dead(now);
+        if self.state == ConnState::Fallback {
+            return;
+        }
+
+        // Data-level retransmission timer (§3.3.5: "If a DATA ACK does
+        // not arrive, a timer fires and the sender retransmits that
+        // data").
+        if let Some(t) = self.data_rto_deadline {
+            if t <= now {
+                self.on_data_rto(now);
+                if self.state == ConnState::Fallback {
+                    // The timeout itself triggered fallback; the data-level
+                    // machinery (including this timer) is now void.
+                    return;
+                }
+            }
+        }
+
+        if self.state == ConnState::Established || self.state == ConnState::AwaitingConfirm {
+            self.refresh_coupling();
+            self.push_data(now);
+            self.maybe_send_data_fin(now);
+        }
+
+        self.update_ack_state(now);
+
+        // Arm/disarm the data-level timer.
+        if self.snd_una < self.snd_nxt && self.data_rto_deadline.is_none() {
+            self.data_rto_deadline = Some(now + self.data_rto_interval());
+        } else if self.snd_una >= self.snd_nxt {
+            self.data_rto_deadline = None;
+        }
+    }
+
+    fn data_rto_interval(&self) -> Duration {
+        // Anchor on the healthiest subflow: a path stuck in exponential
+        // RTO backoff must not delay data-level recovery onto live paths.
+        let min_rto = self
+            .subflows
+            .iter()
+            .filter(|s| s.usable())
+            .map(|s| s.sock.rto())
+            .min()
+            .unwrap_or(Duration::from_secs(1));
+        (min_rto * 2) * self.data_rto_backoff
+    }
+
+    fn on_data_rto(&mut self, now: SimTime) {
+        self.stats.data_rtos += 1;
+        // Client-side fallback detection (§3.3.6): our DSS options are
+        // being stripped somewhere — subflow delivery succeeds but nothing
+        // is ever DATA_ACKed and no MPTCP option has arrived since the
+        // handshake. Continue as plain TCP on the lone subflow.
+        // Deciding on the first timer expiry also prevents re-injecting
+        // onto the lone subflow, which would duplicate bytes in the raw
+        // stream a fallen-back peer is reading.
+        if self.is_client && !self.confirmed && self.alive_subflows() == 1 {
+            self.enter_fallback();
+            return;
+        }
+        self.data_rto_backoff = (self.data_rto_backoff * 2).min(64);
+        self.data_rto_deadline = Some(now + self.data_rto_interval());
+        // Re-inject the chunk holding up the data-level window, plus every
+        // retained chunk whose subflow believes it was delivered (nothing
+        // left in flight there). Those bytes were acknowledged at the
+        // subflow level but never DATA_ACKed — the signature of a
+        // pro-active-ACKing proxy whose segments then died downstream, or
+        // of a coalescer that ate the mapping (§3.3.5). One-at-a-time
+        // recovery would crawl under the exponential timer backoff.
+        let mut added = 0;
+        for (&dsn, c) in &self.sent {
+            if added >= 128 {
+                break;
+            }
+            let sf_idle = self.subflows[c.subflow].dead
+                || self.subflows[c.subflow].sock.bytes_in_flight() == 0;
+            if (dsn == self.snd_una || sf_idle) && !self.reinject.contains(&dsn) {
+                self.reinject.push_back(dsn);
+                self.stats.reinjections += 1;
+                added += 1;
+            }
+        }
+        // Retransmit a lost DATA_FIN signal.
+        if let Some(f) = self.data_fin_dsn {
+            if self.snd_una >= f {
+                self.send_data_fin_signal();
+            }
+        }
+    }
+
+    /// Recompute LIA coupling across subflows (RFC 6356 alpha).
+    fn refresh_coupling(&mut self) {
+        if !self.cfg.coupled_cc {
+            return;
+        }
+        let flows: Vec<(u32, Duration)> = self
+            .subflows
+            .iter()
+            .filter(|s| s.usable())
+            .filter_map(|s| s.sock.srtt().map(|r| (s.sock.cwnd(), r)))
+            .collect();
+        if flows.is_empty() {
+            return;
+        }
+        let alpha = cc::lia_alpha(&flows);
+        let total: u32 = flows.iter().map(|f| f.0).sum();
+        for sf in &mut self.subflows {
+            if sf.usable() {
+                sf.sock.cc_mut().set_coupled(alpha, total);
+            }
+        }
+    }
+
+    /// The scheduler: place chunks on the lowest-RTT subflow with
+    /// congestion window headroom (§4.2).
+    fn push_data(&mut self, now: SimTime) {
+        loop {
+            // Order usable subflows by smoothed RTT.
+            let mut order: Vec<usize> = (0..self.subflows.len())
+                .filter(|&i| self.subflows[i].usable() && !self.subflows[i].backup)
+                .collect();
+            if order.is_empty() {
+                // Backup subflows only as a last resort.
+                order = (0..self.subflows.len())
+                    .filter(|&i| self.subflows[i].usable())
+                    .collect();
+            }
+            order.sort_by_key(|&i| self.subflows[i].srtt_or_default());
+
+            let Some(&target) = order.iter().find(|&&i| {
+                self.subflows[i].tx_headroom() > 0 && self.subflows[i].sock.send_space() > 0
+            }) else {
+                return;
+            };
+
+            // Re-injections first (fixed DSNs). Prefer a subflow other
+            // than the one the chunk is already stuck on.
+            if let Some(&dsn) = self.reinject.front() {
+                if dsn < self.snd_una || !self.sent.contains_key(&dsn) {
+                    self.reinject.pop_front();
+                    continue;
+                }
+                let stuck_on = self.sent.get(&dsn).unwrap().subflow;
+                let target = order
+                    .iter()
+                    .copied()
+                    .find(|&i| {
+                        i != stuck_on
+                            && self.subflows[i].tx_headroom() > 0
+                            && self.subflows[i].sock.send_space() > 0
+                    })
+                    .unwrap_or(target);
+                let chunk_data = self.sent.get(&dsn).unwrap().data.clone();
+                self.place_chunk(target, dsn, chunk_data.clone(), now);
+                self.sent.insert(
+                    dsn,
+                    SentChunk {
+                        data: chunk_data,
+                        subflow: target,
+                    },
+                );
+                self.reinject.pop_front();
+                continue;
+            }
+
+            // Receive-window limited? That's where M1/M2 earn their keep
+            // (§4.2): a subflow has spare cwnd but the shared window is
+            // exhausted by data stuck on a slower path.
+            let rwnd_limited =
+                self.snd_nxt >= self.snd_right_edge && self.snd_una < self.snd_nxt;
+            if rwnd_limited {
+                self.maybe_mechanisms(now, target);
+                return;
+            }
+            if self.pending.is_empty() {
+                return; // application-limited: nothing to do
+            }
+            // Connection-level flow control (§3.3.1/§3.3.2): never send
+            // beyond DATA_ACK + window.
+            let window_room = self.snd_right_edge.saturating_sub(self.snd_nxt);
+            if window_room == 0 {
+                self.maybe_mechanisms(now, target);
+                return;
+            }
+
+            // Cut a chunk (≤ MSS, ≤ window) from pending data. Chunks are
+            // the mapping granularity: retransmissions re-use identical
+            // boundaries so middleboxes never see inconsistent content.
+            let mss = self.subflows[target].sock.mss();
+            let take = mss.min(window_room as usize).min(self.pending_bytes);
+            let mut chunk = Vec::with_capacity(take);
+            while chunk.len() < take {
+                let mut front = self.pending.pop_front().unwrap();
+                let need = take - chunk.len();
+                if front.len() <= need {
+                    chunk.extend_from_slice(&front);
+                } else {
+                    chunk.extend_from_slice(&front[..need]);
+                    front = front.slice(need..);
+                    self.pending.push_front(front);
+                }
+            }
+            self.pending_bytes -= take;
+            let data = Bytes::from(chunk);
+            let dsn = self.snd_nxt;
+            self.snd_nxt += take as u64;
+            self.place_chunk(target, dsn, data.clone(), now);
+            self.sent.insert(
+                dsn,
+                SentChunk {
+                    data,
+                    subflow: target,
+                },
+            );
+            self.sent_bytes += take;
+        }
+    }
+
+    /// Hand one chunk with its DSS mapping to a subflow.
+    fn place_chunk(&mut self, idx: usize, dsn: u64, data: Bytes, _now: SimTime) {
+        let sf = &mut self.subflows[idx];
+        let ssn = sf.sock.next_tx_offset() as u32;
+        let ck = self
+            .checksum_on
+            .then(|| checksum::dss_checksum(dsn, ssn, data.len() as u16, &data));
+        let dss = TcpOption::Mptcp(MptcpOption::Dss {
+            data_ack: None,
+            mapping: Some(DssMapping {
+                dsn,
+                subflow_seq: ssn,
+                len: data.len() as u16,
+                checksum: ck,
+            }),
+            data_fin: false,
+        });
+        let ok = sf.sock.send_chunk(data.clone(), vec![dss]);
+        debug_assert!(ok, "subflow send buffer unexpectedly full");
+        self.stats.bytes_scheduled += data.len() as u64;
+    }
+
+    /// M1 (opportunistic retransmission) and M2 (penalization), §4.2.
+    fn maybe_mechanisms(&mut self, now: SimTime, fast: usize) {
+        if self.snd_una >= self.snd_nxt {
+            return; // nothing outstanding
+        }
+        let Some(chunk) = self.sent.get(&self.snd_una) else {
+            return;
+        };
+        let culprit = chunk.subflow;
+        if culprit == fast {
+            return; // the trailing chunk is already on the fast path
+        }
+        // Both mechanisms exist for *asymmetric* paths (a slow 3G holding
+        // up a fast WiFi). When subflow RTTs are comparable — symmetric
+        // links, Fig 6(c) — duplicating traffic and halving windows only
+        // does damage, so require the culprit to be meaningfully slower.
+        let fast_srtt = self.subflows[fast].srtt_or_default();
+        let culprit_srtt = self.subflows[culprit].srtt_or_default();
+        if culprit_srtt.as_secs_f64() < 1.5 * fast_srtt.as_secs_f64() {
+            return;
+        }
+
+        if self.cfg.mech.opportunistic_retx {
+            let recently = self
+                .last_opp
+                .is_some_and(|(d, t)| d == self.snd_una && now.since(t) < self.subflows[fast].srtt_or_default());
+            if !recently {
+                // Resend only the first unacknowledged segment (§4.2 M1).
+                let data = chunk.data.clone();
+                self.place_chunk(fast, self.snd_una, data.clone(), now);
+                self.sent.insert(
+                    self.snd_una,
+                    SentChunk {
+                        data,
+                        subflow: fast,
+                    },
+                );
+                self.last_opp = Some((self.snd_una, now));
+                self.stats.opportunistic_retx += 1;
+            }
+        }
+
+        if self.cfg.mech.penalize {
+            let sf = &mut self.subflows[culprit];
+            // A subflow in loss recovery has already halved its own window.
+            if !sf.dead && !sf.sock.in_loss_recovery() {
+                let srtt = sf.srtt_or_default();
+                let recently = sf.last_penalty.is_some_and(|t| now.since(t) < srtt);
+                if !recently {
+                    // Halve cwnd and set ssthresh to the reduced window.
+                    let half = sf.sock.cwnd() / 2;
+                    sf.sock.cc_mut().set_ssthresh(half);
+                    sf.sock.cc_mut().set_cwnd(half);
+                    sf.last_penalty = Some(now);
+                    sf.penalties += 1;
+                    self.stats.penalizations += 1;
+                }
+            }
+        }
+    }
+
+    fn maybe_send_data_fin(&mut self, _now: SimTime) {
+        if !self.data_fin_queued || self.data_fin_dsn.is_some() {
+            // Once the DATA_FIN is acked, close the subflows (§3.4: wait
+            // for the DATA_ACK of the DATA_FIN before sending subflow
+            // FINs).
+            if let Some(f) = self.data_fin_dsn {
+                if self.snd_una > f {
+                    for sf in &mut self.subflows {
+                        if !sf.dead {
+                            sf.sock.close();
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        if !self.pending.is_empty() || self.snd_una < self.snd_nxt {
+            return; // data still unacknowledged: FIN comes after
+        }
+        let fin_dsn = self.snd_nxt;
+        self.snd_nxt += 1;
+        self.data_fin_dsn = Some(fin_dsn);
+        self.send_data_fin_signal();
+    }
+
+    fn send_data_fin_signal(&mut self) {
+        let Some(fin_dsn) = self.data_fin_dsn else { return };
+        let opt = TcpOption::Mptcp(MptcpOption::Dss {
+            data_ack: Some(self.effective_rcv_ack()),
+            mapping: Some(DssMapping {
+                dsn: fin_dsn,
+                subflow_seq: 0,
+                len: 0,
+                checksum: None,
+            }),
+            data_fin: true,
+        });
+        for sf in &mut self.subflows {
+            if sf.usable() {
+                sf.sock.queue_oneshot_options(vec![opt.clone()]);
+            }
+        }
+    }
+
+    fn effective_rcv_ack(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Refresh window overrides and DATA_ACK carry options on every
+    /// subflow (§3.3.1: one shared pool; §3.3.2: explicit DATA_ACK).
+    fn update_ack_state(&mut self, _now: SimTime) {
+        if self.state == ConnState::Fallback || self.state == ConnState::Closed {
+            return;
+        }
+        self.maybe_grow_rcvbuf();
+        let window = self.rcv_window();
+        let da = self.effective_rcv_ack();
+        for sf in &mut self.subflows {
+            if sf.dead {
+                continue;
+            }
+            sf.sock.set_window_override(Some(window));
+            if self.state == ConnState::Established
+                || (self.state == ConnState::AwaitingConfirm && !self.is_client)
+            {
+                let mut carry = vec![TcpOption::Mptcp(MptcpOption::Dss {
+                    data_ack: Some(da),
+                    mapping: None,
+                    data_fin: false,
+                })];
+                // Client still proving MP_JOIN on this subflow: keep the
+                // join ACK in front.
+                if sf.join == JoinState::ClientEstablished {
+                    if let Some(rk) = self.remote {
+                        let mac =
+                            crypto::join_ack_mac(self.local.key, rk.key, sf.nonce_local, sf.nonce_remote);
+                        carry.insert(0, TcpOption::Mptcp(MptcpOption::MpJoinAck { mac }));
+                    }
+                }
+                sf.sock.set_carry_options(carry);
+            }
+        }
+    }
+
+    /// M3: grow buffers toward `2·Σxᵢ·RTTmax` (§4.2).
+    fn maybe_grow_rcvbuf(&mut self) {
+        if !self.cfg.mech.autotune {
+            return;
+        }
+        let mut rate_sum = 0.0f64; // bytes/sec
+        let mut rtt_max = Duration::ZERO;
+        for sf in self.subflows.iter().filter(|s| s.usable()) {
+            if let Some(srtt) = sf.sock.srtt() {
+                rate_sum += f64::from(sf.sock.cwnd()) / srtt.as_secs_f64().max(1e-6);
+                rtt_max = rtt_max.max(srtt);
+            }
+        }
+        if rate_sum <= 0.0 {
+            return;
+        }
+        let wanted = (2.0 * rate_sum * rtt_max.as_secs_f64()) as usize;
+        if wanted > self.rcv_buf_cap {
+            self.rcv_buf_cap = wanted.min(self.cfg.recv_buf);
+        }
+        if wanted > self.snd_buf_cap {
+            self.snd_buf_cap = wanted.min(self.cfg.send_buf);
+        }
+    }
+
+    fn maybe_grow_sndbuf(&mut self, _incoming: usize) {
+        // Growth is driven by the same M3 formula in maybe_grow_rcvbuf;
+        // without autotuning the cap is static.
+    }
+}

@@ -1,0 +1,557 @@
+//! End-to-end connection tests over an in-memory wire.
+//!
+//! These drive a client [`MptcpConnection`] against a server
+//! [`MptcpListener`] through a tiny deterministic wire with per-path
+//! delays and an optional mangler (a one-closure middlebox). The heavier
+//! scenario tests live in the workspace-level `tests/` directory on top of
+//! the full simulator; these verify the protocol machine in isolation.
+
+use std::collections::HashMap;
+
+use mptcp_netsim::{Duration, SimTime};
+use mptcp_packet::{Endpoint, FourTuple, MptcpOption, TcpOption, TcpSegment};
+
+use crate::config::{Mechanisms, MptcpConfig};
+use crate::conn::{ConnEvent, MptcpConnection};
+use crate::endpoint::MptcpListener;
+
+const C1: u32 = 0x0a000001; // client addr 1
+const C2: u32 = 0x0a000002; // client addr 2
+const S1: u32 = 0x0a000063; // server addr
+
+fn tuple(src: u32, sport: u16) -> FourTuple {
+    FourTuple {
+        src: Endpoint::new(src, sport),
+        dst: Endpoint::new(S1, 80),
+    }
+}
+
+type Mangler = Box<dyn FnMut(SimTime, TcpSegment) -> Option<TcpSegment>>;
+
+/// A deterministic in-memory wire between one client and one listener.
+struct Wire {
+    now: SimTime,
+    client: MptcpConnection,
+    server: MptcpListener,
+    delays: HashMap<(u32, u32), Duration>,
+    inflight: Vec<(SimTime, TcpSegment)>,
+    mangle: Option<Mangler>,
+    seq: u64,
+}
+
+impl Wire {
+    fn new(client: MptcpConnection, server: MptcpListener) -> Wire {
+        let mut delays = HashMap::new();
+        for (a, b) in [(C1, S1), (C2, S1)] {
+            delays.insert((a, b), Duration::from_millis(5));
+            delays.insert((b, a), Duration::from_millis(5));
+        }
+        Wire {
+            now: SimTime::ZERO,
+            client,
+            server,
+            delays,
+            inflight: Vec::new(),
+            mangle: None,
+            seq: 0,
+        }
+    }
+
+    fn set_delay(&mut self, a: u32, b: u32, d: Duration) {
+        self.delays.insert((a, b), d);
+        self.delays.insert((b, a), d);
+    }
+
+    fn transmit(&mut self, seg: TcpSegment) {
+        let seg = match &mut self.mangle {
+            Some(f) => match f(self.now, seg) {
+                Some(s) => s,
+                None => return, // dropped by the "middlebox"
+            },
+            None => seg,
+        };
+        let d = self
+            .delays
+            .get(&(seg.tuple.src.addr, seg.tuple.dst.addr))
+            .copied()
+            .unwrap_or(Duration::from_millis(5));
+        self.seq += 1;
+        self.inflight.push((self.now + d, seg));
+    }
+
+    /// Run until quiescent or `deadline`.
+    fn run(&mut self, deadline: SimTime) {
+        for _ in 0..1_000_000 {
+            // Drain both endpoints.
+            loop {
+                let mut sent = false;
+                while let Some(seg) = self.client.poll(self.now) {
+                    self.transmit(seg);
+                    sent = true;
+                }
+                let mut out = Vec::new();
+                self.server.poll(self.now, &mut out);
+                for seg in out.drain(..) {
+                    self.transmit(seg);
+                    sent = true;
+                }
+                if !sent {
+                    break;
+                }
+            }
+            // Advance to the next event.
+            let next_delivery = self.inflight.iter().map(|(t, _)| *t).min();
+            let next_timer = [
+                self.client.poll_at(self.now),
+                self.server.poll_at(self.now),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            let next = match (next_delivery, next_timer) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => return,
+            };
+            if next > deadline {
+                self.now = deadline;
+                return;
+            }
+            self.now = self.now.max(next);
+            // Deliver due segments in order.
+            let now = self.now;
+            let mut due: Vec<(SimTime, TcpSegment)> = Vec::new();
+            self.inflight.retain_mut(|(t, seg)| {
+                if *t <= now {
+                    due.push((*t, seg.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_by_key(|(t, _)| *t);
+            for (_, seg) in due {
+                if seg.tuple.dst.addr == S1 {
+                    self.server.handle_segment(now, &seg);
+                } else {
+                    self.client.handle_segment(now, &seg);
+                }
+            }
+        }
+        panic!("wire did not quiesce");
+    }
+}
+
+fn client_conn(cfg: MptcpConfig) -> MptcpConnection {
+    MptcpConnection::client(cfg, tuple(C1, 1000), SimTime::ZERO, mptcp_netsim::SimRng::new(11))
+}
+
+fn setup(cfg: MptcpConfig) -> Wire {
+    let client = client_conn(cfg.clone());
+    let server = MptcpListener::new(cfg, 22);
+    Wire::new(client, server)
+}
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+fn read_all(conn: &mut MptcpConnection) -> Vec<u8> {
+    let mut out = Vec::new();
+    while let Some(b) = conn.read(usize::MAX) {
+        out.extend_from_slice(&b);
+    }
+    out
+}
+
+fn server_conn(w: &mut Wire) -> &mut MptcpConnection {
+    assert_eq!(w.server.conns.len(), 1);
+    &mut w.server.conns[0]
+}
+
+#[test]
+fn mptcp_handshake_establishes() {
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_secs(1));
+    assert!(w.client.is_established());
+    assert!(!w.client.is_fallback());
+    let s = server_conn(&mut w);
+    assert!(s.is_established());
+    assert!(!s.is_fallback());
+}
+
+#[test]
+fn bulk_transfer_single_subflow() {
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    let data = pattern(100_000);
+    let mut written = 0;
+    while written < data.len() {
+        written += w.client.write(&data[written..]);
+        w.run(w.now + Duration::from_millis(50));
+    }
+    w.run(w.now + Duration::from_secs(2));
+    let got = read_all(server_conn(&mut w));
+    assert_eq!(got.len(), data.len());
+    assert_eq!(got, data);
+    // MPTCP stayed MPTCP.
+    assert!(!w.client.is_fallback());
+}
+
+#[test]
+fn two_subflows_carry_the_stream() {
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    assert!(w.client.open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now));
+    w.run(w.now + Duration::from_millis(200));
+    // Both subflows usable on both sides.
+    assert_eq!(w.client.subflows().iter().filter(|s| s.usable()).count(), 2);
+
+    let data = pattern(300_000);
+    let mut written = 0;
+    while written < data.len() {
+        written += w.client.write(&data[written..]);
+        w.run(w.now + Duration::from_millis(20));
+    }
+    w.run(w.now + Duration::from_secs(3));
+    let got = read_all(server_conn(&mut w));
+    assert_eq!(got, data);
+    // Both subflows moved real payload (measured at the sending client).
+    let per_subflow: Vec<u64> = w
+        .client
+        .subflows()
+        .iter()
+        .map(|sf| sf.sock.stats.bytes_acked)
+        .collect();
+    assert_eq!(per_subflow.len(), 2);
+    assert!(per_subflow.iter().all(|&b| b > 10_000), "{per_subflow:?}");
+}
+
+#[test]
+fn duplicate_subflow_not_opened() {
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    assert!(w.client.open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now));
+    assert!(!w.client.open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now));
+}
+
+#[test]
+fn join_synack_mac_verified() {
+    // Corrupt the MP_JOIN SYN/ACK MAC in flight: the client must reset
+    // the subflow rather than attach it.
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    w.mangle = Some(Box::new(|_, mut seg: TcpSegment| {
+        for o in &mut seg.options {
+            if let TcpOption::Mptcp(MptcpOption::MpJoinSynAck { mac, .. }) = o {
+                *mac ^= 0xdead;
+            }
+        }
+        Some(seg)
+    }));
+    w.client
+        .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
+    w.run(w.now + Duration::from_millis(300));
+    assert_eq!(w.client.stats.joins_rejected, 1);
+    assert_eq!(w.client.subflows().iter().filter(|s| s.usable()).count(), 1);
+    // The original subflow still works.
+    w.mangle = None;
+    w.client.write(b"still alive");
+    w.run(w.now + Duration::from_millis(200));
+    assert_eq!(read_all(server_conn(&mut w)), b"still alive");
+}
+
+#[test]
+fn data_fin_teardown() {
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    w.client.write(b"goodbye");
+    w.client.close();
+    w.run(w.now + Duration::from_secs(1));
+    {
+        let s = server_conn(&mut w);
+        assert_eq!(read_all(s), b"goodbye");
+        assert!(s.at_eof(), "server sees DATA_FIN EOF");
+        s.close();
+    }
+    w.run(w.now + Duration::from_secs(1));
+    assert!(w.client.at_eof());
+    assert!(w.client.send_closed());
+    let s = server_conn(&mut w);
+    assert!(s.send_closed());
+}
+
+#[test]
+fn fallback_when_syn_options_stripped() {
+    let mut w = setup(MptcpConfig::default());
+    // Middlebox strips MPTCP options from SYNs only.
+    w.mangle = Some(Box::new(|_, mut seg: TcpSegment| {
+        if seg.flags.syn {
+            seg.options.retain(|o| !o.is_mptcp());
+        }
+        Some(seg)
+    }));
+    w.run(SimTime::from_millis(100));
+    assert!(w.client.is_fallback(), "client falls back to TCP");
+    w.client.write(b"plain old tcp");
+    w.run(w.now + Duration::from_millis(300));
+    let s = server_conn(&mut w);
+    assert!(s.is_fallback());
+    assert_eq!(read_all(s), b"plain old tcp");
+}
+
+#[test]
+fn fallback_when_synack_options_stripped() {
+    // The asymmetric §3.1 hazard: server said MP_CAPABLE but the client
+    // never saw it. The server must detect the plain third ACK and drop
+    // to TCP.
+    let mut w = setup(MptcpConfig::default());
+    w.mangle = Some(Box::new(|_, mut seg: TcpSegment| {
+        if seg.flags.syn && seg.flags.ack {
+            seg.options.retain(|o| !o.is_mptcp());
+        }
+        Some(seg)
+    }));
+    w.run(SimTime::from_millis(100));
+    assert!(w.client.is_fallback());
+    w.client.write(b"asymmetric");
+    w.run(w.now + Duration::from_millis(300));
+    let s = server_conn(&mut w);
+    assert!(s.is_fallback(), "server detected the mismatch");
+    assert_eq!(read_all(s), b"asymmetric");
+}
+
+#[test]
+fn fallback_when_data_options_stripped() {
+    // Options negotiated on SYNs but stripped from data segments — the
+    // §3.3.6 mid-stream case: both sides must fall back and the stream
+    // must still be delivered intact.
+    let mut w = setup(MptcpConfig::default());
+    w.mangle = Some(Box::new(|_, mut seg: TcpSegment| {
+        if !seg.flags.syn {
+            seg.options.retain(|o| !o.is_mptcp());
+        }
+        Some(seg)
+    }));
+    w.run(SimTime::from_millis(100));
+    let data = pattern(50_000);
+    let mut written = 0;
+    while written < data.len() {
+        written += w.client.write(&data[written..]);
+        w.run(w.now + Duration::from_millis(50));
+    }
+    w.run(w.now + Duration::from_secs(2));
+    let s = server_conn(&mut w);
+    assert!(s.is_fallback());
+    assert_eq!(read_all(s), data);
+}
+
+#[test]
+fn subflow_failure_recovers_on_other_path() {
+    // Mid-transfer, one path goes dark (all segments dropped). The
+    // connection must finish over the surviving subflow — the paper's
+    // robustness goal.
+    let mut w = setup(MptcpConfig::default().with_buffers(256 * 1024));
+    w.run(SimTime::from_millis(100));
+    w.client
+        .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
+    w.run(w.now + Duration::from_millis(200));
+
+    // Kill path C2<->S1 before any data moves: every chunk the
+    // scheduler places on the doomed subflow is stranded and must be
+    // re-injected onto the surviving path.
+    w.mangle = Some(Box::new(|_, seg: TcpSegment| {
+        if seg.tuple.src.addr == C2 || seg.tuple.dst.addr == C2 {
+            None
+        } else {
+            Some(seg)
+        }
+    }));
+    let data = pattern(200_000);
+    let mut written = w.client.write(&data);
+    while written < data.len() {
+        written += w.client.write(&data[written..]);
+        w.run(w.now + Duration::from_millis(100));
+    }
+    // Allow data-level retransmission to reroute stranded chunks.
+    w.run(w.now + Duration::from_secs(30));
+    let got = read_all(server_conn(&mut w));
+    assert_eq!(got.len(), data.len(), "transfer completed despite path death");
+    assert_eq!(got, data);
+    // Recovery may come from the data-level timer, dead-subflow
+    // re-injection, or M1 walking the stranded range — any of them proves
+    // the chunks were re-routed.
+    let st = w.client.stats;
+    assert!(
+        st.reinjections + st.opportunistic_retx + st.data_rtos > 0,
+        "chunks were re-routed: {st:?}"
+    );
+}
+
+#[test]
+fn add_addr_event_surfaces() {
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    server_conn(&mut w).advertise_addr(0x0a000064, Some(80));
+    w.run(w.now + Duration::from_millis(100));
+    let evs = w.client.take_events();
+    assert!(
+        evs.iter().any(|e| matches!(
+            e,
+            ConnEvent::PeerAddr(a) if a.addr == 0x0a000064 && a.port == Some(80)
+        )),
+        "{evs:?}"
+    );
+}
+
+#[test]
+fn mechanisms_fire_on_asymmetric_paths() {
+    // A slow, bufferbloated path plus a fast one, small shared buffer:
+    // M1 (opportunistic retransmission) and M2 (penalization) must
+    // engage to keep the fast path flowing (§4.2, Figure 4).
+    let mut cfg = MptcpConfig::default().with_buffers(64 * 1024);
+    cfg = cfg.with_mechanisms(Mechanisms::M1_2);
+    let mut w = setup(cfg);
+    w.set_delay(C2, S1, Duration::from_millis(150));
+    w.run(SimTime::from_millis(100));
+    w.client
+        .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
+    w.run(w.now + Duration::from_millis(400));
+
+    let data = pattern(2_000_000);
+    let mut written = 0;
+    let deadline = SimTime::from_secs(20);
+    while written < data.len() && w.now < deadline {
+        written += w.client.write(&data[written..]);
+        w.run(w.now + Duration::from_millis(20));
+        // Reader keeps up.
+        let _ = read_all(server_conn(&mut w));
+    }
+    assert!(
+        w.client.stats.opportunistic_retx > 0,
+        "M1 engaged: {:?}",
+        w.client.stats
+    );
+}
+
+#[test]
+fn sender_memory_freed_only_by_data_ack() {
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    w.client.write(&pattern(10_000));
+    // Before any exchange: all 10 KB retained at the sender.
+    assert!(w.client.sender_memory() >= 10_000);
+    w.run(w.now + Duration::from_secs(1));
+    // After DATA_ACKs: nothing retained.
+    assert_eq!(w.client.sender_memory(), 0);
+}
+
+#[test]
+fn receiver_window_is_shared_pool() {
+    // The advertised window on every subflow reflects the connection
+    // buffer, not per-subflow state (§3.3.1).
+    let mut w = setup(MptcpConfig::default().with_buffers(100_000));
+    w.run(SimTime::from_millis(100));
+    w.client.write(&pattern(60_000));
+    w.run(w.now + Duration::from_secs(1));
+    let s = server_conn(&mut w);
+    // 60 KB undelivered to the app: window shrank accordingly.
+    assert!(s.rcv_window() <= 40_000, "window = {}", s.rcv_window());
+    let _ = read_all(s);
+    assert!(s.rcv_window() > 90_000);
+}
+
+#[test]
+fn remove_addr_closes_matching_subflows() {
+    // §3.4: mobility — a host that loses an address cannot FIN its
+    // subflows; REMOVE_ADDR lets the peer clean up.
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    w.client
+        .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
+    w.run(w.now + Duration::from_millis(200));
+    assert_eq!(w.client.subflows().iter().filter(|s| s.usable()).count(), 2);
+
+    // The client withdraws its second address (addr_id of the join).
+    let addr_id = w.client.subflows()[1].addr_id;
+    w.client.remove_addr(addr_id);
+    w.run(w.now + Duration::from_millis(300));
+    // The server killed the matching subflow...
+    let s = server_conn(&mut w);
+    assert_eq!(
+        s.subflows().iter().filter(|sf| sf.usable()).count(),
+        1,
+        "server should have closed the withdrawn subflow"
+    );
+    // ...and data still flows on the surviving one.
+    w.client.write(b"post-mobility data");
+    w.run(w.now + Duration::from_millis(300));
+    assert_eq!(read_all(server_conn(&mut w)), b"post-mobility data");
+}
+
+#[test]
+fn backup_subflows_only_used_as_last_resort() {
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    w.client
+        .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
+    w.run(w.now + Duration::from_millis(200));
+    // Mark the second subflow as backup.
+    w.client.subflows_mut()[1].backup = true;
+
+    let data = pattern(200_000);
+    let mut written = 0;
+    while written < data.len() {
+        written += w.client.write(&data[written..]);
+        w.run(w.now + Duration::from_millis(50));
+    }
+    w.run(w.now + Duration::from_secs(2));
+    assert_eq!(read_all(server_conn(&mut w)).len(), data.len());
+    // The backup subflow carried (essentially) nothing.
+    let backup_bytes = w.client.subflows()[1].sock.stats.bytes_acked;
+    assert!(
+        backup_bytes < 5_000,
+        "backup subflow moved {backup_bytes} bytes"
+    );
+}
+
+#[test]
+fn fastclose_aborts_connection() {
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    // Forge a FASTCLOSE from the server side (the option handler aborts).
+    use mptcp_packet::{TcpFlags, TcpSegment as Seg};
+    let remote_key = 0; // value is informational in our model
+    let sf_tuple = w.client.subflows()[0].sock.tuple();
+    let mut seg = Seg::new(sf_tuple.reversed(), mptcp_packet::SeqNum(1), mptcp_packet::SeqNum(1), TcpFlags::ACK);
+    seg.options.push(TcpOption::Mptcp(MptcpOption::FastClose {
+        receiver_key: remote_key,
+    }));
+    w.client.handle_segment(w.now, &seg);
+    assert_eq!(w.client.state(), crate::conn::ConnState::Closed);
+}
+
+#[test]
+fn data_fin_retransmitted_if_lost() {
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    w.client.write(b"final words");
+    w.client.close();
+    // Drop every segment carrying a DATA_FIN, once.
+    let mut dropped = 0u32;
+    w.mangle = Some(Box::new(move |_, seg: TcpSegment| {
+        let has_fin = seg.mptcp_options().any(|m| {
+            matches!(m, MptcpOption::Dss { data_fin: true, .. })
+        });
+        if has_fin && dropped < 1 {
+            dropped += 1;
+            return None;
+        }
+        Some(seg)
+    }));
+    w.run(w.now + Duration::from_secs(5));
+    let s = server_conn(&mut w);
+    assert_eq!(read_all(s), b"final words");
+    assert!(s.at_eof(), "DATA_FIN must be retransmitted after loss");
+}

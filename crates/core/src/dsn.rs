@@ -1,0 +1,68 @@
+//! 64-bit data sequence number helpers.
+//!
+//! DATA_ACKs travel as 32-bit truncations (the common RFC 6824 encoding —
+//! it is what lets a full mapping, a DATA_ACK and timestamps share the
+//! 40-byte option space). The receiver of a truncated DATA_ACK re-expands
+//! it against its own send state, picking the 64-bit value closest to the
+//! reference.
+
+/// Expand a truncated 32-bit value to the full 64-bit sequence closest to
+/// `reference`.
+pub fn infer_full_dsn(reference: u64, low32: u64) -> u64 {
+    let low32 = low32 & 0xffff_ffff;
+    let base = reference & !0xffff_ffff;
+    let candidates = [
+        base.wrapping_sub(1 << 32) | low32,
+        base | low32,
+        base.wrapping_add(1 << 32) | low32,
+    ];
+    *candidates
+        .iter()
+        .min_by_key(|&&c| reference.abs_diff(c))
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert_eq!(infer_full_dsn(0x1_0000_1234, 0x0000_1234), 0x1_0000_1234);
+    }
+
+    #[test]
+    fn slightly_behind_reference() {
+        // Reference just crossed a 2^32 boundary; the ack is just before it.
+        let r = 0x2_0000_0010;
+        assert_eq!(infer_full_dsn(r, 0xffff_fff0), 0x1_ffff_fff0);
+    }
+
+    #[test]
+    fn slightly_ahead_of_reference() {
+        let r = 0x1_ffff_fff0;
+        assert_eq!(infer_full_dsn(r, 0x0000_0010), 0x2_0000_0010);
+    }
+
+    #[test]
+    fn small_values() {
+        assert_eq!(infer_full_dsn(100, 90), 90);
+        assert_eq!(infer_full_dsn(0, 0), 0);
+    }
+
+    #[test]
+    fn roundtrip_over_wide_range() {
+        // For any true value within 2^31 of the reference, truncation is
+        // invertible.
+        let cases = [
+            (5_000_000_000u64, 5_000_000_100u64),
+            (5_000_000_000, 4_999_999_900),
+            (u64::from(u32::MAX), u64::from(u32::MAX) + 50),
+            (1 << 40, (1 << 40) - 1000),
+        ];
+        for (reference, truth) in cases {
+            let low = truth & 0xffff_ffff;
+            assert_eq!(infer_full_dsn(reference, low), truth, "ref={reference} truth={truth}");
+        }
+    }
+}

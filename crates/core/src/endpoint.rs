@@ -1,0 +1,186 @@
+//! Server-side endpoint: listening, token demux, and connection ownership.
+//!
+//! A [`MptcpListener`] plays the role of the kernel's listen socket plus
+//! connection hash tables: MP_CAPABLE SYNs create connections (drawing
+//! unique tokens from the shared [`TokenTable`], §5.2), MP_JOIN SYNs are
+//! demuxed *by token* — the five-tuple cannot identify the connection
+//! across NATs (§3.2) — and everything else is routed by four-tuple.
+
+use std::collections::HashMap;
+
+use mptcp_netsim::{SimRng, SimTime};
+use mptcp_packet::{FourTuple, MptcpOption, TcpSegment};
+
+use crate::config::MptcpConfig;
+use crate::conn::MptcpConnection;
+use crate::token::TokenTable;
+
+/// A passive MPTCP endpoint managing many connections.
+pub struct MptcpListener {
+    cfg: MptcpConfig,
+    /// Live connections.
+    pub conns: Vec<MptcpConnection>,
+    /// Tuple-based demux (fast path).
+    by_tuple: HashMap<FourTuple, usize>,
+    /// Token table shared across connections (uniqueness + join demux).
+    pub tokens: TokenTable,
+    rng: SimRng,
+    /// SYNs that failed validation (bad token/MAC) — silently dropped.
+    pub rejected_syns: u64,
+}
+
+impl MptcpListener {
+    /// New listener with an RNG seed for keys and ISNs.
+    pub fn new(cfg: MptcpConfig, seed: u64) -> MptcpListener {
+        MptcpListener {
+            cfg,
+            conns: Vec::new(),
+            by_tuple: HashMap::new(),
+            tokens: TokenTable::new(),
+            rng: SimRng::new(seed),
+            rejected_syns: 0,
+        }
+    }
+
+    /// Number of connections (incl. closed ones not yet reaped).
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Is the endpoint connection-free?
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// Feed an incoming segment. Returns the index of the connection that
+    /// consumed it (possibly newly created), or `None` if dropped.
+    pub fn handle_segment(&mut self, now: SimTime, seg: &TcpSegment) -> Option<usize> {
+        let key = seg.tuple.reversed(); // our local tuple view
+
+        // Existing subflow?
+        if let Some(&idx) = self.by_tuple.get(&key) {
+            self.conns[idx].handle_segment(now, seg);
+            return Some(idx);
+        }
+
+        if !seg.flags.syn || seg.flags.ack {
+            return None; // stray non-SYN for an unknown flow
+        }
+
+        // MP_JOIN: demux by token (§3.2).
+        if let Some(MptcpOption::MpJoinSyn { token, .. }) = seg
+            .mptcp_options()
+            .find(|m| matches!(m, MptcpOption::MpJoinSyn { .. }))
+        {
+            let Some(idx) = self.tokens.owner(*token) else {
+                self.rejected_syns += 1;
+                return None;
+            };
+            if idx >= self.conns.len() || !self.conns[idx].accept_join(seg, now) {
+                self.rejected_syns += 1;
+                return None;
+            }
+            self.by_tuple.insert(key, idx);
+            return Some(idx);
+        }
+
+        // Fresh connection (MP_CAPABLE or plain TCP).
+        let conn = MptcpConnection::server_accept(
+            self.cfg.clone(),
+            seg,
+            now,
+            self.rng.fork(),
+            &mut self.tokens,
+        );
+        let token = conn.local_token();
+        let idx = self.conns.len();
+        self.conns.push(conn);
+        self.tokens.set_owner(token, idx);
+        self.by_tuple.insert(key, idx);
+        Some(idx)
+    }
+
+    /// Poll every live connection for output; emits into `out`.
+    pub fn poll(&mut self, now: SimTime, out: &mut Vec<TcpSegment>) {
+        for c in &mut self.conns {
+            if c.fully_closed() {
+                continue;
+            }
+            while let Some(seg) = c.poll(now) {
+                out.push(seg);
+            }
+        }
+    }
+
+    /// Earliest deadline across live connections.
+    pub fn poll_at(&self, now: SimTime) -> Option<SimTime> {
+        self.conns
+            .iter()
+            .filter(|c| !c.fully_closed())
+            .filter_map(|c| c.poll_at(now))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mptcp_packet::{Endpoint, SeqNum, TcpFlags, TcpOption};
+
+    fn syn_plain() -> TcpSegment {
+        TcpSegment::new(
+            FourTuple {
+                src: Endpoint::new(1, 1000),
+                dst: Endpoint::new(2, 80),
+            },
+            SeqNum(100),
+            SeqNum(0),
+            TcpFlags::SYN,
+        )
+    }
+
+    #[test]
+    fn plain_syn_creates_fallback_conn() {
+        let mut l = MptcpListener::new(MptcpConfig::default(), 7);
+        let idx = l.handle_segment(SimTime::ZERO, &syn_plain()).unwrap();
+        assert!(l.conns[idx].is_fallback());
+    }
+
+    #[test]
+    fn capable_syn_creates_mptcp_conn_with_token() {
+        let mut l = MptcpListener::new(MptcpConfig::default(), 7);
+        let mut syn = syn_plain();
+        syn.options.push(TcpOption::Mptcp(MptcpOption::MpCapable {
+            version: 0,
+            checksum_required: true,
+            sender_key: 0xabc,
+            receiver_key: None,
+        }));
+        let idx = l.handle_segment(SimTime::ZERO, &syn).unwrap();
+        assert!(!l.conns[idx].is_fallback());
+        let token = l.conns[idx].local_token();
+        assert_eq!(l.tokens.owner(token), Some(idx));
+    }
+
+    #[test]
+    fn join_with_unknown_token_rejected() {
+        let mut l = MptcpListener::new(MptcpConfig::default(), 7);
+        let mut syn = syn_plain();
+        syn.options.push(TcpOption::Mptcp(MptcpOption::MpJoinSyn {
+            token: 0xdeadbeef,
+            nonce: 1,
+            addr_id: 1,
+            backup: false,
+        }));
+        assert!(l.handle_segment(SimTime::ZERO, &syn).is_none());
+        assert_eq!(l.rejected_syns, 1);
+    }
+
+    #[test]
+    fn stray_data_segment_dropped() {
+        let mut l = MptcpListener::new(MptcpConfig::default(), 7);
+        let mut seg = syn_plain();
+        seg.flags = TcpFlags::ACK;
+        assert!(l.handle_segment(SimTime::ZERO, &seg).is_none());
+    }
+}

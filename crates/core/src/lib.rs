@@ -1,0 +1,48 @@
+//! Multipath TCP — a full reproduction of the protocol and OS mechanisms
+//! from *"How Hard Can It Be? Designing and Implementing a Deployable
+//! Multipath TCP"* (Raiciu et al., NSDI 2012).
+//!
+//! An [`MptcpConnection`] presents a single reliable byte stream (the
+//! TCP service model) while striping data across multiple TCP subflows:
+//!
+//! ```text
+//!            write()/read()            one byte stream
+//!          ┌────────────────┐
+//!          │ MptcpConnection│  DSS mappings, DATA_ACK flow control,
+//!          │  scheduler     │  reorder queue, M1–M4, fallback
+//!          └───┬────────┬───┘
+//!         ┌────┴──┐ ┌───┴───┐
+//!         │subflow│ │subflow│   per-subflow seq spaces, Reno/LIA,
+//!         │ TCP   │ │ TCP   │   RTO, fast retransmit  (mptcp-tcpstack)
+//!         └───────┘ └───────┘
+//! ```
+//!
+//! Highlights, with their paper sections:
+//! * MP_CAPABLE keys/tokens and MP_JOIN HMAC authentication (§3.1–3.2,
+//!   [`token`], [`MptcpListener`]).
+//! * Relative, length-delimited, checksummed data sequence mappings that
+//!   survive sequence rewriting, TSO resegmentation and coalescing
+//!   (§3.3.4–3.3.6, [`mapping`]).
+//! * Explicit DATA_ACK in TCP options — never the payload (§3.3.2–3.3.3).
+//! * Shared receive pool window semantics (§3.3.1).
+//! * Fallback to regular TCP when middleboxes interfere (§3.1, §3.3.6).
+//! * Receive-buffer mechanisms M1–M4 (§4.2, [`config::Mechanisms`]).
+//! * Four connection-level reorder algorithms (§4.3, [`reorder`]).
+//! * DATA_FIN vs subflow FIN teardown and REMOVE_ADDR mobility (§3.4).
+
+pub mod config;
+pub mod conn;
+pub mod dsn;
+pub mod endpoint;
+pub mod mapping;
+pub mod reorder;
+pub mod subflow;
+pub mod token;
+
+pub use config::{Mechanisms, MptcpConfig, ReorderAlgo};
+pub use conn::{ConnEvent, ConnState, ConnStats, MptcpConnection};
+pub use endpoint::MptcpListener;
+pub use token::{KeyPool, KeySet, TokenTable};
+
+#[cfg(test)]
+mod conn_tests;

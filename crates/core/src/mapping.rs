@@ -1,0 +1,399 @@
+//! Receive-side data sequence mapping tracking (§3.3.4–3.3.5).
+//!
+//! Each subflow keeps a [`MappingTracker`]: the set of DSS mappings
+//! received (from any segment — it "does not greatly matter which packet
+//! carries it"), matched against the subflow's in-order byte stream. Bytes
+//! covered by a mapping are translated to data sequence numbers and
+//! checksummed incrementally; bytes with no mapping (a coalescing
+//! middlebox ate the option) are counted and dropped — the sender
+//! retransmits them at the data level (§3.3.5).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use mptcp_packet::checksum;
+use mptcp_packet::DssMapping;
+
+/// A mapping being filled in by arriving subflow bytes.
+struct MapEntry {
+    dsn: u64,
+    /// 1-based subflow sequence for the pseudo-header.
+    ssn1: u64,
+    len: u32,
+    checksum: Option<u16>,
+    /// Bytes of the mapping consumed so far.
+    consumed: u32,
+    /// Incremental ones-complement accumulator over consumed payload.
+    acc: u32,
+    /// Carry byte when consumption split at an odd offset.
+    odd: Option<u8>,
+    /// Pieces held back until the checksum verdict: a modified segment
+    /// must be *rejected*, never partially delivered (§3.3.6).
+    held: Vec<Bytes>,
+}
+
+impl MapEntry {
+    fn end0(&self, start0: u64) -> u64 {
+        start0 + u64::from(self.len)
+    }
+}
+
+/// What became of a run of consumed subflow bytes.
+#[derive(Debug)]
+pub enum Consumed {
+    /// Bytes mapped into the data sequence space.
+    Mapped {
+        /// Data sequence number of the first byte.
+        dsn: u64,
+        /// The payload bytes.
+        data: Bytes,
+    },
+    /// A mapping completed and its DSS checksum failed: a
+    /// content-modifying middlebox touched the payload (§3.3.6).
+    ChecksumFail {
+        /// DSN of the corrupted mapping.
+        dsn: u64,
+        /// The (modified) bytes, needed if we fall back to TCP.
+        data: Bytes,
+    },
+    /// Bytes with no covering mapping (option lost in the network).
+    Unmapped {
+        /// The raw bytes, needed for fallback delivery.
+        data: Bytes,
+    },
+}
+
+/// Per-subflow mapping state.
+pub struct MappingTracker {
+    /// Mappings keyed by 0-based subflow stream offset.
+    maps: BTreeMap<u64, MapEntry>,
+    /// Verify checksums.
+    pub verify_checksums: bool,
+    /// Total unmapped bytes seen (fallback heuristics).
+    pub unmapped_total: u64,
+    /// Checksum failures seen.
+    pub checksum_failures: u64,
+    /// Mappings received (including duplicates).
+    pub mappings_received: u64,
+}
+
+impl MappingTracker {
+    /// New tracker.
+    pub fn new(verify_checksums: bool) -> MappingTracker {
+        MappingTracker {
+            maps: BTreeMap::new(),
+            verify_checksums,
+            unmapped_total: 0,
+            checksum_failures: 0,
+            mappings_received: 0,
+        }
+    }
+
+    /// Record a mapping from a DSS option. Duplicates (TSO copies, §3.3.4)
+    /// are ignored.
+    pub fn add(&mut self, m: &DssMapping) {
+        self.mappings_received += 1;
+        if m.len == 0 {
+            return; // DATA_FIN-only signal, no byte mapping
+        }
+        let start0 = u64::from(m.subflow_seq).saturating_sub(1);
+        if let Some(existing) = self.maps.get(&start0) {
+            if existing.dsn == m.dsn && existing.len == u32::from(m.len) {
+                return; // duplicate
+            }
+        }
+        self.maps.insert(
+            start0,
+            MapEntry {
+                dsn: m.dsn,
+                ssn1: start0 + 1,
+                len: u32::from(m.len),
+                checksum: m.checksum,
+                consumed: 0,
+                acc: 0,
+                odd: None,
+                held: Vec::new(),
+            },
+        );
+    }
+
+    /// Number of mappings awaiting data.
+    pub fn pending(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Consume in-order subflow bytes starting at 0-based `offset`,
+    /// translating them to data-level pieces.
+    pub fn consume(&mut self, mut offset: u64, data: Bytes) -> Vec<Consumed> {
+        let mut out = Vec::new();
+        let mut data = data;
+        while !data.is_empty() {
+            // Find the mapping covering `offset`.
+            let covering = self
+                .maps
+                .range(..=offset)
+                .next_back()
+                .filter(|(&s, e)| offset < e.end0(s))
+                .map(|(&s, _)| s);
+
+            match covering {
+                Some(start0) => {
+                    let verifying = self.verify_checksums;
+                    let entry = self.maps.get_mut(&start0).unwrap();
+                    let end0 = start0 + u64::from(entry.len);
+                    let take = (end0 - offset).min(data.len() as u64) as usize;
+                    let piece = data.slice(..take);
+                    data = data.slice(take..);
+                    let piece_dsn = entry.dsn + (offset - start0);
+                    let hold = verifying && entry.checksum.is_some();
+
+                    // Incremental checksum over the mapping's payload.
+                    if entry.checksum.is_some() {
+                        accumulate(&mut entry.acc, &mut entry.odd, &piece);
+                    }
+                    entry.consumed += take as u32;
+                    let complete = entry.consumed >= entry.len;
+
+                    if hold {
+                        // Hold back until the whole mapping verifies: a
+                        // modified segment is rejected, never partially
+                        // delivered.
+                        entry.held.push(piece);
+                        if complete {
+                            let entry = self.maps.remove(&start0).unwrap();
+                            let mut merged = Vec::with_capacity(entry.len as usize);
+                            for h in &entry.held {
+                                merged.extend_from_slice(h);
+                            }
+                            let merged = Bytes::from(merged);
+                            let got = finalize(
+                                entry.acc,
+                                entry.odd,
+                                entry.dsn,
+                                entry.ssn1 as u32,
+                                entry.len as u16,
+                            );
+                            if entry.checksum == Some(got) {
+                                out.push(Consumed::Mapped {
+                                    dsn: entry.dsn,
+                                    data: merged,
+                                });
+                            } else {
+                                self.checksum_failures += 1;
+                                out.push(Consumed::ChecksumFail {
+                                    dsn: entry.dsn,
+                                    data: merged,
+                                });
+                            }
+                        }
+                        offset += take as u64;
+                        continue;
+                    }
+
+                    if complete {
+                        self.maps.remove(&start0);
+                    }
+                    out.push(Consumed::Mapped {
+                        dsn: piece_dsn,
+                        data: piece,
+                    });
+                    offset += take as u64;
+                }
+                None => {
+                    // No covering mapping: unmapped until the next mapping
+                    // starts (or the end of this data).
+                    let next_start = self
+                        .maps
+                        .range(offset..)
+                        .next()
+                        .map(|(&s, _)| s)
+                        .unwrap_or(u64::MAX);
+                    let take = (next_start - offset).min(data.len() as u64) as usize;
+                    let piece = data.slice(..take);
+                    data = data.slice(take..);
+                    self.unmapped_total += take as u64;
+                    out.push(Consumed::Unmapped { data: piece });
+                    offset += take as u64;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn accumulate(acc: &mut u32, odd: &mut Option<u8>, piece: &[u8]) {
+    let mut buf;
+    let bytes: &[u8] = match odd.take() {
+        Some(carry) => {
+            buf = Vec::with_capacity(piece.len() + 1);
+            buf.push(carry);
+            buf.extend_from_slice(piece);
+            &buf
+        }
+        None => piece,
+    };
+    let pairs = bytes.len() / 2 * 2;
+    *acc = checksum::ones_complement_add(*acc, &bytes[..pairs]);
+    if bytes.len() % 2 == 1 {
+        *odd = Some(bytes[bytes.len() - 1]);
+    }
+}
+
+fn finalize(mut acc: u32, odd: Option<u8>, dsn: u64, ssn1: u32, len: u16) -> u16 {
+    if let Some(b) = odd {
+        acc = checksum::ones_complement_add(acc, &[b]);
+    }
+    acc = checksum::add_u64(acc, dsn);
+    acc = checksum::add_u32(acc, ssn1);
+    acc = checksum::add_u16(acc, len);
+    checksum::fold(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mptcp_packet::checksum::dss_checksum;
+
+    fn mapping(dsn: u64, ssn1: u32, payload: &[u8], with_cksum: bool) -> DssMapping {
+        DssMapping {
+            dsn,
+            subflow_seq: ssn1,
+            len: payload.len() as u16,
+            checksum: with_cksum.then(|| dss_checksum(dsn, ssn1, payload.len() as u16, payload)),
+        }
+    }
+
+    #[test]
+    fn single_mapping_consumed_whole() {
+        let mut t = MappingTracker::new(true);
+        let payload = b"hello multipath";
+        t.add(&mapping(1000, 1, payload, true));
+        let out = t.consume(0, Bytes::from_static(payload));
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Consumed::Mapped { dsn, data } => {
+                assert_eq!(*dsn, 1000);
+                assert_eq!(&data[..], payload);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(t.pending(), 0);
+    }
+
+    #[test]
+    fn mapping_consumed_in_pieces_checksum_ok() {
+        // TSO split the segment: bytes arrive in three odd-sized pieces,
+        // the checksum must still verify.
+        let mut t = MappingTracker::new(true);
+        let payload = b"abcdefghijk"; // 11 bytes
+        t.add(&mapping(500, 1, payload, true));
+        // A checksummed mapping is held until complete (a modified
+        // segment must be rejected whole, S3.3.6), then delivered once.
+        let mut delivered = Vec::new();
+        for (off, chunk) in [(0u64, &payload[..3]), (3, &payload[3..8]), (8, &payload[8..])] {
+            let out = t.consume(off, Bytes::copy_from_slice(chunk));
+            if off + (chunk.len() as u64) < payload.len() as u64 {
+                assert!(out.is_empty(), "held until the checksum verdict");
+            }
+            for c in out {
+                match c {
+                    Consumed::Mapped { dsn, data } => {
+                        assert_eq!(dsn, 500);
+                        delivered.extend_from_slice(&data);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(&delivered, payload);
+    }
+
+    #[test]
+    fn checksum_failure_detected() {
+        let mut t = MappingTracker::new(true);
+        let original = b"PORT 10.0.0.1";
+        let modified = b"PORT 99.9.9.9"; // same length, different bytes
+        t.add(&mapping(0, 1, original, true));
+        let out = t.consume(0, Bytes::from_static(modified));
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], Consumed::ChecksumFail { dsn: 0, .. }));
+        assert_eq!(t.checksum_failures, 1);
+    }
+
+    #[test]
+    fn checksum_skipped_when_disabled() {
+        let mut t = MappingTracker::new(false);
+        let original = b"data";
+        t.add(&mapping(0, 1, original, true));
+        let out = t.consume(0, Bytes::from_static(b"XXXX"));
+        assert!(matches!(out[0], Consumed::Mapped { .. }));
+        assert_eq!(t.checksum_failures, 0);
+    }
+
+    #[test]
+    fn unmapped_bytes_surface() {
+        // A coalescer dropped the second chunk's mapping: its bytes arrive
+        // with no covering mapping.
+        let mut t = MappingTracker::new(false);
+        t.add(&mapping(100, 1, b"aaaa", false));
+        let out = t.consume(0, Bytes::from_static(b"aaaabbbb"));
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0], Consumed::Mapped { dsn: 100, .. }));
+        match &out[1] {
+            Consumed::Unmapped { data } => assert_eq!(&data[..], b"bbbb"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(t.unmapped_total, 4);
+    }
+
+    #[test]
+    fn unmapped_gap_before_mapping() {
+        let mut t = MappingTracker::new(false);
+        // Mapping covers offsets 4..8 only (ssn1 = 5).
+        t.add(&mapping(100, 5, b"bbbb", false));
+        let out = t.consume(0, Bytes::from_static(b"aaaabbbb"));
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0], Consumed::Unmapped { .. }));
+        assert!(matches!(&out[1], Consumed::Mapped { dsn: 100, .. }));
+    }
+
+    #[test]
+    fn duplicate_mappings_ignored() {
+        let mut t = MappingTracker::new(false);
+        let m = mapping(1, 1, b"xyz", false);
+        t.add(&m);
+        t.add(&m);
+        t.add(&m);
+        assert_eq!(t.pending(), 1);
+        assert_eq!(t.mappings_received, 3);
+    }
+
+    #[test]
+    fn two_mappings_interleave_with_stream() {
+        let mut t = MappingTracker::new(true);
+        // Data sequence space has the two chunks swapped relative to the
+        // subflow stream (batching from different connection positions).
+        t.add(&mapping(2000, 1, b"late", true));
+        t.add(&mapping(1000, 5, b"early", true));
+        let out = t.consume(0, Bytes::from_static(b"lateearly"));
+        assert_eq!(out.len(), 2);
+        match (&out[0], &out[1]) {
+            (Consumed::Mapped { dsn: a, .. }, Consumed::Mapped { dsn: b, .. }) => {
+                assert_eq!((*a, *b), (2000, 1000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_mapping_is_signal_only() {
+        let mut t = MappingTracker::new(true);
+        t.add(&DssMapping {
+            dsn: 999,
+            subflow_seq: 0,
+            len: 0,
+            checksum: None,
+        });
+        assert_eq!(t.pending(), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! "AllShortcuts" algorithm: shortcuts plus batch-grouped fallback.
+//!
+//! For the ~20% of packets where the per-subflow pointer misses, plain
+//! Shortcuts degenerates to scanning every queued segment. This variant
+//! implements the paper's fix: "the out-of-order queue groups in-sequence
+//! segments into batches. Then, we iterate over these batches instead of
+//! iterating over all the segments. As there are significantly less
+//! batches than packets in the out-of-order queue, the lookup process will
+//! be much faster." (§4.3)
+//!
+//! Batches are maximal runs of contiguous data sequence numbers, stored in
+//! a BTreeMap keyed by start DSN; each batch keeps its member segments in
+//! arrival order for O(1) pops.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use super::OooQueue;
+
+struct Batch {
+    end: u64,
+    segs: VecDeque<(u64, Bytes)>,
+}
+
+/// Batch-grouped out-of-order queue with per-subflow shortcuts.
+pub struct AllShortcutsQueue {
+    batches: BTreeMap<u64, Batch>,
+    /// batch end DSN -> batch start key (for O(1) append-to-batch).
+    by_end: HashMap<u64, u64>,
+    bytes: usize,
+    segments: usize,
+    /// subflow -> DSN where its next segment is expected.
+    cursors: HashMap<usize, u64>,
+    ops: u64,
+    hits: u64,
+    inserts: u64,
+}
+
+impl AllShortcutsQueue {
+    /// An empty queue.
+    pub fn new() -> AllShortcutsQueue {
+        AllShortcutsQueue {
+            batches: BTreeMap::new(),
+            by_end: HashMap::new(),
+            bytes: 0,
+            segments: 0,
+            cursors: HashMap::new(),
+            ops: 0,
+            hits: 0,
+            inserts: 0,
+        }
+    }
+
+    /// Append a segment to the batch ending exactly at `dsn`, then merge
+    /// with the following batch if they now touch.
+    fn extend_batch(&mut self, start_key: u64, dsn: u64, data: Bytes) {
+        let len = data.len() as u64;
+        let batch = self.batches.get_mut(&start_key).expect("batch exists");
+        debug_assert_eq!(batch.end, dsn);
+        self.by_end.remove(&batch.end);
+        batch.segs.push_back((dsn, data));
+        batch.end += len;
+        let new_end = batch.end;
+        self.segments += 1;
+        self.bytes += len as usize;
+
+        // Merge with the successor batch if contiguous.
+        if let Some(mut succ) = self.batches.remove(&new_end) {
+            self.by_end.remove(&succ.end);
+            let succ_end = succ.end;
+            let batch = self.batches.get_mut(&start_key).unwrap();
+            batch.segs.append(&mut succ.segs);
+            batch.end = succ_end;
+            self.by_end.insert(succ_end, start_key);
+        } else {
+            self.by_end.insert(new_end, start_key);
+        }
+    }
+
+    /// Create a fresh batch, merging with a successor that starts at its
+    /// end.
+    fn new_batch(&mut self, dsn: u64, data: Bytes) {
+        let len = data.len() as u64;
+        let mut segs = VecDeque::new();
+        segs.push_back((dsn, data));
+        let mut end = dsn + len;
+        self.segments += 1;
+        self.bytes += len as usize;
+
+        if let Some(mut succ) = self.batches.remove(&end) {
+            self.by_end.remove(&succ.end);
+            segs.append(&mut succ.segs);
+            end = succ.end;
+        }
+        self.batches.insert(dsn, Batch { end, segs });
+        self.by_end.insert(end, dsn);
+    }
+
+    fn remove_batch_front(&mut self, start_key: u64) -> Option<(u64, Bytes)> {
+        let batch = self.batches.get_mut(&start_key)?;
+        let (dsn, data) = batch.segs.pop_front()?;
+        self.segments -= 1;
+        self.bytes -= data.len();
+        if batch.segs.is_empty() {
+            let b = self.batches.remove(&start_key).unwrap();
+            self.by_end.remove(&b.end);
+        } else {
+            // Re-key the batch at its new start.
+            let b = self.batches.remove(&start_key).unwrap();
+            let new_start = b.segs.front().unwrap().0;
+            self.by_end.insert(b.end, new_start);
+            self.batches.insert(new_start, b);
+        }
+        Some((dsn, data))
+    }
+}
+
+impl Default for AllShortcutsQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OooQueue for AllShortcutsQueue {
+    fn insert(&mut self, dsn: u64, data: Bytes, subflow: usize) {
+        self.inserts += 1;
+        if data.is_empty() {
+            return;
+        }
+        let len = data.len() as u64;
+
+        // Shortcut: the subflow expected to continue exactly here, and a
+        // batch indeed ends here (O(1) via the end index).
+        if self.cursors.get(&subflow) == Some(&dsn) {
+            if let Some(&start_key) = self.by_end.get(&dsn) {
+                self.ops += 1;
+                self.hits += 1;
+                self.extend_batch(start_key, dsn, data);
+                self.cursors.insert(subflow, dsn + len);
+                return;
+            }
+        }
+
+        // Fallback: iterate over batches (not segments), newest first.
+        let mut covered = false;
+        let mut target: Option<u64> = None; // batch to extend at its end
+        let mut clip_to: Option<u64> = None; // successor start limiting tail
+        self.ops += 1;
+        for (&start, batch) in self.batches.range(..).rev() {
+            self.ops += 1;
+            if start > dsn {
+                clip_to = Some(start);
+                continue;
+            }
+            // First batch starting at or before dsn.
+            if dsn < batch.end {
+                // Starts inside this batch: contiguous runs hold all bytes
+                // in [start, end), so the overlapped prefix is duplicate.
+                if dsn + len <= batch.end {
+                    covered = true;
+                } else {
+                    target = Some(start); // extend after trimming the front
+                }
+            } else if dsn == batch.end {
+                target = Some(start);
+            }
+            break;
+        }
+        if covered {
+            return;
+        }
+
+        let (dsn, data) = {
+            // Trim the front against the target batch's end.
+            let (mut dsn, mut data) = (dsn, data);
+            if let Some(t) = target {
+                let bend = self.batches[&t].end;
+                if bend > dsn {
+                    let cut = (bend - dsn) as usize;
+                    data = data.slice(cut..);
+                    dsn = bend;
+                }
+            }
+            // Trim the tail against the successor batch.
+            if let Some(ns) = clip_to {
+                if dsn >= ns {
+                    return;
+                }
+                if dsn + data.len() as u64 > ns {
+                    data = data.slice(..(ns - dsn) as usize);
+                }
+            }
+            if data.is_empty() {
+                return;
+            }
+            (dsn, data)
+        };
+
+        let end = dsn + data.len() as u64;
+        match target {
+            Some(t) if self.batches[&t].end == dsn => self.extend_batch(t, dsn, data),
+            _ => self.new_batch(dsn, data),
+        }
+        self.cursors.insert(subflow, end);
+    }
+
+    fn pop_ready(&mut self, rcv_nxt: u64) -> Option<(u64, Bytes)> {
+        loop {
+            let (&start, batch) = self.batches.first_key_value()?;
+            if batch.end <= rcv_nxt {
+                // Entire batch superseded.
+                let b = self.batches.remove(&start).unwrap();
+                self.by_end.remove(&b.end);
+                self.segments -= b.segs.len();
+                self.bytes -= b.segs.iter().map(|(_, d)| d.len()).sum::<usize>();
+                continue;
+            }
+            if start > rcv_nxt {
+                return None;
+            }
+            let (dsn, data) = self.remove_batch_front(start)?;
+            let end = dsn + data.len() as u64;
+            if end <= rcv_nxt {
+                continue; // stale front segment
+            }
+            if dsn >= rcv_nxt {
+                if dsn == rcv_nxt {
+                    return Some((dsn, data));
+                }
+                // Shouldn't happen (batch.start <= rcv_nxt), defensive:
+                return Some((dsn, data));
+            }
+            let cut = (rcv_nxt - dsn) as usize;
+            return Some((rcv_nxt, data.slice(cut..)));
+        }
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn len(&self) -> usize {
+        self.segments
+    }
+
+    fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn shortcut_hits(&self) -> u64 {
+        self.hits
+    }
+
+    fn inserts(&self) -> u64 {
+        self.inserts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n])
+    }
+
+    #[test]
+    fn batches_merge_when_hole_fills() {
+        let mut q = AllShortcutsQueue::new();
+        q.insert(0, b(10), 0);
+        q.insert(20, b(10), 1);
+        assert_eq!(q.batches.len(), 2);
+        q.insert(10, b(10), 2); // fills the hole: one batch remains
+        assert_eq!(q.batches.len(), 1);
+        assert_eq!(q.len(), 3);
+        // Drains in order.
+        assert_eq!(q.pop_ready(0).unwrap().0, 0);
+        assert_eq!(q.pop_ready(10).unwrap().0, 10);
+        assert_eq!(q.pop_ready(20).unwrap().0, 20);
+        assert!(q.pop_ready(30).is_none());
+        assert_eq!(q.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn fallback_scans_batches_not_segments() {
+        let mut q = AllShortcutsQueue::new();
+        // One huge contiguous batch of 1000 segments.
+        for i in 0..1000u64 {
+            q.insert(1000 + i * 10, b(10), 0);
+        }
+        let before = q.ops();
+        // A miss insert in front of everything: one batch visited, not 1000
+        // nodes.
+        q.insert(0, b(10), 1);
+        assert!(q.ops() - before <= 4, "ops delta = {}", q.ops() - before);
+    }
+
+    #[test]
+    fn shortcut_extends_batch_in_constant_ops() {
+        let mut q = AllShortcutsQueue::new();
+        q.insert(0, b(10), 0);
+        let before = q.ops();
+        for i in 1..100u64 {
+            q.insert(i * 10, b(10), 0);
+        }
+        assert_eq!(q.ops() - before, 99);
+        assert_eq!(q.shortcut_hits(), 99);
+        assert_eq!(q.batches.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_interior_covered() {
+        let mut q = AllShortcutsQueue::new();
+        q.insert(0, b(10), 0);
+        q.insert(10, b(10), 0);
+        q.insert(5, b(10), 1); // interior of the single batch
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.buffered_bytes(), 20);
+    }
+
+    #[test]
+    fn partial_overlap_extends() {
+        let mut q = AllShortcutsQueue::new();
+        q.insert(0, b(10), 0);
+        q.insert(5, b(10), 1); // 5 bytes duplicate, 5 new
+        assert_eq!(q.buffered_bytes(), 15);
+        assert_eq!(q.pop_ready(0).unwrap().1.len(), 10);
+        let (dsn, d) = q.pop_ready(10).unwrap();
+        assert_eq!(dsn, 10);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn pop_rekeys_batch() {
+        let mut q = AllShortcutsQueue::new();
+        q.insert(0, b(10), 0);
+        q.insert(10, b(10), 0);
+        q.pop_ready(0).unwrap();
+        // Remaining batch must be findable at its new start.
+        assert_eq!(q.pop_ready(10).unwrap().0, 10);
+    }
+}

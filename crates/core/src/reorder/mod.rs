@@ -1,0 +1,278 @@
+//! The connection-level out-of-order queue (§4.3, Figure 8).
+//!
+//! Subflows deliver bytes in subflow order, but data sequence numbers
+//! interleave across subflows, so almost every arriving segment is
+//! out-of-order at the data level — the exact inverse of single-path TCP,
+//! whose fast path assumes in-order arrival. The paper explores four
+//! receive algorithms:
+//!
+//! * **Regular** — scan the queue linearly for the insertion point.
+//! * **Tree** — balanced-tree lookup (log time, more code, still not
+//!   constant).
+//! * **Shortcuts** — exploit *batching*: a subflow sends runs of
+//!   contiguous data sequence numbers, so each subflow keeps a pointer to
+//!   where its next segment should land; a correct pointer makes insertion
+//!   O(1). Works for ~80% of packets.
+//! * **AllShortcuts** — when the pointer misses, iterate over contiguous
+//!   *batches* instead of individual segments.
+//!
+//! All four implement [`OooQueue`] and count *ops* (node visits /
+//! comparisons) so the Figure 8 experiment can report relative CPU cost;
+//! the Criterion bench measures real wall-clock time as well.
+
+mod batch;
+mod linear;
+mod shortcut;
+mod tree;
+
+pub use batch::AllShortcutsQueue;
+pub use linear::LinearQueue;
+pub use shortcut::ShortcutsQueue;
+pub use tree::TreeQueue;
+
+use bytes::Bytes;
+
+use crate::config::ReorderAlgo;
+
+/// A connection-level out-of-order queue.
+///
+/// Invariants all implementations maintain:
+/// * entries are non-overlapping and sorted by data sequence number;
+/// * duplicate or fully-covered inserts are dropped;
+/// * `pop_ready(rcv_nxt)` returns the entry starting exactly at `rcv_nxt`,
+///   if present.
+pub trait OooQueue: Send {
+    /// Insert a segment at data sequence `dsn`, arriving on `subflow`.
+    fn insert(&mut self, dsn: u64, data: Bytes, subflow: usize);
+
+    /// Pop the entry starting at `rcv_nxt`, if queued. Entries that have
+    /// been fully superseded (end ≤ rcv_nxt) are discarded on the way.
+    fn pop_ready(&mut self, rcv_nxt: u64) -> Option<(u64, Bytes)>;
+
+    /// Total payload bytes held (receiver memory, Figure 5b).
+    fn buffered_bytes(&self) -> usize;
+
+    /// Number of queued entries.
+    fn len(&self) -> usize;
+
+    /// Is the queue empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative operation count (node visits / comparisons): the CPU
+    /// proxy plotted in Figure 8.
+    fn ops(&self) -> u64;
+
+    /// Fraction of inserts satisfied by a shortcut pointer (0 for the
+    /// algorithms that have none).
+    fn shortcut_hits(&self) -> u64;
+
+    /// Count of insert calls.
+    fn inserts(&self) -> u64;
+}
+
+/// Construct a queue for the configured algorithm.
+pub fn make_queue(algo: ReorderAlgo) -> Box<dyn OooQueue> {
+    match algo {
+        ReorderAlgo::Regular => Box::new(LinearQueue::new()),
+        ReorderAlgo::Tree => Box::new(TreeQueue::new()),
+        ReorderAlgo::Shortcuts => Box::new(ShortcutsQueue::new()),
+        ReorderAlgo::AllShortcuts => Box::new(AllShortcutsQueue::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    fn all_queues() -> Vec<(&'static str, Box<dyn OooQueue>)> {
+        vec![
+            ("regular", make_queue(ReorderAlgo::Regular)),
+            ("tree", make_queue(ReorderAlgo::Tree)),
+            ("shortcuts", make_queue(ReorderAlgo::Shortcuts)),
+            ("allshortcuts", make_queue(ReorderAlgo::AllShortcuts)),
+        ]
+    }
+
+    /// Drain everything in order starting from `rcv_nxt`, returning
+    /// (dsn, len) pairs.
+    fn drain(q: &mut dyn OooQueue, mut rcv_nxt: u64) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        while let Some((dsn, data)) = q.pop_ready(rcv_nxt) {
+            assert_eq!(dsn, rcv_nxt);
+            rcv_nxt = dsn + data.len() as u64;
+            out.push((dsn, data.len()));
+        }
+        out
+    }
+
+    #[test]
+    fn in_order_insert_and_drain() {
+        for (name, mut q) in all_queues() {
+            q.insert(0, bytes(10, 1), 0);
+            q.insert(10, bytes(10, 2), 0);
+            q.insert(20, bytes(5, 3), 0);
+            assert_eq!(q.buffered_bytes(), 25, "{name}");
+            let got = drain(q.as_mut(), 0);
+            assert_eq!(got, vec![(0, 10), (10, 10), (20, 5)], "{name}");
+            assert_eq!(q.buffered_bytes(), 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn interleaved_subflows() {
+        // Two subflows with batches: sf0 gets [0,10),[10,10); sf1 gets
+        // [100,10),[110,10) — arrivals interleave.
+        for (name, mut q) in all_queues() {
+            q.insert(100, bytes(10, 1), 1);
+            q.insert(0, bytes(10, 0), 0);
+            q.insert(110, bytes(10, 1), 1);
+            q.insert(10, bytes(10, 0), 0);
+            assert_eq!(q.len(), 4, "{name}");
+            let got = drain(q.as_mut(), 0);
+            assert_eq!(got, vec![(0, 10), (10, 10)], "{name}");
+            let got = drain(q.as_mut(), 100);
+            assert_eq!(got, vec![(100, 10), (110, 10)], "{name}");
+        }
+    }
+
+    #[test]
+    fn reverse_order_insert() {
+        for (name, mut q) in all_queues() {
+            for i in (0..20u64).rev() {
+                q.insert(i * 10, bytes(10, i as u8), 0);
+            }
+            assert_eq!(q.len(), 20, "{name}");
+            let got = drain(q.as_mut(), 0);
+            assert_eq!(got.len(), 20, "{name}");
+        }
+    }
+
+    #[test]
+    fn duplicates_dropped() {
+        for (name, mut q) in all_queues() {
+            q.insert(50, bytes(10, 1), 0);
+            q.insert(50, bytes(10, 1), 1); // exact duplicate from elsewhere
+            assert_eq!(q.len(), 1, "{name}");
+            assert_eq!(q.buffered_bytes(), 10, "{name}");
+        }
+    }
+
+    #[test]
+    fn covered_inserts_dropped() {
+        for (name, mut q) in all_queues() {
+            q.insert(0, bytes(100, 1), 0);
+            q.insert(20, bytes(10, 2), 1); // interior duplicate
+            assert_eq!(q.len(), 1, "{name}");
+            let got = drain(q.as_mut(), 0);
+            assert_eq!(got, vec![(0, 100)], "{name}");
+        }
+    }
+
+    #[test]
+    fn pop_discards_stale_entries() {
+        for (name, mut q) in all_queues() {
+            q.insert(0, bytes(10, 1), 0);
+            q.insert(10, bytes(10, 2), 0);
+            // rcv_nxt has moved past the first entry (delivered via another
+            // duplicate path).
+            let got = q.pop_ready(10);
+            assert!(got.is_some(), "{name}");
+            assert_eq!(got.unwrap().0, 10, "{name}");
+            assert!(q.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn pop_on_hole_returns_none() {
+        for (name, mut q) in all_queues() {
+            q.insert(10, bytes(10, 1), 0);
+            assert!(q.pop_ready(0).is_none(), "{name}");
+            assert_eq!(q.len(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn shortcut_hits_dominate_batched_arrivals() {
+        // The 80% claim: with batched subflow sends, the per-subflow
+        // pointer is almost always right.
+        for algo in [ReorderAlgo::Shortcuts, ReorderAlgo::AllShortcuts] {
+            let mut q = make_queue(algo);
+            // sf1's batch lands far ahead; sf0 fills in behind, contiguous.
+            q.insert(1_000, bytes(100, 0), 1);
+            for i in 0..100u64 {
+                q.insert(1_100 + i * 100, bytes(100, 0), 1);
+            }
+            let hits = q.shortcut_hits();
+            let inserts = q.inserts();
+            assert!(inserts == 101);
+            assert!(
+                hits as f64 / inserts as f64 > 0.9,
+                "{algo:?}: {hits}/{inserts} hits"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_ops_exceed_shortcut_ops() {
+        // The Figure 8 ordering: Regular >> Shortcuts for batched inserts.
+        let workload: Vec<(u64, usize)> = {
+            // Two interleaved subflow batches growing the queue.
+            let mut w = Vec::new();
+            for i in 0..200u64 {
+                w.push((10_000 + i * 10, 1)); // sf1 far batch
+                if i % 10 == 0 {
+                    w.push((i, 0)); // occasional sf0 in-fill (stays queued)
+                }
+            }
+            w
+        };
+        let mut lin = make_queue(ReorderAlgo::Regular);
+        let mut sc = make_queue(ReorderAlgo::Shortcuts);
+        for &(dsn, sf) in &workload {
+            lin.insert(dsn, bytes(10, 0), sf);
+            sc.insert(dsn, bytes(10, 0), sf);
+        }
+        assert_eq!(lin.len(), sc.len());
+        assert!(
+            lin.ops() > 3 * sc.ops(),
+            "linear {} vs shortcuts {}",
+            lin.ops(),
+            sc.ops()
+        );
+    }
+
+    #[test]
+    fn allshortcuts_beats_shortcuts_on_pointer_misses() {
+        // Force pointer misses: single subflow inserting at alternating
+        // far-apart positions. AllShortcuts scans batch summaries; plain
+        // Shortcuts scans every node.
+        let mut sc = make_queue(ReorderAlgo::Shortcuts);
+        let mut asc = make_queue(ReorderAlgo::AllShortcuts);
+        // Build many contiguous batches with holes between them; every
+        // round also inserts into the gap of the *previous* region, which
+        // defeats both subflows' pointers and forces the fallback scan.
+        for batch in 1..50u64 {
+            for k in 0..10u64 {
+                let dsn = batch * 1_000 + k * 10;
+                sc.insert(dsn, bytes(10, 0), 0);
+                asc.insert(dsn, bytes(10, 0), 0);
+            }
+            let miss = (batch - 1) * 1_000 + 500;
+            sc.insert(miss, bytes(10, 0), 1);
+            asc.insert(miss, bytes(10, 0), 1);
+        }
+        assert_eq!(sc.len(), asc.len());
+        assert!(
+            asc.ops() < sc.ops(),
+            "allshortcuts {} vs shortcuts {}",
+            asc.ops(),
+            sc.ops()
+        );
+    }
+}

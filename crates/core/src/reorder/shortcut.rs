@@ -1,0 +1,347 @@
+//! "Shortcuts" algorithm: per-subflow expected-position pointers.
+//!
+//! The paper's key observation (§4.3): when a subflow is ready to send,
+//! the connection allocates a *batch* of contiguous data sequence numbers
+//! to it, so each subflow's arrivals are in-order at the data level within
+//! the batch. The receiver therefore "augments each subflow's data
+//! structures with a pointer to the connection-level out-of-order queue
+//! where it expects the next segment of that subflow to arrive. If the
+//! pointer is wrong, we revert to scanning the whole out-of-order queue."
+//! The shortcut hits for ~80% of packets and makes insertion O(1).
+//!
+//! The queue is a slab-backed doubly-linked list (stable node handles with
+//! generation counters, so recycled slots can't be mistaken for live ones).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use super::OooQueue;
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    dsn: u64,
+    data: Bytes,
+    prev: usize,
+    next: usize,
+    gen: u32,
+    alive: bool,
+}
+
+impl Node {
+    fn end(&self) -> u64 {
+        self.dsn + self.data.len() as u64
+    }
+}
+
+/// Linked-list out-of-order queue with per-subflow insertion shortcuts.
+pub struct ShortcutsQueue {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    len: usize,
+    bytes: usize,
+    /// subflow -> (node index, generation) after which the next segment
+    /// from that subflow is expected to land.
+    cursors: HashMap<usize, (usize, u32)>,
+    ops: u64,
+    hits: u64,
+    inserts: u64,
+}
+
+impl ShortcutsQueue {
+    /// An empty queue.
+    pub fn new() -> ShortcutsQueue {
+        ShortcutsQueue {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            bytes: 0,
+            cursors: HashMap::new(),
+            ops: 0,
+            hits: 0,
+            inserts: 0,
+        }
+    }
+
+    fn alloc(&mut self, dsn: u64, data: Bytes) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                let gen = self.nodes[i].gen.wrapping_add(1);
+                self.nodes[i] = Node {
+                    dsn,
+                    data,
+                    prev: NIL,
+                    next: NIL,
+                    gen,
+                    alive: true,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    dsn,
+                    data,
+                    prev: NIL,
+                    next: NIL,
+                    gen: 0,
+                    alive: true,
+                });
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Insert the node after `after` (NIL = at head).
+    fn link_after(&mut self, after: usize, idx: usize) {
+        if after == NIL {
+            self.nodes[idx].next = self.head;
+            self.nodes[idx].prev = NIL;
+            if self.head != NIL {
+                self.nodes[self.head].prev = idx;
+            }
+            self.head = idx;
+            if self.tail == NIL {
+                self.tail = idx;
+            }
+        } else {
+            let next = self.nodes[after].next;
+            self.nodes[idx].prev = after;
+            self.nodes[idx].next = next;
+            self.nodes[after].next = idx;
+            if next != NIL {
+                self.nodes[next].prev = idx;
+            } else {
+                self.tail = idx;
+            }
+        }
+        self.len += 1;
+        self.bytes += self.nodes[idx].data.len();
+    }
+
+    fn unlink(&mut self, idx: usize) -> Bytes {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].alive = false;
+        self.len -= 1;
+        self.bytes -= self.nodes[idx].data.len();
+        self.free.push(idx);
+        std::mem::replace(&mut self.nodes[idx].data, Bytes::new())
+    }
+
+    /// Does inserting `[dsn, dsn+len)` directly after node `after` keep the
+    /// list sorted and non-overlapping?
+    fn position_valid(&self, after: usize, dsn: u64, len: usize) -> bool {
+        let end = dsn + len as u64;
+        if after == NIL {
+            self.head == NIL || end <= self.nodes[self.head].dsn
+        } else {
+            let n = &self.nodes[after];
+            if !n.alive || n.end() > dsn {
+                return false;
+            }
+            n.next == NIL || end <= self.nodes[n.next].dsn
+        }
+    }
+
+    /// Scan from the tail for the node after which `dsn` belongs.
+    fn scan_position(&mut self, dsn: u64) -> usize {
+        let mut t = self.tail;
+        self.ops += 1;
+        while t != NIL && self.nodes[t].dsn > dsn {
+            t = self.nodes[t].prev;
+            self.ops += 1;
+        }
+        t
+    }
+
+    fn insert_after(&mut self, after: usize, mut dsn: u64, mut data: Bytes) -> Option<usize> {
+        // Trim against predecessor.
+        if after != NIL {
+            let pend = self.nodes[after].end();
+            if pend >= dsn + data.len() as u64 {
+                return None;
+            }
+            if pend > dsn {
+                let cut = (pend - dsn) as usize;
+                data = data.slice(cut..);
+                dsn = pend;
+            }
+        }
+        // Trim against successor.
+        let next = if after == NIL {
+            self.head
+        } else {
+            self.nodes[after].next
+        };
+        if next != NIL {
+            let nstart = self.nodes[next].dsn;
+            if dsn >= nstart {
+                return None;
+            }
+            let end = dsn + data.len() as u64;
+            if end > nstart {
+                data = data.slice(..(nstart - dsn) as usize);
+            }
+        }
+        if data.is_empty() {
+            return None;
+        }
+        let idx = self.alloc(dsn, data);
+        self.link_after(after, idx);
+        Some(idx)
+    }
+}
+
+impl Default for ShortcutsQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OooQueue for ShortcutsQueue {
+    fn insert(&mut self, dsn: u64, data: Bytes, subflow: usize) {
+        self.inserts += 1;
+        if data.is_empty() {
+            return;
+        }
+        // Try the subflow's shortcut pointer first.
+        let after = match self.cursors.get(&subflow) {
+            Some(&(idx, gen))
+                if idx != NIL
+                    && idx < self.nodes.len()
+                    && self.nodes[idx].gen == gen
+                    && self.position_valid(idx, dsn, data.len()) =>
+            {
+                self.ops += 1;
+                self.hits += 1;
+                idx
+            }
+            _ => self.scan_position(dsn),
+        };
+        if let Some(idx) = self.insert_after(after, dsn, data) {
+            let gen = self.nodes[idx].gen;
+            self.cursors.insert(subflow, (idx, gen));
+        }
+    }
+
+    fn pop_ready(&mut self, rcv_nxt: u64) -> Option<(u64, Bytes)> {
+        loop {
+            if self.head == NIL {
+                return None;
+            }
+            let h = self.head;
+            let (dsn, end) = (self.nodes[h].dsn, self.nodes[h].end());
+            if end <= rcv_nxt {
+                self.unlink(h);
+                continue;
+            }
+            if dsn > rcv_nxt {
+                return None;
+            }
+            let data = self.unlink(h);
+            if dsn == rcv_nxt {
+                return Some((dsn, data));
+            }
+            let cut = (rcv_nxt - dsn) as usize;
+            return Some((rcv_nxt, data.slice(cut..)));
+        }
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn shortcut_hits(&self) -> u64 {
+        self.hits
+    }
+
+    fn inserts(&self) -> u64 {
+        self.inserts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n])
+    }
+
+    #[test]
+    fn contiguous_batch_hits_shortcut() {
+        let mut q = ShortcutsQueue::new();
+        q.insert(100, b(10), 0); // miss (empty queue scan, cheap)
+        for i in 1..50u64 {
+            q.insert(100 + i * 10, b(10), 0);
+        }
+        assert_eq!(q.shortcut_hits(), 49);
+        assert_eq!(q.len(), 50);
+    }
+
+    #[test]
+    fn interleaved_subflows_each_hit_their_cursor() {
+        let mut q = ShortcutsQueue::new();
+        // sf0 at 0.., sf1 at 10_000.., alternating arrivals.
+        q.insert(0, b(10), 0);
+        q.insert(10_000, b(10), 1);
+        for i in 1..100u64 {
+            q.insert(i * 10, b(10), 0);
+            q.insert(10_000 + i * 10, b(10), 1);
+        }
+        // Each subflow's cursor stays valid despite the other's inserts.
+        assert!(q.shortcut_hits() >= 198, "hits = {}", q.shortcut_hits());
+    }
+
+    #[test]
+    fn stale_cursor_detected_after_pop() {
+        let mut q = ShortcutsQueue::new();
+        q.insert(0, b(10), 0);
+        // Pop recycles the node slot.
+        assert!(q.pop_ready(0).is_some());
+        q.insert(100, b(10), 1); // reuses slot with bumped generation
+        // sf0's cursor points at the recycled slot; the generation check
+        // must force a scan rather than corrupt the list.
+        q.insert(50, b(10), 0);
+        assert_eq!(q.len(), 2);
+        let a = q.pop_ready(50).unwrap();
+        assert_eq!(a.0, 50);
+        let c = q.pop_ready(100).unwrap();
+        assert_eq!(c.0, 100);
+    }
+
+    #[test]
+    fn overlap_trimmed_on_shortcut_path() {
+        let mut q = ShortcutsQueue::new();
+        q.insert(0, b(10), 0);
+        q.insert(5, b(10), 0); // overlaps its own previous segment
+        assert_eq!(q.buffered_bytes(), 15);
+        let (_, d1) = q.pop_ready(0).unwrap();
+        assert_eq!(d1.len(), 10);
+        let (dsn, d2) = q.pop_ready(10).unwrap();
+        assert_eq!(dsn, 10);
+        assert_eq!(d2.len(), 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: the four out-of-order queue algorithms are
+//! observationally equivalent — same drained stream for any insertion
+//! pattern — and reassembly is lossless.
+
+use bytes::Bytes;
+use mptcp::reorder::{make_queue, OooQueue};
+use mptcp::ReorderAlgo;
+use proptest::prelude::*;
+
+/// A random non-overlapping segmentation of [0, n) chunks of 10 bytes,
+/// presented in arbitrary order with arbitrary subflow attribution and
+/// optional duplicates.
+fn arb_workload() -> impl Strategy<Value = Vec<(u64, usize)>> {
+    (1usize..40).prop_flat_map(|n| {
+        let idx: Vec<u64> = (0..n as u64).collect();
+        (
+            Just(idx).prop_shuffle(),
+            proptest::collection::vec(0usize..4, n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(|(order, subflows, dups)| {
+                let mut w = Vec::new();
+                for (k, chunk) in order.into_iter().enumerate() {
+                    w.push((chunk * 10, subflows[k]));
+                    if dups[k] {
+                        w.push((chunk * 10, subflows[(k + 1) % subflows.len()]));
+                    }
+                }
+                w
+            })
+    })
+}
+
+fn drain_all(q: &mut dyn OooQueue) -> Vec<u64> {
+    let mut rcv = 0u64;
+    let mut out = Vec::new();
+    while let Some((dsn, data)) = q.pop_ready(rcv) {
+        out.push(dsn);
+        rcv = dsn + data.len() as u64;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_drain_identically(w in arb_workload()) {
+        let mut reference: Option<Vec<u64>> = None;
+        for algo in [
+            ReorderAlgo::Regular,
+            ReorderAlgo::Tree,
+            ReorderAlgo::Shortcuts,
+            ReorderAlgo::AllShortcuts,
+        ] {
+            let mut q = make_queue(algo);
+            for &(dsn, sf) in &w {
+                q.insert(dsn, Bytes::from(vec![(dsn % 251) as u8; 10]), sf);
+            }
+            let drained = drain_all(q.as_mut());
+            prop_assert!(q.is_empty(), "{algo:?} left entries");
+            prop_assert_eq!(q.buffered_bytes(), 0, "{:?} leaked bytes", algo);
+            match &reference {
+                None => reference = Some(drained),
+                Some(r) => prop_assert_eq!(r, &drained, "{:?} diverged", algo),
+            }
+        }
+        // And the drain is complete and in order.
+        let r = reference.unwrap();
+        let n = w.iter().map(|(d, _)| d / 10 + 1).max().unwrap_or(0);
+        prop_assert_eq!(r.len() as u64, n);
+        for (i, dsn) in r.iter().enumerate() {
+            prop_assert_eq!(*dsn, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn partial_drain_is_prefix_stable(w in arb_workload(), take in 0usize..20) {
+        // Popping some entries, inserting the rest, then draining gives
+        // the same stream as inserting everything first.
+        let mut q = make_queue(ReorderAlgo::AllShortcuts);
+        let (first, second) = w.split_at(take.min(w.len()));
+        for &(dsn, sf) in first {
+            q.insert(dsn, Bytes::from(vec![0u8; 10]), sf);
+        }
+        let mut rcv = 0u64;
+        let mut drained = Vec::new();
+        while let Some((dsn, data)) = q.pop_ready(rcv) {
+            drained.push(dsn);
+            rcv = dsn + data.len() as u64;
+        }
+        for &(dsn, sf) in second {
+            q.insert(dsn, Bytes::from(vec![0u8; 10]), sf);
+        }
+        while let Some((dsn, data)) = q.pop_ready(rcv) {
+            drained.push(dsn);
+            rcv = dsn + data.len() as u64;
+        }
+        for (i, dsn) in drained.iter().enumerate() {
+            prop_assert_eq!(*dsn, i as u64 * 10);
+        }
+    }
+}

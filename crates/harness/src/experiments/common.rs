@@ -1,0 +1,161 @@
+//! Shared experiment plumbing: bulk-transfer runs and measurement windows.
+
+use mptcp::{Mechanisms, MptcpConfig, ReorderAlgo};
+use mptcp_netsim::{Duration, Path, SimTime};
+use mptcp_tcpstack::TcpConfig;
+
+use crate::hosts::{ClientApp, ServerApp};
+use crate::metrics::Rates;
+use crate::scenario::{Scenario, TransportKind};
+
+/// The transport variants the figures compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Regular TCP over path 0.
+    Tcp,
+    /// Regular MPTCP: no receive-buffer mechanisms.
+    MptcpRegular,
+    /// MPTCP + opportunistic retransmission.
+    MptcpM1,
+    /// MPTCP + M1 + penalization (the paper's recommended config).
+    MptcpM12,
+    /// MPTCP + M1,2,3 (autotuning).
+    MptcpM123,
+    /// MPTCP + all mechanisms (adds cwnd capping).
+    MptcpAll,
+    /// TCP with per-packet round-robin link bonding.
+    BondedTcp,
+}
+
+impl Variant {
+    /// Human-readable label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Tcp => "TCP",
+            Variant::MptcpRegular => "regular MPTCP",
+            Variant::MptcpM1 => "MPTCP+M1",
+            Variant::MptcpM12 => "MPTCP+M1,2",
+            Variant::MptcpM123 => "MPTCP+M1,2,3",
+            Variant::MptcpAll => "MPTCP+M1,2,3,4",
+            Variant::BondedTcp => "bonding TCP",
+        }
+    }
+
+    /// Build the transport kind with symmetric `buf` send/receive buffers.
+    pub fn kind(&self, buf: usize) -> TransportKind {
+        match self {
+            Variant::Tcp => TransportKind::Tcp(tcp_cfg(buf, false)),
+            Variant::BondedTcp => TransportKind::BondedTcp(tcp_cfg(buf, false)),
+            v => {
+                let mech = match v {
+                    Variant::MptcpRegular => Mechanisms::NONE,
+                    Variant::MptcpM1 => Mechanisms::M1,
+                    Variant::MptcpM12 => Mechanisms::M1_2,
+                    Variant::MptcpM123 => Mechanisms::M1_2_3,
+                    _ => Mechanisms::ALL,
+                };
+                let mut cfg = MptcpConfig::default()
+                    .with_buffers(buf)
+                    .with_mechanisms(mech);
+                cfg.reorder = ReorderAlgo::Shortcuts;
+                // The paper's emulated-link studies disable checksum cost.
+                cfg.checksum = false;
+                TransportKind::Mptcp(cfg)
+            }
+        }
+    }
+}
+
+/// A TCP config with symmetric buffers.
+pub fn tcp_cfg(buf: usize, autotune: bool) -> TcpConfig {
+    let mut c = TcpConfig::with_buffers(buf);
+    c.autotune = autotune;
+    c
+}
+
+/// Result of one bulk run.
+#[derive(Clone, Copy, Debug)]
+pub struct BulkResult {
+    /// Application-level goodput in Mbps over the measurement window.
+    pub goodput_mbps: f64,
+    /// Scheduled (wire payload incl. re-injections) throughput in Mbps.
+    pub throughput_mbps: f64,
+    /// Mean sender memory over the window, bytes.
+    pub sender_mem: f64,
+    /// Mean receiver memory over the window, bytes.
+    pub receiver_mem: f64,
+    /// Did the transport fall back to plain TCP?
+    pub fell_back: bool,
+}
+
+/// Run a continuous bulk transfer (client → server) for `warmup +
+/// measure`, returning rates over the measurement window only.
+pub fn run_bulk(
+    variant: Variant,
+    buf: usize,
+    paths: Vec<Path>,
+    warmup: Duration,
+    measure: Duration,
+    seed: u64,
+) -> BulkResult {
+    let kind = variant.kind(buf);
+    let mut sc = Scenario::new(
+        kind,
+        ClientApp::Bulk {
+            total: usize::MAX / 2,
+            written: 0,
+            close_when_done: false,
+        },
+        ServerApp::Sink,
+        paths,
+        seed,
+    );
+    sc.run_for(warmup);
+    let delivered0 = sc.server().app_bytes_received;
+    let scheduled0 = scheduled_bytes(&mut sc);
+    let t0 = sc.sim.now;
+    sc.run_for(measure);
+    let elapsed = sc.sim.now - t0;
+    let delivered = sc.server().app_bytes_received - delivered0;
+    let scheduled = scheduled_bytes(&mut sc) - scheduled0;
+    let warm = t0;
+    let (smem, rmem, fell_back) = {
+        let client = sc.client();
+        let smem = client.mem_sampler.mean_after(warm);
+        let fell = match &client.transport {
+            crate::transport::Transport::Mptcp(c) => c.is_fallback(),
+            _ => false,
+        };
+        (smem, sc.server().mem_sampler.mean_after(warm), fell)
+    };
+    BulkResult {
+        goodput_mbps: Rates::mbps(delivered, elapsed),
+        throughput_mbps: Rates::mbps(scheduled, elapsed),
+        sender_mem: smem,
+        receiver_mem: rmem,
+        fell_back,
+    }
+}
+
+fn scheduled_bytes(sc: &mut Scenario) -> u64 {
+    match &mut sc.client_mut().transport {
+        crate::transport::Transport::Mptcp(c) => c.stats.bytes_scheduled,
+        crate::transport::Transport::Tcp(s) => s.stats.bytes_out,
+    }
+}
+
+/// The paper's emulated WiFi+3G path pair (Figs 4, 5, 7).
+pub fn wifi_3g_paths() -> Vec<Path> {
+    vec![
+        Path::symmetric(mptcp_netsim::LinkCfg::wifi()),
+        Path::symmetric(mptcp_netsim::LinkCfg::threeg()),
+    ]
+}
+
+/// Standard measurement windows.
+pub const WARMUP: Duration = Duration::from_secs(3);
+/// Default measurement duration.
+pub const MEASURE: Duration = Duration::from_secs(20);
+
+/// Default deadline guard for runs that should quiesce on their own.
+pub const LONG: SimTime = SimTime::from_secs(120);

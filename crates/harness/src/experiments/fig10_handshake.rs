@@ -1,0 +1,155 @@
+//! Figure 10: connection-establishment latency (SYN → SYN/ACK) measured
+//! in real wall-clock time on this machine.
+//!
+//! For regular TCP the server just builds a control block; for MPTCP it
+//! must hash the client's key, generate its own key, and verify the token
+//! is unique among established connections (§5.2). We measure our actual
+//! implementation: [`mptcp::TokenTable::generate`] with the table
+//! pre-filled with 0 / 100 / 1000 connections — in the linear-scan mode
+//! that reproduces the paper's growth, and in hash-set mode (the obvious
+//! modern fix). The key-pool ablation measures the §5.2 suggestion.
+
+use std::time::Instant;
+
+use mptcp::{KeyPool, MptcpConfig, MptcpListener, TokenTable};
+use mptcp_netsim::{SimRng, SimTime};
+use mptcp_packet::{Endpoint, FourTuple, MptcpOption, SeqNum, TcpFlags, TcpOption, TcpSegment};
+use mptcp_tcpstack::TcpConfig;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Label ("regular TCP", "MPTCP", "MPTCP - 100 conn", ...).
+    pub label: String,
+    /// Latency samples in nanoseconds.
+    pub samples_ns: Vec<u64>,
+}
+
+impl Row {
+    /// Median latency in microseconds.
+    pub fn median_us(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_unstable();
+        s[s.len() / 2] as f64 / 1000.0
+    }
+
+    /// PDF over microsecond buckets up to `max_us`.
+    pub fn pdf_us(&self, max_us: usize) -> Vec<(usize, f64)> {
+        let mut counts = vec![0u64; max_us + 1];
+        for &ns in &self.samples_ns {
+            let us = ((ns + 500) / 1000) as usize;
+            counts[us.min(max_us)] += 1;
+        }
+        let total = self.samples_ns.len().max(1) as f64;
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(us, c)| (us, 100.0 * c as f64 / total))
+            .collect()
+    }
+}
+
+fn mp_syn(rng: &mut SimRng) -> TcpSegment {
+    let mut syn = TcpSegment::new(
+        FourTuple {
+            src: Endpoint::new(0x0a000001, (rng.next_u32() % 50000) as u16 + 1024),
+            dst: Endpoint::new(0x0a000063, 80),
+        },
+        SeqNum(rng.next_u32()),
+        SeqNum(0),
+        TcpFlags::SYN,
+    );
+    syn.options.push(TcpOption::Mptcp(MptcpOption::MpCapable {
+        version: 0,
+        checksum_required: true,
+        sender_key: rng.next_u64(),
+        receiver_key: None,
+    }));
+    syn
+}
+
+/// Time the full server-side SYN→SYN/ACK path of our MPTCP listener with
+/// `existing` established connections in the token table.
+pub fn measure_mptcp(trials: usize, existing: usize, scan_lookup: bool, seed: u64) -> Row {
+    let mut rng = SimRng::new(seed);
+    let mut listener = MptcpListener::new(MptcpConfig::default(), seed);
+    listener.tokens.scan_lookup = scan_lookup;
+    for _ in 0..existing {
+        let _ = listener.tokens.generate(&mut rng);
+    }
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let syn = mp_syn(&mut rng);
+        let t = Instant::now();
+        let idx = listener.handle_segment(SimTime::ZERO, &syn).expect("accepted");
+        // Poll only the new connection: the cost under test is key
+        // generation + token uniqueness + SYN/ACK construction, not
+        // unrelated connections.
+        let synack = listener.conns[idx].poll(SimTime::ZERO);
+        samples.push(t.elapsed().as_nanos() as u64);
+        debug_assert!(synack.is_some_and(|s| s.flags.syn && s.flags.ack));
+    }
+    let label = if existing == 0 {
+        "MPTCP".to_string()
+    } else {
+        format!("MPTCP - {existing} conn")
+    };
+    Row {
+        label,
+        samples_ns: samples,
+    }
+}
+
+/// Time the plain-TCP accept path (control block + SYN/ACK build).
+pub fn measure_tcp(trials: usize, seed: u64) -> Row {
+    let mut rng = SimRng::new(seed);
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut syn = mp_syn(&mut rng);
+        syn.options.retain(|o| !o.is_mptcp());
+        let t = Instant::now();
+        let mut sock = mptcp_tcpstack::TcpSocket::accept(
+            TcpConfig::default(),
+            &syn,
+            SeqNum(rng.next_u32()),
+            SimTime::ZERO,
+            vec![],
+        );
+        let synack = sock.poll(SimTime::ZERO);
+        samples.push(t.elapsed().as_nanos() as u64);
+        debug_assert!(synack.is_some());
+    }
+    Row {
+        label: "regular TCP".to_string(),
+        samples_ns: samples,
+    }
+}
+
+/// Time key acquisition with a precomputed pool (§5.2 optimization).
+pub fn measure_keypool(trials: usize, seed: u64) -> Row {
+    let mut rng = SimRng::new(seed);
+    let mut table = TokenTable::new();
+    let mut pool = KeyPool::new(trials + 1);
+    pool.refill(&mut rng);
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let t = Instant::now();
+        let ks = pool.take(&mut table, &mut rng);
+        samples.push(t.elapsed().as_nanos() as u64);
+        std::hint::black_box(ks);
+    }
+    Row {
+        label: "MPTCP + key pool (keygen only)".to_string(),
+        samples_ns: samples,
+    }
+}
+
+/// The full Figure 10 set.
+pub fn run(trials: usize, seed: u64) -> Vec<Row> {
+    let mut rows = vec![measure_tcp(trials, seed)];
+    for existing in [0usize, 100, 1000] {
+        rows.push(measure_mptcp(trials, existing, true, seed));
+    }
+    rows.push(measure_keypool(trials, seed));
+    rows
+}

@@ -1,0 +1,113 @@
+//! Figure 11: apachebench-style requests/sec vs transfer size.
+//!
+//! Closed-loop clients each issue a request and read a `file_size`-byte
+//! response to EOF, then immediately reconnect — over two parallel links —
+//! comparing regular TCP (one link), TCP with per-packet round-robin
+//! bonding (both links), and MPTCP (one subflow per link).
+//!
+//! Expected shape: MPTCP loses below ~30 KB (second-subflow setup cost
+//! dominates), roughly doubles TCP above ~100 KB, and edges out bonding
+//! for the largest files.
+//!
+//! Scale note: the paper used 100 clients on 2×1 Gbps with a real Apache.
+//! The default here is a smaller fleet on 2×100 Mbps so a full sweep runs
+//! in seconds; `clients`/`link_mbps` knobs restore the paper's scale.
+
+use mptcp::{Mechanisms, MptcpConfig};
+use mptcp_netsim::{Duration, LinkCfg, Path};
+use mptcp_tcpstack::TcpConfig;
+
+use crate::scenario::{Scenario, TransportKind};
+
+/// Sweep configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of concurrent closed-loop clients.
+    pub clients: usize,
+    /// Per-link rate in Mbps.
+    pub link_mbps: u64,
+    /// Simulated duration per point.
+    pub duration: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            clients: 10,
+            link_mbps: 100,
+            duration: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Transfer (file) size in bytes.
+    pub file_size: usize,
+    /// (label, requests per second).
+    pub results: Vec<(&'static str, f64)>,
+}
+
+fn link(cfg: &Config) -> LinkCfg {
+    LinkCfg {
+        rate_bps: cfg.link_mbps * 1_000_000,
+        delay: Duration::from_micros(100),
+        queue_bytes: 256 * 1500,
+        loss: 0.0,
+    }
+}
+
+fn run_one(kind: TransportKind, cfg: &Config, file_size: usize, seed: u64) -> f64 {
+    let l = link(cfg);
+    let mut sc = Scenario::http_fleet(kind, cfg.clients, file_size, || Path::symmetric(l), seed);
+    // Warm up connections briefly, then measure.
+    sc.run_for(Duration::from_millis(500));
+    let done0: u64 = sc
+        .clients
+        .iter()
+        .map(|&id| sc.sim.hosts[id].as_client().unwrap().http_completed())
+        .sum();
+    let t0 = sc.sim.now;
+    sc.run_for(cfg.duration);
+    let done1: u64 = sc
+        .clients
+        .iter()
+        .map(|&id| sc.sim.hosts[id].as_client().unwrap().http_completed())
+        .sum();
+    (done1 - done0) as f64 / (sc.sim.now - t0).as_secs_f64()
+}
+
+/// Run the sweep over `sizes` for all three transports.
+pub fn sweep(cfg: Config, sizes: &[usize], seed: u64) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&file_size| {
+            let tcp = TcpConfig::with_buffers(512 * 1024);
+            let mut mcfg = MptcpConfig::default()
+                .with_buffers(512 * 1024)
+                .with_mechanisms(Mechanisms::M1_2);
+            mcfg.checksum = false;
+            let results = vec![
+                (
+                    "MPTCP",
+                    run_one(TransportKind::Mptcp(mcfg.clone()), &cfg, file_size, seed),
+                ),
+                (
+                    "bonding TCP",
+                    run_one(TransportKind::BondedTcp(tcp.clone()), &cfg, file_size, seed),
+                ),
+                (
+                    "regular TCP",
+                    run_one(TransportKind::Tcp(tcp.clone()), &cfg, file_size, seed),
+                ),
+            ];
+            Row { file_size, results }
+        })
+        .collect()
+}
+
+/// The paper's x-axis (bytes): 4 KB – 300 KB.
+pub fn default_sizes() -> Vec<usize> {
+    vec![4_096, 16_384, 30_000, 65_536, 100_000, 150_000, 200_000, 300_000]
+}

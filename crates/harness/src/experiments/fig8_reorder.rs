@@ -1,0 +1,147 @@
+//! Figure 8: receiver CPU load for the four out-of-order queue algorithms.
+//!
+//! A client bulk-sends over two 1 Gbps paths with 2 or 8 subflows; the
+//! server's connection-level reorder queue counts its operations (node
+//! visits / comparisons). CPU utilization is modelled as
+//!
+//! ```text
+//! util% = pkts/s · (T_pkt + T_opt·[mptcp] + ops_per_pkt · T_op) / 10⁹ · 100
+//! ```
+//!
+//! with per-packet and per-op costs calibrated so the TCP baseline sits in
+//! the paper's ~15–18% band (2006 Xeon-class constants; see EXPERIMENTS.md).
+//! The reproduction target is the *ordering and ratios*: Regular ≫ Tree >
+//! Shortcuts > AllShortcuts, all above TCP, with the gap growing from 2 to
+//! 8 subflows.
+
+use mptcp::{MptcpConfig, Mechanisms, ReorderAlgo};
+use mptcp_netsim::{Duration, LinkCfg, Path};
+use mptcp_packet::Endpoint;
+
+use crate::hosts::{ClientApp, ServerApp};
+use crate::scenario::{Endpoints, Scenario, TransportKind};
+
+/// Modelled fixed per-packet receive cost (ns).
+pub const T_PKT_NS: f64 = 900.0;
+/// Extra per-packet MPTCP option processing (ns).
+pub const T_OPT_NS: f64 = 350.0;
+/// Cost per reorder-queue operation (ns).
+pub const T_OP_NS: f64 = 120.0;
+
+/// One bar of Figure 8.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Algorithm label ("TCP" for the baseline).
+    pub algo: String,
+    /// Number of subflows (connections for TCP).
+    pub subflows: usize,
+    /// Modelled CPU utilization (%).
+    pub cpu_util: f64,
+    /// Measured reorder-queue ops per received packet.
+    pub ops_per_pkt: f64,
+    /// Shortcut hit rate (0–1), if the algorithm has pointers.
+    pub hit_rate: f64,
+    /// Aggregate goodput (Mbps) achieved during the window.
+    pub goodput_mbps: f64,
+}
+
+/// Run one (algorithm, subflow-count) cell.
+pub fn run_cell(algo: ReorderAlgo, nsub: usize, seed: u64) -> Row {
+    let mut cfg = MptcpConfig::default()
+        .with_buffers(8 * 1024 * 1024)
+        .with_mechanisms(Mechanisms::M1_2);
+    cfg.reorder = algo;
+    cfg.checksum = false;
+    let paths = vec![
+        Path::symmetric(LinkCfg::gigabit()),
+        Path::symmetric(LinkCfg::gigabit()),
+    ];
+    let mut sc = Scenario::new(
+        TransportKind::Mptcp(cfg),
+        ClientApp::Bulk {
+            total: usize::MAX / 2,
+            written: 0,
+            close_when_done: false,
+        },
+        ServerApp::Sink,
+        paths,
+        seed,
+    );
+    // Establish the base 2 subflows, then add extras on alternating paths.
+    sc.run_for(Duration::from_millis(200));
+    {
+        let now = sc.sim.now;
+        let conn = sc.client_mut().transport.as_mptcp().unwrap();
+        for i in 2..nsub {
+            let side = i % 2;
+            conn.open_subflow(
+                Endpoint::new(Endpoints::CLIENT[side], 30_000 + i as u16),
+                Endpoint::new(Endpoints::SERVER[side], Endpoints::PORT),
+                now,
+            );
+        }
+    }
+    sc.run_for(Duration::from_millis(300));
+
+    // Measurement window.
+    let (ops0, _ins0, _hits0, pkts0, bytes0) = snapshot(&mut sc);
+    let t0 = sc.sim.now;
+    sc.run_for(Duration::from_secs(2));
+    let win = (sc.sim.now - t0).as_secs_f64();
+    let (ops1, ins1, hits1, pkts1, bytes1) = snapshot(&mut sc);
+
+    let pkts = (pkts1 - pkts0) as f64;
+    let ops = (ops1 - ops0) as f64;
+    let pkts_per_sec = pkts / win;
+    let ops_per_pkt = if pkts > 0.0 { ops / pkts } else { 0.0 };
+    let util = pkts_per_sec * (T_PKT_NS + T_OPT_NS + ops_per_pkt * T_OP_NS) / 1e9 * 100.0;
+    Row {
+        algo: format!("{algo:?}"),
+        subflows: nsub,
+        cpu_util: util,
+        ops_per_pkt,
+        hit_rate: if ins1 > 0 { hits1 as f64 / ins1 as f64 } else { 0.0 },
+        goodput_mbps: crate::metrics::Rates::mbps(bytes1 - bytes0, sc.sim.now - t0),
+    }
+}
+
+/// The TCP baseline bar: same packet rate, no reorder queue, no options.
+pub fn tcp_baseline(pkts_per_sec: f64, conns: usize) -> Row {
+    Row {
+        algo: "TCP".into(),
+        subflows: conns,
+        cpu_util: pkts_per_sec * T_PKT_NS / 1e9 * 100.0,
+        ops_per_pkt: 0.0,
+        hit_rate: 0.0,
+        goodput_mbps: 0.0,
+    }
+}
+
+fn snapshot(sc: &mut Scenario) -> (u64, u64, u64, u64, u64) {
+    let bytes = sc.server().app_bytes_received;
+    let server = sc.server();
+    let conn = &server.listener.conns[0];
+    let pkts: u64 = conn.subflows().iter().map(|s| s.sock.stats.segs_in).sum();
+    (conn.ooo.ops(), conn.ooo.inserts(), conn.ooo.shortcut_hits(), pkts, bytes)
+}
+
+/// Run the whole figure: all algorithms × {2, 8} subflows + TCP baselines.
+pub fn run(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut pkt_rate_estimate = 0.0f64;
+    for nsub in [2usize, 8] {
+        for algo in [
+            ReorderAlgo::Regular,
+            ReorderAlgo::Tree,
+            ReorderAlgo::Shortcuts,
+            ReorderAlgo::AllShortcuts,
+        ] {
+            let row = run_cell(algo, nsub, seed);
+            // Estimate the wire packet rate from goodput for the baseline.
+            pkt_rate_estimate = pkt_rate_estimate.max(row.goodput_mbps * 1e6 / 8.0 / 1460.0);
+            rows.push(row);
+        }
+    }
+    rows.push(tcp_baseline(pkt_rate_estimate, 2));
+    rows
+}

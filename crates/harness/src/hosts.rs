@@ -1,0 +1,519 @@
+//! Simulated hosts: transport + application workload.
+//!
+//! [`ClientHost`] owns the transport under test and a [`ClientApp`]
+//! workload; [`ServerHost`] wraps an [`mptcp::MptcpListener`] — which also
+//! accepts plain-TCP clients via fallback, so one server implementation
+//! serves every baseline — plus a [`ServerApp`].
+
+use std::collections::HashMap;
+
+use mptcp::{ConnEvent, MptcpConfig, MptcpConnection, MptcpListener};
+use mptcp_netsim::{Duration, Host, Outbox, SimRng, SimTime};
+use mptcp_packet::{Endpoint, FourTuple, TcpSegment};
+use mptcp_tcpstack::{TcpConfig, TcpSocket};
+use mptcp_packet::SeqNum;
+
+use crate::metrics::Sampler;
+use crate::transport::Transport;
+
+/// Block size for the Figure 7 latency workload.
+pub const BLOCK: usize = 8192;
+/// Bytes of "HTTP request" in the closed-loop workload.
+pub const HTTP_REQUEST_LEN: usize = 100;
+
+/// What the client application does.
+pub enum ClientApp {
+    /// Send `total` bytes, then optionally close.
+    Bulk {
+        /// Total bytes to send.
+        total: usize,
+        /// Bytes accepted by the transport so far.
+        written: usize,
+        /// Send DATA_FIN/FIN after the last byte.
+        close_when_done: bool,
+    },
+    /// Send 8 KB blocks continuously, timestamping each (Figure 7).
+    Blocks,
+    /// Closed-loop request/response: send a small request, read a
+    /// `file_size`-byte response to EOF, reconnect, repeat (Figure 11).
+    HttpLoop {
+        /// Request sent on the current connection?
+        requested: bool,
+        /// Completed responses.
+        completed: u64,
+    },
+    /// Only receive (server pushes).
+    Sink,
+}
+
+/// How new client transports are minted (for reconnecting workloads).
+pub struct ConnFactory {
+    /// MPTCP config (`None` ⇒ plain TCP with `tcp_cfg`).
+    pub mptcp: Option<MptcpConfig>,
+    /// TCP config for the plain baseline.
+    pub tcp_cfg: TcpConfig,
+    /// Primary local address.
+    pub local: Endpoint,
+    /// Server address for the initial subflow.
+    pub server: Endpoint,
+    /// Extra (local, server) pairs to join once established.
+    pub joins: Vec<(Endpoint, Endpoint)>,
+    /// RNG for keys and ISNs.
+    pub rng: SimRng,
+}
+
+impl ConnFactory {
+    fn make(&mut self, now: SimTime) -> Transport {
+        let src_port = self.local.port;
+        self.local.port = self.local.port.wrapping_add(1).max(1024);
+        for (l, _) in &mut self.joins {
+            l.port = l.port.wrapping_add(1).max(1024);
+        }
+        let tuple = FourTuple {
+            src: Endpoint::new(self.local.addr, src_port),
+            dst: self.server,
+        };
+        match &self.mptcp {
+            Some(cfg) => Transport::Mptcp(MptcpConnection::client(
+                cfg.clone(),
+                tuple,
+                now,
+                self.rng.fork(),
+            )),
+            None => Transport::Tcp(TcpSocket::client(
+                self.tcp_cfg.clone(),
+                tuple,
+                SeqNum(self.rng.next_u32()),
+                now,
+                vec![],
+            )),
+        }
+    }
+}
+
+/// A client host: one live transport plus a workload.
+pub struct ClientHost {
+    /// The transport under test.
+    pub transport: Transport,
+    /// The workload.
+    pub app: ClientApp,
+    factory: ConnFactory,
+    joined: bool,
+    /// Block-send timestamps (Figure 7).
+    pub block_sent: Vec<SimTime>,
+    /// Total application bytes accepted by the transport.
+    pub app_bytes_sent: u64,
+    /// Total application bytes read from the transport.
+    pub app_bytes_received: u64,
+    /// Periodic sender-memory sampler (Figure 5a).
+    pub mem_sampler: Sampler,
+}
+
+impl ClientHost {
+    /// Build a client; the first transport connects immediately.
+    pub fn new(mut factory: ConnFactory, app: ClientApp, now: SimTime) -> ClientHost {
+        let transport = factory.make(now);
+        ClientHost {
+            transport,
+            app,
+            factory,
+            joined: false,
+            block_sent: Vec::new(),
+            app_bytes_sent: 0,
+            app_bytes_received: 0,
+            mem_sampler: Sampler::new(Duration::from_millis(10)),
+        }
+    }
+
+    /// Completed HTTP requests (Figure 11 numerator).
+    pub fn http_completed(&self) -> u64 {
+        match &self.app {
+            ClientApp::HttpLoop { completed, .. } => *completed,
+            _ => 0,
+        }
+    }
+
+    /// Bulk transfer finished (all bytes accepted)?
+    pub fn bulk_done(&self) -> bool {
+        match &self.app {
+            ClientApp::Bulk { total, written, .. } => written >= total,
+            _ => false,
+        }
+    }
+
+    fn note_sent(sent: &mut u64, stamps: &mut Vec<SimTime>, n: usize, now: SimTime) {
+        let before = *sent;
+        *sent += n as u64;
+        // Stamp every block boundary crossed by this write (Figure 7:
+        // "timestamps each block's transmission").
+        let first = before / BLOCK as u64;
+        let last = *sent / BLOCK as u64;
+        for _ in first..last {
+            stamps.push(now);
+        }
+    }
+
+    fn drive_app(&mut self, now: SimTime) {
+        if !self.transport.is_established() {
+            return;
+        }
+        // Open configured additional subflows once (MPTCP only).
+        if !self.joined {
+            self.joined = true;
+            let joins = self.factory.joins.clone();
+            if let Some(conn) = self.transport.as_mptcp() {
+                for (l, r) in joins {
+                    conn.open_subflow(l, r, now);
+                }
+            }
+        }
+        // React to ADD_ADDR advertisements.
+        if let Some(conn) = self.transport.as_mptcp() {
+            let local = self.factory.local;
+            for ev in conn.take_events() {
+                if let ConnEvent::PeerAddr(a) = ev {
+                    let remote = Endpoint::new(a.addr, a.port.unwrap_or(self.factory.server.port));
+                    conn.open_subflow(local, remote, now);
+                }
+            }
+        }
+
+        match &mut self.app {
+            ClientApp::Bulk {
+                total,
+                written,
+                close_when_done,
+            } => {
+                while *written < *total {
+                    let want = (*total - *written).min(64 * 1024);
+                    let buf = vec![0x5au8; want];
+                    let n = self.transport.write(&buf);
+                    if n == 0 {
+                        break;
+                    }
+                    *written += n;
+                    let close = *written >= *total && *close_when_done;
+                    Self::note_sent(&mut self.app_bytes_sent, &mut self.block_sent, n, now);
+                    if close {
+                        self.transport.close();
+                    }
+                }
+            }
+            ClientApp::Blocks => loop {
+                let buf = [0xb1u8; BLOCK];
+                let n = self.transport.write(&buf);
+                if n == 0 {
+                    break;
+                }
+                Self::note_sent(&mut self.app_bytes_sent, &mut self.block_sent, n, now);
+            },
+            ClientApp::HttpLoop { requested, completed } => {
+                if !*requested {
+                    let req = vec![0x47u8; HTTP_REQUEST_LEN];
+                    if self.transport.write(&req) == HTTP_REQUEST_LEN {
+                        *requested = true;
+                    }
+                }
+                while let Some(b) = self.transport.read(usize::MAX) {
+                    self.app_bytes_received += b.len() as u64;
+                }
+                if *requested && self.transport.at_eof() {
+                    *completed += 1;
+                    self.transport.close();
+                    // Closed loop: immediately reconnect.
+                    self.transport = self.factory.make(now);
+                    self.joined = false;
+                    *requested = false;
+                }
+            }
+            ClientApp::Sink => {
+                while let Some(b) = self.transport.read(usize::MAX) {
+                    self.app_bytes_received += b.len() as u64;
+                }
+            }
+        }
+
+        // HTTP loop aborts dead connections and retries.
+        if self.transport.failed() {
+            if let ClientApp::HttpLoop { requested, .. } = &mut self.app {
+                self.transport = self.factory.make(now);
+                self.joined = false;
+                *requested = false;
+            }
+        }
+    }
+}
+
+impl Host for ClientHost {
+    fn handle_segment(&mut self, now: SimTime, seg: TcpSegment, out: &mut Outbox) {
+        self.transport.handle_segment(now, &seg);
+        self.drive_app(now);
+        while let Some(s) = self.transport.poll(now) {
+            out.send(s);
+        }
+    }
+
+    fn poll(&mut self, now: SimTime, out: &mut Outbox) {
+        self.drive_app(now);
+        let mem = self.transport.sender_memory() as f64;
+        self.mem_sampler.maybe_sample(now, || mem);
+        while let Some(s) = self.transport.poll(now) {
+            out.send(s);
+        }
+    }
+
+    fn poll_at(&self, now: SimTime) -> Option<SimTime> {
+        self.transport.poll_at(now)
+    }
+}
+
+/// What the server application does with each connection.
+pub enum ServerApp {
+    /// Read and discard everything as fast as possible.
+    Sink,
+    /// Like `Sink`, but read at most `rate` bytes/sec (a slow reader).
+    SlowSink {
+        /// Read budget per second.
+        rate: u64,
+        /// Budget accumulator bookkeeping.
+        last: SimTime,
+        credit: f64,
+    },
+    /// On request: respond with `file_size` bytes, then close (Fig 11).
+    HttpResponder {
+        /// Response size.
+        file_size: usize,
+    },
+}
+
+/// Per-connection server-side bookkeeping.
+#[derive(Default)]
+struct ConnProgress {
+    got_request: bool,
+    response_written: usize,
+    closed: bool,
+}
+
+/// A server host: listener + application.
+pub struct ServerHost {
+    /// The listening endpoint (accepts MPTCP and plain TCP alike).
+    pub listener: MptcpListener,
+    /// Application behaviour.
+    pub app: ServerApp,
+    progress: HashMap<usize, ConnProgress>,
+    /// Total application bytes read across connections.
+    pub app_bytes_received: u64,
+    /// Block receive timestamps (Figure 7).
+    pub block_received: Vec<SimTime>,
+    /// Responses fully written (Figure 11 sanity).
+    pub responses_started: u64,
+    /// Receiver-memory sampler (Figure 5b).
+    pub mem_sampler: Sampler,
+}
+
+impl ServerHost {
+    /// New server host.
+    pub fn new(cfg: MptcpConfig, app: ServerApp, seed: u64) -> ServerHost {
+        ServerHost {
+            listener: MptcpListener::new(cfg, seed),
+            app,
+            progress: HashMap::new(),
+            app_bytes_received: 0,
+            block_received: Vec::new(),
+            responses_started: 0,
+            mem_sampler: Sampler::new(Duration::from_millis(10)),
+        }
+    }
+
+    /// Sum of receiver-held memory across connections.
+    pub fn receiver_memory(&self) -> usize {
+        self.listener
+            .conns
+            .iter()
+            .map(|c| c.receiver_memory())
+            .sum()
+    }
+
+    fn note_received(&mut self, n: usize, now: SimTime) {
+        let before = self.app_bytes_received;
+        self.app_bytes_received += n as u64;
+        let first = before / BLOCK as u64;
+        let last = self.app_bytes_received / BLOCK as u64;
+        for _ in first..last {
+            self.block_received.push(now);
+        }
+    }
+
+    fn drive_app(&mut self, now: SimTime) {
+        // Refill the slow-sink read budget outside the per-conn loop.
+        let mut budget = match &mut self.app {
+            ServerApp::Sink => usize::MAX,
+            ServerApp::SlowSink { rate, last, credit } => {
+                *credit += (*rate as f64) * (now - *last).as_secs_f64();
+                *last = now;
+                *credit as usize
+            }
+            ServerApp::HttpResponder { .. } => 0,
+        };
+        let http_file = match &self.app {
+            ServerApp::HttpResponder { file_size } => Some(*file_size),
+            _ => None,
+        };
+
+        let nconns = self.listener.conns.len();
+        for idx in 0..nconns {
+            match http_file {
+                None => {
+                    // Sink / SlowSink: drain within budget.
+                    while budget > 0 {
+                        let Some(b) = self.listener.conns[idx].read(budget) else {
+                            break;
+                        };
+                        let n = b.len();
+                        if budget != usize::MAX {
+                            budget -= n;
+                        }
+                        self.note_received(n, now);
+                    }
+                }
+                Some(file_size) => {
+                    let prog = self.progress.entry(idx).or_default();
+                    if prog.closed {
+                        continue;
+                    }
+                    let conn = &mut self.listener.conns[idx];
+                    if !prog.got_request {
+                        if conn.read(usize::MAX).is_some() {
+                            prog.got_request = true;
+                            self.responses_started += 1;
+                        } else {
+                            continue;
+                        }
+                    }
+                    while prog.response_written < file_size {
+                        let want = (file_size - prog.response_written).min(64 * 1024);
+                        let buf = vec![0x52u8; want];
+                        let n = conn.write(&buf);
+                        if n == 0 {
+                            break;
+                        }
+                        prog.response_written += n;
+                    }
+                    if prog.response_written >= file_size {
+                        conn.close();
+                        prog.closed = true;
+                    }
+                }
+            }
+        }
+        // Persist the unspent slow-sink credit.
+        if let ServerApp::SlowSink { credit, .. } = &mut self.app {
+            if budget != usize::MAX {
+                *credit = budget as f64;
+            }
+        }
+    }
+}
+
+impl Host for ServerHost {
+    fn handle_segment(&mut self, now: SimTime, seg: TcpSegment, out: &mut Outbox) {
+        self.listener.handle_segment(now, &seg);
+        self.drive_app(now);
+        let mut segs = Vec::new();
+        self.listener.poll(now, &mut segs);
+        for s in segs {
+            out.send(s);
+        }
+    }
+
+    fn poll(&mut self, now: SimTime, out: &mut Outbox) {
+        self.drive_app(now);
+        let mem = self.receiver_memory() as f64;
+        self.mem_sampler.maybe_sample(now, || mem);
+        let mut segs = Vec::new();
+        self.listener.poll(now, &mut segs);
+        for s in segs {
+            out.send(s);
+        }
+    }
+
+    fn poll_at(&self, now: SimTime) -> Option<SimTime> {
+        let base = self.listener.poll_at(now);
+        // A rate-limited reader must wake itself to keep draining (and to
+        // send window updates) even when the network is quiescent.
+        let tick = match &self.app {
+            ServerApp::SlowSink { .. } => Some(now + Duration::from_millis(20)),
+            _ => None,
+        };
+        match (base, tick) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+}
+
+/// Either kind of host, so one simulation can mix them.
+pub enum Node {
+    /// A client.
+    Client(ClientHost),
+    /// A server.
+    Server(ServerHost),
+}
+
+impl Host for Node {
+    fn handle_segment(&mut self, now: SimTime, seg: TcpSegment, out: &mut Outbox) {
+        match self {
+            Node::Client(c) => c.handle_segment(now, seg, out),
+            Node::Server(s) => s.handle_segment(now, seg, out),
+        }
+    }
+
+    fn poll(&mut self, now: SimTime, out: &mut Outbox) {
+        match self {
+            Node::Client(c) => c.poll(now, out),
+            Node::Server(s) => s.poll(now, out),
+        }
+    }
+
+    fn poll_at(&self, now: SimTime) -> Option<SimTime> {
+        match self {
+            Node::Client(c) => c.poll_at(now),
+            Node::Server(s) => s.poll_at(now),
+        }
+    }
+}
+
+impl Node {
+    /// The client, if this node is one.
+    pub fn as_client(&self) -> Option<&ClientHost> {
+        match self {
+            Node::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The client, mutably.
+    pub fn as_client_mut(&mut self) -> Option<&mut ClientHost> {
+        match self {
+            Node::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The server, if this node is one.
+    pub fn as_server(&self) -> Option<&ServerHost> {
+        match self {
+            Node::Server(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The server, mutably.
+    pub fn as_server_mut(&mut self) -> Option<&mut ServerHost> {
+        match self {
+            Node::Server(s) => Some(s),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Plain-text/CSV rendering of experiment rows, for piping into plotting
+//! tools (`repro figN | tee` covers the human-readable side; these helpers
+//! produce machine-readable series).
+
+/// A labelled series of (x, y) points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render aligned series as CSV: `x,label1,label2,...` — one row per x.
+///
+/// Series are aligned by index; shorter series pad with empty cells.
+pub fn to_csv(x_name: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(x_name);
+    for s in series {
+        out.push(',');
+        out.push_str(&escape(&s.label));
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(f64::NAN);
+        out.push_str(&format!("{x}"));
+        for s in series {
+            out.push(',');
+            if let Some(p) = s.points.get(i) {
+                out.push_str(&format!("{}", p.1));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_layout() {
+        let series = vec![
+            Series {
+                label: "a".into(),
+                points: vec![(1.0, 10.0), (2.0, 20.0)],
+            },
+            Series {
+                label: "b,c".into(),
+                points: vec![(1.0, 11.0)],
+            },
+        ];
+        let csv = to_csv("x", &series);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,\"b,c\"");
+        assert_eq!(lines[1], "1,10,11");
+        assert_eq!(lines[2], "2,20,");
+    }
+
+    #[test]
+    fn empty_series() {
+        assert_eq!(to_csv("x", &[]), "x\n");
+    }
+}

@@ -1,0 +1,267 @@
+//! Scenario assembly: hosts, addresses, paths, routes.
+//!
+//! All experiments use the same address plan: a client with up to three
+//! interfaces talking to a server with up to three interfaces, one
+//! [`mptcp_netsim::Path`] per interface pair. Link-bonding baselines route
+//! one address pair over several parallel paths (per-packet round-robin,
+//! like the Linux bonding driver in Figure 11).
+
+use mptcp::MptcpConfig;
+use mptcp_netsim::{Dir, Path, Sim, SimRng, SimTime};
+use mptcp_packet::Endpoint;
+use mptcp_tcpstack::TcpConfig;
+
+use crate::hosts::{ClientApp, ClientHost, ConnFactory, Node, ServerApp, ServerHost};
+
+/// The fixed address plan.
+pub struct Endpoints;
+
+impl Endpoints {
+    /// Client interface addresses.
+    pub const CLIENT: [u32; 3] = [0x0a00_0001, 0x0a00_0002, 0x0a00_0003];
+    /// Server interface addresses.
+    pub const SERVER: [u32; 3] = [0x0a00_0065, 0x0a00_0066, 0x0a00_0067];
+    /// Server port.
+    pub const PORT: u16 = 80;
+}
+
+/// Which transport the client uses.
+#[derive(Clone)]
+pub enum TransportKind {
+    /// Multipath TCP with the given configuration; one subflow per path.
+    Mptcp(MptcpConfig),
+    /// Plain TCP over the first path only.
+    Tcp(TcpConfig),
+    /// Plain TCP with every path bonded under the first address pair
+    /// (per-packet round-robin).
+    BondedTcp(TcpConfig),
+}
+
+/// A built scenario: the simulation plus host handles.
+pub struct Scenario {
+    /// The simulator.
+    pub sim: Sim<Node>,
+    /// Client host ids (one for simple scenarios, many for Figure 11).
+    pub clients: Vec<usize>,
+    /// Server host id.
+    pub server: usize,
+}
+
+impl Scenario {
+    /// Build a scenario with one client, one server, and one path per
+    /// entry of `paths` (path *i* connects client interface *i* to server
+    /// interface *i*).
+    pub fn new(kind: TransportKind, app: ClientApp, server_app: ServerApp, paths: Vec<Path>, seed: u64) -> Scenario {
+        Scenario::with_clients(kind, vec![app], server_app, paths, seed)
+    }
+
+    /// Build with several clients sharing the path set (closed-loop HTTP).
+    /// Client *k* uses source ports `10_000 + k·500 + i`.
+    pub fn with_clients(
+        kind: TransportKind,
+        apps: Vec<ClientApp>,
+        server_app: ServerApp,
+        paths: Vec<Path>,
+        seed: u64,
+    ) -> Scenario {
+        let npaths = paths.len();
+        assert!(npaths >= 1 && npaths <= 3, "1..=3 paths supported");
+        let mut sim: Sim<Node> = Sim::new(seed);
+
+        // Server first.
+        let server_cfg = match &kind {
+            TransportKind::Mptcp(cfg) => cfg.clone(),
+            TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => {
+                let mut c = MptcpConfig::default();
+                c.tcp = tcp.clone();
+                c.send_buf = tcp.send_buf;
+                c.recv_buf = tcp.recv_buf;
+                c
+            }
+        };
+        let server = sim.add_host(Node::Server(ServerHost::new(server_cfg, server_app, seed ^ 0x5e4)));
+        for addr in &Endpoints::SERVER[..npaths] {
+            sim.bind_addr(*addr, server);
+        }
+
+        // Paths and routes.
+        let bonded = matches!(kind, TransportKind::BondedTcp(_));
+        for (i, path) in paths.into_iter().enumerate() {
+            let pid = sim.add_path(path);
+            if bonded {
+                // Everything rides the first address pair, striped.
+                sim.add_route(Endpoints::CLIENT[0], Endpoints::SERVER[0], pid, Dir::Fwd);
+                sim.add_route(Endpoints::SERVER[0], Endpoints::CLIENT[0], pid, Dir::Rev);
+            } else {
+                sim.add_route(Endpoints::CLIENT[i], Endpoints::SERVER[i], pid, Dir::Fwd);
+                sim.add_route(Endpoints::SERVER[i], Endpoints::CLIENT[i], pid, Dir::Rev);
+            }
+        }
+
+        // Clients.
+        let mut clients = Vec::new();
+        let mut seeder = SimRng::new(seed ^ 0xc11e);
+        for (k, app) in apps.into_iter().enumerate() {
+            let base_port = 10_000u16.wrapping_add((k as u16) * 500);
+            let joins = if matches!(kind, TransportKind::Mptcp(_)) {
+                (1..npaths)
+                    .map(|i| {
+                        (
+                            Endpoint::new(Endpoints::CLIENT[i], base_port.wrapping_add(i as u16 * 100)),
+                            Endpoint::new(Endpoints::SERVER[i], Endpoints::PORT),
+                        )
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let factory = ConnFactory {
+                mptcp: match &kind {
+                    TransportKind::Mptcp(cfg) => Some(cfg.clone()),
+                    _ => None,
+                },
+                tcp_cfg: match &kind {
+                    TransportKind::Tcp(t) | TransportKind::BondedTcp(t) => t.clone(),
+                    TransportKind::Mptcp(cfg) => cfg.tcp.clone(),
+                },
+                local: Endpoint::new(Endpoints::CLIENT[0], base_port),
+                server: Endpoint::new(Endpoints::SERVER[0], Endpoints::PORT),
+                joins,
+                rng: seeder.fork(),
+            };
+            let id = sim.add_host(Node::Client(ClientHost::new(factory, app, SimTime::ZERO)));
+            clients.push(id);
+        }
+        // netsim delivers by address, so this constructor supports exactly
+        // one client; multi-client scenarios use [`Scenario::http_fleet`],
+        // which gives each client its own addresses.
+        assert_eq!(clients.len(), 1, "use Scenario::http_fleet for fleets");
+        for addr in &Endpoints::CLIENT[..npaths] {
+            sim.bind_addr(*addr, clients[0]);
+        }
+
+        Scenario {
+            sim,
+            clients,
+            server,
+        }
+    }
+
+    /// Figure 11 topology: `n` clients, each with its own address (and a
+    /// second address when MPTCP), all talking to one server over shared
+    /// path capacity. To keep the simulation faithful yet tractable, each
+    /// client pair gets its own [`Path`] built by `mk_path`, mirroring
+    /// apachebench clients sharing two gigabit links via switch ports.
+    pub fn http_fleet(
+        kind: TransportKind,
+        n: usize,
+        file_size: usize,
+        mk_path: impl Fn() -> Path,
+        seed: u64,
+    ) -> Scenario {
+        let mut sim: Sim<Node> = Sim::new(seed);
+        let server_cfg = match &kind {
+            TransportKind::Mptcp(cfg) => cfg.clone(),
+            TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => {
+                let mut c = MptcpConfig::default();
+                c.tcp = tcp.clone();
+                c
+            }
+        };
+        let server = sim.add_host(Node::Server(ServerHost::new(
+            server_cfg,
+            ServerApp::HttpResponder { file_size },
+            seed ^ 0x5e4,
+        )));
+        sim.bind_addr(Endpoints::SERVER[0], server);
+        sim.bind_addr(Endpoints::SERVER[1], server);
+
+        let mut clients = Vec::new();
+        let mut seeder = SimRng::new(seed ^ 0xc11e);
+        for k in 0..n {
+            let a1 = 0x0b00_0000 + (k as u32) * 2;
+            let a2 = a1 + 1;
+            // Path 1: a1 <-> server0; Path 2: a2 <-> server1.
+            let p1 = sim.add_path(mk_path());
+            let p2 = sim.add_path(mk_path());
+            match kind {
+                TransportKind::BondedTcp(_) => {
+                    sim.add_route(a1, Endpoints::SERVER[0], p1, Dir::Fwd);
+                    sim.add_route(Endpoints::SERVER[0], a1, p1, Dir::Rev);
+                    sim.add_route(a1, Endpoints::SERVER[0], p2, Dir::Fwd);
+                    sim.add_route(Endpoints::SERVER[0], a1, p2, Dir::Rev);
+                }
+                _ => {
+                    sim.add_route(a1, Endpoints::SERVER[0], p1, Dir::Fwd);
+                    sim.add_route(Endpoints::SERVER[0], a1, p1, Dir::Rev);
+                    sim.add_route(a2, Endpoints::SERVER[1], p2, Dir::Fwd);
+                    sim.add_route(Endpoints::SERVER[1], a2, p2, Dir::Rev);
+                }
+            }
+            let joins = if matches!(kind, TransportKind::Mptcp(_)) {
+                vec![(
+                    Endpoint::new(a2, 20_000),
+                    Endpoint::new(Endpoints::SERVER[1], Endpoints::PORT),
+                )]
+            } else {
+                Vec::new()
+            };
+            let factory = ConnFactory {
+                mptcp: match &kind {
+                    TransportKind::Mptcp(cfg) => Some(cfg.clone()),
+                    _ => None,
+                },
+                tcp_cfg: match &kind {
+                    TransportKind::Tcp(t) | TransportKind::BondedTcp(t) => t.clone(),
+                    TransportKind::Mptcp(cfg) => cfg.tcp.clone(),
+                },
+                local: Endpoint::new(a1, 10_000),
+                server: Endpoint::new(Endpoints::SERVER[0], Endpoints::PORT),
+                joins,
+                rng: seeder.fork(),
+            };
+            let id = sim.add_host(Node::Client(ClientHost::new(
+                factory,
+                ClientApp::HttpLoop {
+                    requested: false,
+                    completed: 0,
+                },
+                SimTime::ZERO,
+            )));
+            sim.bind_addr(a1, id);
+            sim.bind_addr(a2, id);
+            clients.push(id);
+        }
+        Scenario {
+            sim,
+            clients,
+            server,
+        }
+    }
+
+    /// The (single) client host.
+    pub fn client(&self) -> &ClientHost {
+        self.sim.hosts[self.clients[0]].as_client().unwrap()
+    }
+
+    /// The client host, mutably.
+    pub fn client_mut(&mut self) -> &mut ClientHost {
+        self.sim.hosts[self.clients[0]].as_client_mut().unwrap()
+    }
+
+    /// The server host.
+    pub fn server(&self) -> &ServerHost {
+        self.sim.hosts[self.server].as_server().unwrap()
+    }
+
+    /// The server host, mutably.
+    pub fn server_mut(&mut self) -> &mut ServerHost {
+        self.sim.hosts[self.server].as_server_mut().unwrap()
+    }
+
+    /// Run for a simulated duration.
+    pub fn run_for(&mut self, d: mptcp_netsim::Duration) {
+        let deadline = self.sim.now + d;
+        self.sim.run_until(deadline);
+    }
+}

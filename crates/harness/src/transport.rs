@@ -1,0 +1,108 @@
+//! A uniform client-side transport: MPTCP connection or plain TCP socket.
+//!
+//! Experiments compare MPTCP against regular TCP (and TCP over bonded
+//! links); [`Transport`] gives the hosts one API for all of them.
+
+use bytes::Bytes;
+use mptcp::MptcpConnection;
+use mptcp_netsim::{SimTime};
+use mptcp_packet::TcpSegment;
+use mptcp_tcpstack::TcpSocket;
+
+/// Client-side transport under test.
+pub enum Transport {
+    /// A Multipath TCP connection.
+    Mptcp(MptcpConnection),
+    /// A single regular TCP socket (baseline).
+    Tcp(TcpSocket),
+}
+
+impl Transport {
+    /// Is the transport ready to carry data?
+    pub fn is_established(&self) -> bool {
+        match self {
+            Transport::Mptcp(c) => c.is_established(),
+            Transport::Tcp(s) => s.is_established(),
+        }
+    }
+
+    /// Write application bytes; returns amount accepted.
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        match self {
+            Transport::Mptcp(c) => c.write(data),
+            Transport::Tcp(s) => s.send(data),
+        }
+    }
+
+    /// Read in-order bytes.
+    pub fn read(&mut self, max: usize) -> Option<Bytes> {
+        match self {
+            Transport::Mptcp(c) => c.read(max),
+            Transport::Tcp(s) => s.read(max),
+        }
+    }
+
+    /// Close the sending direction.
+    pub fn close(&mut self) {
+        match self {
+            Transport::Mptcp(c) => c.close(),
+            Transport::Tcp(s) => s.close(),
+        }
+    }
+
+    /// Stream EOF observed and drained?
+    pub fn at_eof(&self) -> bool {
+        match self {
+            Transport::Mptcp(c) => c.at_eof(),
+            Transport::Tcp(s) => s.stream_fin(),
+        }
+    }
+
+    /// Did the transport fail (connection error with no recovery)?
+    pub fn failed(&self) -> bool {
+        match self {
+            Transport::Mptcp(c) => c.state() == mptcp::ConnState::Closed && !c.send_closed(),
+            Transport::Tcp(s) => s.is_error(),
+        }
+    }
+
+    /// Feed an incoming segment.
+    pub fn handle_segment(&mut self, now: SimTime, seg: &TcpSegment) {
+        match self {
+            Transport::Mptcp(c) => c.handle_segment(now, seg),
+            Transport::Tcp(s) => s.handle_segment(now, seg),
+        }
+    }
+
+    /// Emit at most one segment.
+    pub fn poll(&mut self, now: SimTime) -> Option<TcpSegment> {
+        match self {
+            Transport::Mptcp(c) => c.poll(now),
+            Transport::Tcp(s) => s.poll(now),
+        }
+    }
+
+    /// Earliest timer deadline.
+    pub fn poll_at(&self, now: SimTime) -> Option<SimTime> {
+        match self {
+            Transport::Mptcp(c) => c.poll_at(now),
+            Transport::Tcp(s) => s.poll_at(now),
+        }
+    }
+
+    /// Sender-held memory (buffered + retained-until-acked bytes).
+    pub fn sender_memory(&self) -> usize {
+        match self {
+            Transport::Mptcp(c) => c.sender_memory(),
+            Transport::Tcp(s) => s.bytes_queued(),
+        }
+    }
+
+    /// The MPTCP connection, if this is one.
+    pub fn as_mptcp(&mut self) -> Option<&mut MptcpConnection> {
+        match self {
+            Transport::Mptcp(c) => Some(c),
+            Transport::Tcp(_) => None,
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Application-level gateway: payload modification with seq/ack fix-up.
+//!
+//! Models FTP-style ALGs in NATs (§3.3.6): the box rewrites an ASCII
+//! pattern inside the payload — possibly changing its length — and then
+//! adjusts all subsequent sequence numbers (and reverse-path ACKs) so both
+//! endpoints see a self-consistent TCP stream. This is the middlebox class
+//! that breaks *every* data-mapping scheme and motivated the DSS checksum.
+
+use bytes::Bytes;
+use mptcp_netsim::{Dir, MbVerdict, Middlebox, SimRng, SimTime};
+use mptcp_packet::{SeqNum, TcpSegment};
+
+/// One applied modification, recorded in both coordinate spaces.
+#[derive(Clone, Copy, Debug)]
+struct Mod {
+    /// Position just after the modified region, original sender space.
+    orig_pos: SeqNum,
+    /// Same position in the modified (receiver-visible) space.
+    mod_pos: SeqNum,
+    /// Bytes added (negative = removed).
+    delta: i32,
+}
+
+/// A payload-modifying middlebox acting on forward-direction data.
+pub struct PayloadModifier {
+    needle: Vec<u8>,
+    replacement: Vec<u8>,
+    mods: Vec<Mod>,
+    /// Payloads rewritten.
+    pub rewrites: u64,
+}
+
+impl PayloadModifier {
+    /// Replace `needle` with `replacement` in forward payloads.
+    pub fn new(needle: &[u8], replacement: &[u8]) -> PayloadModifier {
+        PayloadModifier {
+            needle: needle.to_vec(),
+            replacement: replacement.to_vec(),
+            mods: Vec::new(),
+            rewrites: 0,
+        }
+    }
+
+    /// Cumulative length delta for original positions at or before `seq`.
+    fn delta_at_orig(&self, seq: SeqNum) -> i32 {
+        self.mods
+            .iter()
+            .filter(|m| m.orig_pos.before_eq(seq))
+            .map(|m| m.delta)
+            .sum()
+    }
+
+    /// Cumulative length delta for modified positions at or before `seq`.
+    fn delta_at_mod(&self, seq: SeqNum) -> i32 {
+        self.mods
+            .iter()
+            .filter(|m| m.mod_pos.before_eq(seq))
+            .map(|m| m.delta)
+            .sum()
+    }
+
+    fn shift(seq: SeqNum, delta: i32) -> SeqNum {
+        SeqNum(seq.0.wrapping_add(delta as u32))
+    }
+}
+
+impl Middlebox for PayloadModifier {
+    fn process(&mut self, _now: SimTime, dir: Dir, mut seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+        match dir {
+            Dir::Fwd => {
+                let orig_seq = seg.seq;
+                // Shift this segment by modifications before it.
+                seg.seq = Self::shift(seg.seq, self.delta_at_orig(orig_seq));
+
+                if !seg.payload.is_empty() && !self.needle.is_empty() {
+                    // Has this exact region already been modified (a
+                    // retransmission)? Then apply the same rewrite without
+                    // recording a new mod.
+                    if let Some(pos) = find(&seg.payload, &self.needle) {
+                        let hit_end_orig = orig_seq + (pos + self.needle.len()) as u32;
+                        let already = self.mods.iter().any(|m| m.orig_pos == hit_end_orig);
+                        let mut out = Vec::with_capacity(
+                            seg.payload.len() + self.replacement.len() - self.needle.len().min(seg.payload.len()),
+                        );
+                        out.extend_from_slice(&seg.payload[..pos]);
+                        out.extend_from_slice(&self.replacement);
+                        out.extend_from_slice(&seg.payload[pos + self.needle.len()..]);
+                        seg.payload = Bytes::from(out);
+                        self.rewrites += 1;
+                        if !already {
+                            let delta = self.replacement.len() as i32 - self.needle.len() as i32;
+                            let mod_pos = seg.seq + (pos + self.replacement.len()) as u32;
+                            self.mods.push(Mod {
+                                orig_pos: hit_end_orig,
+                                mod_pos,
+                                delta,
+                            });
+                        }
+                    }
+                }
+                // ACK field references the reverse stream, untouched here.
+                MbVerdict::pass(seg)
+            }
+            Dir::Rev => {
+                // Reverse ACKs count modified bytes; translate back.
+                if seg.flags.ack {
+                    let d = self.delta_at_mod(seg.ack);
+                    seg.ack = Self::shift(seg.ack, -d);
+                }
+                MbVerdict::pass(seg)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "payload-modifier"
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::data_seg;
+
+    #[test]
+    fn rewrite_grows_payload_and_shifts_later_segments() {
+        // The canonical FTP ALG case: "10.0.0.1" -> "192.168.100.100".
+        let mut mb = PayloadModifier::new(b"10.0.0.1", b"192.168.100.100");
+        let mut rng = SimRng::new(1);
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(1000, b"PORT 10.0.0.1\r\n"), &mut rng);
+        let out = &v.forward[0];
+        assert_eq!(&out.payload[..], b"PORT 192.168.100.100\r\n");
+        assert_eq!(out.seq, SeqNum(1000), "first modified segment keeps its seq");
+        // Original was 15 bytes; modified is 22: delta +7.
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(1015, b"NEXT"), &mut rng);
+        assert_eq!(v.forward[0].seq, SeqNum(1022));
+    }
+
+    #[test]
+    fn reverse_acks_translated_back() {
+        let mut mb = PayloadModifier::new(b"abc", b"abcdef");
+        let mut rng = SimRng::new(1);
+        mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"xxabcxx"), &mut rng);
+        // Receiver acks the end of the 10-byte modified segment: 100+10.
+        let mut ack = data_seg(0, b"");
+        ack.tuple = ack.tuple.reversed();
+        ack.ack = SeqNum(110);
+        let v = mb.process(SimTime::ZERO, Dir::Rev, ack, &mut rng);
+        // Sender sent 7 bytes: expects ack 107.
+        assert_eq!(v.forward[0].ack, SeqNum(107));
+    }
+
+    #[test]
+    fn acks_before_modification_untouched() {
+        let mut mb = PayloadModifier::new(b"abc", b"abcdef");
+        let mut rng = SimRng::new(1);
+        mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"xxabcxx"), &mut rng);
+        let mut ack = data_seg(0, b"");
+        ack.tuple = ack.tuple.reversed();
+        ack.ack = SeqNum(101); // before the rewrite point
+        let v = mb.process(SimTime::ZERO, Dir::Rev, ack, &mut rng);
+        assert_eq!(v.forward[0].ack, SeqNum(101));
+    }
+
+    #[test]
+    fn retransmission_rewritten_identically() {
+        // Footnote 5: proxies re-assert original content on inconsistent
+        // retransmission — our ALG applies the same rewrite and does not
+        // double-count the delta.
+        let mut mb = PayloadModifier::new(b"ab", b"XYZ");
+        let mut rng = SimRng::new(1);
+        let v1 = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"ab"), &mut rng);
+        let v2 = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"ab"), &mut rng);
+        assert_eq!(v1.forward[0].payload, v2.forward[0].payload);
+        assert_eq!(v1.forward[0].seq, v2.forward[0].seq);
+        assert_eq!(mb.mods.len(), 1);
+        // Later data still shifted by exactly one delta (+1).
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(102, b"zz"), &mut rng);
+        assert_eq!(v.forward[0].seq, SeqNum(103));
+    }
+
+    #[test]
+    fn multiple_modifications_accumulate() {
+        let mut mb = PayloadModifier::new(b"a", b"AA");
+        let mut rng = SimRng::new(1);
+        mb.process(SimTime::ZERO, Dir::Fwd, data_seg(0, b"xa"), &mut rng); // +1 at 2
+        mb.process(SimTime::ZERO, Dir::Fwd, data_seg(2, b"ya"), &mut rng); // +1 at 4
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(4, b"zz"), &mut rng);
+        assert_eq!(v.forward[0].seq, SeqNum(6));
+        // Ack of everything (modified len 8) maps back to original len 6.
+        let mut ack = data_seg(0, b"");
+        ack.tuple = ack.tuple.reversed();
+        ack.ack = SeqNum(8);
+        let v = mb.process(SimTime::ZERO, Dir::Rev, ack, &mut rng);
+        assert_eq!(v.forward[0].ack, SeqNum(6));
+    }
+
+    #[test]
+    fn no_match_passes_cleanly() {
+        let mut mb = PayloadModifier::new(b"needle", b"JUMBO");
+        let mut rng = SimRng::new(1);
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(5, b"haystack"), &mut rng);
+        assert_eq!(&v.forward[0].payload[..], b"haystack");
+        assert_eq!(v.forward[0].seq, SeqNum(5));
+        assert_eq!(mb.rewrites, 0);
+    }
+}

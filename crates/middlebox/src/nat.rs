@@ -1,0 +1,153 @@
+//! Network address translation.
+//!
+//! The most widespread middlebox: rewrites the client's source endpoint on
+//! the way out and the destination endpoint on the way back. The paper's
+//! key consequences: the five-tuple cannot identify an MPTCP connection
+//! across subflows (§3.2, hence tokens), and data packets not preceded by a
+//! SYN are rarely passed (hence full SYN exchanges per subflow — modelled
+//! here by dropping unsolicited flows).
+
+use std::collections::HashMap;
+
+use mptcp_netsim::{Dir, MbVerdict, Middlebox, SimRng, SimTime};
+use mptcp_packet::{Endpoint, TcpSegment};
+
+/// A NAT with an optional "drop unsolicited data" firewall behaviour.
+pub struct Nat {
+    public_addr: u32,
+    next_port: u16,
+    /// private endpoint -> public port.
+    out_map: HashMap<Endpoint, u16>,
+    /// public port -> private endpoint.
+    in_map: HashMap<u16, Endpoint>,
+    /// Require a SYN to establish a mapping (true for real NATs): forward
+    /// data for unknown flows only if a SYN created state first.
+    pub require_syn: bool,
+    /// Mappings created (for inspection).
+    pub mappings_created: u64,
+    /// Segments dropped for lacking a mapping.
+    pub unsolicited_drops: u64,
+}
+
+impl Nat {
+    /// A NAT translating private sources to `public_addr`.
+    pub fn new(public_addr: u32) -> Nat {
+        Nat {
+            public_addr,
+            next_port: 40000,
+            out_map: HashMap::new(),
+            in_map: HashMap::new(),
+            require_syn: true,
+            mappings_created: 0,
+            unsolicited_drops: 0,
+        }
+    }
+}
+
+impl Middlebox for Nat {
+    fn process(&mut self, _now: SimTime, dir: Dir, mut seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+        match dir {
+            Dir::Fwd => {
+                let private = seg.tuple.src;
+                let port = match self.out_map.get(&private) {
+                    Some(&p) => p,
+                    None => {
+                        if self.require_syn && !seg.flags.syn {
+                            self.unsolicited_drops += 1;
+                            return MbVerdict::drop();
+                        }
+                        let p = self.next_port;
+                        self.next_port = self.next_port.wrapping_add(1);
+                        self.out_map.insert(private, p);
+                        self.in_map.insert(p, private);
+                        self.mappings_created += 1;
+                        p
+                    }
+                };
+                seg.tuple.src = Endpoint::new(self.public_addr, port);
+                MbVerdict::pass(seg)
+            }
+            Dir::Rev => {
+                let Some(&private) = self.in_map.get(&seg.tuple.dst.port) else {
+                    self.unsolicited_drops += 1;
+                    return MbVerdict::drop();
+                };
+                seg.tuple.dst = private;
+                MbVerdict::pass(seg)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "nat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{data_seg, syn_seg, CLIENT};
+
+    const PUBLIC: u32 = 0xc0a80001;
+
+    #[test]
+    fn syn_creates_mapping_and_translates() {
+        let mut nat = Nat::new(PUBLIC);
+        let mut rng = SimRng::new(1);
+        let v = nat.process(SimTime::ZERO, Dir::Fwd, syn_seg(100), &mut rng);
+        let out = &v.forward[0];
+        assert_eq!(out.tuple.src.addr, PUBLIC);
+        assert_ne!(out.tuple.src.port, 4000);
+        assert_eq!(nat.mappings_created, 1);
+    }
+
+    #[test]
+    fn reverse_translation_restores_private() {
+        let mut nat = Nat::new(PUBLIC);
+        let mut rng = SimRng::new(1);
+        let v = nat.process(SimTime::ZERO, Dir::Fwd, syn_seg(100), &mut rng);
+        let public_port = v.forward[0].tuple.src.port;
+        // Reply comes back addressed to the public endpoint.
+        let mut reply = data_seg(500, b"re");
+        reply.tuple = reply.tuple.reversed();
+        reply.tuple.dst = Endpoint::new(PUBLIC, public_port);
+        let v = nat.process(SimTime::ZERO, Dir::Rev, reply, &mut rng);
+        assert_eq!(v.forward[0].tuple.dst.addr, CLIENT);
+        assert_eq!(v.forward[0].tuple.dst.port, 4000);
+    }
+
+    #[test]
+    fn unsolicited_data_dropped() {
+        // "NATs and Firewalls rarely pass data packets that were not
+        // preceded by a SYN" (§3.2) — the strawman's fatal flaw.
+        let mut nat = Nat::new(PUBLIC);
+        let mut rng = SimRng::new(1);
+        let v = nat.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"orphan"), &mut rng);
+        assert!(v.forward.is_empty());
+        assert_eq!(nat.unsolicited_drops, 1);
+    }
+
+    #[test]
+    fn unknown_reverse_flow_dropped() {
+        let mut nat = Nat::new(PUBLIC);
+        let mut rng = SimRng::new(1);
+        let mut reply = data_seg(1, b"?");
+        reply.tuple.dst = Endpoint::new(PUBLIC, 49999);
+        let v = nat.process(SimTime::ZERO, Dir::Rev, reply, &mut rng);
+        assert!(v.forward.is_empty());
+    }
+
+    #[test]
+    fn two_flows_get_distinct_ports() {
+        let mut nat = Nat::new(PUBLIC);
+        let mut rng = SimRng::new(1);
+        let a = nat.process(SimTime::ZERO, Dir::Fwd, syn_seg(1), &mut rng);
+        let mut syn2 = syn_seg(1);
+        syn2.tuple.src.port = 4001;
+        let b = nat.process(SimTime::ZERO, Dir::Fwd, syn2, &mut rng);
+        assert_ne!(
+            a.forward[0].tuple.src.port,
+            b.forward[0].tuple.src.port
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Proxy-like behaviours: pro-active ACKing and hole-intolerance.
+//!
+//! The study's most damning numbers for the strawman design: 26% of paths
+//! (33% on port 80) "do not correctly pass on an ACK for data the
+//! middlebox has not observed — either the ACK is dropped or it is
+//! corrected", and 5% (11% on port 80) "do not pass on data after a hole"
+//! (§3.3). Both behaviours are fatal to striping a single sequence space
+//! across two paths, and both are modelled here.
+
+use std::collections::HashMap;
+
+use mptcp_netsim::{Dir, MbVerdict, Middlebox, SimRng, SimTime};
+use mptcp_packet::{FourTuple, SeqNum, TcpFlags, TcpSegment};
+
+/// What to do with an ACK for data this box never saw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnseenAckPolicy {
+    /// Forward it unchanged (a transparent path).
+    Pass,
+    /// Rewrite it down to the highest byte actually observed ("corrected").
+    Correct,
+    /// Drop it.
+    Drop,
+}
+
+/// A proxy that may acknowledge data in advance of the receiver and that
+/// polices ACKs against the data it has observed.
+pub struct ProactiveAcker {
+    /// Emit an immediate ACK toward the sender for every data segment.
+    pub proactive: bool,
+    /// Policy for ACKs covering unobserved data.
+    pub unseen_policy: UnseenAckPolicy,
+    /// Highest sequence observed per (tuple, direction-of-data).
+    seen_high: HashMap<FourTuple, SeqNum>,
+    /// Pro-active ACKs generated.
+    pub acks_generated: u64,
+    /// ACKs corrected or dropped.
+    pub acks_policed: u64,
+}
+
+impl ProactiveAcker {
+    /// New proxy element.
+    pub fn new(proactive: bool, unseen_policy: UnseenAckPolicy) -> ProactiveAcker {
+        ProactiveAcker {
+            proactive,
+            unseen_policy,
+            seen_high: HashMap::new(),
+            acks_generated: 0,
+            acks_policed: 0,
+        }
+    }
+}
+
+impl Middlebox for ProactiveAcker {
+    fn process(&mut self, _now: SimTime, _dir: Dir, seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+        let mut backward = Vec::new();
+
+        // Track the data stream and optionally ack it pro-actively.
+        if seg.seq_len() > 0 {
+            let e = self
+                .seen_high
+                .entry(seg.tuple)
+                .or_insert(seg.seq);
+            if seg.seq_end().after(*e) {
+                *e = seg.seq_end();
+            }
+            if self.proactive && !seg.payload.is_empty() {
+                let mut ack = TcpSegment::new(seg.tuple.reversed(), SeqNum(0), seg.seq_end(), TcpFlags::ACK);
+                ack.window = 1 << 20;
+                backward.push(ack);
+                self.acks_generated += 1;
+            }
+        }
+
+        // Police the ACK field against the *reverse* direction's stream.
+        let mut seg = seg;
+        if seg.flags.ack && !seg.flags.syn {
+            if let Some(&high) = self.seen_high.get(&seg.tuple.reversed()) {
+                if seg.ack.after(high) {
+                    self.acks_policed += 1;
+                    match self.unseen_policy {
+                        UnseenAckPolicy::Pass => {}
+                        UnseenAckPolicy::Correct => seg.ack = high,
+                        UnseenAckPolicy::Drop => {
+                            return MbVerdict {
+                                forward: Vec::new(),
+                                backward,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        MbVerdict {
+            forward: vec![seg],
+            backward,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "proactive-acker"
+    }
+}
+
+/// Refuses to forward data beyond a sequence hole: segments after a gap
+/// are dropped until the gap is filled.
+pub struct HoleDropper {
+    expected: HashMap<FourTuple, SeqNum>,
+    /// Segments dropped at a hole.
+    pub hole_drops: u64,
+}
+
+impl HoleDropper {
+    /// New hole-intolerant element.
+    pub fn new() -> HoleDropper {
+        HoleDropper {
+            expected: HashMap::new(),
+            hole_drops: 0,
+        }
+    }
+}
+
+impl Default for HoleDropper {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Middlebox for HoleDropper {
+    fn process(&mut self, _now: SimTime, _dir: Dir, seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+        if seg.flags.syn || seg.flags.rst {
+            self.expected.insert(seg.tuple, seg.seq_end());
+            return MbVerdict::pass(seg);
+        }
+        if seg.seq_len() == 0 {
+            return MbVerdict::pass(seg); // pure ACKs flow freely
+        }
+        let exp = match self.expected.get(&seg.tuple) {
+            Some(e) => *e,
+            None => {
+                // Unseen flow (e.g. pre-existing): adopt its position.
+                self.expected.insert(seg.tuple, seg.seq);
+                seg.seq
+            }
+        };
+        if seg.seq.after(exp) {
+            self.hole_drops += 1;
+            return MbVerdict::drop();
+        }
+        if seg.seq_end().after(exp) {
+            self.expected.insert(seg.tuple, seg.seq_end());
+        }
+        MbVerdict::pass(seg)
+    }
+
+    fn name(&self) -> &'static str {
+        "hole-dropper"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{data_seg, syn_seg};
+
+    #[test]
+    fn proactive_ack_reflected_backward() {
+        let mut mb = ProactiveAcker::new(true, UnseenAckPolicy::Pass);
+        let mut rng = SimRng::new(1);
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"abcd"), &mut rng);
+        assert_eq!(v.forward.len(), 1);
+        assert_eq!(v.backward.len(), 1);
+        let ack = &v.backward[0];
+        assert_eq!(ack.ack, SeqNum(104));
+        assert_eq!(ack.tuple, data_seg(0, b"").tuple.reversed());
+    }
+
+    #[test]
+    fn ack_for_unseen_data_corrected() {
+        // The §3.3 study behaviour that kills single-sequence striping:
+        // the client acks data that travelled another path; this box
+        // "corrects" the ack down to what it observed.
+        let mut mb = ProactiveAcker::new(false, UnseenAckPolicy::Correct);
+        let mut rng = SimRng::new(1);
+        mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"abcd"), &mut rng);
+        let mut ack = data_seg(0, b"");
+        ack.tuple = ack.tuple.reversed();
+        ack.ack = SeqNum(2000); // acks bytes this path never carried
+        let v = mb.process(SimTime::ZERO, Dir::Rev, ack, &mut rng);
+        assert_eq!(v.forward[0].ack, SeqNum(104));
+        assert_eq!(mb.acks_policed, 1);
+    }
+
+    #[test]
+    fn ack_for_unseen_data_dropped() {
+        let mut mb = ProactiveAcker::new(false, UnseenAckPolicy::Drop);
+        let mut rng = SimRng::new(1);
+        mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"abcd"), &mut rng);
+        let mut ack = data_seg(0, b"");
+        ack.tuple = ack.tuple.reversed();
+        ack.ack = SeqNum(2000);
+        let v = mb.process(SimTime::ZERO, Dir::Rev, ack, &mut rng);
+        assert!(v.forward.is_empty());
+    }
+
+    #[test]
+    fn in_range_acks_untouched() {
+        let mut mb = ProactiveAcker::new(false, UnseenAckPolicy::Correct);
+        let mut rng = SimRng::new(1);
+        mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"abcd"), &mut rng);
+        let mut ack = data_seg(0, b"");
+        ack.tuple = ack.tuple.reversed();
+        ack.ack = SeqNum(102);
+        let v = mb.process(SimTime::ZERO, Dir::Rev, ack, &mut rng);
+        assert_eq!(v.forward[0].ack, SeqNum(102));
+        assert_eq!(mb.acks_policed, 0);
+    }
+
+    #[test]
+    fn hole_dropper_blocks_after_gap() {
+        let mut mb = HoleDropper::new();
+        let mut rng = SimRng::new(1);
+        mb.process(SimTime::ZERO, Dir::Fwd, syn_seg(99), &mut rng);
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"abcd"), &mut rng);
+        assert_eq!(v.forward.len(), 1);
+        // Gap: bytes 104..108 missing (went down another path).
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(108, b"efgh"), &mut rng);
+        assert!(v.forward.is_empty());
+        assert_eq!(mb.hole_drops, 1);
+        // Filling the hole unblocks the flow.
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(104, b"wxyz"), &mut rng);
+        assert_eq!(v.forward.len(), 1);
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(108, b"efgh"), &mut rng);
+        assert_eq!(v.forward.len(), 1);
+    }
+
+    #[test]
+    fn retransmissions_pass_hole_dropper() {
+        let mut mb = HoleDropper::new();
+        let mut rng = SimRng::new(1);
+        mb.process(SimTime::ZERO, Dir::Fwd, syn_seg(99), &mut rng);
+        mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"abcd"), &mut rng);
+        // Duplicate/retransmission at or below expected passes.
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(100, b"abcd"), &mut rng);
+        assert_eq!(v.forward.len(), 1);
+    }
+}

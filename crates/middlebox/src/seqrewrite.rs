@@ -1,0 +1,145 @@
+//! Initial sequence number rewriting.
+//!
+//! 10% of paths in the study (18% on port 80) rewrite TCP initial sequence
+//! numbers — "firewalls that attempt to increase TCP initial sequence
+//! number randomization" (§3.3). Each direction gets an independent random
+//! offset applied to sequence numbers; acknowledgments (and SACK blocks)
+//! travelling the other way are shifted back. Endpoints never notice —
+//! unless a protocol assumes the sequence number space is shared across
+//! paths, which is exactly why MPTCP's DSS mapping uses *relative* offsets.
+
+use mptcp_netsim::{Dir, MbVerdict, Middlebox, SimRng, SimTime};
+use mptcp_packet::{SeqNum, TcpOption, TcpSegment};
+
+/// Rewrites ISNs in both directions with random offsets.
+pub struct SeqRewriter {
+    delta_fwd: Option<u32>,
+    delta_rev: Option<u32>,
+    /// Number of segments rewritten.
+    pub rewritten: u64,
+}
+
+impl SeqRewriter {
+    /// New rewriter; offsets are chosen when each direction's SYN passes.
+    pub fn new() -> SeqRewriter {
+        SeqRewriter {
+            delta_fwd: None,
+            delta_rev: None,
+            rewritten: 0,
+        }
+    }
+
+    fn deltas(&mut self, dir: Dir) -> (u32, u32) {
+        // (delta applied to this direction's seq, delta of the opposite
+        // direction, subtracted from acks).
+        match dir {
+            Dir::Fwd => (self.delta_fwd.unwrap_or(0), self.delta_rev.unwrap_or(0)),
+            Dir::Rev => (self.delta_rev.unwrap_or(0), self.delta_fwd.unwrap_or(0)),
+        }
+    }
+}
+
+impl Default for SeqRewriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Middlebox for SeqRewriter {
+    fn process(&mut self, _now: SimTime, dir: Dir, mut seg: TcpSegment, rng: &mut SimRng) -> MbVerdict {
+        if seg.flags.syn {
+            let slot = match dir {
+                Dir::Fwd => &mut self.delta_fwd,
+                Dir::Rev => &mut self.delta_rev,
+            };
+            if slot.is_none() {
+                *slot = Some(rng.next_u32());
+            }
+        }
+        let (d_seq, d_ack) = self.deltas(dir);
+        seg.seq = SeqNum(seg.seq.0.wrapping_add(d_seq));
+        if seg.flags.ack {
+            seg.ack = SeqNum(seg.ack.0.wrapping_sub(d_ack));
+        }
+        for opt in &mut seg.options {
+            if let TcpOption::Sack(blocks) = opt {
+                for (l, r) in blocks.iter_mut() {
+                    *l = l.wrapping_sub(d_ack);
+                    *r = r.wrapping_sub(d_ack);
+                }
+            }
+        }
+        self.rewritten += 1;
+        MbVerdict::pass(seg)
+    }
+
+    fn name(&self) -> &'static str {
+        "seq-rewriter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{data_seg, syn_seg, tuple};
+    use mptcp_packet::TcpFlags;
+
+    #[test]
+    fn both_directions_shifted_consistently() {
+        let mut mb = SeqRewriter::new();
+        let mut rng = SimRng::new(99);
+
+        // Client SYN with ISS 1000.
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, syn_seg(1000), &mut rng);
+        let syn_out = &v.forward[0];
+        let d_fwd = syn_out.seq.0.wrapping_sub(1000);
+        assert_ne!(d_fwd, 0);
+
+        // Server SYN/ACK with ISS 5000, acking the *rewritten* client seq+1.
+        let mut synack = TcpSegment::new(tuple().reversed(), SeqNum(5000), syn_out.seq + 1, TcpFlags::SYN_ACK);
+        let v = mb.process(SimTime::ZERO, Dir::Rev, synack.clone(), &mut rng);
+        let synack_out = &v.forward[0];
+        // The client must see an ack of its ORIGINAL iss+1.
+        assert_eq!(synack_out.ack, SeqNum(1001));
+        let d_rev = synack_out.seq.0.wrapping_sub(5000);
+        assert_ne!(d_rev, 0);
+
+        // Data from the client: seq shifted by d_fwd; ack unshifts d_rev.
+        synack.seq = SeqNum(0); // silence unused warnings
+        let mut data = data_seg(1001, b"hi");
+        data.ack = SeqNum(5001u32.wrapping_add(d_rev));
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, data, &mut rng);
+        let out = &v.forward[0];
+        assert_eq!(out.seq.0, 1001u32.wrapping_add(d_fwd));
+        assert_eq!(out.ack, SeqNum(5001));
+    }
+
+    #[test]
+    fn deltas_stable_across_retransmissions() {
+        let mut mb = SeqRewriter::new();
+        let mut rng = SimRng::new(3);
+        let a = mb.process(SimTime::ZERO, Dir::Fwd, syn_seg(77), &mut rng);
+        let b = mb.process(SimTime::ZERO, Dir::Fwd, syn_seg(77), &mut rng);
+        assert_eq!(a.forward[0].seq, b.forward[0].seq);
+    }
+
+    #[test]
+    fn sack_blocks_unshifted() {
+        let mut mb = SeqRewriter::new();
+        let mut rng = SimRng::new(5);
+        let v = mb.process(SimTime::ZERO, Dir::Fwd, syn_seg(0), &mut rng);
+        let d_fwd = v.forward[0].seq.0;
+        // Receiver SACKs rewritten ranges; the sender must see originals.
+        let mut ack = data_seg(0, b"");
+        ack.tuple = ack.tuple.reversed();
+        ack.options.push(TcpOption::Sack(vec![(
+            100u32.wrapping_add(d_fwd),
+            200u32.wrapping_add(d_fwd),
+        )]));
+        let v = mb.process(SimTime::ZERO, Dir::Rev, ack, &mut rng);
+        match &v.forward[0].options[0] {
+            TcpOption::Sack(blocks) => assert_eq!(blocks[0], (100, 200)),
+            other => panic!("unexpected option {other:?}"),
+        }
+    }
+}

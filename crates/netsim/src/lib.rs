@@ -1,0 +1,32 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! This crate stands in for the paper's testbeds: emulated WiFi/3G links
+//! (netem-style rate + propagation delay + drop-tail buffer), gigabit LANs,
+//! and the `htsim` simulator used for Figure 5. Everything is deterministic
+//! given a seed: the event queue breaks ties by insertion order and all
+//! randomness flows through [`SimRng`].
+//!
+//! The moving parts:
+//! * [`SimTime`] — nanosecond simulation clock.
+//! * [`EventQueue`] — the ordered event heap.
+//! * [`Link`] — a unidirectional rate/delay/buffer pipe with drop-tail
+//!   queueing and optional random loss.
+//! * [`Path`] — a bidirectional pair of links plus a chain of
+//!   [`Middlebox`] elements (the Click-style models of §4.1 live in the
+//!   `mptcp-middlebox` crate and implement the trait defined here).
+//! * [`Sim`] — the driver: routes segments from [`Host`]s through paths,
+//!   applies middleboxes, schedules deliveries, and fires host timers.
+
+pub mod event;
+pub mod link;
+pub mod path;
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+pub use event::EventQueue;
+pub use link::{Link, LinkCfg, LinkStats};
+pub use path::{Dir, MbVerdict, Middlebox, Path};
+pub use rng::SimRng;
+pub use sim::{Host, HostId, Outbox, PathId, Sim};
+pub use time::{Duration, SimTime};

@@ -1,0 +1,243 @@
+//! A unidirectional link: rate, propagation delay, drop-tail buffer.
+//!
+//! The queue is modelled fluidly: the link remembers when its transmitter
+//! will next be idle (`busy_until`); the backlog in bytes at any instant is
+//! `(busy_until - now) * rate`. A packet is dropped when the backlog plus
+//! its own size would exceed the configured buffer — exactly netem/tbf
+//! semantics, which is what the paper's emulated WiFi (80 ms buffer) and 3G
+//! (2 s buffer!) links used.
+
+use crate::rng::SimRng;
+use crate::time::{Duration, SimTime};
+
+/// Static link parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkCfg {
+    /// Transmission rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// Drop-tail buffer size in bytes.
+    pub queue_bytes: usize,
+    /// Independent random loss probability per packet (0 disables).
+    pub loss: f64,
+}
+
+impl LinkCfg {
+    /// A link whose buffer holds `buf_time` worth of traffic at line rate —
+    /// how the paper specifies its emulated links ("80ms buffer").
+    pub fn with_buffer_time(rate_bps: u64, delay: Duration, buf_time: Duration) -> LinkCfg {
+        let queue_bytes = ((rate_bps as u128 * buf_time.as_nanos()) / (8 * 1_000_000_000)) as usize;
+        LinkCfg {
+            rate_bps,
+            delay,
+            queue_bytes: queue_bytes.max(3000),
+            loss: 0.0,
+        }
+    }
+
+    /// The paper's emulated WiFi path: 8 Mbps, 20 ms base RTT, 80 ms buffer.
+    /// `delay` here is one-way (half the base RTT).
+    pub fn wifi() -> LinkCfg {
+        LinkCfg::with_buffer_time(8_000_000, Duration::from_millis(10), Duration::from_millis(80))
+    }
+
+    /// The paper's emulated 3G path: 2 Mbps, 150 ms base RTT, 2 s buffer.
+    pub fn threeg() -> LinkCfg {
+        LinkCfg::with_buffer_time(2_000_000, Duration::from_millis(75), Duration::from_secs(2))
+    }
+
+    /// The very slow 3G link of Figure 6(a): 50 Kbps, 150 ms RTT, 2 s buffer.
+    pub fn threeg_weak() -> LinkCfg {
+        LinkCfg::with_buffer_time(50_000, Duration::from_millis(75), Duration::from_secs(2))
+    }
+
+    /// A LAN-style gigabit link (100 µs one-way, 500 packets of buffer).
+    pub fn gigabit() -> LinkCfg {
+        LinkCfg {
+            rate_bps: 1_000_000_000,
+            delay: Duration::from_micros(100),
+            queue_bytes: 500 * 1500,
+            loss: 0.0,
+        }
+    }
+
+    /// A 100 Mbps link (Fig 6(b)'s slower interface).
+    pub fn fast_ethernet() -> LinkCfg {
+        LinkCfg {
+            rate_bps: 100_000_000,
+            delay: Duration::from_micros(100),
+            queue_bytes: 500 * 1500,
+            loss: 0.0,
+        }
+    }
+
+    /// Time to serialize `bytes` onto this link.
+    pub fn serialization(&self, bytes: usize) -> Duration {
+        Duration::from_nanos((bytes as u64 * 8).saturating_mul(1_000_000_000) / self.rate_bps)
+    }
+
+    /// Bandwidth-delay product in bytes (one-way delay doubled for RTT).
+    pub fn bdp_bytes(&self) -> usize {
+        ((self.rate_bps as u128 * (2 * self.delay).as_nanos()) / (8 * 1_000_000_000)) as usize
+    }
+}
+
+/// Counters exported per link.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Packets successfully transmitted.
+    pub tx_packets: u64,
+    /// Bytes successfully transmitted (wire bytes, including headers).
+    pub tx_bytes: u64,
+    /// Packets dropped by the drop-tail queue.
+    pub queue_drops: u64,
+    /// Packets dropped by random loss.
+    pub random_drops: u64,
+}
+
+/// A unidirectional link instance.
+pub struct Link {
+    /// Static parameters.
+    pub cfg: LinkCfg,
+    busy_until: SimTime,
+    /// Traffic counters.
+    pub stats: LinkStats,
+}
+
+impl Link {
+    /// Create an idle link.
+    pub fn new(cfg: LinkCfg) -> Link {
+        Link {
+            cfg,
+            busy_until: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Current queue backlog in bytes.
+    pub fn backlog_bytes(&self, now: SimTime) -> usize {
+        let busy = self.busy_until.since(now);
+        ((self.cfg.rate_bps as u128 * busy.as_nanos()) / (8 * 1_000_000_000)) as usize
+    }
+
+    /// Attempt to transmit a packet of `wire_len` bytes at `now`.
+    ///
+    /// Returns the instant the last bit arrives at the far end, or `None`
+    /// if the packet was dropped (queue overflow or random loss).
+    pub fn transmit(&mut self, now: SimTime, wire_len: usize, rng: &mut SimRng) -> Option<SimTime> {
+        if rng.chance(self.cfg.loss) {
+            self.stats.random_drops += 1;
+            return None;
+        }
+        if self.backlog_bytes(now) + wire_len > self.cfg.queue_bytes {
+            self.stats.queue_drops += 1;
+            return None;
+        }
+        let start = self.busy_until.max(now);
+        self.busy_until = start + self.cfg.serialization(wire_len);
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += wire_len as u64;
+        Some(self.busy_until + self.cfg.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_loss_rng() -> SimRng {
+        SimRng::new(1)
+    }
+
+    #[test]
+    fn serialization_delay() {
+        // 1500 bytes at 8 Mbps = 1.5 ms.
+        let cfg = LinkCfg {
+            rate_bps: 8_000_000,
+            delay: Duration::from_millis(10),
+            queue_bytes: 100_000,
+            loss: 0.0,
+        };
+        let mut l = Link::new(cfg);
+        let arr = l.transmit(SimTime::ZERO, 1500, &mut no_loss_rng()).unwrap();
+        assert_eq!(arr, SimTime::ZERO + Duration::from_micros(1500) + Duration::from_millis(10));
+    }
+
+    #[test]
+    fn packets_queue_behind_each_other() {
+        let cfg = LinkCfg {
+            rate_bps: 8_000_000,
+            delay: Duration::ZERO,
+            queue_bytes: 100_000,
+            loss: 0.0,
+        };
+        let mut l = Link::new(cfg);
+        let mut rng = no_loss_rng();
+        let a = l.transmit(SimTime::ZERO, 1000, &mut rng).unwrap();
+        let b = l.transmit(SimTime::ZERO, 1000, &mut rng).unwrap();
+        assert_eq!(b - a, cfg.serialization(1000));
+    }
+
+    #[test]
+    fn drop_tail_overflow() {
+        let cfg = LinkCfg {
+            rate_bps: 1_000_000,
+            delay: Duration::ZERO,
+            queue_bytes: 3000,
+            loss: 0.0,
+        };
+        let mut l = Link::new(cfg);
+        let mut rng = no_loss_rng();
+        assert!(l.transmit(SimTime::ZERO, 1500, &mut rng).is_some());
+        assert!(l.transmit(SimTime::ZERO, 1500, &mut rng).is_some());
+        // Third packet exceeds the 3000-byte buffer (2 × 1500 queued).
+        assert!(l.transmit(SimTime::ZERO, 1500, &mut rng).is_none());
+        assert_eq!(l.stats.queue_drops, 1);
+        // After the queue drains the link accepts traffic again.
+        let later = SimTime::ZERO + Duration::from_secs(1);
+        assert!(l.transmit(later, 1500, &mut rng).is_some());
+    }
+
+    #[test]
+    fn backlog_drains_over_time() {
+        let cfg = LinkCfg {
+            rate_bps: 8_000_000,
+            delay: Duration::ZERO,
+            queue_bytes: 100_000,
+            loss: 0.0,
+        };
+        let mut l = Link::new(cfg);
+        let mut rng = no_loss_rng();
+        l.transmit(SimTime::ZERO, 10_000, &mut rng);
+        assert_eq!(l.backlog_bytes(SimTime::ZERO), 10_000);
+        // After half the serialization time, half the bytes remain.
+        let half = SimTime::ZERO + Duration::from_micros(5000);
+        assert_eq!(l.backlog_bytes(half), 5000);
+    }
+
+    #[test]
+    fn random_loss_counted() {
+        let cfg = LinkCfg {
+            rate_bps: 1_000_000_000,
+            delay: Duration::ZERO,
+            queue_bytes: usize::MAX / 2,
+            loss: 1.0,
+        };
+        let mut l = Link::new(cfg);
+        assert!(l.transmit(SimTime::ZERO, 100, &mut no_loss_rng()).is_none());
+        assert_eq!(l.stats.random_drops, 1);
+    }
+
+    #[test]
+    fn paper_link_presets() {
+        // WiFi: 8 Mbps × 80 ms = 80 KB buffer.
+        assert_eq!(LinkCfg::wifi().queue_bytes, 80_000);
+        // 3G: 2 Mbps × 2 s = 500 KB buffer.
+        assert_eq!(LinkCfg::threeg().queue_bytes, 500_000);
+        // WiFi BDP = 8 Mbps × 20 ms = 20 KB.
+        assert_eq!(LinkCfg::wifi().bdp_bytes(), 20_000);
+        // 3G BDP = 2 Mbps × 150 ms = 37.5 KB.
+        assert_eq!(LinkCfg::threeg().bdp_bytes(), 37_500);
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulation clock.
+//!
+//! [`SimTime`] is an absolute instant in nanoseconds since the start of the
+//! simulation; durations reuse [`std::time::Duration`]. Keeping the clock a
+//! plain integer makes every run exactly reproducible and lets tests assert
+//! on precise timings (serialization delays, RTO backoff, etc.).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+pub use std::time::Duration;
+
+/// An absolute instant on the simulation clock (nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since an earlier instant; saturates at zero.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Earliest of two optional deadlines (None = no deadline).
+pub fn min_deadline(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + Duration::from_micros(500);
+        assert_eq!(t.0, 10_500_000);
+        assert_eq!(t - SimTime::from_millis(10), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(SimTime::ZERO.since(SimTime::from_secs(1)), Duration::ZERO);
+    }
+
+    #[test]
+    fn deadline_combination() {
+        let a = Some(SimTime::from_secs(2));
+        let b = Some(SimTime::from_secs(1));
+        assert_eq!(min_deadline(a, b), b);
+        assert_eq!(min_deadline(a, None), a);
+        assert_eq!(min_deadline(None, None), None);
+    }
+}

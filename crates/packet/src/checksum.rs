@@ -1,0 +1,144 @@
+//! Internet ones-complement checksums.
+//!
+//! MPTCP reuses TCP's 16-bit ones-complement checksum for the DSS option so
+//! that the (expensive) pass over the payload is done only once: the payload
+//! sum is folded into both the TCP checksum and the DSS checksum over an
+//! MPTCP pseudo-header (§3.3.6 of the paper). This module provides the raw
+//! sum, the fold, and the DSS pseudo-header checksum.
+
+/// Accumulate the ones-complement sum of `data` into `sum`.
+///
+/// `sum` is a 32-bit accumulator carrying un-folded carries; start from `0`
+/// (or a previous partial sum) and call [`fold`] at the end. Odd-length data
+/// is virtually padded with a trailing zero byte, per RFC 1071.
+#[inline]
+pub fn ones_complement_add(mut sum: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+/// Add a single big-endian 16-bit word to the accumulator.
+#[inline]
+pub fn add_u16(sum: u32, word: u16) -> u32 {
+    sum + u32::from(word)
+}
+
+/// Add a big-endian 32-bit word to the accumulator.
+#[inline]
+pub fn add_u32(sum: u32, word: u32) -> u32 {
+    sum + (word >> 16) + (word & 0xffff)
+}
+
+/// Add a big-endian 64-bit word to the accumulator.
+#[inline]
+pub fn add_u64(sum: u32, word: u64) -> u32 {
+    add_u32(add_u32(sum, (word >> 32) as u32), word as u32)
+}
+
+/// Fold the 32-bit accumulator into the final 16-bit ones-complement value.
+#[inline]
+pub fn fold(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Compute the ones-complement checksum of a standalone buffer.
+#[inline]
+pub fn checksum(data: &[u8]) -> u16 {
+    fold(ones_complement_add(0, data))
+}
+
+/// Compute the DSS checksum over the MPTCP pseudo-header and payload.
+///
+/// The pseudo-header covers the 64-bit data sequence number, the 32-bit
+/// relative subflow sequence number, the 16-bit data-level length and a
+/// zero field, exactly mirroring RFC 6824 §3.3. A content-modifying
+/// middlebox that rewrites payload bytes (or shifts lengths) breaks this
+/// checksum, which is what triggers MPTCP's fallback machinery.
+pub fn dss_checksum(dsn: u64, subflow_seq_rel: u32, data_len: u16, payload: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    sum = add_u64(sum, dsn);
+    sum = add_u32(sum, subflow_seq_rel);
+    sum = add_u16(sum, data_len);
+    // 16-bit zero checksum field contributes nothing.
+    sum = ones_complement_add(sum, payload);
+    fold(sum)
+}
+
+/// Verify a DSS checksum; returns `true` when the payload is unmodified.
+pub fn dss_checksum_valid(
+    dsn: u64,
+    subflow_seq_rel: u32,
+    data_len: u16,
+    payload: &[u8],
+    expected: u16,
+) -> bool {
+    dss_checksum(dsn, subflow_seq_rel, data_len, payload) == expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The worked example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = ones_complement_add(0, &data);
+        assert_eq!(sum & 0xfffff, 0x2ddf0);
+        assert_eq!(fold(sum), !0xddf2u16);
+    }
+
+    #[test]
+    fn empty_payload() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        assert_eq!(checksum(&[0xab]), fold(ones_complement_add(0, &[0xab, 0x00])));
+    }
+
+    #[test]
+    fn dss_checksum_detects_payload_change() {
+        let payload = b"USER anonymous\r\n";
+        let ck = dss_checksum(1000, 1, payload.len() as u16, payload);
+        assert!(dss_checksum_valid(1000, 1, payload.len() as u16, payload, ck));
+        let modified = b"USER 10.0.0.0001\r\n";
+        assert!(!dss_checksum_valid(
+            1000,
+            1,
+            modified.len() as u16,
+            modified,
+            ck
+        ));
+    }
+
+    #[test]
+    fn dss_checksum_detects_mapping_shift() {
+        let payload = b"hello world";
+        let ck = dss_checksum(42, 7, payload.len() as u16, payload);
+        assert!(!dss_checksum_valid(43, 7, payload.len() as u16, payload, ck));
+        assert!(!dss_checksum_valid(42, 8, payload.len() as u16, payload, ck));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let a = b"abcdef";
+        let b = b"ghijklm";
+        let mut whole = Vec::new();
+        whole.extend_from_slice(a);
+        whole.extend_from_slice(b);
+        // Incremental summation is only equal when the boundary is even.
+        let sum = ones_complement_add(ones_complement_add(0, a), b);
+        assert_eq!(fold(sum), checksum(&whole));
+    }
+}

@@ -1,0 +1,23 @@
+//! Wire formats for TCP and Multipath TCP.
+//!
+//! This crate is the byte-level substrate of the MPTCP reproduction: TCP
+//! headers and flags, the full TCP option codec (including the MPTCP kind-30
+//! option with every subtype the NSDI 2012 paper uses), ones-complement
+//! checksums (both the TCP checksum and the DSS checksum covering the MPTCP
+//! pseudo-header), and the SHA-1 / HMAC-SHA1 primitives used to derive
+//! connection tokens and authenticate MP_JOIN handshakes.
+//!
+//! Everything here is pure data manipulation — no I/O, no clocks — so it can
+//! be exercised exhaustively by unit and property tests.
+
+pub mod checksum;
+pub mod crypto;
+pub mod mptcp_opts;
+pub mod options;
+pub mod seq;
+pub mod tcp;
+
+pub use mptcp_opts::{DssMapping, MptcpOption};
+pub use options::TcpOption;
+pub use seq::SeqNum;
+pub use tcp::{Endpoint, FourTuple, TcpFlags, TcpSegment};

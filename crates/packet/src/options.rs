@@ -1,0 +1,326 @@
+//! TCP option codec, including the 40-byte option-space constraint.
+//!
+//! The option space limit is load-bearing for MPTCP: §3.3.5 notes that when
+//! a middlebox coalesces two segments it can keep only one DSS mapping, and
+//! the sender must recover by retransmitting the unmapped bytes. We enforce
+//! the limit at encode time so the stack can never emit an illegal header.
+
+use crate::mptcp_opts::MptcpOption;
+
+/// Maximum bytes of TCP options in a header (data offset is 4 bits of
+/// 32-bit words: 15*4 - 20 = 40).
+pub const MAX_OPTIONS_LEN: usize = 40;
+
+/// TCP option kinds we encode/decode natively.
+pub mod kind {
+    pub const EOL: u8 = 0;
+    pub const NOP: u8 = 1;
+    pub const MSS: u8 = 2;
+    pub const WSCALE: u8 = 3;
+    pub const SACK_PERMITTED: u8 = 4;
+    pub const SACK: u8 = 5;
+    pub const TIMESTAMPS: u8 = 8;
+    pub const MPTCP: u8 = 30;
+}
+
+/// A parsed TCP option.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TcpOption {
+    /// Maximum segment size (SYN only).
+    Mss(u16),
+    /// Window scale shift (SYN only).
+    WindowScale(u8),
+    /// SACK permitted (SYN only).
+    SackPermitted,
+    /// Selective acknowledgment blocks (left, right) in absolute sequence.
+    Sack(Vec<(u32, u32)>),
+    /// RFC 1323 timestamps.
+    Timestamps {
+        /// Sender's timestamp value.
+        val: u32,
+        /// Echoed timestamp.
+        ecr: u32,
+    },
+    /// Any MPTCP (kind 30) option.
+    Mptcp(MptcpOption),
+    /// An option we don't understand — carried opaquely, like a middlebox
+    /// that forwards unknown options would.
+    Unknown {
+        /// Option kind byte.
+        kind: u8,
+        /// Option value (excluding kind and length bytes).
+        data: Vec<u8>,
+    },
+}
+
+impl TcpOption {
+    /// Encoded length in bytes (kind + len + value), before NOP padding.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            TcpOption::Mss(_) => 4,
+            TcpOption::WindowScale(_) => 3,
+            TcpOption::SackPermitted => 2,
+            TcpOption::Sack(blocks) => 2 + blocks.len() * 8,
+            TcpOption::Timestamps { .. } => 10,
+            TcpOption::Mptcp(m) => {
+                let mut v = Vec::new();
+                m.encode_value(&mut v);
+                2 + v.len()
+            }
+            TcpOption::Unknown { data, .. } => 2 + data.len(),
+        }
+    }
+
+    /// Append the wire encoding of this option to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TcpOption::Mss(mss) => {
+                out.extend_from_slice(&[kind::MSS, 4]);
+                out.extend_from_slice(&mss.to_be_bytes());
+            }
+            TcpOption::WindowScale(shift) => {
+                out.extend_from_slice(&[kind::WSCALE, 3, *shift]);
+            }
+            TcpOption::SackPermitted => {
+                out.extend_from_slice(&[kind::SACK_PERMITTED, 2]);
+            }
+            TcpOption::Sack(blocks) => {
+                out.extend_from_slice(&[kind::SACK, (2 + blocks.len() * 8) as u8]);
+                for (l, r) in blocks {
+                    out.extend_from_slice(&l.to_be_bytes());
+                    out.extend_from_slice(&r.to_be_bytes());
+                }
+            }
+            TcpOption::Timestamps { val, ecr } => {
+                out.extend_from_slice(&[kind::TIMESTAMPS, 10]);
+                out.extend_from_slice(&val.to_be_bytes());
+                out.extend_from_slice(&ecr.to_be_bytes());
+            }
+            TcpOption::Mptcp(m) => {
+                let mut v = Vec::new();
+                m.encode_value(&mut v);
+                out.push(kind::MPTCP);
+                out.push((2 + v.len()) as u8);
+                out.extend_from_slice(&v);
+            }
+            TcpOption::Unknown { kind, data } => {
+                out.push(*kind);
+                out.push((2 + data.len()) as u8);
+                out.extend_from_slice(data);
+            }
+        }
+    }
+
+    /// Is this an MPTCP option?
+    pub fn is_mptcp(&self) -> bool {
+        matches!(self, TcpOption::Mptcp(_))
+    }
+}
+
+/// Error returned when a segment's options exceed the 40-byte TCP limit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptionSpaceExceeded {
+    /// Total bytes the options would need.
+    pub needed: usize,
+}
+
+impl std::fmt::Display for OptionSpaceExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TCP options need {} bytes but only {MAX_OPTIONS_LEN} fit",
+            self.needed
+        )
+    }
+}
+
+impl std::error::Error for OptionSpaceExceeded {}
+
+/// Encode a list of options, NOP-padded to a multiple of four bytes.
+///
+/// Fails if the encoded options exceed [`MAX_OPTIONS_LEN`].
+pub fn encode_options(opts: &[TcpOption]) -> Result<Vec<u8>, OptionSpaceExceeded> {
+    let mut out = Vec::with_capacity(MAX_OPTIONS_LEN);
+    for o in opts {
+        o.encode(&mut out);
+    }
+    while out.len() % 4 != 0 {
+        out.push(kind::NOP);
+    }
+    if out.len() > MAX_OPTIONS_LEN {
+        return Err(OptionSpaceExceeded { needed: out.len() });
+    }
+    Ok(out)
+}
+
+/// Total padded wire length of an option list.
+pub fn options_wire_len(opts: &[TcpOption]) -> usize {
+    let raw: usize = opts.iter().map(|o| o.encoded_len()).sum();
+    raw.div_ceil(4) * 4
+}
+
+/// Parse a TCP option block. Unknown kinds become [`TcpOption::Unknown`];
+/// malformed trailing bytes terminate the parse (defensive, per the paper's
+/// middlebox-hardening stance).
+pub fn decode_options(mut bytes: &[u8]) -> Vec<TcpOption> {
+    let mut opts = Vec::new();
+    while let Some(&k) = bytes.first() {
+        match k {
+            kind::EOL => break,
+            kind::NOP => {
+                bytes = &bytes[1..];
+                continue;
+            }
+            _ => {}
+        }
+        let Some(&len) = bytes.get(1) else { break };
+        let len = len as usize;
+        if len < 2 || bytes.len() < len {
+            break;
+        }
+        let value = &bytes[2..len];
+        let opt = match k {
+            kind::MSS if value.len() == 2 => {
+                TcpOption::Mss(u16::from_be_bytes([value[0], value[1]]))
+            }
+            kind::WSCALE if value.len() == 1 => TcpOption::WindowScale(value[0]),
+            kind::SACK_PERMITTED if value.is_empty() => TcpOption::SackPermitted,
+            kind::SACK if value.len() % 8 == 0 => {
+                let blocks = value
+                    .chunks_exact(8)
+                    .map(|c| {
+                        (
+                            u32::from_be_bytes([c[0], c[1], c[2], c[3]]),
+                            u32::from_be_bytes([c[4], c[5], c[6], c[7]]),
+                        )
+                    })
+                    .collect();
+                TcpOption::Sack(blocks)
+            }
+            kind::TIMESTAMPS if value.len() == 8 => TcpOption::Timestamps {
+                val: u32::from_be_bytes([value[0], value[1], value[2], value[3]]),
+                ecr: u32::from_be_bytes([value[4], value[5], value[6], value[7]]),
+            },
+            kind::MPTCP => match MptcpOption::decode_value(value) {
+                Some(m) => TcpOption::Mptcp(m),
+                None => TcpOption::Unknown {
+                    kind: k,
+                    data: value.to_vec(),
+                },
+            },
+            _ => TcpOption::Unknown {
+                kind: k,
+                data: value.to_vec(),
+            },
+        };
+        opts.push(opt);
+        bytes = &bytes[len..];
+    }
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mptcp_opts::DssMapping;
+
+    #[test]
+    fn syn_options_roundtrip() {
+        let opts = vec![
+            TcpOption::Mss(1460),
+            TcpOption::WindowScale(7),
+            TcpOption::SackPermitted,
+            TcpOption::Mptcp(MptcpOption::MpCapable {
+                version: 0,
+                checksum_required: true,
+                sender_key: 0xaa,
+                receiver_key: None,
+            }),
+        ];
+        let wire = encode_options(&opts).unwrap();
+        assert_eq!(wire.len() % 4, 0);
+        assert_eq!(decode_options(&wire), opts);
+    }
+
+    #[test]
+    fn dss_plus_timestamps_fit() {
+        // The tightest common case: full DSS (with data ack, 8-byte DSN
+        // mapping and checksum) plus timestamps must fit in 40 bytes.
+        let opts = vec![
+            TcpOption::Mptcp(MptcpOption::Dss {
+                data_ack: Some(1),
+                mapping: Some(DssMapping {
+                    dsn: 2,
+                    subflow_seq: 3,
+                    len: 4,
+                    checksum: Some(5),
+                }),
+                data_fin: false,
+            }),
+            TcpOption::Timestamps { val: 1, ecr: 2 },
+        ];
+        let wire = encode_options(&opts).unwrap();
+        assert!(wire.len() <= MAX_OPTIONS_LEN);
+        assert_eq!(decode_options(&wire), opts);
+    }
+
+    #[test]
+    fn option_space_overflow_detected() {
+        // Two full DSS options with checksums cannot coexist: this is why a
+        // coalescing middlebox must drop one mapping (§3.3.5).
+        let dss = TcpOption::Mptcp(MptcpOption::Dss {
+            data_ack: Some(1),
+            mapping: Some(DssMapping {
+                dsn: 2,
+                subflow_seq: 3,
+                len: 4,
+                checksum: Some(5),
+            }),
+            data_fin: false,
+        });
+        let err = encode_options(&[dss.clone(), dss]).unwrap_err();
+        assert!(err.needed > MAX_OPTIONS_LEN);
+    }
+
+    #[test]
+    fn unknown_options_carried_opaquely() {
+        let opts = vec![TcpOption::Unknown {
+            kind: 99,
+            data: vec![1, 2, 3],
+        }];
+        let wire = encode_options(&opts).unwrap();
+        assert_eq!(decode_options(&wire), opts);
+    }
+
+    #[test]
+    fn truncated_option_block_stops_cleanly() {
+        // kind=MSS, len=4, but only one value byte present.
+        let bytes = [kind::MSS, 4, 0x05];
+        assert!(decode_options(&bytes).is_empty());
+    }
+
+    #[test]
+    fn eol_terminates() {
+        let mut wire = encode_options(&[TcpOption::SackPermitted]).unwrap();
+        wire[2] = kind::EOL; // the first padding NOP becomes EOL
+        wire.extend_from_slice(&[0xde, 0xad]); // garbage after EOL ignored
+        assert_eq!(decode_options(&wire), vec![TcpOption::SackPermitted]);
+    }
+
+    #[test]
+    fn sack_blocks_roundtrip() {
+        let opts = vec![TcpOption::Sack(vec![(100, 200), (300, 400)])];
+        let wire = encode_options(&opts).unwrap();
+        assert_eq!(decode_options(&wire), opts);
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        let opts = vec![
+            TcpOption::Mss(1460),
+            TcpOption::WindowScale(7),
+            TcpOption::Timestamps { val: 9, ecr: 8 },
+        ];
+        assert_eq!(options_wire_len(&opts), encode_options(&opts).unwrap().len());
+    }
+}

@@ -1,0 +1,170 @@
+//! Wrapping 32-bit TCP sequence-number arithmetic.
+//!
+//! TCP sequence numbers live on a mod-2^32 circle; comparisons are only
+//! meaningful for numbers within 2^31 of each other (RFC 793 semantics).
+//! [`SeqNum`] makes the wrapping explicit so the stack never accidentally
+//! uses plain integer comparison on sequence numbers — one of the classic
+//! sources of TCP bugs.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number on the mod-2^32 circle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// The zero sequence number.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// Returns `true` if `self` is strictly before `other` on the circle.
+    #[inline]
+    pub fn before(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// Returns `true` if `self` is before or equal to `other`.
+    #[inline]
+    pub fn before_eq(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) >= 0
+    }
+
+    /// Returns `true` if `self` is strictly after `other` on the circle.
+    #[inline]
+    pub fn after(self, other: SeqNum) -> bool {
+        other.before(self)
+    }
+
+    /// Returns `true` if `self` is after or equal to `other`.
+    #[inline]
+    pub fn after_eq(self, other: SeqNum) -> bool {
+        other.before_eq(self)
+    }
+
+    /// Distance from `other` to `self` (i.e. `self - other`), assuming
+    /// `self` is at or after `other`. Wrapping-safe.
+    #[inline]
+    pub fn dist_from(self, other: SeqNum) -> u32 {
+        self.0.wrapping_sub(other.0)
+    }
+
+    /// The larger of two sequence numbers under circle ordering.
+    #[inline]
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.after_eq(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two sequence numbers under circle ordering.
+    #[inline]
+    pub fn min(self, other: SeqNum) -> SeqNum {
+        if self.before_eq(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Is `self` in the half-open window `[start, start+len)`?
+    #[inline]
+    pub fn in_window(self, start: SeqNum, len: u32) -> bool {
+        self.dist_from(start) < len
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    #[inline]
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    #[inline]
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<u32> for SeqNum {
+    type Output = SeqNum;
+    #[inline]
+    fn sub(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_sub(rhs))
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    #[inline]
+    fn sub(self, rhs: SeqNum) -> u32 {
+        self.dist_from(rhs)
+    }
+}
+
+impl From<u32> for SeqNum {
+    fn from(v: u32) -> Self {
+        SeqNum(v)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Seq({})", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_simple() {
+        assert!(SeqNum(1).before(SeqNum(2)));
+        assert!(SeqNum(2).after(SeqNum(1)));
+        assert!(SeqNum(5).before_eq(SeqNum(5)));
+        assert!(SeqNum(5).after_eq(SeqNum(5)));
+        assert!(!SeqNum(2).before(SeqNum(2)));
+    }
+
+    #[test]
+    fn ordering_wraps() {
+        let near_max = SeqNum(u32::MAX - 10);
+        let wrapped = near_max + 20;
+        assert_eq!(wrapped.0, 9);
+        assert!(near_max.before(wrapped));
+        assert!(wrapped.after(near_max));
+        assert_eq!(wrapped.dist_from(near_max), 20);
+    }
+
+    #[test]
+    fn window_membership() {
+        assert!(SeqNum(100).in_window(SeqNum(100), 1));
+        assert!(!SeqNum(100).in_window(SeqNum(101), 10));
+        assert!(SeqNum(5).in_window(SeqNum(u32::MAX - 5), 20));
+    }
+
+    #[test]
+    fn min_max_respect_circle() {
+        let a = SeqNum(u32::MAX - 1);
+        let b = SeqNum(3);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn subtraction_is_distance() {
+        assert_eq!(SeqNum(10) - SeqNum(3), 7);
+        assert_eq!(SeqNum(2) - SeqNum(u32::MAX), 3);
+    }
+}

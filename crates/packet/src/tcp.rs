@@ -1,0 +1,353 @@
+//! TCP segment representation and byte-level codec.
+//!
+//! Segments travel through the simulator in structured form (like Click
+//! packets), but every field a middlebox can touch — addresses, ports,
+//! sequence numbers, options, payload — is mutable, reflecting the paper's
+//! lesson that "the entire TCP header and the payload must be considered as
+//! mutable fields" (§7). [`TcpSegment::encode`]/[`TcpSegment::decode`]
+//! provide the real wire format for codec tests and checksum computation.
+
+use bytes::Bytes;
+
+use crate::options::{self, TcpOption};
+use crate::seq::SeqNum;
+
+/// One endpoint: IPv4 address (as u32) and port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub addr: u32,
+    /// TCP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Construct an endpoint.
+    pub const fn new(addr: u32, port: u16) -> Self {
+        Endpoint { addr, port }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let a = self.addr.to_be_bytes();
+        write!(f, "{}.{}.{}.{}:{}", a[0], a[1], a[2], a[3], self.port)
+    }
+}
+
+/// The classic five-tuple minus protocol: src/dst endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FourTuple {
+    /// Source endpoint.
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+}
+
+impl FourTuple {
+    /// The tuple as seen by the other direction.
+    pub fn reversed(&self) -> FourTuple {
+        FourTuple {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+}
+
+/// TCP header flags.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcpFlags {
+    /// SYN.
+    pub syn: bool,
+    /// ACK.
+    pub ack: bool,
+    /// FIN.
+    pub fin: bool,
+    /// RST.
+    pub rst: bool,
+    /// PSH.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// SYN only.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// SYN+ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// ACK only.
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+    /// RST.
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
+
+    fn to_bits(self) -> u8 {
+        (u8::from(self.fin))
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
+            | (u8::from(self.psh) << 3)
+            | (u8::from(self.ack) << 4)
+    }
+
+    fn from_bits(bits: u8) -> TcpFlags {
+        TcpFlags {
+            fin: bits & 0x01 != 0,
+            syn: bits & 0x02 != 0,
+            rst: bits & 0x04 != 0,
+            psh: bits & 0x08 != 0,
+            ack: bits & 0x10 != 0,
+        }
+    }
+}
+
+/// A TCP segment in flight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TcpSegment {
+    /// Source/destination endpoints (mutable: NATs rewrite these).
+    pub tuple: FourTuple,
+    /// Sequence number of the first payload byte (or of the SYN/FIN).
+    pub seq: SeqNum,
+    /// Acknowledgment number (valid when `flags.ack`).
+    pub ack: SeqNum,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window, already scaled to bytes.
+    ///
+    /// We carry the scaled value so the stack logic reads naturally; the
+    /// codec applies/removes the window-scale shift at the wire boundary.
+    pub window: u32,
+    /// TCP options.
+    pub options: Vec<TcpOption>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Fixed TCP header size without options.
+pub const TCP_HEADER_LEN: usize = 20;
+/// IPv4 header size assumed for wire-length accounting.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+impl TcpSegment {
+    /// A bare segment with no options or payload.
+    pub fn new(tuple: FourTuple, seq: SeqNum, ack: SeqNum, flags: TcpFlags) -> Self {
+        TcpSegment {
+            tuple,
+            seq,
+            ack,
+            flags,
+            window: 0,
+            options: Vec::new(),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Amount of sequence space this segment occupies (payload + SYN + FIN).
+    pub fn seq_len(&self) -> u32 {
+        self.payload.len() as u32 + u32::from(self.flags.syn) + u32::from(self.flags.fin)
+    }
+
+    /// Sequence number one past the end of the segment.
+    pub fn seq_end(&self) -> SeqNum {
+        self.seq + self.seq_len()
+    }
+
+    /// Total on-the-wire size including IPv4 + TCP headers and options.
+    pub fn wire_len(&self) -> usize {
+        IPV4_HEADER_LEN + TCP_HEADER_LEN + options::options_wire_len(&self.options) + self.payload.len()
+    }
+
+    /// The first MPTCP option on this segment, if any.
+    pub fn mptcp_option(&self) -> Option<&crate::MptcpOption> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Mptcp(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// All MPTCP options on this segment.
+    pub fn mptcp_options(&self) -> impl Iterator<Item = &crate::MptcpOption> {
+        self.options.iter().filter_map(|o| match o {
+            TcpOption::Mptcp(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Encode to wire bytes (TCP header + options + payload; no IP header).
+    ///
+    /// `wscale_shift` is the window scale negotiated for this direction: the
+    /// codec stores `window >> shift` in the 16-bit field, as the wire does.
+    pub fn encode(&self, wscale_shift: u8) -> Result<Vec<u8>, options::OptionSpaceExceeded> {
+        let opt_bytes = options::encode_options(&self.options)?;
+        let data_offset_words = (TCP_HEADER_LEN + opt_bytes.len()) / 4;
+        let mut out = Vec::with_capacity(TCP_HEADER_LEN + opt_bytes.len() + self.payload.len());
+        out.extend_from_slice(&self.tuple.src.port.to_be_bytes());
+        out.extend_from_slice(&self.tuple.dst.port.to_be_bytes());
+        out.extend_from_slice(&self.seq.0.to_be_bytes());
+        out.extend_from_slice(&self.ack.0.to_be_bytes());
+        out.push((data_offset_words as u8) << 4);
+        out.push(self.flags.to_bits());
+        let wire_window = (self.window >> wscale_shift).min(u32::from(u16::MAX)) as u16;
+        out.extend_from_slice(&wire_window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&[0, 0]); // urgent pointer
+        out.extend_from_slice(&opt_bytes);
+        out.extend_from_slice(&self.payload);
+
+        // TCP checksum over pseudo-header + segment.
+        let mut sum = 0u32;
+        sum = crate::checksum::add_u32(sum, self.tuple.src.addr);
+        sum = crate::checksum::add_u32(sum, self.tuple.dst.addr);
+        sum = crate::checksum::add_u16(sum, 6); // protocol TCP
+        sum = crate::checksum::add_u16(sum, out.len() as u16);
+        sum = crate::checksum::ones_complement_add(sum, &out);
+        let ck = crate::checksum::fold(sum);
+        out[16..18].copy_from_slice(&ck.to_be_bytes());
+        Ok(out)
+    }
+
+    /// Decode from wire bytes produced by [`TcpSegment::encode`].
+    ///
+    /// `src_addr`/`dst_addr` come from the (conceptual) IP header;
+    /// `wscale_shift` re-expands the 16-bit window field.
+    pub fn decode(bytes: &[u8], src_addr: u32, dst_addr: u32, wscale_shift: u8) -> Option<TcpSegment> {
+        if bytes.len() < TCP_HEADER_LEN {
+            return None;
+        }
+        let src_port = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let dst_port = u16::from_be_bytes([bytes[2], bytes[3]]);
+        let seq = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let ack = u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        let data_offset = ((bytes[12] >> 4) as usize) * 4;
+        if data_offset < TCP_HEADER_LEN || bytes.len() < data_offset {
+            return None;
+        }
+        let flags = TcpFlags::from_bits(bytes[13]);
+        let window = u32::from(u16::from_be_bytes([bytes[14], bytes[15]])) << wscale_shift;
+        let options = options::decode_options(&bytes[TCP_HEADER_LEN..data_offset]);
+        let payload = Bytes::copy_from_slice(&bytes[data_offset..]);
+        Some(TcpSegment {
+            tuple: FourTuple {
+                src: Endpoint::new(src_addr, src_port),
+                dst: Endpoint::new(dst_addr, dst_port),
+            },
+            seq: SeqNum(seq),
+            ack: SeqNum(ack),
+            flags,
+            window,
+            options,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MptcpOption;
+
+    fn tuple() -> FourTuple {
+        FourTuple {
+            src: Endpoint::new(0x0a000001, 4242),
+            dst: Endpoint::new(0x0a000002, 80),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut seg = TcpSegment::new(tuple(), SeqNum(1000), SeqNum(2000), TcpFlags::ACK);
+        seg.window = 65535;
+        seg.payload = Bytes::from_static(b"hello, multipath world");
+        seg.options = vec![TcpOption::Timestamps { val: 1, ecr: 2 }];
+        let wire = seg.encode(0).unwrap();
+        let back = TcpSegment::decode(&wire, 0x0a000001, 0x0a000002, 0).unwrap();
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn window_scaling_applied_at_wire() {
+        let mut seg = TcpSegment::new(tuple(), SeqNum(0), SeqNum(0), TcpFlags::ACK);
+        seg.window = 1 << 20; // 1 MiB: needs scaling to fit 16 bits
+        let wire = seg.encode(7).unwrap();
+        let back = TcpSegment::decode(&wire, 0x0a000001, 0x0a000002, 7).unwrap();
+        assert_eq!(back.window, 1 << 20);
+        // Without the scale shift applied by the receiver, the window reads
+        // 128x smaller — exactly the RFC 1323 firewall hazard from §7.
+        let naive = TcpSegment::decode(&wire, 0x0a000001, 0x0a000002, 0).unwrap();
+        assert_eq!(naive.window, (1 << 20) >> 7);
+    }
+
+    #[test]
+    fn seq_len_counts_syn_fin() {
+        let mut seg = TcpSegment::new(tuple(), SeqNum(5), SeqNum(0), TcpFlags::SYN);
+        assert_eq!(seg.seq_len(), 1);
+        seg.flags.fin = true;
+        seg.payload = Bytes::from_static(b"xyz");
+        assert_eq!(seg.seq_len(), 5);
+        assert_eq!(seg.seq_end(), SeqNum(10));
+    }
+
+    #[test]
+    fn mptcp_option_accessor() {
+        let mut seg = TcpSegment::new(tuple(), SeqNum(0), SeqNum(0), TcpFlags::SYN);
+        assert!(seg.mptcp_option().is_none());
+        seg.options.push(TcpOption::Mss(1460));
+        seg.options.push(TcpOption::Mptcp(MptcpOption::MpCapable {
+            version: 0,
+            checksum_required: true,
+            sender_key: 7,
+            receiver_key: None,
+        }));
+        assert!(matches!(
+            seg.mptcp_option(),
+            Some(MptcpOption::MpCapable { sender_key: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_short_or_corrupt() {
+        assert!(TcpSegment::decode(&[0u8; 10], 0, 0, 0).is_none());
+        let seg = TcpSegment::new(tuple(), SeqNum(0), SeqNum(0), TcpFlags::ACK);
+        let mut wire = seg.encode(0).unwrap();
+        wire[12] = 0x20; // data offset 8 words = 32 bytes > actual length
+        assert!(TcpSegment::decode(&wire, 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn wire_len_accounts_headers_and_padding() {
+        let mut seg = TcpSegment::new(tuple(), SeqNum(0), SeqNum(0), TcpFlags::ACK);
+        assert_eq!(seg.wire_len(), 40);
+        seg.options.push(TcpOption::WindowScale(2)); // 3 bytes -> padded to 4
+        assert_eq!(seg.wire_len(), 44);
+        seg.payload = Bytes::from_static(&[0; 100]);
+        assert_eq!(seg.wire_len(), 144);
+    }
+
+    #[test]
+    fn tuple_reversal() {
+        let t = tuple();
+        assert_eq!(t.reversed().reversed(), t);
+        assert_eq!(t.reversed().src, t.dst);
+    }
+}

@@ -1,0 +1,393 @@
+//! Congestion control: Reno/NewReno and the coupled LIA algorithm.
+//!
+//! The paper defers congestion control to [23] (Wischik et al., NSDI 2011)
+//! but the evaluation depends on it: MPTCP subflows run the *Linked
+//! Increases Algorithm* so that a multipath connection takes no more
+//! capacity than a single TCP on its best path. [`Lia`] implements the
+//! per-subflow half; the connection computes the coupling factor `alpha`
+//! across subflows and pushes it down via
+//! [`CongestionControl::set_coupled`].
+
+use mptcp_netsim::Duration;
+
+/// Per-flow congestion control state machine, driven by the socket.
+///
+/// All window quantities are in **bytes**.
+pub trait CongestionControl: Send {
+    /// Current congestion window.
+    fn cwnd(&self) -> u32;
+
+    /// Current slow-start threshold.
+    fn ssthresh(&self) -> u32;
+
+    /// A cumulative ACK advanced `snd_una` by `bytes_acked`.
+    fn on_ack(&mut self, bytes_acked: u32, rtt: Option<Duration>);
+
+    /// A duplicate ACK arrived while in fast recovery (window inflation).
+    fn on_dup_ack(&mut self);
+
+    /// Entering fast retransmit; `in_flight` is the outstanding byte count.
+    fn on_fast_retransmit(&mut self, in_flight: u32);
+
+    /// A retransmission timeout fired.
+    fn on_retransmit_timeout(&mut self, in_flight: u32);
+
+    /// Fast recovery completed (full ACK received): deflate the window.
+    fn on_recovery_exit(&mut self);
+
+    /// Force the congestion window (mechanism 2 penalization, mechanism 4
+    /// capping).
+    fn set_cwnd(&mut self, bytes: u32);
+
+    /// Force the slow-start threshold.
+    fn set_ssthresh(&mut self, bytes: u32);
+
+    /// Update coupling parameters (`alpha`, total cwnd across subflows).
+    /// No-op for uncoupled algorithms.
+    fn set_coupled(&mut self, _alpha: f64, _total_cwnd: u32) {}
+
+    /// Are we below ssthresh (exponential growth)?
+    fn in_slow_start(&self) -> bool {
+        self.cwnd() < self.ssthresh()
+    }
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+const INIT_SSTHRESH: u32 = u32::MAX / 2;
+
+/// Classic Reno with NewReno recovery hooks.
+pub struct Reno {
+    cwnd: u32,
+    ssthresh: u32,
+    mss: u32,
+    /// Fractional congestion-avoidance accumulator (bytes acked since the
+    /// last full-MSS increase).
+    acked_accum: u32,
+}
+
+impl Reno {
+    /// New Reno instance with `init_segs * mss` initial window.
+    pub fn new(mss: u32, init_segs: u32) -> Reno {
+        Reno {
+            cwnd: mss * init_segs,
+            ssthresh: INIT_SSTHRESH,
+            mss,
+            acked_accum: 0,
+        }
+    }
+
+    fn halve(&mut self, in_flight: u32) {
+        self.ssthresh = (in_flight / 2).max(2 * self.mss);
+    }
+}
+
+impl CongestionControl for Reno {
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, bytes_acked: u32, _rtt: Option<Duration>) {
+        if self.in_slow_start() {
+            self.cwnd = self
+                .cwnd
+                .saturating_add(bytes_acked.min(self.mss))
+                .min(INIT_SSTHRESH);
+        } else {
+            // cwnd += mss per cwnd bytes acked.
+            self.acked_accum += bytes_acked;
+            if self.acked_accum >= self.cwnd {
+                self.acked_accum -= self.cwnd;
+                self.cwnd = self.cwnd.saturating_add(self.mss).min(INIT_SSTHRESH);
+            }
+        }
+    }
+
+    fn on_dup_ack(&mut self) {
+        // Window inflation during fast recovery.
+        self.cwnd = self.cwnd.saturating_add(self.mss);
+    }
+
+    fn on_fast_retransmit(&mut self, in_flight: u32) {
+        self.halve(in_flight);
+        self.cwnd = self.ssthresh + 3 * self.mss;
+    }
+
+    fn on_retransmit_timeout(&mut self, in_flight: u32) {
+        self.halve(in_flight);
+        self.cwnd = self.mss;
+        self.acked_accum = 0;
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn set_cwnd(&mut self, bytes: u32) {
+        self.cwnd = bytes.max(self.mss);
+    }
+
+    fn set_ssthresh(&mut self, bytes: u32) {
+        self.ssthresh = bytes.max(2 * self.mss);
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+/// Linked Increases Algorithm (coupled MPTCP congestion control).
+///
+/// Identical to Reno in slow start and on loss; in congestion avoidance the
+/// per-ACK increase is `min(alpha * acked * mss / cwnd_total,
+/// acked * mss / cwnd_i)` so the aggregate is no more aggressive than one
+/// TCP on the best path, while still shifting traffic toward less congested
+/// subflows. The connection recomputes `alpha` (RFC 6356 formula) and calls
+/// [`CongestionControl::set_coupled`].
+pub struct Lia {
+    cwnd: u32,
+    ssthresh: u32,
+    mss: u32,
+    alpha: f64,
+    total_cwnd: u32,
+    increase_accum: f64,
+}
+
+impl Lia {
+    /// New LIA instance.
+    pub fn new(mss: u32, init_segs: u32) -> Lia {
+        Lia {
+            cwnd: mss * init_segs,
+            ssthresh: INIT_SSTHRESH,
+            mss,
+            alpha: 1.0,
+            total_cwnd: mss * init_segs,
+            increase_accum: 0.0,
+        }
+    }
+
+    fn halve(&mut self, in_flight: u32) {
+        self.ssthresh = (in_flight / 2).max(2 * self.mss);
+    }
+}
+
+impl CongestionControl for Lia {
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, bytes_acked: u32, _rtt: Option<Duration>) {
+        if self.in_slow_start() {
+            self.cwnd = self
+                .cwnd
+                .saturating_add(bytes_acked.min(self.mss))
+                .min(INIT_SSTHRESH);
+            return;
+        }
+        let total = self.total_cwnd.max(self.cwnd).max(1) as f64;
+        let coupled = self.alpha * f64::from(bytes_acked) * f64::from(self.mss) / total;
+        let uncoupled = f64::from(bytes_acked) * f64::from(self.mss) / f64::from(self.cwnd.max(1));
+        self.increase_accum += coupled.min(uncoupled);
+        if self.increase_accum >= 1.0 {
+            let inc = self.increase_accum as u32;
+            self.increase_accum -= f64::from(inc);
+            self.cwnd = self.cwnd.saturating_add(inc).min(INIT_SSTHRESH);
+        }
+    }
+
+    fn on_dup_ack(&mut self) {
+        self.cwnd = self.cwnd.saturating_add(self.mss);
+    }
+
+    fn on_fast_retransmit(&mut self, in_flight: u32) {
+        self.halve(in_flight);
+        self.cwnd = self.ssthresh + 3 * self.mss;
+    }
+
+    fn on_retransmit_timeout(&mut self, in_flight: u32) {
+        self.halve(in_flight);
+        self.cwnd = self.mss;
+        self.increase_accum = 0.0;
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn set_cwnd(&mut self, bytes: u32) {
+        self.cwnd = bytes.max(self.mss);
+    }
+
+    fn set_ssthresh(&mut self, bytes: u32) {
+        self.ssthresh = bytes.max(2 * self.mss);
+    }
+
+    fn set_coupled(&mut self, alpha: f64, total_cwnd: u32) {
+        self.alpha = alpha;
+        self.total_cwnd = total_cwnd;
+    }
+
+    fn name(&self) -> &'static str {
+        "lia"
+    }
+}
+
+/// Compute the LIA `alpha` coupling factor (RFC 6356 §4).
+///
+/// `subflows` yields `(cwnd_bytes, srtt)` for each active subflow.
+/// Returns 1.0 when no subflow has an RTT sample yet.
+pub fn lia_alpha(subflows: &[(u32, Duration)]) -> f64 {
+    let mut best = 0.0f64;
+    let mut denom = 0.0f64;
+    let mut total = 0.0f64;
+    for &(cwnd, rtt) in subflows {
+        let rtt_s = rtt.as_secs_f64().max(1e-6);
+        let c = f64::from(cwnd);
+        best = best.max(c / (rtt_s * rtt_s));
+        denom += c / rtt_s;
+        total += c;
+    }
+    if denom <= 0.0 || best <= 0.0 {
+        return 1.0;
+    }
+    (total * best / (denom * denom)).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reno_slow_start_doubles_per_rtt() {
+        let mut r = Reno::new(1000, 10);
+        let start = r.cwnd();
+        // Acking a full window in MSS-sized chunks doubles cwnd.
+        for _ in 0..10 {
+            r.on_ack(1000, None);
+        }
+        assert_eq!(r.cwnd(), 2 * start);
+    }
+
+    #[test]
+    fn reno_congestion_avoidance_linear() {
+        let mut r = Reno::new(1000, 10);
+        r.set_ssthresh(5_000);
+        r.set_cwnd(10_000); // above ssthresh: CA
+        assert!(!r.in_slow_start());
+        // One full window of acks adds one MSS.
+        for _ in 0..10 {
+            r.on_ack(1000, None);
+        }
+        assert_eq!(r.cwnd(), 11_000);
+    }
+
+    #[test]
+    fn reno_fast_retransmit_halves() {
+        let mut r = Reno::new(1000, 10);
+        r.set_cwnd(20_000);
+        r.on_fast_retransmit(20_000);
+        assert_eq!(r.ssthresh(), 10_000);
+        assert_eq!(r.cwnd(), 13_000); // ssthresh + 3 MSS
+        r.on_recovery_exit();
+        assert_eq!(r.cwnd(), 10_000);
+    }
+
+    #[test]
+    fn reno_rto_collapses_to_one_mss() {
+        let mut r = Reno::new(1000, 10);
+        r.set_cwnd(20_000);
+        r.on_retransmit_timeout(20_000);
+        assert_eq!(r.cwnd(), 1000);
+        assert_eq!(r.ssthresh(), 10_000);
+    }
+
+    #[test]
+    fn reno_floors() {
+        let mut r = Reno::new(1000, 10);
+        r.set_cwnd(0);
+        assert_eq!(r.cwnd(), 1000);
+        r.set_ssthresh(0);
+        assert_eq!(r.ssthresh(), 2000);
+        r.on_retransmit_timeout(100); // tiny flight still floors ssthresh
+        assert_eq!(r.ssthresh(), 2000);
+    }
+
+    #[test]
+    fn lia_never_more_aggressive_than_reno() {
+        // Single subflow with alpha=1, total=cwnd: LIA == Reno CA rate.
+        let mut lia = Lia::new(1000, 10);
+        let mut reno = Reno::new(1000, 10);
+        for c in [&mut lia as &mut dyn CongestionControl, &mut reno] {
+            c.set_ssthresh(5_000);
+            c.set_cwnd(10_000);
+        }
+        for _ in 0..100 {
+            let c = lia.cwnd();
+            lia.set_coupled(1.0, c);
+            lia.on_ack(1000, None);
+            reno.on_ack(1000, None);
+        }
+        // LIA grows continuously, Reno in MSS quanta; they stay within one
+        // MSS of each other over a hundred ACKs.
+        let diff = i64::from(lia.cwnd()) - i64::from(reno.cwnd());
+        assert!(diff.abs() <= 1000, "lia {} vs reno {}", lia.cwnd(), reno.cwnd());
+    }
+
+    #[test]
+    fn lia_coupling_slows_growth() {
+        // Two equal subflows: alpha=1 against total 2*cwnd halves growth.
+        let mut lia = Lia::new(1000, 10);
+        lia.set_ssthresh(5_000);
+        lia.set_cwnd(10_000);
+        lia.set_coupled(1.0, 20_000);
+        for _ in 0..10 {
+            lia.on_ack(1000, None);
+        }
+        // Uncoupled would add ~1000; coupled adds ~500.
+        assert!(lia.cwnd() <= 10_600, "cwnd grew to {}", lia.cwnd());
+        assert!(lia.cwnd() >= 10_400);
+    }
+
+    #[test]
+    fn alpha_equal_paths_is_fraction() {
+        // Two identical subflows: alpha = total*best/(denom^2)
+        //  = 2c * (c/r^2) / (2c/r)^2 = 1/2.
+        let a = lia_alpha(&[
+            (10_000, Duration::from_millis(100)),
+            (10_000, Duration::from_millis(100)),
+        ]);
+        assert!((a - 0.5).abs() < 1e-9, "alpha = {a}");
+    }
+
+    #[test]
+    fn alpha_single_path_is_one() {
+        let a = lia_alpha(&[(10_000, Duration::from_millis(50))]);
+        assert!((a - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_no_samples_defaults() {
+        assert_eq!(lia_alpha(&[]), 1.0);
+        assert_eq!(lia_alpha(&[(0, Duration::from_millis(10))]), 1.0);
+    }
+
+    #[test]
+    fn alpha_favors_fast_path() {
+        // A fast path and a slow path: alpha > the equal-path 0.5 because
+        // the best path dominates.
+        let a = lia_alpha(&[
+            (10_000, Duration::from_millis(20)),
+            (10_000, Duration::from_millis(200)),
+        ]);
+        assert!(a > 0.5, "alpha = {a}");
+    }
+}

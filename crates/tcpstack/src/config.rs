@@ -1,0 +1,86 @@
+//! Socket configuration.
+
+use mptcp_netsim::Duration;
+
+/// Tunables for a [`crate::TcpSocket`].
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: usize,
+    /// Maximum send buffer in bytes (autotuning grows toward this).
+    pub send_buf: usize,
+    /// Maximum receive buffer in bytes (autotuning grows toward this).
+    pub recv_buf: usize,
+    /// Window-scale shift we advertise (RFC 1323).
+    pub wscale: u8,
+    /// Initial congestion window in segments.
+    pub init_cwnd_segs: u32,
+    /// Delayed-ACK timer; `None` acks every data segment immediately.
+    pub delayed_ack: Option<Duration>,
+    /// Enable send/receive buffer autotuning (start small, grow on demand).
+    pub autotune: bool,
+    /// Cap cwnd when smoothed RTT exceeds twice the base RTT (the paper's
+    /// mechanism 4 / FreeBSD's `net.inet.tcp.inflight`).
+    pub cap_cwnd_on_bufferbloat: bool,
+    /// Minimum retransmission timeout.
+    pub min_rto: Duration,
+    /// Maximum retransmission timeout.
+    pub max_rto: Duration,
+    /// Carry RFC 1323 timestamps (used for RTT sampling).
+    pub timestamps: bool,
+    /// After a SYN retransmission, drop unacknowledged extension options
+    /// from the retried SYN (§3.1: "follow the retransmitted SYN with one
+    /// that omits the MP_CAPABLE option").
+    pub plain_syn_on_retry: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            send_buf: 2 * 1024 * 1024,
+            recv_buf: 2 * 1024 * 1024,
+            wscale: 14,
+            init_cwnd_segs: 10,
+            delayed_ack: None,
+            autotune: false,
+            cap_cwnd_on_bufferbloat: false,
+            min_rto: Duration::from_millis(200),
+            max_rto: Duration::from_secs(60),
+            timestamps: true,
+            plain_syn_on_retry: true,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Config with symmetric send/receive buffers of `bytes` — how the
+    /// paper's buffer-sweep experiments (Figs 4–6, 9) set both sysctls.
+    pub fn with_buffers(bytes: usize) -> TcpConfig {
+        TcpConfig {
+            send_buf: bytes,
+            recv_buf: bytes,
+            ..TcpConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = TcpConfig::default();
+        assert_eq!(c.mss, 1460);
+        assert!(c.min_rto < c.max_rto);
+        assert!(c.init_cwnd_segs >= 1);
+    }
+
+    #[test]
+    fn buffer_helper() {
+        let c = TcpConfig::with_buffers(100_000);
+        assert_eq!(c.send_buf, 100_000);
+        assert_eq!(c.recv_buf, 100_000);
+    }
+}

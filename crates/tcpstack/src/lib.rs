@@ -1,0 +1,42 @@
+//! A sans-IO userspace TCP stack.
+//!
+//! This crate is the single-path substrate the NSDI 2012 MPTCP paper builds
+//! on: a complete TCP implementation — the full connection state machine,
+//! reliable transmission with RTO (RFC 6298) and NewReno-style fast
+//! retransmit/recovery, flow control with window scaling, delayed ACKs,
+//! persist-timer zero-window probing, Reno and coupled-LIA congestion
+//! control, and send/receive buffer autotuning.
+//!
+//! Design follows the smoltcp idiom: the socket is a pure state machine.
+//! You feed it segments with [`TcpSocket::handle_segment`], drain output
+//! with [`TcpSocket::poll`], and learn when to call back via
+//! [`TcpSocket::poll_at`]. There is no I/O, no threads, no global clock —
+//! which makes it exactly reproducible under the `mptcp-netsim` simulator.
+//!
+//! Three extension points exist purely for MPTCP (§4 of the paper):
+//!
+//! * **Chunked sends** ([`TcpSocket::send_chunk`]): payload enqueued with
+//!   per-chunk TCP options. Segments never span chunk boundaries, and
+//!   retransmissions re-attach the chunk's options — the paper's
+//!   requirement that data sequence mappings be "retransmitted
+//!   consistently" (§3.3.3).
+//! * **Carried options** ([`TcpSocket::set_carry_options`]): options (the
+//!   DATA_ACK) attached to *every* outgoing segment, including pure ACKs,
+//!   which are not subject to flow control — the §3.3.3 conclusion.
+//! * **Window override** ([`TcpSocket::set_window_override`]): the
+//!   advertised window reflects the *connection-level* shared receive pool
+//!   rather than subflow buffer state — the §3.3.1 deadlock fix.
+
+pub mod cc;
+pub mod config;
+pub mod recvbuf;
+pub mod rtt;
+pub mod sendbuf;
+pub mod socket;
+pub mod state;
+
+pub use cc::{CongestionControl, Lia, Reno};
+pub use config::TcpConfig;
+pub use rtt::RttEstimator;
+pub use socket::{SocketStats, TcpSocket};
+pub use state::TcpState;

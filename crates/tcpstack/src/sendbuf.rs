@@ -1,0 +1,270 @@
+//! The chunked send queue.
+//!
+//! Data is enqueued as *chunks*: a payload plus the TCP options that must
+//! accompany it on the wire. For plain TCP the options are empty and
+//! adjacent chunks merge; for MPTCP each chunk carries its DSS mapping.
+//! Two invariants make MPTCP's middlebox story work (§3.3.3–3.3.5):
+//!
+//! 1. A segment never spans two chunks that carry options, so a mapping is
+//!    always transmitted with (some of) the bytes it maps.
+//! 2. Retransmissions rebuild segments from the chunk queue, so a
+//!    retransmitted mapping is byte-identical to the original — middleboxes
+//!    that "re-assert original content" on inconsistent retransmissions
+//!    (footnote 5) see nothing amiss.
+
+use bytes::Bytes;
+use mptcp_packet::{SeqNum, TcpOption};
+
+/// One queued chunk.
+#[derive(Clone, Debug)]
+struct Chunk {
+    /// Sequence number of the first payload byte.
+    seq: SeqNum,
+    payload: Bytes,
+    options: Vec<TcpOption>,
+}
+
+impl Chunk {
+    fn end(&self) -> SeqNum {
+        self.seq + self.payload.len() as u32
+    }
+}
+
+/// A segment's worth of data pulled out of the queue.
+#[derive(Clone, Debug)]
+pub struct SegmentData {
+    /// Sequence number of the first byte.
+    pub seq: SeqNum,
+    /// Payload slice (zero-copy).
+    pub payload: Bytes,
+    /// Options of the chunk this segment was cut from.
+    pub options: Vec<TcpOption>,
+}
+
+/// The send queue: a run of chunks covering `[una, end)` sequence space.
+pub struct SendQueue {
+    chunks: std::collections::VecDeque<Chunk>,
+    /// Lowest unacknowledged sequence number.
+    una: SeqNum,
+    /// Next sequence number to be assigned to enqueued data.
+    end: SeqNum,
+    /// Cap on merging plain (option-less) chunks, to bound clone costs.
+    max_merge: usize,
+}
+
+impl SendQueue {
+    /// Create a queue starting at sequence `start` (typically ISS+1).
+    pub fn new(start: SeqNum) -> SendQueue {
+        SendQueue {
+            chunks: std::collections::VecDeque::new(),
+            una: start,
+            end: start,
+            max_merge: 64 * 1024,
+        }
+    }
+
+    /// Bytes currently buffered (unacked + unsent).
+    pub fn buffered(&self) -> usize {
+        (self.end - self.una) as usize
+    }
+
+    /// Sequence number one past the last enqueued byte.
+    pub fn end_seq(&self) -> SeqNum {
+        self.end
+    }
+
+    /// Lowest unacknowledged sequence number.
+    pub fn una_seq(&self) -> SeqNum {
+        self.una
+    }
+
+    /// Enqueue a chunk; returns the sequence number it was assigned.
+    pub fn enqueue(&mut self, payload: Bytes, options: Vec<TcpOption>) -> SeqNum {
+        let seq = self.end;
+        self.end = self.end + payload.len() as u32;
+        // Merge option-less data into the previous option-less chunk so bulk
+        // TCP traffic produces full-MSS segments.
+        if options.is_empty() {
+            if let Some(last) = self.chunks.back_mut() {
+                if last.options.is_empty() && last.payload.len() + payload.len() <= self.max_merge {
+                    let mut merged = Vec::with_capacity(last.payload.len() + payload.len());
+                    merged.extend_from_slice(&last.payload);
+                    merged.extend_from_slice(&payload);
+                    last.payload = Bytes::from(merged);
+                    return seq;
+                }
+            }
+        }
+        self.chunks.push_back(Chunk {
+            seq,
+            payload,
+            options,
+        });
+        seq
+    }
+
+    /// Acknowledge everything before `ack`; returns bytes freed.
+    pub fn ack_to(&mut self, ack: SeqNum) -> usize {
+        if !ack.after(self.una) {
+            return 0;
+        }
+        let ack = ack.min(self.end);
+        let freed = (ack - self.una) as usize;
+        self.una = ack;
+        while let Some(front) = self.chunks.front() {
+            if front.end().before_eq(ack) {
+                self.chunks.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Trim a partially-acked front chunk. Its options stay attached to
+        // the remainder: a duplicate DSS mapping is harmless (§3.3.4).
+        if let Some(front) = self.chunks.front_mut() {
+            if front.seq.before(ack) {
+                let cut = (ack - front.seq) as usize;
+                front.payload = front.payload.slice(cut..);
+                front.seq = ack;
+            }
+        }
+        freed
+    }
+
+    /// Extract up to `max_len` bytes starting at `from`, without crossing a
+    /// chunk boundary. Returns `None` when `from` is at or past the end.
+    pub fn segment_at(&self, from: SeqNum, max_len: usize) -> Option<SegmentData> {
+        if !from.in_window(self.una, self.end - self.una) {
+            return None;
+        }
+        let chunk = self.chunks.iter().find(|c| {
+            from.after_eq(c.seq) && from.before(c.end())
+        })?;
+        let off = (from - chunk.seq) as usize;
+        let take = (chunk.payload.len() - off).min(max_len);
+        Some(SegmentData {
+            seq: from,
+            payload: chunk.payload.slice(off..off + take),
+            options: chunk.options.clone(),
+        })
+    }
+
+    /// The first unacknowledged segment (up to `max_len` bytes): what the
+    /// paper's opportunistic retransmission resends on another subflow
+    /// ("only considers the first unacknowledged segment", §4.2 M1).
+    pub fn front_segment(&self, max_len: usize) -> Option<SegmentData> {
+        self.segment_at(self.una, max_len)
+    }
+
+    /// True when `seq` still has unsent-or-unacked data after it.
+    pub fn has_data_at(&self, seq: SeqNum) -> bool {
+        seq.before(self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> SendQueue {
+        SendQueue::new(SeqNum(1000))
+    }
+
+    fn opt() -> Vec<TcpOption> {
+        vec![TcpOption::WindowScale(1)]
+    }
+
+    #[test]
+    fn enqueue_assigns_sequence() {
+        let mut s = q();
+        assert_eq!(s.enqueue(Bytes::from_static(b"abc"), vec![]), SeqNum(1000));
+        assert_eq!(s.enqueue(Bytes::from_static(b"defg"), vec![]), SeqNum(1003));
+        assert_eq!(s.buffered(), 7);
+        assert_eq!(s.end_seq(), SeqNum(1007));
+    }
+
+    #[test]
+    fn plain_chunks_merge() {
+        let mut s = q();
+        s.enqueue(Bytes::from_static(b"aaa"), vec![]);
+        s.enqueue(Bytes::from_static(b"bbb"), vec![]);
+        // One merged chunk: a segment can span both writes.
+        let seg = s.segment_at(SeqNum(1000), 100).unwrap();
+        assert_eq!(&seg.payload[..], b"aaabbb");
+    }
+
+    #[test]
+    fn option_chunks_do_not_merge() {
+        let mut s = q();
+        s.enqueue(Bytes::from_static(b"aaa"), opt());
+        s.enqueue(Bytes::from_static(b"bbb"), opt());
+        let seg = s.segment_at(SeqNum(1000), 100).unwrap();
+        assert_eq!(&seg.payload[..], b"aaa"); // stops at chunk boundary
+        let seg2 = s.segment_at(SeqNum(1003), 100).unwrap();
+        assert_eq!(&seg2.payload[..], b"bbb");
+    }
+
+    #[test]
+    fn segment_respects_mss() {
+        let mut s = q();
+        s.enqueue(Bytes::from(vec![0u8; 5000]), vec![]);
+        let seg = s.segment_at(SeqNum(1000), 1460).unwrap();
+        assert_eq!(seg.payload.len(), 1460);
+        let seg = s.segment_at(SeqNum(1000 + 4000), 1460).unwrap();
+        assert_eq!(seg.payload.len(), 1000);
+    }
+
+    #[test]
+    fn split_segments_carry_chunk_options() {
+        // TSO behaviour: every segment cut from a chunk carries its options.
+        let mut s = q();
+        s.enqueue(Bytes::from(vec![1u8; 3000]), opt());
+        let a = s.segment_at(SeqNum(1000), 1460).unwrap();
+        let b = s.segment_at(SeqNum(2460), 1460).unwrap();
+        assert_eq!(a.options, opt());
+        assert_eq!(b.options, opt());
+    }
+
+    #[test]
+    fn ack_frees_and_trims() {
+        let mut s = q();
+        s.enqueue(Bytes::from_static(b"hello"), opt());
+        s.enqueue(Bytes::from_static(b"world"), opt());
+        assert_eq!(s.ack_to(SeqNum(1003)), 3);
+        assert_eq!(s.buffered(), 7);
+        // Partial chunk trimmed but options retained for the remainder.
+        let seg = s.segment_at(SeqNum(1003), 100).unwrap();
+        assert_eq!(&seg.payload[..], b"lo");
+        assert_eq!(seg.options, opt());
+        assert_eq!(s.ack_to(SeqNum(1010)), 7);
+        assert_eq!(s.buffered(), 0);
+    }
+
+    #[test]
+    fn stale_and_overshooting_acks() {
+        let mut s = q();
+        s.enqueue(Bytes::from_static(b"abc"), vec![]);
+        assert_eq!(s.ack_to(SeqNum(999)), 0); // old ack ignored
+        assert_eq!(s.ack_to(SeqNum(2000)), 3); // clamped to end
+        assert_eq!(s.una_seq(), SeqNum(1003));
+    }
+
+    #[test]
+    fn front_segment_is_una() {
+        let mut s = q();
+        s.enqueue(Bytes::from_static(b"abcdef"), vec![]);
+        s.ack_to(SeqNum(1002));
+        let f = s.front_segment(2).unwrap();
+        assert_eq!(f.seq, SeqNum(1002));
+        assert_eq!(&f.payload[..], b"cd");
+    }
+
+    #[test]
+    fn segment_past_end_is_none() {
+        let mut s = q();
+        s.enqueue(Bytes::from_static(b"ab"), vec![]);
+        assert!(s.segment_at(SeqNum(1002), 10).is_none());
+        assert!(s.front_segment(10).is_some());
+        s.ack_to(SeqNum(1002));
+        assert!(s.front_segment(10).is_none());
+    }
+}

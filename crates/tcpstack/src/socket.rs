@@ -1,0 +1,1750 @@
+//! The TCP socket state machine.
+//!
+//! One [`TcpSocket`] is one TCP connection end — or one MPTCP *subflow*,
+//! since "subflows resemble TCP flows on the wire" (§3). The socket is
+//! driven entirely by [`TcpSocket::handle_segment`] (input),
+//! [`TcpSocket::poll`] (output, one segment per call), and
+//! [`TcpSocket::poll_at`] (timer deadline).
+
+use bytes::Bytes;
+use mptcp_netsim::{Duration, SimTime};
+use mptcp_packet::{FourTuple, MptcpOption, SeqNum, TcpFlags, TcpOption, TcpSegment};
+
+use crate::cc::{CongestionControl, Reno};
+use crate::config::TcpConfig;
+use crate::recvbuf::RecvQueue;
+use crate::rtt::RttEstimator;
+use crate::sendbuf::{SegmentData, SendQueue};
+use crate::state::TcpState;
+
+/// Counters for instrumentation and the paper's measurements.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SocketStats {
+    /// Segments emitted.
+    pub segs_out: u64,
+    /// Segments processed.
+    pub segs_in: u64,
+    /// Payload bytes emitted (including retransmissions).
+    pub bytes_out: u64,
+    /// Payload bytes cumulatively acknowledged.
+    pub bytes_acked: u64,
+    /// Fast retransmissions triggered.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub rtos: u64,
+    /// SYN retransmissions.
+    pub syn_retransmits: u64,
+    /// Segments retransmitted (any reason).
+    pub retransmitted_segs: u64,
+    /// Pure window-probe segments sent.
+    pub probes: u64,
+}
+
+/// A single TCP connection endpoint.
+pub struct TcpSocket {
+    cfg: TcpConfig,
+    state: TcpState,
+    tuple: FourTuple,
+
+    iss: SeqNum,
+    irs: SeqNum,
+    snd_una: SeqNum,
+    snd_nxt: SeqNum,
+    snd_wnd: u32,
+    wl1: SeqNum,
+    wl2: SeqNum,
+    rcv_nxt: SeqNum,
+
+    send_q: SendQueue,
+    recv_q: RecvQueue,
+    sbuf_cap: usize,
+
+    rtt: RttEstimator,
+    cc: Box<dyn CongestionControl>,
+    effective_mss: usize,
+    peer_wscale: u8,
+
+    // Timers.
+    rto_deadline: Option<SimTime>,
+    rto_backoff: u32,
+    consecutive_rtos: u32,
+    delack_deadline: Option<SimTime>,
+    persist_deadline: Option<SimTime>,
+    persist_backoff: u32,
+    timewait_deadline: Option<SimTime>,
+    /// Last time the bufferbloat cap (M4) was applied.
+    last_cap_at: Option<SimTime>,
+
+    // Recovery.
+    dup_acks: u32,
+    in_recovery: bool,
+    recover: SeqNum,
+    pending_retransmit: Option<SeqNum>,
+    /// Post-RTO go-back-N: retransmit [snd_una, recover) paced by cwnd.
+    rto_recovery: bool,
+    /// Next sequence to retransmit during RTO recovery.
+    retx_nxt: SeqNum,
+
+    // Output intents.
+    syn_needs_send: bool,
+    synack_needs_send: bool,
+    need_ack: bool,
+    probe_pending: bool,
+    rst_pending: bool,
+    fin_queued: bool,
+    fin_sent: bool,
+    fin_seq: Option<SeqNum>,
+    fin_received: bool,
+
+    // Timestamps (RFC 1323) for RTT sampling.
+    ts_recent: u32,
+    /// Send times of timestamp values, for RTT computation: we echo the
+    /// peer's clock, so we need our own epoch only.
+    epoch: SimTime,
+
+    // Advertised-window bookkeeping (window updates).
+    last_adv_right_edge: SeqNum,
+
+    // Extension points for MPTCP.
+    syn_options: Vec<TcpOption>,
+    carry_options: Vec<TcpOption>,
+    oneshot_options: Vec<TcpOption>,
+    window_override: Option<u32>,
+    /// MPTCP options harvested from every incoming segment, in order.
+    rx_mptcp: Vec<MptcpOption>,
+
+    /// Set when the connection was reset or timed out.
+    error: bool,
+    /// Counters.
+    pub stats: SocketStats,
+}
+
+impl TcpSocket {
+    /// Create an active opener (client). The first [`TcpSocket::poll`]
+    /// emits a SYN carrying `syn_options` (e.g. MP_CAPABLE or MP_JOIN).
+    pub fn client(
+        cfg: TcpConfig,
+        tuple: FourTuple,
+        iss: SeqNum,
+        now: SimTime,
+        syn_options: Vec<TcpOption>,
+    ) -> TcpSocket {
+        let mut s = TcpSocket::common(cfg, tuple, iss, now);
+        s.state = TcpState::SynSent;
+        s.syn_needs_send = true;
+        s.syn_options = syn_options;
+        s
+    }
+
+    /// Create a passive opener directly from a received SYN. The first
+    /// [`TcpSocket::poll`] emits the SYN/ACK carrying `syn_options`.
+    pub fn accept(
+        cfg: TcpConfig,
+        syn: &TcpSegment,
+        iss: SeqNum,
+        now: SimTime,
+        syn_options: Vec<TcpOption>,
+    ) -> TcpSocket {
+        let mut s = TcpSocket::common(cfg, syn.tuple.reversed(), iss, now);
+        s.state = TcpState::SynReceived;
+        s.synack_needs_send = true;
+        s.syn_options = syn_options;
+        s.irs = syn.seq;
+        s.rcv_nxt = syn.seq + 1;
+        s.snd_wnd = syn.window;
+        s.wl1 = syn.seq;
+        s.wl2 = SeqNum(0);
+        s.absorb_syn_options(syn);
+        s.harvest_mptcp(syn);
+        s.stats.segs_in += 1;
+        s
+    }
+
+    fn common(cfg: TcpConfig, tuple: FourTuple, iss: SeqNum, now: SimTime) -> TcpSocket {
+        let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto);
+        let cc = Box::new(Reno::new(cfg.mss as u32, cfg.init_cwnd_segs));
+        let rbuf = if cfg.autotune {
+            (16 * cfg.mss).min(cfg.recv_buf)
+        } else {
+            cfg.recv_buf
+        };
+        let sbuf = if cfg.autotune {
+            (16 * cfg.mss).min(cfg.send_buf)
+        } else {
+            cfg.send_buf
+        };
+        TcpSocket {
+            effective_mss: cfg.mss,
+            state: TcpState::Closed,
+            tuple,
+            iss,
+            irs: SeqNum(0),
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_wnd: 0,
+            wl1: SeqNum(0),
+            wl2: SeqNum(0),
+            rcv_nxt: SeqNum(0),
+            send_q: SendQueue::new(iss + 1),
+            recv_q: RecvQueue::new(rbuf),
+            sbuf_cap: sbuf,
+            rtt,
+            cc,
+            peer_wscale: 0,
+            rto_deadline: None,
+            rto_backoff: 1,
+            consecutive_rtos: 0,
+            delack_deadline: None,
+            persist_deadline: None,
+            persist_backoff: 1,
+            timewait_deadline: None,
+            last_cap_at: None,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: iss,
+            pending_retransmit: None,
+            rto_recovery: false,
+            retx_nxt: iss,
+            syn_needs_send: false,
+            synack_needs_send: false,
+            need_ack: false,
+            probe_pending: false,
+            rst_pending: false,
+            fin_queued: false,
+            fin_sent: false,
+            fin_seq: None,
+            fin_received: false,
+            ts_recent: 0,
+            epoch: now,
+            last_adv_right_edge: SeqNum(0),
+            syn_options: Vec::new(),
+            carry_options: Vec::new(),
+            oneshot_options: Vec::new(),
+            window_override: None,
+            rx_mptcp: Vec::new(),
+            error: false,
+            stats: SocketStats::default(),
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// Connection state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// The socket's four-tuple (local = src).
+    pub fn tuple(&self) -> FourTuple {
+        self.tuple
+    }
+
+    /// Has the handshake completed?
+    pub fn is_established(&self) -> bool {
+        self.state.is_synchronized() && !self.error
+    }
+
+    /// Did the connection fail (RST or persistent timeout)?
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// Initial send sequence number.
+    pub fn iss(&self) -> SeqNum {
+        self.iss
+    }
+
+    /// Initial receive sequence number.
+    pub fn irs(&self) -> SeqNum {
+        self.irs
+    }
+
+    /// Smoothed RTT.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.rtt.srtt()
+    }
+
+    /// Base (minimum observed) RTT.
+    pub fn base_rtt(&self) -> Option<Duration> {
+        self.rtt.min_rtt()
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> Duration {
+        self.rtt.rto() * self.rto_backoff
+    }
+
+    /// Congestion window in bytes.
+    pub fn cwnd(&self) -> u32 {
+        self.cc.cwnd()
+    }
+
+    /// Mutable access to the congestion controller (penalization, capping,
+    /// algorithm swaps).
+    pub fn cc_mut(&mut self) -> &mut dyn CongestionControl {
+        &mut *self.cc
+    }
+
+    /// Replace the congestion control algorithm (e.g. install [`crate::Lia`]).
+    pub fn set_cc(&mut self, cc: Box<dyn CongestionControl>) {
+        self.cc = cc;
+    }
+
+    /// Is the socket currently in fast or RTO loss recovery?
+    pub fn in_loss_recovery(&self) -> bool {
+        self.in_recovery || self.rto_recovery
+    }
+
+    /// Bytes in flight (sent, not yet cumulatively acked).
+    pub fn bytes_in_flight(&self) -> u32 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Peer's advertised window in bytes.
+    pub fn peer_window(&self) -> u32 {
+        self.snd_wnd
+    }
+
+    /// Effective MSS after negotiation.
+    pub fn mss(&self) -> usize {
+        self.effective_mss
+    }
+
+    /// Bytes queued in the send buffer (unacked + unsent).
+    pub fn bytes_queued(&self) -> usize {
+        self.send_q.buffered()
+    }
+
+    /// Free space in the send buffer.
+    pub fn send_space(&self) -> usize {
+        self.sbuf_cap.saturating_sub(self.send_q.buffered())
+    }
+
+    /// Current send buffer capacity (autotuned).
+    pub fn send_capacity(&self) -> usize {
+        self.sbuf_cap
+    }
+
+    /// Current receive buffer capacity (autotuned).
+    pub fn recv_capacity(&self) -> usize {
+        self.recv_q.capacity()
+    }
+
+    /// Bytes held in the receive buffer (for memory accounting).
+    pub fn recv_buffered(&self) -> usize {
+        self.recv_q.buffered()
+    }
+
+    /// Has the peer's FIN been received (stream EOF)?
+    pub fn stream_fin(&self) -> bool {
+        self.fin_received
+    }
+
+    /// Has our FIN been sent and acknowledged?
+    pub fn fin_acked(&self) -> bool {
+        match self.fin_seq {
+            Some(fs) => self.snd_una.after(fs),
+            None => false,
+        }
+    }
+
+    /// 1-based relative offset the next enqueued byte will get on this
+    /// subflow (the DSS `subflow_seq` for a mapping starting there).
+    pub fn next_tx_offset(&self) -> u64 {
+        u64::from(self.send_q.end_seq() - self.iss)
+    }
+
+    /// Drain MPTCP options harvested from incoming segments.
+    pub fn take_rx_mptcp(&mut self) -> Vec<MptcpOption> {
+        std::mem::take(&mut self.rx_mptcp)
+    }
+
+    /// Read in-order payload with its 0-based stream offset.
+    pub fn read_stream(&mut self, max: usize) -> Option<(u64, Bytes)> {
+        self.recv_q.read_with_offset(max)
+    }
+
+    /// Read in-order payload (plain TCP application API).
+    pub fn read(&mut self, max: usize) -> Option<Bytes> {
+        self.recv_q.read(max)
+    }
+
+    /// Set options attached to every outgoing segment (e.g. the DATA_ACK).
+    pub fn set_carry_options(&mut self, opts: Vec<TcpOption>) {
+        self.carry_options = opts;
+    }
+
+    /// Queue options to ride on the *next* outgoing segment only
+    /// (ADD_ADDR, REMOVE_ADDR, DATA_FIN, MP_FAIL). Also schedules a pure
+    /// ACK so they go out promptly even with no data pending.
+    pub fn queue_oneshot_options(&mut self, opts: Vec<TcpOption>) {
+        self.oneshot_options.extend(opts);
+        self.need_ack = true;
+    }
+
+    /// Are one-shot options still waiting for a carrier segment?
+    pub fn oneshot_pending(&self) -> bool {
+        !self.oneshot_options.is_empty()
+    }
+
+    /// Override the advertised receive window (MPTCP shared buffer pool).
+    pub fn set_window_override(&mut self, window: Option<u32>) {
+        self.window_override = window;
+    }
+
+    /// Ask the socket to emit a pure ACK at the next poll (window updates
+    /// driven by connection-level buffer changes).
+    pub fn request_ack(&mut self) {
+        self.need_ack = true;
+    }
+
+    /// First unacknowledged segment's data, for opportunistic
+    /// retransmission on another subflow (M1).
+    pub fn front_unacked(&self) -> Option<SegmentData> {
+        if self.snd_nxt == self.snd_una {
+            return None;
+        }
+        self.send_q.front_segment(self.effective_mss)
+    }
+
+    // ------------------------------------------------------------------
+    // Application API.
+    // ------------------------------------------------------------------
+
+    /// Enqueue payload with per-chunk options (the MPTCP mapping path).
+    ///
+    /// Returns `false` (and enqueues nothing) if the send buffer lacks
+    /// space or the state forbids sending.
+    pub fn send_chunk(&mut self, payload: Bytes, options: Vec<TcpOption>) -> bool {
+        if !self.state.can_send() && self.state != TcpState::SynSent {
+            return false;
+        }
+        if self.fin_queued || payload.len() > self.send_space() {
+            return false;
+        }
+        self.maybe_grow_sbuf(payload.len());
+        self.send_q.enqueue(payload, options);
+        true
+    }
+
+    /// Enqueue plain payload (TCP application write). Returns bytes taken.
+    pub fn send(&mut self, payload: &[u8]) -> usize {
+        if (!self.state.can_send() && self.state != TcpState::SynSent) || self.fin_queued {
+            return 0;
+        }
+        let take = payload.len().min(self.send_space());
+        if take > 0 {
+            self.maybe_grow_sbuf(take);
+            self.send_q
+                .enqueue(Bytes::copy_from_slice(&payload[..take]), Vec::new());
+        }
+        take
+    }
+
+    fn maybe_grow_sbuf(&mut self, incoming: usize) {
+        if !self.cfg.autotune {
+            return;
+        }
+        while self.send_q.buffered() + incoming > self.sbuf_cap / 2
+            && self.sbuf_cap < self.cfg.send_buf
+        {
+            self.sbuf_cap = (self.sbuf_cap * 2).min(self.cfg.send_buf);
+        }
+    }
+
+    /// Close the send direction: a FIN goes out once the queue drains.
+    pub fn close(&mut self) {
+        if matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::SynSent | TcpState::SynReceived
+        ) {
+            self.fin_queued = true;
+        }
+    }
+
+    /// Abort: emit RST and drop to `Closed`.
+    pub fn abort(&mut self) {
+        if self.state.is_synchronized() || self.state == TcpState::SynReceived {
+            self.rst_pending = true;
+        }
+        self.state = TcpState::Closed;
+        self.error = true;
+        self.clear_timers();
+    }
+
+    fn clear_timers(&mut self) {
+        self.rto_deadline = None;
+        self.delack_deadline = None;
+        self.persist_deadline = None;
+        self.timewait_deadline = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Input.
+    // ------------------------------------------------------------------
+
+    /// Process an incoming segment addressed to this socket.
+    pub fn handle_segment(&mut self, now: SimTime, seg: &TcpSegment) {
+        self.stats.segs_in += 1;
+        match self.state {
+            TcpState::Closed | TcpState::Listen => {}
+            TcpState::SynSent => self.handle_syn_sent(now, seg),
+            _ => self.handle_synchronized(now, seg),
+        }
+    }
+
+    fn handle_syn_sent(&mut self, now: SimTime, seg: &TcpSegment) {
+        if seg.flags.rst {
+            if seg.flags.ack && seg.ack == self.iss + 1 {
+                self.enter_error();
+            }
+            return;
+        }
+        if seg.flags.syn && seg.flags.ack {
+            if seg.ack != self.iss + 1 {
+                return; // bogus ack; a real stack would RST
+            }
+            self.irs = seg.seq;
+            self.rcv_nxt = seg.seq + 1;
+            self.snd_una = seg.ack;
+            self.snd_wnd = seg.window;
+            self.wl1 = seg.seq;
+            self.wl2 = seg.ack;
+            self.absorb_syn_options(seg);
+            self.harvest_mptcp(seg);
+            self.sample_rtt_from_ts(now, seg);
+            self.state = TcpState::Established;
+            self.rto_deadline = None;
+            self.rto_backoff = 1;
+            self.consecutive_rtos = 0;
+            self.need_ack = true;
+        } else if seg.flags.syn {
+            // Simultaneous open.
+            self.irs = seg.seq;
+            self.rcv_nxt = seg.seq + 1;
+            self.absorb_syn_options(seg);
+            self.harvest_mptcp(seg);
+            self.state = TcpState::SynReceived;
+            self.synack_needs_send = true;
+        }
+    }
+
+    fn handle_synchronized(&mut self, now: SimTime, seg: &TcpSegment) {
+        if seg.flags.rst {
+            // Accept an in-window RST.
+            if self.seq_acceptable(seg) {
+                self.enter_error();
+            }
+            return;
+        }
+        if seg.flags.syn {
+            // Duplicate SYN (our SYN/ACK was lost): re-ack.
+            if seg.seq == self.irs {
+                self.synack_needs_send = self.state == TcpState::SynReceived;
+                self.need_ack = true;
+            }
+            if self.state == TcpState::SynReceived {
+                return;
+            }
+        }
+
+        // Harvest MPTCP options from anything plausibly belonging to the
+        // connection, including out-of-window duplicates: the DSS mapping
+        // is position-independent (§3.3.4).
+        self.harvest_mptcp(seg);
+
+        if seg.flags.ack {
+            self.process_ack(now, seg);
+        }
+
+        if !seg.payload.is_empty() {
+            self.process_payload(now, seg);
+        }
+
+        if seg.flags.fin {
+            self.process_fin(seg);
+        }
+
+        // Timestamp echo bookkeeping.
+        if let Some(TcpOption::Timestamps { val, .. }) = seg
+            .options
+            .iter()
+            .find(|o| matches!(o, TcpOption::Timestamps { .. }))
+        {
+            if seg.seq.before_eq(self.rcv_nxt) {
+                self.ts_recent = *val;
+            }
+        }
+    }
+
+    fn seq_acceptable(&self, seg: &TcpSegment) -> bool {
+        let wnd = self.adv_window().max(1);
+        seg.seq_end().after_eq(self.rcv_nxt) && seg.seq.before(self.rcv_nxt + wnd)
+    }
+
+    fn process_ack(&mut self, now: SimTime, seg: &TcpSegment) {
+        let ack = seg.ack;
+        let flight_before = self.bytes_in_flight();
+        let window_changed = seg.window != self.snd_wnd;
+
+        // SYN/ACK completion on the passive side.
+        if self.state == TcpState::SynReceived {
+            if ack == self.iss + 1 {
+                self.state = TcpState::Established;
+                self.snd_una = ack;
+                self.snd_wnd = seg.window;
+                self.wl1 = seg.seq;
+                self.wl2 = seg.ack;
+                self.rto_deadline = None;
+                self.rto_backoff = 1;
+                self.consecutive_rtos = 0;
+                self.sample_rtt_from_ts(now, seg);
+            }
+            if !self.state.is_synchronized() {
+                return;
+            }
+        }
+
+        if ack.after(self.snd_nxt_with_fin()) {
+            // Acks data we never sent; ignore (a defensive stack ACKs).
+            self.need_ack = true;
+            return;
+        }
+
+        // Window update (RFC 793 WL1/WL2 test).
+        if self.wl1.before(seg.seq)
+            || (self.wl1 == seg.seq && self.wl2.before_eq(ack))
+        {
+            self.snd_wnd = seg.window;
+            self.wl1 = seg.seq;
+            self.wl2 = ack;
+        }
+
+        if ack.after(self.snd_una) {
+            let mut newly = ack - self.snd_una;
+            // A FIN occupies sequence space but is not buffer data.
+            if let Some(fs) = self.fin_seq {
+                if ack.after(fs) {
+                    newly = newly.saturating_sub(1);
+                }
+            }
+            self.send_q.ack_to(ack);
+            self.snd_una = ack;
+            self.stats.bytes_acked += u64::from(newly);
+            let rtt_sample = self.sample_rtt_from_ts(now, seg);
+            self.rto_backoff = 1;
+            self.consecutive_rtos = 0;
+            self.dup_acks = 0;
+
+            if self.rto_recovery {
+                self.retx_nxt = self.retx_nxt.max(self.snd_una);
+                if ack.after_eq(self.recover) {
+                    self.rto_recovery = false;
+                }
+                self.cc.on_ack(newly, rtt_sample);
+            } else if self.in_recovery {
+                if ack.after_eq(self.recover) {
+                    self.in_recovery = false;
+                    self.cc.on_recovery_exit();
+                } else {
+                    // NewReno partial ACK: retransmit the next hole. The
+                    // send window during recovery is computed from
+                    // ssthresh + dup_acks (see `effective_cwnd`), so the
+                    // reset of `dup_acks` above deflates it automatically.
+                    self.pending_retransmit = Some(self.snd_una);
+                }
+            } else {
+                // Congestion-window validation: only grow when the flow
+                // was actually cwnd-limited, else an application- or
+                // receive-window-limited flow inflates cwnd without bound
+                // (catastrophic on bufferbloated paths).
+                let cwnd_limited =
+                    flight_before + 2 * self.effective_mss as u32 >= self.cc.cwnd();
+                if cwnd_limited {
+                    self.cc.on_ack(newly, rtt_sample);
+                }
+            }
+
+            // M4 / FreeBSD inflight: cap cwnd when the path is bufferbloated.
+            if self.cfg.cap_cwnd_on_bufferbloat {
+                self.apply_bufferbloat_cap(now);
+            }
+
+            if self.snd_una == self.snd_nxt_with_fin() {
+                self.rto_deadline = None;
+            } else {
+                self.rto_deadline = Some(now + self.rto());
+            }
+
+            // FIN acknowledged?
+            if self.fin_acked() {
+                match self.state {
+                    TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                    TcpState::Closing => self.enter_timewait(now),
+                    TcpState::LastAck => {
+                        self.state = TcpState::Closed;
+                        self.clear_timers();
+                    }
+                    _ => {}
+                }
+            }
+        } else if ack == self.snd_una
+            && seg.payload.is_empty()
+            && !seg.flags.syn
+            && !seg.flags.fin
+            // A genuine duplicate ACK either leaves the window unchanged or
+            // carries a SACK block (the receiver is holding out-of-order
+            // data). Window-only updates — e.g. MPTCP's shared-pool window
+            // moving because the *other* subflow delivered — must not
+            // trigger spurious fast retransmits.
+            && (!window_changed
+                || seg.options.iter().any(|o| matches!(o, TcpOption::Sack(_))))
+            && self.snd_nxt.after(self.snd_una)
+        {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && !self.in_recovery {
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                // Clamp the flight estimate to cwnd: data sent beyond the
+                // (since-collapsed) window is mostly sitting in drop-tail
+                // queues or lost, and must not inflate ssthresh.
+                self.cc
+                    .on_fast_retransmit(self.bytes_in_flight().min(self.cc.cwnd()));
+                self.pending_retransmit = Some(self.snd_una);
+                self.stats.fast_retransmits += 1;
+            }
+            // Window inflation during recovery is handled by
+            // `effective_cwnd` (pipe conservation: each duplicate ACK
+            // means one segment left the network).
+        }
+
+        // Zero-window handling: arm/disarm the persist timer.
+        if self.snd_wnd == 0 && self.send_q.has_data_at(self.snd_nxt) {
+            if self.persist_deadline.is_none() {
+                self.persist_backoff = 1;
+                self.persist_deadline = Some(now + self.persist_interval());
+            }
+        } else {
+            self.persist_deadline = None;
+            self.persist_backoff = 1;
+        }
+    }
+
+    fn apply_bufferbloat_cap(&mut self, now: SimTime) {
+        let (Some(base), Some(srtt)) = (self.rtt.min_rtt(), self.rtt.srtt()) else {
+            return;
+        };
+        // At most one reduction per base RTT, like the paper's penalization
+        // cadence — re-capping on every ACK spirals the window down.
+        if self.last_cap_at.is_some_and(|t| now.since(t) < srtt) {
+            return;
+        }
+        if srtt > base * 2 {
+            // One BDP worth of data, measured at base RTT.
+            let rate = f64::from(self.cc.cwnd()) / srtt.as_secs_f64().max(1e-9);
+            let cap = (rate * base.as_secs_f64() * 2.0) as u32;
+            if cap < self.cc.cwnd() {
+                self.cc.set_cwnd(cap.max(2 * self.effective_mss as u32));
+                self.last_cap_at = Some(now);
+            }
+        }
+    }
+
+    fn snd_nxt_with_fin(&self) -> SeqNum {
+        self.snd_nxt
+    }
+
+    fn process_payload(&mut self, now: SimTime, seg: &TcpSegment) {
+        if !self.state.can_receive() {
+            self.need_ack = true;
+            return;
+        }
+        // Stream offset of the segment's first byte (0-based, first data
+        // byte after the SYN is offset 0).
+        let first_data = self.irs + 1;
+        let rel = i64::from(seg.seq.dist_from(first_data) as i32);
+        let (off, payload) = if rel < 0 {
+            // Overlaps the SYN (shouldn't happen); clip.
+            let cut = (-rel) as usize;
+            if cut >= seg.payload.len() {
+                self.need_ack = true;
+                return;
+            }
+            (0u64, seg.payload.slice(cut..))
+        } else {
+            (seg.seq.dist_from(first_data) as u64, seg.payload.clone())
+        };
+
+        // Clip to the advertised window's right edge (connection-level
+        // clipping — data in-window at subflow level but out-of-window at
+        // data level is dropped by the MPTCP layer above, §3.3.5).
+        let window_right = u64::from(self.rcv_nxt.dist_from(first_data)) + u64::from(self.adv_window());
+        let payload = if off + payload.len() as u64 > window_right {
+            if off >= window_right {
+                self.need_ack = true;
+                return;
+            }
+            payload.slice(..(window_right - off) as usize)
+        } else {
+            payload
+        };
+
+        let advanced = self.recv_q.insert(off, payload);
+        self.rcv_nxt = self.rcv_nxt + advanced as u32;
+        self.maybe_grow_rbuf();
+
+        if advanced > 0 {
+            match self.cfg.delayed_ack {
+                None => self.need_ack = true,
+                Some(d) => {
+                    if self.delack_deadline.is_some() {
+                        // Second segment: ack immediately (ack every other).
+                        self.need_ack = true;
+                        self.delack_deadline = None;
+                    } else {
+                        self.delack_deadline = Some(now + d);
+                    }
+                }
+            }
+        } else {
+            // Out-of-order or duplicate: immediate (dup) ACK.
+            self.need_ack = true;
+        }
+    }
+
+    fn maybe_grow_rbuf(&mut self) {
+        if !self.cfg.autotune {
+            return;
+        }
+        while self.recv_q.buffered() > self.recv_q.capacity() / 2
+            && self.recv_q.capacity() < self.cfg.recv_buf
+        {
+            let next = (self.recv_q.capacity() * 2).min(self.cfg.recv_buf);
+            self.recv_q.set_capacity(next);
+        }
+    }
+
+    fn process_fin(&mut self, seg: &TcpSegment) {
+        let fin_seq = seg.seq + seg.payload.len() as u32;
+        if fin_seq != self.rcv_nxt {
+            // FIN beyond a hole: ack what we have; peer retransmits.
+            self.need_ack = true;
+            return;
+        }
+        if self.fin_received {
+            self.need_ack = true;
+            return;
+        }
+        self.fin_received = true;
+        self.rcv_nxt = self.rcv_nxt + 1;
+        self.need_ack = true;
+        match self.state {
+            TcpState::Established => self.state = TcpState::CloseWait,
+            TcpState::FinWait1 => {
+                if self.fin_acked() {
+                    self.enter_timewait_pending();
+                } else {
+                    self.state = TcpState::Closing;
+                }
+            }
+            TcpState::FinWait2 => self.enter_timewait_pending(),
+            _ => {}
+        }
+    }
+
+    fn enter_timewait_pending(&mut self) {
+        // The actual timer is armed at the next poll (we need `now`).
+        self.state = TcpState::TimeWait;
+        self.timewait_deadline = None;
+    }
+
+    fn enter_timewait(&mut self, now: SimTime) {
+        self.state = TcpState::TimeWait;
+        self.timewait_deadline = Some(now + Duration::from_secs(8));
+    }
+
+    fn enter_error(&mut self) {
+        self.state = TcpState::Closed;
+        self.error = true;
+        self.clear_timers();
+    }
+
+    fn absorb_syn_options(&mut self, seg: &TcpSegment) {
+        for o in &seg.options {
+            match o {
+                TcpOption::Mss(m) => {
+                    self.effective_mss = self.effective_mss.min(*m as usize);
+                }
+                TcpOption::WindowScale(s) => {
+                    self.peer_wscale = *s;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn harvest_mptcp(&mut self, seg: &TcpSegment) {
+        for m in seg.mptcp_options() {
+            self.rx_mptcp.push(m.clone());
+        }
+    }
+
+    fn sample_rtt_from_ts(&mut self, now: SimTime, seg: &TcpSegment) -> Option<Duration> {
+        let ecr = seg.options.iter().find_map(|o| match o {
+            TcpOption::Timestamps { ecr, .. } if *ecr != 0 => Some(*ecr),
+            _ => None,
+        })?;
+        let now_us = self.ts_now(now);
+        let delta = now_us.wrapping_sub(ecr);
+        // Reject absurd samples (clock skew after wrap).
+        if delta > 120_000_000 {
+            return None;
+        }
+        let rtt = Duration::from_micros(u64::from(delta));
+        self.rtt.on_sample(rtt);
+        Some(rtt)
+    }
+
+    fn ts_now(&self, now: SimTime) -> u32 {
+        (now.since(self.epoch).as_micros() as u64 % u64::from(u32::MAX)).max(1) as u32
+    }
+
+    // ------------------------------------------------------------------
+    // Output.
+    // ------------------------------------------------------------------
+
+    /// Next instant this socket needs a poll (earliest timer).
+    pub fn poll_at(&self, _now: SimTime) -> Option<SimTime> {
+        if self.has_immediate_output() {
+            return Some(SimTime::ZERO); // poll me right now
+        }
+        let mut t = self.rto_deadline;
+        t = opt_min(t, self.delack_deadline);
+        t = opt_min(t, self.persist_deadline);
+        t = opt_min(t, self.timewait_deadline);
+        t
+    }
+
+    fn has_immediate_output(&self) -> bool {
+        // A closed socket emits nothing but a pending RST; stale intents
+        // (need_ack set just before an error) must not promise output.
+        if self.state == TcpState::Closed || self.state == TcpState::Listen {
+            return self.rst_pending;
+        }
+        self.rst_pending
+            || self.syn_needs_send
+            || self.synack_needs_send
+            || self.need_ack
+            || self.probe_pending
+            || self.pending_retransmit.is_some()
+            || self.can_rto_retransmit()
+            || self.can_send_new()
+            || self.can_send_fin()
+    }
+
+    fn can_rto_retransmit(&self) -> bool {
+        self.rto_recovery
+            && self.retx_nxt.before(self.recover)
+            && (self.retx_nxt.max(self.snd_una) - self.snd_una) < self.cc.cwnd()
+    }
+
+    /// Send window: cwnd normally; during fast recovery, pipe
+    /// conservation — ssthresh plus one MSS per duplicate ACK (each
+    /// dupack signals a segment that left the network).
+    fn effective_cwnd(&self) -> u32 {
+        if self.in_recovery {
+            self.cc
+                .ssthresh()
+                .saturating_add(self.dup_acks * self.effective_mss as u32)
+        } else {
+            self.cc.cwnd()
+        }
+    }
+
+    fn can_send_new(&self) -> bool {
+        if !self.state.is_synchronized() || self.error {
+            return false;
+        }
+        if !self.send_q.has_data_at(self.snd_nxt) {
+            return false;
+        }
+        let wnd = self.effective_cwnd().min(self.snd_wnd);
+        self.bytes_in_flight() < wnd
+    }
+
+    fn can_send_fin(&self) -> bool {
+        self.fin_queued
+            && !self.fin_sent
+            && self.state.is_synchronized()
+            && !self.send_q.has_data_at(self.snd_nxt)
+    }
+
+    /// Process timers, then emit at most one segment. Call repeatedly
+    /// until `None`.
+    pub fn poll(&mut self, now: SimTime) -> Option<TcpSegment> {
+        self.process_timers(now);
+
+        if self.rst_pending {
+            self.rst_pending = false;
+            let mut seg = TcpSegment::new(self.tuple, self.snd_nxt, self.rcv_nxt, TcpFlags::RST);
+            seg.flags.ack = self.irs != SeqNum(0) || self.rcv_nxt != SeqNum(0);
+            self.stats.segs_out += 1;
+            return Some(seg);
+        }
+
+        match self.state {
+            TcpState::Closed | TcpState::Listen => None,
+            TcpState::SynSent => {
+                if self.syn_needs_send {
+                    self.syn_needs_send = false;
+                    self.arm_rto(now);
+                    Some(self.build_syn(now, false))
+                } else {
+                    None
+                }
+            }
+            TcpState::SynReceived => {
+                if self.synack_needs_send {
+                    self.synack_needs_send = false;
+                    self.arm_rto(now);
+                    Some(self.build_syn(now, true))
+                } else {
+                    None
+                }
+            }
+            TcpState::TimeWait => {
+                if self.timewait_deadline.is_none() {
+                    self.timewait_deadline = Some(now + Duration::from_secs(8));
+                }
+                self.poll_transfer(now)
+            }
+            _ => self.poll_transfer(now),
+        }
+    }
+
+    fn process_timers(&mut self, now: SimTime) {
+        if let Some(t) = self.timewait_deadline {
+            if t <= now {
+                self.state = TcpState::Closed;
+                self.clear_timers();
+                return;
+            }
+        }
+        if let Some(t) = self.delack_deadline {
+            if t <= now {
+                self.delack_deadline = None;
+                self.need_ack = true;
+            }
+        }
+        if let Some(t) = self.persist_deadline {
+            if t <= now {
+                self.probe_pending = true;
+                self.persist_backoff = (self.persist_backoff * 2).min(64);
+                self.persist_deadline = Some(now + self.persist_interval());
+            }
+        }
+        if let Some(t) = self.rto_deadline {
+            if t <= now {
+                self.on_rto(now);
+            }
+        }
+    }
+
+    fn persist_interval(&self) -> Duration {
+        (self.rtt.rto() * self.persist_backoff).min(Duration::from_secs(60))
+    }
+
+    fn on_rto(&mut self, now: SimTime) {
+        self.consecutive_rtos += 1;
+        self.stats.rtos += 1;
+        if self.consecutive_rtos > 15 {
+            self.enter_error();
+            return;
+        }
+        self.rto_backoff = (self.rto_backoff * 2).min(512);
+        match self.state {
+            TcpState::SynSent => {
+                self.stats.syn_retransmits += 1;
+                if self.cfg.plain_syn_on_retry {
+                    // §3.1: retry without the extension option in case a
+                    // middlebox is silently dropping option-bearing SYNs.
+                    self.syn_options.clear();
+                }
+                self.syn_needs_send = true;
+            }
+            TcpState::SynReceived => {
+                self.synack_needs_send = true;
+            }
+            _ => {
+                if self.snd_una.before(self.snd_nxt_with_fin()) || self.fin_sent {
+                    self.cc
+                        .on_retransmit_timeout(self.bytes_in_flight().min(self.cc.cwnd()));
+                    self.in_recovery = false;
+                    self.dup_acks = 0;
+                    // Go-back-N: retransmit the whole outstanding window,
+                    // paced by the (collapsed) congestion window, instead
+                    // of one segment per timeout.
+                    self.rto_recovery = true;
+                    self.recover = self.snd_nxt;
+                    self.retx_nxt = self.snd_una;
+                    self.pending_retransmit = None;
+                }
+            }
+        }
+        self.rto_deadline = Some(now + self.rto());
+    }
+
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = Some(now + self.rto());
+    }
+
+    fn poll_transfer(&mut self, now: SimTime) -> Option<TcpSegment> {
+        // 1. Retransmission.
+        if let Some(seq) = self.pending_retransmit.take() {
+            if let Some(seg) = self.build_data_segment(now, seq, true) {
+                return Some(seg);
+            }
+            // FIN-only retransmission.
+            if self.fin_sent && self.fin_seq == Some(seq) {
+                return Some(self.build_fin(now, seq));
+            }
+        }
+
+        // 1b. Post-RTO go-back-N retransmission, paced by cwnd.
+        if self.rto_recovery {
+            if self.snd_una.after_eq(self.recover) {
+                self.rto_recovery = false;
+            } else if self.can_rto_retransmit() {
+                let seq = self.retx_nxt.max(self.snd_una);
+                if let Some(seg) = self.build_data_segment(now, seq, true) {
+                    self.retx_nxt = seg.seq_end();
+                    if self.rto_deadline.is_none() {
+                        self.arm_rto(now);
+                    }
+                    return Some(seg);
+                }
+                if self.fin_sent && self.fin_seq == Some(seq) {
+                    self.retx_nxt = seq + 1;
+                    return Some(self.build_fin(now, seq));
+                }
+                self.rto_recovery = false;
+            }
+        }
+
+        // 2. New data.
+        if self.can_send_new() {
+            let wnd = self.effective_cwnd().min(self.snd_wnd);
+            let room = (wnd - self.bytes_in_flight()) as usize;
+            let seq = self.snd_nxt;
+            if let Some(seg) = self.build_data_segment_limited(now, seq, room, false) {
+                self.snd_nxt = seg.seq_end();
+                if self.rto_deadline.is_none() {
+                    self.arm_rto(now);
+                }
+                return Some(seg);
+            }
+        }
+
+        // 3. FIN.
+        if self.can_send_fin() {
+            let seq = self.snd_nxt;
+            self.fin_sent = true;
+            self.fin_seq = Some(seq);
+            self.snd_nxt = seq + 1;
+            match self.state {
+                TcpState::Established => self.state = TcpState::FinWait1,
+                TcpState::CloseWait => self.state = TcpState::LastAck,
+                _ => {}
+            }
+            if self.rto_deadline.is_none() {
+                self.arm_rto(now);
+            }
+            return Some(self.build_fin(now, seq));
+        }
+
+        // 4. Zero-window probe.
+        if self.probe_pending {
+            self.probe_pending = false;
+            self.stats.probes += 1;
+            if let Some(seg) = self.build_probe(now) {
+                return Some(seg);
+            }
+        }
+
+        // 5. Window update: the right edge moved substantially while we had
+        // nothing else to say (the classic SWS-avoidance threshold: two
+        // segments or half the buffer, whichever is smaller).
+        if self.state.is_synchronized() {
+            let right = self.rcv_nxt + self.adv_window();
+            let threshold =
+                (2 * self.effective_mss).min(self.recv_q.capacity() / 2).max(1) as u32;
+            if right.after_eq(self.last_adv_right_edge + threshold) {
+                self.need_ack = true;
+            }
+        }
+
+        // 6. Pure ACK.
+        if self.need_ack && self.state.is_synchronized() {
+            return Some(self.build_ack(now));
+        }
+        self.need_ack = false;
+        None
+    }
+
+    fn adv_window(&self) -> u32 {
+        self.window_override.unwrap_or_else(|| self.recv_q.window())
+    }
+
+    fn ts_option(&self, now: SimTime) -> Vec<TcpOption> {
+        if self.cfg.timestamps {
+            vec![TcpOption::Timestamps {
+                val: self.ts_now(now),
+                ecr: self.ts_recent,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn base_options(&mut self, now: SimTime) -> Vec<TcpOption> {
+        let mut opts = self.ts_option(now);
+        opts.extend(self.carry_options.iter().cloned());
+        opts
+    }
+
+    fn finish_segment(&mut self, mut seg: TcpSegment) -> TcpSegment {
+        if self.state.is_synchronized() || self.state == TcpState::SynReceived {
+            seg.flags.ack = true;
+            seg.ack = self.rcv_nxt;
+        }
+        seg.options.append(&mut self.oneshot_options);
+        // Option-space discipline: options are ordered by importance
+        // (timestamps, per-chunk mappings, then carried/one-shot extras), so
+        // trimming from the tail sacrifices the most expendable first.
+        while mptcp_packet::options::options_wire_len(&seg.options)
+            > mptcp_packet::options::MAX_OPTIONS_LEN
+        {
+            seg.options.pop();
+        }
+        seg.window = self.adv_window();
+        self.last_adv_right_edge = self.rcv_nxt + seg.window;
+        self.need_ack = false;
+        self.delack_deadline = None;
+        self.stats.segs_out += 1;
+        seg
+    }
+
+    fn build_syn(&mut self, now: SimTime, is_synack: bool) -> TcpSegment {
+        let flags = if is_synack {
+            TcpFlags::SYN_ACK
+        } else {
+            TcpFlags::SYN
+        };
+        // The SYN occupies one sequence number.
+        self.snd_nxt = self.iss + 1;
+        let mut seg = TcpSegment::new(self.tuple, self.iss, self.rcv_nxt, flags);
+        seg.options.push(TcpOption::Mss(self.cfg.mss as u16));
+        seg.options.push(TcpOption::WindowScale(self.cfg.wscale));
+        seg.options.push(TcpOption::SackPermitted);
+        if self.cfg.timestamps {
+            seg.options.push(TcpOption::Timestamps {
+                val: self.ts_now(now),
+                ecr: if is_synack { self.ts_recent } else { 0 },
+            });
+        }
+        seg.options.extend(self.syn_options.iter().cloned());
+        seg.window = self.adv_window();
+        self.stats.segs_out += 1;
+        seg
+    }
+
+    fn build_data_segment(&mut self, now: SimTime, seq: SeqNum, retx: bool) -> Option<TcpSegment> {
+        self.build_data_segment_limited(now, seq, self.effective_mss, retx)
+    }
+
+    fn build_data_segment_limited(
+        &mut self,
+        now: SimTime,
+        seq: SeqNum,
+        room: usize,
+        retx: bool,
+    ) -> Option<TcpSegment> {
+        let max = self.effective_mss.min(room.max(1));
+        let data = self.send_q.segment_at(seq, max)?;
+        let mut seg = TcpSegment::new(self.tuple, data.seq, self.rcv_nxt, TcpFlags::ACK);
+        seg.payload = data.payload;
+        seg.flags.psh = true;
+        seg.options = self.ts_option(now);
+        seg.options.extend(data.options);
+        seg.options.extend(self.carry_options.iter().cloned());
+        if retx {
+            self.stats.retransmitted_segs += 1;
+        }
+        self.stats.bytes_out += seg.payload.len() as u64;
+        Some(self.finish_segment(seg))
+    }
+
+    fn build_fin(&mut self, now: SimTime, seq: SeqNum) -> TcpSegment {
+        let mut seg = TcpSegment::new(self.tuple, seq, self.rcv_nxt, TcpFlags::ACK);
+        seg.flags.fin = true;
+        seg.options = self.base_options(now);
+        Some(()).map(|_| self.finish_segment(seg)).unwrap()
+    }
+
+    fn build_probe(&mut self, now: SimTime) -> Option<TcpSegment> {
+        // Send one byte from snd_una to elicit a window update.
+        let data = self.send_q.segment_at(self.snd_una, 1)?;
+        let mut seg = TcpSegment::new(self.tuple, data.seq, self.rcv_nxt, TcpFlags::ACK);
+        seg.payload = data.payload;
+        seg.options = self.base_options(now);
+        seg.options.extend(data.options);
+        Some(self.finish_segment(seg))
+    }
+
+    fn build_ack(&mut self, now: SimTime) -> TcpSegment {
+        let mut seg = TcpSegment::new(self.tuple, self.snd_nxt, self.rcv_nxt, TcpFlags::ACK);
+        seg.options = self.base_options(now);
+        // SACK the first out-of-order block so the peer sees reordering.
+        if let Some((start, end)) = self.recv_q.first_sack_block() {
+            let first_data = self.irs + 1;
+            seg.options.push(TcpOption::Sack(vec![(
+                (first_data + start as u32).0,
+                (first_data + end as u32).0,
+            )]));
+        }
+        Some(self.finish_segment(seg)).unwrap()
+    }
+}
+
+fn opt_min(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mptcp_packet::Endpoint;
+
+    fn tuple() -> FourTuple {
+        FourTuple {
+            src: Endpoint::new(0x0a000001, 1000),
+            dst: Endpoint::new(0x0a000002, 80),
+        }
+    }
+
+    fn pair() -> (TcpSocket, Option<TcpSocket>) {
+        let cfg = TcpConfig::default();
+        let c = TcpSocket::client(cfg, tuple(), SeqNum(1000), SimTime::ZERO, vec![]);
+        (c, None)
+    }
+
+    /// Drive two sockets against each other until both go quiet.
+    /// Returns the number of segments exchanged.
+    fn pump(now: SimTime, a: &mut TcpSocket, b: &mut TcpSocket) -> usize {
+        let mut n = 0;
+        loop {
+            let mut progressed = false;
+            while let Some(seg) = a.poll(now) {
+                b.handle_segment(now, &seg);
+                n += 1;
+                progressed = true;
+                assert!(n < 100_000, "pump livelock: a->b {seg:?}");
+            }
+            while let Some(seg) = b.poll(now) {
+                a.handle_segment(now, &seg);
+                n += 1;
+                progressed = true;
+                assert!(n < 100_000, "pump livelock: b->a {seg:?}");
+            }
+            if !progressed {
+                return n;
+            }
+        }
+    }
+
+    fn established_pair() -> (TcpSocket, TcpSocket) {
+        let (mut c, _) = pair();
+        let now = SimTime::ZERO;
+        let syn = c.poll(now).expect("SYN");
+        assert!(syn.flags.syn && !syn.flags.ack);
+        let mut s = TcpSocket::accept(TcpConfig::default(), &syn, SeqNum(9000), now, vec![]);
+        pump(now, &mut c, &mut s);
+        assert_eq!(c.state(), TcpState::Established);
+        assert_eq!(s.state(), TcpState::Established);
+        (c, s)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (c, s) = established_pair();
+        assert_eq!(c.irs(), SeqNum(9000));
+        assert_eq!(s.irs(), SeqNum(1000));
+    }
+
+    #[test]
+    fn data_transfer_and_ack() {
+        let (mut c, mut s) = established_pair();
+        assert_eq!(c.send(b"hello world"), 11);
+        pump(SimTime::from_millis(1), &mut c, &mut s);
+        let got = s.read(100).unwrap();
+        assert_eq!(&got[..], b"hello world");
+        assert_eq!(c.bytes_in_flight(), 0); // acked
+        assert_eq!(c.stats.bytes_acked, 11);
+    }
+
+    #[test]
+    fn mss_respected() {
+        let (mut c, mut s) = established_pair();
+        let data = vec![7u8; 5000];
+        assert_eq!(c.send(&data), 5000);
+        let mut sizes = Vec::new();
+        let now = SimTime::from_millis(1);
+        while let Some(seg) = c.poll(now) {
+            sizes.push(seg.payload.len());
+            s.handle_segment(now, &seg);
+        }
+        assert!(sizes.iter().all(|&l| l <= 1460));
+        assert_eq!(sizes.iter().sum::<usize>(), 5000);
+    }
+
+    #[test]
+    fn retransmit_on_rto() {
+        let (mut c, mut s) = established_pair();
+        c.send(b"lost data");
+        let seg = c.poll(SimTime::from_millis(1)).unwrap(); // dropped!
+        assert_eq!(&seg.payload[..], b"lost data");
+        assert!(c.poll(SimTime::from_millis(2)).is_none());
+        // Fire the RTO.
+        let rto_at = c.poll_at(SimTime::from_millis(2)).unwrap();
+        let retx = c.poll(rto_at).expect("retransmission");
+        assert_eq!(&retx.payload[..], b"lost data");
+        assert_eq!(c.stats.rtos, 1);
+        s.handle_segment(rto_at, &retx);
+        pump(rto_at, &mut c, &mut s);
+        assert_eq!(&s.read(100).unwrap()[..], b"lost data");
+    }
+
+    #[test]
+    fn rto_backoff_doubles() {
+        let (mut c, _s) = established_pair();
+        c.send(b"x");
+        let _ = c.poll(SimTime::from_millis(1)).unwrap();
+        let t1 = c.poll_at(SimTime::from_millis(1)).unwrap();
+        let _ = c.poll(t1).unwrap(); // first RTO retransmission
+        let t2 = c.poll_at(t1).unwrap();
+        assert!(t2 - t1 >= (t1 - SimTime::from_millis(1)), "backoff grew");
+        assert_eq!(c.stats.rtos, 1);
+    }
+
+    #[test]
+    fn fast_retransmit_on_triple_dupack() {
+        let (mut c, mut s) = established_pair();
+        let now = SimTime::from_millis(1);
+        c.send(&vec![1u8; 1460 * 5]);
+        let mut segs = Vec::new();
+        while let Some(seg) = c.poll(now) {
+            segs.push(seg);
+        }
+        assert_eq!(segs.len(), 5);
+        // Deliver all but the first: three dup ACKs come back.
+        let mut dups = Vec::new();
+        for seg in &segs[1..] {
+            s.handle_segment(now, seg);
+            while let Some(a) = s.poll(now) {
+                dups.push(a);
+            }
+        }
+        assert!(dups.len() >= 3);
+        for d in &dups {
+            c.handle_segment(now, d);
+        }
+        let retx = c.poll(now).expect("fast retransmit");
+        assert_eq!(retx.seq, segs[0].seq);
+        assert_eq!(c.stats.fast_retransmits, 1);
+        assert_eq!(c.stats.rtos, 0);
+    }
+
+    #[test]
+    fn flow_control_blocks_sender() {
+        let mut cfg = TcpConfig::default();
+        cfg.recv_buf = 2000; // tiny receive buffer
+        let now = SimTime::ZERO;
+        let mut c = TcpSocket::client(TcpConfig::default(), tuple(), SeqNum(1), now, vec![]);
+        let syn = c.poll(now).unwrap();
+        let mut s = TcpSocket::accept(cfg, &syn, SeqNum(500), now, vec![]);
+        pump(now, &mut c, &mut s);
+
+        c.send(&vec![9u8; 10_000]);
+        pump(SimTime::from_millis(1), &mut c, &mut s);
+        // Receiver buffer is full; sender must stop at the window.
+        assert!(s.recv_buffered() <= 2000);
+        assert!(c.bytes_in_flight() == 0);
+        assert!(c.bytes_queued() > 0, "unsent data remains queued");
+        // Application reads; window reopens; transfer completes.
+        let mut total = 0;
+        for _ in 0..20 {
+            while let Some(b) = s.read(10_000) {
+                total += b.len();
+            }
+            // Window-update ACK flows back.
+            pump(SimTime::from_millis(2), &mut c, &mut s);
+        }
+        while let Some(b) = s.read(10_000) {
+            total += b.len();
+        }
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn zero_window_probe_reopens() {
+        let mut cfg = TcpConfig::default();
+        cfg.recv_buf = 1000;
+        let now = SimTime::ZERO;
+        let mut c = TcpSocket::client(TcpConfig::default(), tuple(), SeqNum(1), now, vec![]);
+        let syn = c.poll(now).unwrap();
+        let mut s = TcpSocket::accept(cfg, &syn, SeqNum(500), now, vec![]);
+        pump(now, &mut c, &mut s);
+
+        c.send(&vec![1u8; 3000]);
+        pump(SimTime::from_millis(1), &mut c, &mut s);
+        assert_eq!(s.recv_buffered(), 1000);
+        assert!(c.bytes_queued() > 0);
+        // Reader drains while the sender sees a zero window; without the
+        // persist timer this would deadlock if the window update is lost.
+        s.read(10_000);
+        // Drop the window update on the floor (simulate loss).
+        while s.poll(SimTime::from_millis(2)).is_some() {}
+        // The persist timer eventually probes and discovers the open window.
+        let probe_at = c.poll_at(SimTime::from_millis(3)).expect("persist armed");
+        let probe = c.poll(probe_at).expect("probe segment");
+        s.handle_segment(probe_at, &probe);
+        pump(probe_at, &mut c, &mut s);
+        assert!(s.recv_buffered() > 0, "transfer resumed after probe");
+        assert!(c.stats.probes >= 1);
+    }
+
+    #[test]
+    fn graceful_close_both_sides() {
+        let (mut c, mut s) = established_pair();
+        let now = SimTime::from_millis(1);
+        c.send(b"bye");
+        c.close();
+        pump(now, &mut c, &mut s);
+        assert_eq!(&s.read(10).unwrap()[..], b"bye");
+        assert!(s.stream_fin());
+        assert_eq!(s.state(), TcpState::CloseWait);
+        assert_eq!(c.state(), TcpState::FinWait2);
+        s.close();
+        pump(now, &mut c, &mut s);
+        assert_eq!(s.state(), TcpState::Closed);
+        assert_eq!(c.state(), TcpState::TimeWait);
+        // TIME_WAIT expires.
+        let tw = c.poll_at(now).unwrap();
+        c.poll(tw);
+        assert_eq!(c.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn rst_tears_down() {
+        let (mut c, mut s) = established_pair();
+        c.abort();
+        let rst = c.poll(SimTime::from_millis(1)).expect("RST out");
+        assert!(rst.flags.rst);
+        s.handle_segment(SimTime::from_millis(1), &rst);
+        assert!(s.is_error());
+        assert_eq!(s.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn syn_retry_drops_extension_options() {
+        use mptcp_packet::MptcpOption;
+        let cfg = TcpConfig::default();
+        let mp = TcpOption::Mptcp(MptcpOption::MpCapable {
+            version: 0,
+            checksum_required: true,
+            sender_key: 42,
+            receiver_key: None,
+        });
+        let mut c = TcpSocket::client(cfg, tuple(), SeqNum(1), SimTime::ZERO, vec![mp]);
+        let syn1 = c.poll(SimTime::ZERO).unwrap();
+        assert!(syn1.mptcp_option().is_some());
+        // SYN lost; RTO fires; the retry must omit MP_CAPABLE (§3.1).
+        let t = c.poll_at(SimTime::ZERO).unwrap();
+        let syn2 = c.poll(t).expect("SYN retransmission");
+        assert!(syn2.flags.syn);
+        assert!(syn2.mptcp_option().is_none());
+        assert_eq!(c.stats.syn_retransmits, 1);
+    }
+
+    #[test]
+    fn carry_options_ride_every_segment() {
+        use mptcp_packet::MptcpOption;
+        let (mut c, mut s) = established_pair();
+        let dack = TcpOption::Mptcp(MptcpOption::Dss {
+            data_ack: Some(777),
+            mapping: None,
+            data_fin: false,
+        });
+        s.set_carry_options(vec![dack.clone()]);
+        c.send(b"ping");
+        let now = SimTime::from_millis(1);
+        let seg = c.poll(now).unwrap();
+        s.handle_segment(now, &seg);
+        let ack = s.poll(now).expect("ACK");
+        assert!(ack.payload.is_empty());
+        assert!(ack.options.contains(&dack), "pure ACK carries the DATA_ACK");
+    }
+
+    #[test]
+    fn window_override_advertised() {
+        let (mut c, mut s) = established_pair();
+        s.set_window_override(Some(12345));
+        s.request_ack();
+        let ack = s.poll(SimTime::from_millis(1)).unwrap();
+        assert_eq!(ack.window, 12345);
+        c.handle_segment(SimTime::from_millis(1), &ack);
+        assert_eq!(c.peer_window(), 12345);
+    }
+
+    #[test]
+    fn chunk_options_attached_and_retransmitted() {
+        use mptcp_packet::{DssMapping, MptcpOption};
+        let (mut c, mut _s) = established_pair();
+        let dss = TcpOption::Mptcp(MptcpOption::Dss {
+            data_ack: None,
+            mapping: Some(DssMapping {
+                dsn: 1,
+                subflow_seq: 1,
+                len: 4,
+                checksum: None,
+            }),
+            data_fin: false,
+        });
+        assert!(c.send_chunk(Bytes::from_static(b"data"), vec![dss.clone()]));
+        let now = SimTime::from_millis(1);
+        let seg = c.poll(now).unwrap();
+        assert!(seg.options.contains(&dss));
+        // Lost: the RTO retransmission must carry the same mapping.
+        let t = c.poll_at(now).unwrap();
+        let retx = c.poll(t).expect("retransmission");
+        assert!(retx.options.contains(&dss));
+        assert_eq!(retx.payload, seg.payload);
+    }
+
+    #[test]
+    fn out_of_order_generates_dupacks_and_sack() {
+        let (mut c, mut s) = established_pair();
+        let now = SimTime::from_millis(1);
+        c.send(&vec![3u8; 1460 * 3]);
+        let s1 = c.poll(now).unwrap();
+        let s2 = c.poll(now).unwrap();
+        let s3 = c.poll(now).unwrap();
+        s.handle_segment(now, &s2); // out of order
+        let dup = s.poll(now).expect("dup ACK");
+        assert_eq!(dup.ack, s1.seq);
+        assert!(dup
+            .options
+            .iter()
+            .any(|o| matches!(o, TcpOption::Sack(_))));
+        s.handle_segment(now, &s1);
+        s.handle_segment(now, &s3);
+        let cum = s.poll(now).expect("cumulative ACK");
+        assert_eq!(cum.ack, s3.seq_end());
+    }
+
+    #[test]
+    fn rtt_estimated_from_timestamps() {
+        let (mut c, mut s) = established_pair();
+        c.send(b"sample");
+        let t0 = SimTime::from_millis(10);
+        let seg = c.poll(t0).unwrap();
+        let t1 = t0 + Duration::from_millis(30);
+        s.handle_segment(t1, &seg);
+        let ack = s.poll(t1).unwrap();
+        c.handle_segment(t1 + Duration::from_millis(30), &ack);
+        let srtt = c.srtt().expect("rtt sampled");
+        assert!(srtt >= Duration::from_millis(59) && srtt <= Duration::from_millis(62),
+            "srtt = {srtt:?}");
+    }
+
+    #[test]
+    fn next_tx_offset_is_one_based() {
+        let (mut c, _s) = established_pair();
+        assert_eq!(c.next_tx_offset(), 1);
+        c.send(b"abcde");
+        assert_eq!(c.next_tx_offset(), 6);
+    }
+
+    #[test]
+    fn autotuned_buffers_grow_on_demand() {
+        let mut cfg = TcpConfig::default();
+        cfg.autotune = true;
+        cfg.recv_buf = 1 << 20;
+        cfg.send_buf = 1 << 20;
+        let now = SimTime::ZERO;
+        let mut c = TcpSocket::client(cfg.clone(), tuple(), SeqNum(1), now, vec![]);
+        let syn = c.poll(now).unwrap();
+        let mut s = TcpSocket::accept(cfg, &syn, SeqNum(500), now, vec![]);
+        pump(now, &mut c, &mut s);
+        let initial_r = s.recv_capacity();
+        let initial_s = c.send_capacity();
+        c.send(&vec![1u8; 400_000]);
+        assert!(c.send_capacity() > initial_s, "send buffer autotuned up");
+        for _ in 0..50 {
+            pump(SimTime::from_millis(1), &mut c, &mut s);
+        }
+        // Receiver app never reads: buffer pressure grows capacity.
+        assert!(s.recv_capacity() >= initial_r);
+        assert!(s.recv_buffered() > 0);
+    }
+
+    #[test]
+    fn mptcp_options_harvested_from_segments() {
+        use mptcp_packet::MptcpOption;
+        let (mut c, mut s) = established_pair();
+        let now = SimTime::from_millis(1);
+        s.set_carry_options(vec![TcpOption::Mptcp(MptcpOption::Dss {
+            data_ack: Some(55),
+            mapping: None,
+            data_fin: false,
+        })]);
+        c.send(b"x");
+        let seg = c.poll(now).unwrap();
+        s.handle_segment(now, &seg);
+        let ack = s.poll(now).unwrap();
+        c.handle_segment(now, &ack);
+        let opts = c.take_rx_mptcp();
+        assert_eq!(opts.len(), 1);
+        assert!(matches!(opts[0], MptcpOption::Dss { data_ack: Some(55), .. }));
+        assert!(c.take_rx_mptcp().is_empty(), "drained");
+    }
+
+    #[test]
+    fn connection_times_out_after_max_rtos() {
+        let (mut c, _s) = established_pair();
+        c.send(b"into the void");
+        let mut now = SimTime::from_millis(1);
+        let _ = c.poll(now);
+        for _ in 0..40 {
+            match c.poll_at(now) {
+                Some(t) => {
+                    now = now.max(t);
+                    while c.poll(now).is_some() {}
+                }
+                None => break,
+            }
+            if c.is_error() {
+                break;
+            }
+        }
+        assert!(c.is_error(), "connection should give up after ~15 RTOs");
+    }
+}
