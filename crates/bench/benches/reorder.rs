@@ -30,19 +30,15 @@ fn bench_insert(c: &mut Criterion) {
     ] {
         for nsub in [2usize, 8] {
             let w = workload(nsub, 2048 / nsub);
-            g.bench_with_input(
-                BenchmarkId::new(format!("{algo:?}"), nsub),
-                &w,
-                |b, w| {
-                    b.iter(|| {
-                        let mut q = make_queue(algo);
-                        for &(dsn, sf) in w {
-                            q.insert(dsn, Bytes::from_static(&[0u8; 64]), sf);
-                        }
-                        std::hint::black_box(q.len())
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{algo:?}"), nsub), &w, |b, w| {
+                b.iter(|| {
+                    let mut q = make_queue(algo);
+                    for &(dsn, sf) in w {
+                        q.insert(dsn, Bytes::from_static(&[0u8; 64]), sf);
+                    }
+                    std::hint::black_box(q.len())
+                });
+            });
         }
     }
     g.finish();

@@ -6,7 +6,10 @@ use mptcp_harness::scenario::{Scenario, TransportKind};
 use mptcp_netsim::{Duration, LinkCfg, Path};
 
 fn main() {
-    let buf: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(500_000);
+    let buf: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(500_000);
     let coupled: bool = std::env::args().nth(2).map(|a| a == "lia").unwrap_or(true);
     let mut cfg = MptcpConfig::default()
         .with_buffers(buf)
@@ -32,8 +35,11 @@ fn main() {
         for (i, p) in sc.sim.paths.iter().enumerate() {
             println!(
                 "  path{i}: fwd tx={} drops={} rand={} | rev tx={} drops={}",
-                p.fwd.stats.tx_packets, p.fwd.stats.queue_drops, p.fwd.stats.random_drops,
-                p.rev.stats.tx_packets, p.rev.stats.queue_drops
+                p.fwd.stats.tx_packets,
+                p.fwd.stats.queue_drops,
+                p.fwd.stats.random_drops,
+                p.rev.stats.tx_packets,
+                p.rev.stats.queue_drops
             );
         }
     };

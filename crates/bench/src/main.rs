@@ -17,6 +17,7 @@
 //!   fig10   connection-setup latency PDF (wall-clock measurement)
 //!   fig11   HTTP requests/sec vs file size (TCP / bonding / MPTCP)
 //!   mbox    the §3 middlebox × design survival matrix
+//!   telemetry  one rwnd-limited MPTCP run: counter table + JSON report
 //!   all     run everything
 //! ```
 //!
@@ -45,8 +46,10 @@ fn main() {
         "fig10" => fig10(quick),
         "fig11" => fig11(quick),
         "mbox" => mbox_matrix(),
+        "telemetry" => telemetry_report(quick),
         "all" => {
             mbox_matrix();
+            telemetry_report(quick);
             fig3();
             fig4(quick);
             fig5(quick);
@@ -80,11 +83,17 @@ fn fig3() {
         measured.t_byte * 1e9
     );
     for (label, cal) in [
-        ("paper-era Xeon calibration", fig3_checksum::Calibration::PAPER_ERA),
+        (
+            "paper-era Xeon calibration",
+            fig3_checksum::Calibration::PAPER_ERA,
+        ),
         ("this machine (measured)", measured),
     ] {
         println!("\n[{label}]");
-        println!("{:>6}  {:>14}  {:>14}  {:>7}", "MSS", "no-cksum Gbps", "cksum Gbps", "loss%");
+        println!(
+            "{:>6}  {:>14}  {:>14}  {:>7}",
+            "MSS", "no-cksum Gbps", "cksum Gbps", "loss%"
+        );
         for r in fig3_checksum::run(cal, &fig3_checksum::default_msss()) {
             let loss = 100.0 * (1.0 - r.checksum_gbps / r.no_checksum_gbps.max(1e-9));
             println!(
@@ -108,7 +117,7 @@ fn fig4(quick: bool) {
         print!("  {:>16}", v.label());
     }
     println!("  {:>13}", "M1 thruput");
-    for row in rows {
+    for row in &rows {
         print!("{:>9}", row.buf / 1000);
         let mut m1_thru = 0.0;
         for (v, r) in &row.results {
@@ -121,6 +130,18 @@ fn fig4(quick: bool) {
     }
     let tcp3g = fig4_rcvbuf::run_tcp_3g(500_000, SEED);
     println!("(TCP over 3G at 500 KB: {:.2} Mbps)", tcp3g.goodput_mbps);
+    // The tightest buffer is where M1/M2 earn their keep; show the counters.
+    if let Some(row) = rows.first() {
+        if let Some((_, r)) = row
+            .results
+            .iter()
+            .find(|(v, _)| *v == common::Variant::MptcpM12)
+        {
+            println!();
+            println!("MPTCP+M1,2 telemetry at {} KB:", row.buf / 1000);
+            print!("{}", r.telemetry.render_table());
+        }
+    }
 }
 
 fn fig5(quick: bool) {
@@ -295,6 +316,37 @@ fn fig11(quick: bool) {
         }
         println!();
     }
+}
+
+fn telemetry_report(quick: bool) {
+    header("Telemetry: MPTCP+M1,2, WiFi+3G, 200 KB receive buffer");
+    let measure = if quick {
+        Duration::from_secs(5)
+    } else {
+        common::MEASURE
+    };
+    let r = common::run_bulk(
+        common::Variant::MptcpM12,
+        200_000,
+        common::wifi_3g_paths(),
+        common::WARMUP,
+        measure,
+        SEED,
+    );
+    println!(
+        "goodput {:.2} Mbps, throughput {:.2} Mbps",
+        r.goodput_mbps, r.throughput_mbps
+    );
+    print!("{}", r.telemetry.render_table());
+    let report =
+        mptcp_harness::RunReport::new("telemetry", common::Variant::MptcpM12.label(), r.telemetry)
+            .metric("goodput_mbps", r.goodput_mbps)
+            .metric("throughput_mbps", r.throughput_mbps)
+            .metric("sender_mem", r.sender_mem)
+            .metric("receiver_mem", r.receiver_mem);
+    println!();
+    println!("JSON report:");
+    println!("{}", mptcp_harness::to_json_lines(&[report]));
 }
 
 fn mbox_matrix() {

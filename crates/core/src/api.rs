@@ -1,0 +1,132 @@
+//! Typed results for the public connection API.
+//!
+//! The connection's fallible operations return these instead of bare
+//! `bool`/`usize` sentinels: callers can distinguish "would block" from
+//! "closed", and a rejected MP_JOIN says *why* it was rejected.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Index of a subflow within [`crate::MptcpConnection::subflows`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SubflowId(pub usize);
+
+impl fmt::Display for SubflowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "subflow#{}", self.0)
+    }
+}
+
+/// Result of [`crate::MptcpConnection::write`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// `n` bytes entered the connection-level send buffer.
+    Accepted(usize),
+    /// The connection is operating as plain TCP (§3.3.6 fallback); `n`
+    /// bytes entered the initial subflow's socket directly.
+    FellBack(usize),
+    /// No buffer space; retry after DATA_ACKs free memory.
+    WouldBlock,
+    /// The sending direction is closed (DATA_FIN queued or connection
+    /// done); the data was not accepted.
+    Closed,
+}
+
+impl WriteOutcome {
+    /// Bytes accepted, regardless of path taken (0 for the non-accepting
+    /// outcomes) — the drop-in replacement for the old `usize` return.
+    pub fn accepted(&self) -> usize {
+        match self {
+            WriteOutcome::Accepted(n) | WriteOutcome::FellBack(n) => *n,
+            WriteOutcome::WouldBlock | WriteOutcome::Closed => 0,
+        }
+    }
+}
+
+/// Result of [`crate::MptcpConnection::read`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// In-order stream bytes.
+    Data(Bytes),
+    /// Nothing buffered right now; more may arrive.
+    WouldBlock,
+    /// The peer's stream ended (DATA_FIN, or subflow FIN in fallback) and
+    /// everything before it has been read.
+    Eof,
+    /// The connection is closed; no further data will arrive.
+    Closed,
+}
+
+impl ReadOutcome {
+    /// The payload, if this outcome carried one — the drop-in replacement
+    /// for the old `Option<Bytes>` return.
+    pub fn into_data(self) -> Option<Bytes> {
+        match self {
+            ReadOutcome::Data(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Why [`crate::MptcpConnection::open_subflow`] refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubflowError {
+    /// The connection is not in a state that can add subflows (still in
+    /// the initial handshake, fallen back, or closed).
+    WrongState,
+    /// The peer's key is unknown — MP_CAPABLE never completed, so an
+    /// MP_JOIN token cannot be computed.
+    NoRemoteKey,
+    /// A live subflow with the same four-tuple already exists.
+    DuplicateSubflow,
+    /// The configured `max_subflows` limit is reached.
+    SubflowLimit,
+}
+
+impl fmt::Display for SubflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            SubflowError::WrongState => "connection state does not allow new subflows",
+            SubflowError::NoRemoteKey => "peer key unknown (MP_CAPABLE incomplete)",
+            SubflowError::DuplicateSubflow => "a live subflow already uses this four-tuple",
+            SubflowError::SubflowLimit => "max_subflows limit reached",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for SubflowError {}
+
+/// Why [`crate::MptcpConnection::accept_join`] rejected an MP_JOIN SYN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinError {
+    /// The SYN carried no MP_JOIN option.
+    NoJoinOption,
+    /// The token does not identify this connection (or our peer key is
+    /// not yet known, so no join can be validated).
+    UnknownToken,
+    /// The HMAC in the join handshake did not verify. (The SYN itself
+    /// carries no HMAC — this is reported by the later handshake steps and
+    /// surfaces in telemetry as `JoinsRejected`.)
+    BadHmac,
+    /// The configured `max_subflows` limit is reached.
+    SubflowLimit,
+    /// The connection cannot accept joins (fallen back or closed).
+    WrongState,
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            JoinError::NoJoinOption => "SYN carried no MP_JOIN option",
+            JoinError::UnknownToken => "token does not match this connection",
+            JoinError::BadHmac => "join HMAC failed verification",
+            JoinError::SubflowLimit => "max_subflows limit reached",
+            JoinError::WrongState => "connection state does not accept joins",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for JoinError {}

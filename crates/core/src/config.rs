@@ -1,5 +1,7 @@
 //! MPTCP connection configuration: mechanisms, scheduler, reorder algorithm.
 
+use std::fmt;
+
 use mptcp_tcpstack::TcpConfig;
 
 /// The receive-path out-of-order queue algorithms of §4.3 / Figure 8.
@@ -86,16 +88,21 @@ pub struct MptcpConfig {
     /// Automatically open subflows toward addresses learned via ADD_ADDR
     /// or configured locally.
     pub auto_join: bool,
+    /// Maximum live subflows per connection; `open_subflow` and
+    /// `accept_join` refuse beyond this.
+    pub max_subflows: usize,
 }
 
 impl Default for MptcpConfig {
     fn default() -> Self {
-        let mut tcp = TcpConfig::default();
         // Subflow buffers are not the limiting resource: the connection
         // enforces its own shared pool (§3.3.1) and overrides the window.
-        tcp.send_buf = usize::MAX / 2;
-        tcp.recv_buf = usize::MAX / 2;
-        tcp.autotune = false;
+        let tcp = TcpConfig {
+            send_buf: usize::MAX / 2,
+            recv_buf: usize::MAX / 2,
+            autotune: false,
+            ..TcpConfig::default()
+        };
         MptcpConfig {
             tcp,
             checksum: true,
@@ -105,6 +112,7 @@ impl Default for MptcpConfig {
             send_buf: 2 * 1024 * 1024,
             recv_buf: 2 * 1024 * 1024,
             auto_join: true,
+            max_subflows: 8,
         }
     }
 }
@@ -125,6 +133,174 @@ impl MptcpConfig {
         self.tcp.cap_cwnd_on_bufferbloat = mech.cap_cwnd;
         self
     }
+
+    /// Start a validated configuration build.
+    pub fn builder() -> MptcpConfigBuilder {
+        MptcpConfigBuilder {
+            cfg: MptcpConfig::default(),
+        }
+    }
+
+    /// Check invariants a hand-assembled configuration may violate.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.send_buf == 0 {
+            return Err(ConfigError::ZeroSendBuffer);
+        }
+        if self.recv_buf == 0 {
+            return Err(ConfigError::ZeroRecvBuffer);
+        }
+        if self.max_subflows == 0 {
+            return Err(ConfigError::ZeroMaxSubflows);
+        }
+        // M3 starts the autotuned buffers at 64 KiB and grows them toward
+        // the configured caps; caps below the start would "autotune"
+        // downward, which is a contradiction the builder rejects.
+        if self.mech.autotune && (self.send_buf < AUTOTUNE_START || self.recv_buf < AUTOTUNE_START)
+        {
+            return Err(ConfigError::AutotuneCapBelowStart {
+                cap: self.send_buf.min(self.recv_buf),
+                start: AUTOTUNE_START,
+            });
+        }
+        // The linear-scan queue is O(n) per insert; with many subflows the
+        // out-of-order queue grows with the subflow count and Figure 8's
+        // pathology bites. Force an O(log n)/shortcut algorithm instead.
+        if self.reorder == ReorderAlgo::Regular && self.max_subflows > REGULAR_REORDER_MAX_SUBFLOWS
+        {
+            return Err(ConfigError::RegularReorderTooManySubflows {
+                max_subflows: self.max_subflows,
+                limit: REGULAR_REORDER_MAX_SUBFLOWS,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// M3's initial autotuned buffer size (64 KiB, mirroring `conn::common`).
+pub const AUTOTUNE_START: usize = 64 * 1024;
+
+/// Largest `max_subflows` the builder accepts with [`ReorderAlgo::Regular`].
+pub const REGULAR_REORDER_MAX_SUBFLOWS: usize = 4;
+
+/// Why [`MptcpConfigBuilder::build`] refused a configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `send_buf` is zero: no data could ever be written.
+    ZeroSendBuffer,
+    /// `recv_buf` is zero: the advertised window would be stuck at zero.
+    ZeroRecvBuffer,
+    /// `max_subflows` is zero: even the initial subflow is forbidden.
+    ZeroMaxSubflows,
+    /// M3 autotuning enabled with a buffer cap below its starting size.
+    AutotuneCapBelowStart {
+        /// The offending (smaller) cap.
+        cap: usize,
+        /// The autotune starting size the cap must at least reach.
+        start: usize,
+    },
+    /// The linear-scan reorder queue combined with a subflow count it
+    /// cannot keep up with (§4.3 / Figure 8).
+    RegularReorderTooManySubflows {
+        /// The requested subflow limit.
+        max_subflows: usize,
+        /// The largest supported with `ReorderAlgo::Regular`.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroSendBuffer => f.write_str("send_buf must be nonzero"),
+            ConfigError::ZeroRecvBuffer => f.write_str("recv_buf must be nonzero"),
+            ConfigError::ZeroMaxSubflows => f.write_str("max_subflows must be nonzero"),
+            ConfigError::AutotuneCapBelowStart { cap, start } => write!(
+                f,
+                "autotune (M3) requires buffer caps >= its {start}-byte starting size, got {cap}"
+            ),
+            ConfigError::RegularReorderTooManySubflows { max_subflows, limit } => write!(
+                f,
+                "ReorderAlgo::Regular supports at most {limit} subflows, got max_subflows={max_subflows}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder returning a validated [`MptcpConfig`].
+#[derive(Clone, Debug)]
+pub struct MptcpConfigBuilder {
+    cfg: MptcpConfig,
+}
+
+impl MptcpConfigBuilder {
+    /// Set both connection-level buffer caps.
+    pub fn buffers(mut self, bytes: usize) -> Self {
+        self.cfg.send_buf = bytes;
+        self.cfg.recv_buf = bytes;
+        self
+    }
+
+    /// Set the connection-level send buffer cap.
+    pub fn send_buf(mut self, bytes: usize) -> Self {
+        self.cfg.send_buf = bytes;
+        self
+    }
+
+    /// Set the connection-level receive buffer cap.
+    pub fn recv_buf(mut self, bytes: usize) -> Self {
+        self.cfg.recv_buf = bytes;
+        self
+    }
+
+    /// Select the mechanism set (propagates M4 to the subflow TCP).
+    pub fn mechanisms(mut self, mech: Mechanisms) -> Self {
+        self.cfg = self.cfg.with_mechanisms(mech);
+        self
+    }
+
+    /// Enable or disable DSS checksums.
+    pub fn checksum(mut self, on: bool) -> Self {
+        self.cfg.checksum = on;
+        self
+    }
+
+    /// Select the out-of-order queue algorithm.
+    pub fn reorder(mut self, algo: ReorderAlgo) -> Self {
+        self.cfg.reorder = algo;
+        self
+    }
+
+    /// Couple congestion control across subflows (LIA) or not (Reno).
+    pub fn coupled_cc(mut self, on: bool) -> Self {
+        self.cfg.coupled_cc = on;
+        self
+    }
+
+    /// Automatically join advertised addresses.
+    pub fn auto_join(mut self, on: bool) -> Self {
+        self.cfg.auto_join = on;
+        self
+    }
+
+    /// Limit the number of live subflows.
+    pub fn max_subflows(mut self, n: usize) -> Self {
+        self.cfg.max_subflows = n;
+        self
+    }
+
+    /// Replace the per-subflow TCP parameters.
+    pub fn tcp(mut self, tcp: TcpConfig) -> Self {
+        self.cfg.tcp = tcp;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<MptcpConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +308,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // presets are consts by design
     fn mechanism_presets() {
         assert!(!Mechanisms::NONE.opportunistic_retx);
         assert!(Mechanisms::M1.opportunistic_retx && !Mechanisms::M1.penalize);
@@ -152,5 +329,61 @@ mod tests {
         let cfg = MptcpConfig::default().with_buffers(123_456);
         assert_eq!(cfg.send_buf, 123_456);
         assert_eq!(cfg.recv_buf, 123_456);
+    }
+
+    #[test]
+    fn builder_accepts_defaults() {
+        let cfg = MptcpConfig::builder().build().expect("defaults are valid");
+        assert_eq!(cfg.max_subflows, 8);
+    }
+
+    #[test]
+    fn builder_rejects_zero_buffers() {
+        assert_eq!(
+            MptcpConfig::builder().send_buf(0).build().unwrap_err(),
+            ConfigError::ZeroSendBuffer
+        );
+        assert_eq!(
+            MptcpConfig::builder().recv_buf(0).build().unwrap_err(),
+            ConfigError::ZeroRecvBuffer
+        );
+        assert_eq!(
+            MptcpConfig::builder().max_subflows(0).build().unwrap_err(),
+            ConfigError::ZeroMaxSubflows
+        );
+    }
+
+    #[test]
+    fn builder_rejects_autotune_below_start() {
+        let err = MptcpConfig::builder()
+            .mechanisms(Mechanisms::M1_2_3)
+            .buffers(32 * 1024)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::AutotuneCapBelowStart { .. }));
+        // At or above the starting size it passes.
+        MptcpConfig::builder()
+            .mechanisms(Mechanisms::M1_2_3)
+            .buffers(AUTOTUNE_START)
+            .build()
+            .expect("64 KiB cap is the minimum");
+    }
+
+    #[test]
+    fn builder_rejects_linear_reorder_with_many_subflows() {
+        let err = MptcpConfig::builder()
+            .reorder(ReorderAlgo::Regular)
+            .max_subflows(16)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::RegularReorderTooManySubflows { .. }
+        ));
+        MptcpConfig::builder()
+            .reorder(ReorderAlgo::Regular)
+            .max_subflows(2)
+            .build()
+            .expect("few subflows are fine on the linear queue");
     }
 }

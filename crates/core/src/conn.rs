@@ -22,9 +22,13 @@ use std::collections::{BTreeMap, VecDeque};
 use bytes::Bytes;
 use mptcp_netsim::{Duration, SimRng, SimTime};
 use mptcp_packet::mptcp_opts::AdvertisedAddr;
-use mptcp_packet::{checksum, crypto, DssMapping, Endpoint, FourTuple, MptcpOption, SeqNum, TcpOption, TcpSegment};
+use mptcp_packet::{
+    checksum, crypto, DssMapping, Endpoint, FourTuple, MptcpOption, SeqNum, TcpOption, TcpSegment,
+};
 use mptcp_tcpstack::{cc, Lia, TcpSocket};
+use mptcp_telemetry::{CounterId, EventKind, FallbackCause, GaugeId, Recorder, TelemetrySnapshot};
 
+use crate::api::{JoinError, ReadOutcome, SubflowError, SubflowId, WriteOutcome};
 use crate::config::MptcpConfig;
 use crate::dsn::infer_full_dsn;
 use crate::mapping::{Consumed, MappingTracker};
@@ -65,7 +69,7 @@ pub enum ConnEvent {
 }
 
 /// Counters for the paper's measurements.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ConnStats {
     /// Application bytes accepted for sending.
     pub bytes_written: u64,
@@ -90,6 +94,10 @@ pub struct ConnStats {
     pub dup_bytes: u64,
     /// MP_JOIN attempts rejected (bad token or MAC).
     pub joins_rejected: u64,
+    /// Per-mechanism telemetry (counters, gauges, event ring). Populated
+    /// by [`MptcpConnection::conn_stats`]; the live `stats` field carries
+    /// an empty snapshot.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// A chunk handed to a subflow, retained until DATA_ACKed (§3.3.5: "even
@@ -164,6 +172,9 @@ pub struct MptcpConnection {
     events: VecDeque<ConnEvent>,
     /// Measurement counters.
     pub stats: ConnStats,
+    /// Fine-grained mechanism telemetry (merged with per-subflow and
+    /// reorder-queue recorders by [`MptcpConnection::telemetry`]).
+    telemetry: Recorder,
     poll_cursor: usize,
 }
 
@@ -174,7 +185,12 @@ impl MptcpConnection {
 
     /// Active-open an MPTCP connection: the first [`MptcpConnection::poll`]
     /// emits a SYN carrying MP_CAPABLE with our key.
-    pub fn client(cfg: MptcpConfig, tuple: FourTuple, now: SimTime, mut rng: SimRng) -> MptcpConnection {
+    pub fn client(
+        cfg: MptcpConfig,
+        tuple: FourTuple,
+        now: SimTime,
+        mut rng: SimRng,
+    ) -> MptcpConnection {
         let local = KeySet::from_key(rng.next_u64());
         let checksum_on = cfg.checksum;
         let syn_opts = vec![TcpOption::Mptcp(MptcpOption::MpCapable {
@@ -183,8 +199,13 @@ impl MptcpConnection {
             sender_key: local.key,
             receiver_key: None,
         })];
-        let mut sock =
-            TcpSocket::client(cfg.tcp.clone(), tuple, SeqNum(rng.next_u32()), now, syn_opts);
+        let mut sock = TcpSocket::client(
+            cfg.tcp.clone(),
+            tuple,
+            SeqNum(rng.next_u32()),
+            now,
+            syn_opts,
+        );
         MptcpConnection::install_cc(&cfg, &mut sock);
         let mut conn = MptcpConnection::common(cfg, true, local, rng);
         conn.subflows.push(Subflow::new(
@@ -247,7 +268,8 @@ impl MptcpConnection {
             None => {
                 // No MP_CAPABLE (stripped or plain peer): regular TCP.
                 let local = KeySet::from_key(rng.next_u64());
-                let sock = TcpSocket::accept(cfg.tcp.clone(), syn, SeqNum(rng.next_u32()), now, vec![]);
+                let sock =
+                    TcpSocket::accept(cfg.tcp.clone(), syn, SeqNum(rng.next_u32()), now, vec![]);
                 let mut conn = MptcpConnection::common(cfg, false, local, rng);
                 conn.state = ConnState::Fallback;
                 conn.subflows.push(Subflow::new(
@@ -264,10 +286,7 @@ impl MptcpConnection {
     fn common(cfg: MptcpConfig, is_client: bool, local: KeySet, rng: SimRng) -> MptcpConnection {
         let snd_start = local.idsn.wrapping_add(1);
         let (snd_buf_cap, rcv_buf_cap) = if cfg.mech.autotune {
-            (
-                (64 * 1024).min(cfg.send_buf),
-                (64 * 1024).min(cfg.recv_buf),
-            )
+            ((64 * 1024).min(cfg.send_buf), (64 * 1024).min(cfg.recv_buf))
         } else {
             (cfg.send_buf, cfg.recv_buf)
         };
@@ -305,6 +324,7 @@ impl MptcpConnection {
             plain_rx_streak: 0,
             events: VecDeque::new(),
             stats: ConnStats::default(),
+            telemetry: Recorder::new(),
             poll_cursor: 0,
             cfg,
         }
@@ -400,7 +420,11 @@ impl MptcpConnection {
     pub fn receiver_memory(&self) -> usize {
         self.ooo.buffered_bytes()
             + self.app_rx_bytes
-            + self.subflows.iter().map(|s| s.sock.recv_buffered()).sum::<usize>()
+            + self
+                .subflows
+                .iter()
+                .map(|s| s.sock.recv_buffered())
+                .sum::<usize>()
     }
 
     /// Current connection-level advertised window.
@@ -412,6 +436,36 @@ impl MptcpConnection {
     /// Current autotuned receive buffer capacity.
     pub fn rcv_buf_capacity(&self) -> usize {
         self.rcv_buf_cap
+    }
+
+    /// Snapshot the connection's telemetry: the connection-level recorder
+    /// (M1–M4, fallback, data-level timers, joins) merged with the reorder
+    /// queue's counters and every subflow socket's recorder (TCP RTOs,
+    /// fast retransmits, M4 caps).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut rec = self.telemetry.clone();
+        rec.count_n(CounterId::ReorderInserts, self.ooo.inserts());
+        rec.count_n(CounterId::ReorderOps, self.ooo.ops());
+        rec.count_n(CounterId::ReorderShortcutHits, self.ooo.shortcut_hits());
+        rec.gauge_set(GaugeId::SndBufCap, self.snd_buf_cap as u64);
+        rec.gauge_set(GaugeId::RcvBufCap, self.rcv_buf_cap as u64);
+        rec.gauge_set(GaugeId::Subflows, self.alive_subflows() as u64);
+        rec.gauge_set(
+            GaugeId::SendQueueBytes,
+            (self.pending_bytes + self.sent_bytes) as u64,
+        );
+        for sf in &self.subflows {
+            rec.absorb(&sf.sock.telemetry);
+        }
+        rec.snapshot()
+    }
+
+    /// Measurement counters with the telemetry snapshot embedded — the
+    /// full observable state for reports.
+    pub fn conn_stats(&self) -> ConnStats {
+        let mut s = self.stats.clone();
+        s.telemetry = self.telemetry();
+        s
     }
 
     /// Drain pending events.
@@ -433,16 +487,16 @@ impl MptcpConnection {
     // Application API.
     // ------------------------------------------------------------------
 
-    /// Write application data; returns bytes accepted (connection send
-    /// buffer permitting).
-    pub fn write(&mut self, data: &[u8]) -> usize {
+    /// Write application data; the outcome says how many bytes were
+    /// accepted and via which path (connection send buffer permitting).
+    pub fn write(&mut self, data: &[u8]) -> WriteOutcome {
         if self.data_fin_queued || self.state == ConnState::Closed {
-            return 0;
+            return WriteOutcome::Closed;
         }
         if self.state == ConnState::Fallback {
             let n = self.subflows[0].sock.send(data);
             self.stats.bytes_written += n as u64;
-            return n;
+            return WriteOutcome::FellBack(n);
         }
         let space = self
             .snd_buf_cap
@@ -450,16 +504,27 @@ impl MptcpConnection {
         let take = data.len().min(space);
         if take > 0 {
             self.maybe_grow_sndbuf(take);
-            self.pending.push_back(Bytes::copy_from_slice(&data[..take]));
+            self.pending
+                .push_back(Bytes::copy_from_slice(&data[..take]));
             self.pending_bytes += take;
             self.stats.bytes_written += take as u64;
+        } else if !data.is_empty() {
+            return WriteOutcome::WouldBlock;
         }
-        take
+        WriteOutcome::Accepted(take)
     }
 
     /// Read in-order application data.
-    pub fn read(&mut self, max: usize) -> Option<Bytes> {
-        let front = self.app_rx.front_mut()?;
+    pub fn read(&mut self, max: usize) -> ReadOutcome {
+        let Some(front) = self.app_rx.front_mut() else {
+            return if self.at_eof() {
+                ReadOutcome::Eof
+            } else if self.state == ConnState::Closed {
+                ReadOutcome::Closed
+            } else {
+                ReadOutcome::WouldBlock
+            };
+        };
         let out = if front.len() <= max {
             self.app_rx.pop_front().unwrap()
         } else {
@@ -469,7 +534,7 @@ impl MptcpConnection {
         };
         self.app_rx_bytes -= out.len();
         self.stats.bytes_delivered += out.len() as u64;
-        out.into()
+        ReadOutcome::Data(out)
     }
 
     /// Close the sending direction (DATA_FIN, §3.4).
@@ -496,12 +561,20 @@ impl MptcpConnection {
     // ------------------------------------------------------------------
 
     /// Open an additional subflow (MP_JOIN) from `local` to `remote`.
-    /// No-op unless MPTCP is established and keys are known.
-    pub fn open_subflow(&mut self, local: Endpoint, remote: Endpoint, now: SimTime) -> bool {
+    /// Fails unless MPTCP is established, keys are known, the four-tuple
+    /// is new, and the subflow limit has room.
+    pub fn open_subflow(
+        &mut self,
+        local: Endpoint,
+        remote: Endpoint,
+        now: SimTime,
+    ) -> Result<SubflowId, SubflowError> {
         if self.state != ConnState::Established && self.state != ConnState::AwaitingConfirm {
-            return false;
+            return Err(SubflowError::WrongState);
         }
-        let Some(rk) = self.remote else { return false };
+        let Some(rk) = self.remote else {
+            return Err(SubflowError::NoRemoteKey);
+        };
         // Don't open duplicates.
         let tuple = FourTuple {
             src: local,
@@ -512,7 +585,10 @@ impl MptcpConnection {
             .iter()
             .any(|s| !s.dead && s.sock.tuple() == tuple)
         {
-            return false;
+            return Err(SubflowError::DuplicateSubflow);
+        }
+        if self.alive_subflows() >= self.cfg.max_subflows {
+            return Err(SubflowError::SubflowLimit);
         }
         let nonce = self.rng.next_u32();
         let addr_id = self.next_addr_id;
@@ -531,6 +607,7 @@ impl MptcpConnection {
             syn_opts,
         );
         MptcpConnection::install_cc(&self.cfg, &mut sock);
+        sock.set_telemetry_tag(self.subflows.len() as u32);
         let mut sf = Subflow::new(
             sock,
             MappingTracker::new(self.checksum_on),
@@ -539,23 +616,39 @@ impl MptcpConnection {
         );
         sf.nonce_local = nonce;
         self.subflows.push(sf);
-        true
+        let id = SubflowId(self.subflows.len() - 1);
+        self.telemetry
+            .gauge_set(GaugeId::Subflows, self.alive_subflows() as u64);
+        Ok(id)
     }
 
     /// Accept an MP_JOIN SYN addressed to this connection (the endpoint
-    /// demuxed it via the token). Returns false if validation failed.
-    pub fn accept_join(&mut self, syn: &TcpSegment, now: SimTime) -> bool {
-        let Some(MptcpOption::MpJoinSyn { token, nonce, addr_id, backup }) = syn
+    /// demuxed it via the token). The error says why validation failed.
+    pub fn accept_join(&mut self, syn: &TcpSegment, now: SimTime) -> Result<(), JoinError> {
+        if matches!(self.state, ConnState::Fallback | ConnState::Closed) {
+            self.reject_join(now, 0);
+            return Err(JoinError::WrongState);
+        }
+        let Some(MptcpOption::MpJoinSyn {
+            token,
+            nonce,
+            addr_id,
+            backup,
+        }) = syn
             .mptcp_options()
             .find(|m| matches!(m, MptcpOption::MpJoinSyn { .. }))
             .cloned()
         else {
-            self.stats.joins_rejected += 1;
-            return false;
+            self.reject_join(now, 0);
+            return Err(JoinError::NoJoinOption);
         };
         if token != self.local.token || self.remote.is_none() {
-            self.stats.joins_rejected += 1;
-            return false;
+            self.reject_join(now, token);
+            return Err(JoinError::UnknownToken);
+        }
+        if self.alive_subflows() >= self.cfg.max_subflows {
+            self.reject_join(now, token);
+            return Err(JoinError::SubflowLimit);
         }
         let rk = self.remote.unwrap();
         let nonce_local = self.rng.next_u32();
@@ -575,6 +668,7 @@ impl MptcpConnection {
         );
         let _ = sock.take_rx_mptcp(); // MP_JOIN SYN consumed above
         MptcpConnection::install_cc(&self.cfg, &mut sock);
+        sock.set_telemetry_tag(self.subflows.len() as u32);
         let mut sf = Subflow::new(
             sock,
             MappingTracker::new(self.checksum_on),
@@ -585,7 +679,16 @@ impl MptcpConnection {
         sf.nonce_remote = nonce;
         sf.backup = backup;
         self.subflows.push(sf);
-        true
+        self.telemetry
+            .gauge_set(GaugeId::Subflows, self.alive_subflows() as u64);
+        Ok(())
+    }
+
+    fn reject_join(&mut self, now: SimTime, token: u32) {
+        self.stats.joins_rejected += 1;
+        self.telemetry.count(CounterId::JoinsRejected);
+        self.telemetry
+            .event(now.0, EventKind::JoinRejected { token });
     }
 
     /// Advertise an additional local address to the peer (ADD_ADDR) —
@@ -647,7 +750,9 @@ impl MptcpConnection {
         // ack point.
         if self.state != ConnState::Fallback && seg.flags.ack {
             let dss_ack = seg.mptcp_options().find_map(|m| match m {
-                MptcpOption::Dss { data_ack: Some(a), .. } => Some(*a),
+                MptcpOption::Dss {
+                    data_ack: Some(a), ..
+                } => Some(*a),
                 _ => None,
             });
             let base = match dss_ack {
@@ -685,12 +790,14 @@ impl MptcpConnection {
         if !seg.flags.syn && idx == 0 && !self.confirmed && !self.is_client {
             if had_mp {
                 self.plain_rx_streak = 0;
-            } else if matches!(self.state, ConnState::AwaitingConfirm | ConnState::Established)
-                && self.subflows[0].sock.is_established()
+            } else if matches!(
+                self.state,
+                ConnState::AwaitingConfirm | ConnState::Established
+            ) && self.subflows[0].sock.is_established()
             {
                 self.plain_rx_streak += 1;
                 if self.plain_rx_streak >= 3 {
-                    self.enter_fallback();
+                    self.enter_fallback(FallbackCause::OptionStripped, now);
                 }
             }
         }
@@ -705,7 +812,7 @@ impl MptcpConnection {
     }
 
     /// Client-side establishment of the first subflow.
-    fn process_handshake(&mut self, _now: SimTime, idx: usize) {
+    fn process_handshake(&mut self, now: SimTime, idx: usize) {
         if self.state != ConnState::Handshake {
             return;
         }
@@ -749,7 +856,7 @@ impl MptcpConnection {
                 }
                 None => {
                     // SYN/ACK without MP_CAPABLE: fall back (§3.1).
-                    self.enter_fallback();
+                    self.enter_fallback(FallbackCause::OptionStripped, now);
                 }
             }
         } else {
@@ -821,17 +928,17 @@ impl MptcpConnection {
                     }
                 }
                 MptcpOption::MpJoinSynAck { mac, nonce, .. } => {
-                    self.handle_join_synack(idx, mac, nonce);
+                    self.handle_join_synack(now, idx, mac, nonce);
                 }
                 MptcpOption::MpJoinAck { mac } => {
-                    self.handle_join_ack(idx, mac);
+                    self.handle_join_ack(now, idx, mac);
                 }
                 MptcpOption::MpJoinSyn { .. } => {
                     // Handled at accept_join; a duplicate SYN's option.
                 }
                 MptcpOption::MpFail { .. } => {
                     if self.alive_subflows() <= 1 {
-                        self.enter_fallback();
+                        self.enter_fallback(FallbackCause::MpFail, now);
                     }
                 }
                 MptcpOption::FastClose { .. } => {
@@ -844,7 +951,7 @@ impl MptcpConnection {
         }
     }
 
-    fn handle_join_synack(&mut self, idx: usize, mac: u64, nonce_remote: u32) {
+    fn handle_join_synack(&mut self, now: SimTime, idx: usize, mac: u64, nonce_remote: u32) {
         let sf = &mut self.subflows[idx];
         if sf.join != JoinState::ClientSyn {
             return;
@@ -856,6 +963,16 @@ impl MptcpConnection {
             sf.dead = true;
             self.stats.joins_rejected += 1;
             self.stats.subflow_resets += 1;
+            self.telemetry.count(CounterId::JoinsRejected);
+            self.telemetry.count(CounterId::SubflowResets);
+            self.telemetry
+                .event(now.0, EventKind::JoinRejected { token: rk.token });
+            self.telemetry.event(
+                now.0,
+                EventKind::SubflowReset {
+                    subflow: idx as u32,
+                },
+            );
             return;
         }
         sf.nonce_remote = nonce_remote;
@@ -864,12 +981,14 @@ impl MptcpConnection {
         // sending any DSS on this subflow).
         let ack_mac = crypto::join_ack_mac(self.local.key, rk.key, sf.nonce_local, nonce_remote);
         sf.sock
-            .set_carry_options(vec![TcpOption::Mptcp(MptcpOption::MpJoinAck { mac: ack_mac })]);
+            .set_carry_options(vec![TcpOption::Mptcp(MptcpOption::MpJoinAck {
+                mac: ack_mac,
+            })]);
         sf.sock.request_ack();
         self.events.push_back(ConnEvent::SubflowUp(idx));
     }
 
-    fn handle_join_ack(&mut self, idx: usize, mac: [u8; 20]) {
+    fn handle_join_ack(&mut self, now: SimTime, idx: usize, mac: [u8; 20]) {
         let sf = &mut self.subflows[idx];
         if sf.join != JoinState::ServerWait {
             return;
@@ -881,6 +1000,20 @@ impl MptcpConnection {
             sf.dead = true;
             self.stats.joins_rejected += 1;
             self.stats.subflow_resets += 1;
+            self.telemetry.count(CounterId::JoinsRejected);
+            self.telemetry.count(CounterId::SubflowResets);
+            self.telemetry.event(
+                now.0,
+                EventKind::JoinRejected {
+                    token: self.local.token,
+                },
+            );
+            self.telemetry.event(
+                now.0,
+                EventKind::SubflowReset {
+                    subflow: idx as u32,
+                },
+            );
             return;
         }
         sf.join = JoinState::Active;
@@ -945,11 +1078,11 @@ impl MptcpConnection {
             let consumed = self.subflows[idx].tracker.consume(off0, bytes);
             for c in consumed {
                 match c {
-                    Consumed::Mapped { dsn, data } => self.receive_data(dsn, data, idx),
+                    Consumed::Mapped { dsn, data } => self.receive_data(now, dsn, data, idx),
                     Consumed::ChecksumFail { dsn, data } => {
                         self.on_checksum_fail(now, idx, dsn, data)
                     }
-                    Consumed::Unmapped { data } => self.on_unmapped(idx, data),
+                    Consumed::Unmapped { data } => self.on_unmapped(now, idx, data),
                 }
             }
         }
@@ -961,30 +1094,49 @@ impl MptcpConnection {
         self.app_rx.push_back(data);
     }
 
-    fn receive_data(&mut self, dsn: u64, data: Bytes, subflow: usize) {
+    fn receive_data(&mut self, now: SimTime, dsn: u64, data: Bytes, subflow: usize) {
         let end = dsn + data.len() as u64;
         if end <= self.rcv_nxt {
             self.stats.dup_bytes += data.len() as u64;
+            self.telemetry
+                .count_n(CounterId::DupDataBytes, data.len() as u64);
             return;
         }
         let (dsn, data) = if dsn < self.rcv_nxt {
             let cut = (self.rcv_nxt - dsn) as usize;
             self.stats.dup_bytes += cut as u64;
+            self.telemetry.count_n(CounterId::DupDataBytes, cut as u64);
             (self.rcv_nxt, data.slice(cut..))
         } else {
             (dsn, data)
         };
         if dsn > self.rcv_nxt {
             self.ooo.insert(dsn, data, subflow);
+            let segs = self.ooo.len() as u64;
+            let bytes = self.ooo.buffered_bytes() as u64;
+            if segs > self.telemetry.gauge(GaugeId::OfoQueueSegs).max {
+                self.telemetry
+                    .event(now.0, EventKind::ReorderHighWater { segs, bytes });
+            }
+            self.telemetry.gauge_set(GaugeId::OfoQueueSegs, segs);
+            self.telemetry.gauge_set(GaugeId::OfoQueueBytes, bytes);
             return;
         }
         // Fast path: in-order at the data level.
         self.rcv_nxt = dsn + data.len() as u64;
         self.deliver_raw(data);
+        let mut popped = false;
         while let Some((d, b)) = self.ooo.pop_ready(self.rcv_nxt) {
             debug_assert_eq!(d, self.rcv_nxt);
             self.rcv_nxt = d + b.len() as u64;
             self.deliver_raw(b);
+            popped = true;
+        }
+        if popped {
+            self.telemetry
+                .gauge_set(GaugeId::OfoQueueSegs, self.ooo.len() as u64);
+            self.telemetry
+                .gauge_set(GaugeId::OfoQueueBytes, self.ooo.buffered_bytes() as u64);
         }
     }
 
@@ -995,8 +1147,16 @@ impl MptcpConnection {
         }
     }
 
-    fn on_checksum_fail(&mut self, now: SimTime, idx: usize, _dsn: u64, data: Bytes) {
+    fn on_checksum_fail(&mut self, now: SimTime, idx: usize, dsn: u64, data: Bytes) {
         self.stats.checksum_failures += 1;
+        self.telemetry.count(CounterId::ChecksumFailures);
+        self.telemetry.event(
+            now.0,
+            EventKind::ChecksumFail {
+                subflow: idx as u32,
+                dsn,
+            },
+        );
         if self.alive_subflows() > 1 {
             // §3.3.6: terminate the offending subflow; the transfer
             // continues on the others after re-injection.
@@ -1008,18 +1168,25 @@ impl MptcpConnection {
             self.subflows[idx].sock.abort();
             self.subflows[idx].dead = true;
             self.stats.subflow_resets += 1;
+            self.telemetry.count(CounterId::SubflowResets);
+            self.telemetry.event(
+                now.0,
+                EventKind::SubflowReset {
+                    subflow: idx as u32,
+                },
+            );
             self.events.push_back(ConnEvent::SubflowDown(idx));
             self.reinject_chunks_of_dead(now);
         } else {
             // Only subflow: fall back to regular TCP, letting the
             // middlebox rewrite as it wishes; the modified bytes continue
             // the stream.
-            self.enter_fallback();
+            self.enter_fallback(FallbackCause::ChecksumFail, now);
             self.deliver_raw(data);
         }
     }
 
-    fn on_unmapped(&mut self, idx: usize, data: Bytes) {
+    fn on_unmapped(&mut self, now: SimTime, idx: usize, data: Bytes) {
         if self.state == ConnState::Fallback {
             self.deliver_raw(data);
             return;
@@ -1027,18 +1194,20 @@ impl MptcpConnection {
         if self.alive_subflows() == 1 && self.subflows[idx].tracker.mappings_received == 0 {
             // Mid-stream option stripping on the only subflow: infinite
             // mapping / fallback (§3.3.6, §4.1).
-            self.enter_fallback();
+            self.enter_fallback(FallbackCause::OptionStripped, now);
             self.deliver_raw(data);
         }
         // Otherwise: drop; the subflow has acked these bytes but they are
         // not DATA_ACKed, so the sender re-injects them (§3.3.5).
     }
 
-    fn enter_fallback(&mut self) {
+    fn enter_fallback(&mut self, cause: FallbackCause, now: SimTime) {
         if self.state == ConnState::Fallback {
             return;
         }
         self.state = ConnState::Fallback;
+        self.telemetry.count(CounterId::Fallbacks);
+        self.telemetry.event(now.0, EventKind::Fallback { cause });
         self.events.push_back(ConnEvent::FellBack);
         // Stop MPTCP signalling; plain TCP from here.
         for sf in &mut self.subflows {
@@ -1201,6 +1370,17 @@ impl MptcpConnection {
 
     fn on_data_rto(&mut self, now: SimTime) {
         self.stats.data_rtos += 1;
+        self.telemetry.count(CounterId::DataRtos);
+        self.telemetry
+            .event(now.0, EventKind::DataRto { dsn: self.snd_una });
+        self.telemetry.count(CounterId::DataAckStalls);
+        self.telemetry.event(
+            now.0,
+            EventKind::DataAckStall {
+                dsn: self.snd_una,
+                stalled_ns: self.data_rto_interval().as_nanos() as u64,
+            },
+        );
         // Client-side fallback detection (§3.3.6): our DSS options are
         // being stripped somewhere — subflow delivery succeeds but nothing
         // is ever DATA_ACKed and no MPTCP option has arrived since the
@@ -1209,7 +1389,7 @@ impl MptcpConnection {
         // onto the lone subflow, which would duplicate bytes in the raw
         // stream a fallen-back peer is reading.
         if self.is_client && !self.confirmed && self.alive_subflows() == 1 {
-            self.enter_fallback();
+            self.enter_fallback(FallbackCause::DataRtoUnconfirmed, now);
             return;
         }
         self.data_rto_backoff = (self.data_rto_backoff * 2).min(64);
@@ -1284,6 +1464,10 @@ impl MptcpConnection {
             let Some(&target) = order.iter().find(|&&i| {
                 self.subflows[i].tx_headroom() > 0 && self.subflows[i].sock.send_space() > 0
             }) else {
+                // Work is waiting but no subflow can take it.
+                if !self.pending.is_empty() || !self.reinject.is_empty() {
+                    self.telemetry.count(CounterId::SchedulerStalls);
+                }
                 return;
             };
 
@@ -1320,8 +1504,7 @@ impl MptcpConnection {
             // Receive-window limited? That's where M1/M2 earn their keep
             // (§4.2): a subflow has spare cwnd but the shared window is
             // exhausted by data stuck on a slower path.
-            let rwnd_limited =
-                self.snd_nxt >= self.snd_right_edge && self.snd_una < self.snd_nxt;
+            let rwnd_limited = self.snd_nxt >= self.snd_right_edge && self.snd_una < self.snd_nxt;
             if rwnd_limited {
                 self.maybe_mechanisms(now, target);
                 return;
@@ -1390,6 +1573,7 @@ impl MptcpConnection {
         let ok = sf.sock.send_chunk(data.clone(), vec![dss]);
         debug_assert!(ok, "subflow send buffer unexpectedly full");
         self.stats.bytes_scheduled += data.len() as u64;
+        self.telemetry.count(CounterId::SchedulerPicks);
     }
 
     /// M1 (opportunistic retransmission) and M2 (penalization), §4.2.
@@ -1415,9 +1599,9 @@ impl MptcpConnection {
         }
 
         if self.cfg.mech.opportunistic_retx {
-            let recently = self
-                .last_opp
-                .is_some_and(|(d, t)| d == self.snd_una && now.since(t) < self.subflows[fast].srtt_or_default());
+            let recently = self.last_opp.is_some_and(|(d, t)| {
+                d == self.snd_una && now.since(t) < self.subflows[fast].srtt_or_default()
+            });
             if !recently {
                 // Resend only the first unacknowledged segment (§4.2 M1).
                 let data = chunk.data.clone();
@@ -1431,6 +1615,15 @@ impl MptcpConnection {
                 );
                 self.last_opp = Some((self.snd_una, now));
                 self.stats.opportunistic_retx += 1;
+                self.telemetry.count(CounterId::M1Reinjections);
+                self.telemetry.event(
+                    now.0,
+                    EventKind::M1Reinject {
+                        dsn: self.snd_una,
+                        from: culprit as u32,
+                        to: fast as u32,
+                    },
+                );
             }
         }
 
@@ -1442,12 +1635,23 @@ impl MptcpConnection {
                 let recently = sf.last_penalty.is_some_and(|t| now.since(t) < srtt);
                 if !recently {
                     // Halve cwnd and set ssthresh to the reduced window.
-                    let half = sf.sock.cwnd() / 2;
+                    let before = sf.sock.cwnd();
+                    let half = before / 2;
                     sf.sock.cc_mut().set_ssthresh(half);
                     sf.sock.cc_mut().set_cwnd(half);
                     sf.last_penalty = Some(now);
                     sf.penalties += 1;
+                    let after = sf.sock.cwnd();
                     self.stats.penalizations += 1;
+                    self.telemetry.count(CounterId::M2Penalizations);
+                    self.telemetry.event(
+                        now.0,
+                        EventKind::M2Penalize {
+                            subflow: culprit as u32,
+                            before,
+                            after,
+                        },
+                    );
                 }
             }
         }
@@ -1479,7 +1683,9 @@ impl MptcpConnection {
     }
 
     fn send_data_fin_signal(&mut self) {
-        let Some(fin_dsn) = self.data_fin_dsn else { return };
+        let Some(fin_dsn) = self.data_fin_dsn else {
+            return;
+        };
         let opt = TcpOption::Mptcp(MptcpOption::Dss {
             data_ack: Some(self.effective_rcv_ack()),
             mapping: Some(DssMapping {
@@ -1503,11 +1709,11 @@ impl MptcpConnection {
 
     /// Refresh window overrides and DATA_ACK carry options on every
     /// subflow (§3.3.1: one shared pool; §3.3.2: explicit DATA_ACK).
-    fn update_ack_state(&mut self, _now: SimTime) {
+    fn update_ack_state(&mut self, now: SimTime) {
         if self.state == ConnState::Fallback || self.state == ConnState::Closed {
             return;
         }
-        self.maybe_grow_rcvbuf();
+        self.maybe_grow_rcvbuf(now);
         let window = self.rcv_window();
         let da = self.effective_rcv_ack();
         for sf in &mut self.subflows {
@@ -1527,8 +1733,12 @@ impl MptcpConnection {
                 // join ACK in front.
                 if sf.join == JoinState::ClientEstablished {
                     if let Some(rk) = self.remote {
-                        let mac =
-                            crypto::join_ack_mac(self.local.key, rk.key, sf.nonce_local, sf.nonce_remote);
+                        let mac = crypto::join_ack_mac(
+                            self.local.key,
+                            rk.key,
+                            sf.nonce_local,
+                            sf.nonce_remote,
+                        );
                         carry.insert(0, TcpOption::Mptcp(MptcpOption::MpJoinAck { mac }));
                     }
                 }
@@ -1538,7 +1748,7 @@ impl MptcpConnection {
     }
 
     /// M3: grow buffers toward `2·Σxᵢ·RTTmax` (§4.2).
-    fn maybe_grow_rcvbuf(&mut self) {
+    fn maybe_grow_rcvbuf(&mut self, now: SimTime) {
         if !self.cfg.mech.autotune {
             return;
         }
@@ -1554,11 +1764,24 @@ impl MptcpConnection {
             return;
         }
         let wanted = (2.0 * rate_sum * rtt_max.as_secs_f64()) as usize;
-        if wanted > self.rcv_buf_cap {
-            self.rcv_buf_cap = wanted.min(self.cfg.recv_buf);
-        }
-        if wanted > self.snd_buf_cap {
-            self.snd_buf_cap = wanted.min(self.cfg.send_buf);
+        let new_rcv = self.rcv_buf_cap.max(wanted.min(self.cfg.recv_buf));
+        let new_snd = self.snd_buf_cap.max(wanted.min(self.cfg.send_buf));
+        let grew = new_rcv > self.rcv_buf_cap || new_snd > self.snd_buf_cap;
+        self.rcv_buf_cap = new_rcv;
+        self.snd_buf_cap = new_snd;
+        if grew {
+            self.telemetry.count(CounterId::M3BufferGrowths);
+            self.telemetry.event(
+                now.0,
+                EventKind::M3Grow {
+                    snd_cap: self.snd_buf_cap as u64,
+                    rcv_cap: self.rcv_buf_cap as u64,
+                },
+            );
+            self.telemetry
+                .gauge_set(GaugeId::SndBufCap, self.snd_buf_cap as u64);
+            self.telemetry
+                .gauge_set(GaugeId::RcvBufCap, self.rcv_buf_cap as u64);
         }
     }
 

@@ -101,13 +101,10 @@ impl Wire {
             }
             // Advance to the next event.
             let next_delivery = self.inflight.iter().map(|(t, _)| *t).min();
-            let next_timer = [
-                self.client.poll_at(self.now),
-                self.server.poll_at(self.now),
-            ]
-            .into_iter()
-            .flatten()
-            .min();
+            let next_timer = [self.client.poll_at(self.now), self.server.poll_at(self.now)]
+                .into_iter()
+                .flatten()
+                .min();
             let next = match (next_delivery, next_timer) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -144,7 +141,12 @@ impl Wire {
 }
 
 fn client_conn(cfg: MptcpConfig) -> MptcpConnection {
-    MptcpConnection::client(cfg, tuple(C1, 1000), SimTime::ZERO, mptcp_netsim::SimRng::new(11))
+    MptcpConnection::client(
+        cfg,
+        tuple(C1, 1000),
+        SimTime::ZERO,
+        mptcp_netsim::SimRng::new(11),
+    )
 }
 
 fn setup(cfg: MptcpConfig) -> Wire {
@@ -159,7 +161,7 @@ fn pattern(len: usize) -> Vec<u8> {
 
 fn read_all(conn: &mut MptcpConnection) -> Vec<u8> {
     let mut out = Vec::new();
-    while let Some(b) = conn.read(usize::MAX) {
+    while let Some(b) = conn.read(usize::MAX).into_data() {
         out.extend_from_slice(&b);
     }
     out
@@ -188,7 +190,7 @@ fn bulk_transfer_single_subflow() {
     let data = pattern(100_000);
     let mut written = 0;
     while written < data.len() {
-        written += w.client.write(&data[written..]);
+        written += w.client.write(&data[written..]).accepted();
         w.run(w.now + Duration::from_millis(50));
     }
     w.run(w.now + Duration::from_secs(2));
@@ -203,7 +205,10 @@ fn bulk_transfer_single_subflow() {
 fn two_subflows_carry_the_stream() {
     let mut w = setup(MptcpConfig::default());
     w.run(SimTime::from_millis(100));
-    assert!(w.client.open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now));
+    assert!(w
+        .client
+        .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now)
+        .is_ok());
     w.run(w.now + Duration::from_millis(200));
     // Both subflows usable on both sides.
     assert_eq!(w.client.subflows().iter().filter(|s| s.usable()).count(), 2);
@@ -211,7 +216,7 @@ fn two_subflows_carry_the_stream() {
     let data = pattern(300_000);
     let mut written = 0;
     while written < data.len() {
-        written += w.client.write(&data[written..]);
+        written += w.client.write(&data[written..]).accepted();
         w.run(w.now + Duration::from_millis(20));
     }
     w.run(w.now + Duration::from_secs(3));
@@ -232,8 +237,15 @@ fn two_subflows_carry_the_stream() {
 fn duplicate_subflow_not_opened() {
     let mut w = setup(MptcpConfig::default());
     w.run(SimTime::from_millis(100));
-    assert!(w.client.open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now));
-    assert!(!w.client.open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now));
+    assert!(w
+        .client
+        .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now)
+        .is_ok());
+    assert_eq!(
+        w.client
+            .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now),
+        Err(crate::api::SubflowError::DuplicateSubflow)
+    );
 }
 
 #[test]
@@ -250,7 +262,8 @@ fn join_synack_mac_verified() {
         }
         Some(seg)
     }));
-    w.client
+    let _ = w
+        .client
         .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
     w.run(w.now + Duration::from_millis(300));
     assert_eq!(w.client.stats.joins_rejected, 1);
@@ -338,7 +351,7 @@ fn fallback_when_data_options_stripped() {
     let data = pattern(50_000);
     let mut written = 0;
     while written < data.len() {
-        written += w.client.write(&data[written..]);
+        written += w.client.write(&data[written..]).accepted();
         w.run(w.now + Duration::from_millis(50));
     }
     w.run(w.now + Duration::from_secs(2));
@@ -354,7 +367,8 @@ fn subflow_failure_recovers_on_other_path() {
     // robustness goal.
     let mut w = setup(MptcpConfig::default().with_buffers(256 * 1024));
     w.run(SimTime::from_millis(100));
-    w.client
+    let _ = w
+        .client
         .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
     w.run(w.now + Duration::from_millis(200));
 
@@ -369,20 +383,24 @@ fn subflow_failure_recovers_on_other_path() {
         }
     }));
     let data = pattern(200_000);
-    let mut written = w.client.write(&data);
+    let mut written = w.client.write(&data).accepted();
     while written < data.len() {
-        written += w.client.write(&data[written..]);
+        written += w.client.write(&data[written..]).accepted();
         w.run(w.now + Duration::from_millis(100));
     }
     // Allow data-level retransmission to reroute stranded chunks.
     w.run(w.now + Duration::from_secs(30));
     let got = read_all(server_conn(&mut w));
-    assert_eq!(got.len(), data.len(), "transfer completed despite path death");
+    assert_eq!(
+        got.len(),
+        data.len(),
+        "transfer completed despite path death"
+    );
     assert_eq!(got, data);
     // Recovery may come from the data-level timer, dead-subflow
     // re-injection, or M1 walking the stranded range — any of them proves
     // the chunks were re-routed.
-    let st = w.client.stats;
+    let st = w.client.stats.clone();
     assert!(
         st.reinjections + st.opportunistic_retx + st.data_rtos > 0,
         "chunks were re-routed: {st:?}"
@@ -415,7 +433,8 @@ fn mechanisms_fire_on_asymmetric_paths() {
     let mut w = setup(cfg);
     w.set_delay(C2, S1, Duration::from_millis(150));
     w.run(SimTime::from_millis(100));
-    w.client
+    let _ = w
+        .client
         .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
     w.run(w.now + Duration::from_millis(400));
 
@@ -423,7 +442,7 @@ fn mechanisms_fire_on_asymmetric_paths() {
     let mut written = 0;
     let deadline = SimTime::from_secs(20);
     while written < data.len() && w.now < deadline {
-        written += w.client.write(&data[written..]);
+        written += w.client.write(&data[written..]).accepted();
         w.run(w.now + Duration::from_millis(20));
         // Reader keeps up.
         let _ = read_all(server_conn(&mut w));
@@ -468,7 +487,8 @@ fn remove_addr_closes_matching_subflows() {
     // subflows; REMOVE_ADDR lets the peer clean up.
     let mut w = setup(MptcpConfig::default());
     w.run(SimTime::from_millis(100));
-    w.client
+    let _ = w
+        .client
         .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
     w.run(w.now + Duration::from_millis(200));
     assert_eq!(w.client.subflows().iter().filter(|s| s.usable()).count(), 2);
@@ -494,7 +514,8 @@ fn remove_addr_closes_matching_subflows() {
 fn backup_subflows_only_used_as_last_resort() {
     let mut w = setup(MptcpConfig::default());
     w.run(SimTime::from_millis(100));
-    w.client
+    let _ = w
+        .client
         .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
     w.run(w.now + Duration::from_millis(200));
     // Mark the second subflow as backup.
@@ -503,7 +524,7 @@ fn backup_subflows_only_used_as_last_resort() {
     let data = pattern(200_000);
     let mut written = 0;
     while written < data.len() {
-        written += w.client.write(&data[written..]);
+        written += w.client.write(&data[written..]).accepted();
         w.run(w.now + Duration::from_millis(50));
     }
     w.run(w.now + Duration::from_secs(2));
@@ -524,7 +545,12 @@ fn fastclose_aborts_connection() {
     use mptcp_packet::{TcpFlags, TcpSegment as Seg};
     let remote_key = 0; // value is informational in our model
     let sf_tuple = w.client.subflows()[0].sock.tuple();
-    let mut seg = Seg::new(sf_tuple.reversed(), mptcp_packet::SeqNum(1), mptcp_packet::SeqNum(1), TcpFlags::ACK);
+    let mut seg = Seg::new(
+        sf_tuple.reversed(),
+        mptcp_packet::SeqNum(1),
+        mptcp_packet::SeqNum(1),
+        TcpFlags::ACK,
+    );
     seg.options.push(TcpOption::Mptcp(MptcpOption::FastClose {
         receiver_key: remote_key,
     }));
@@ -541,9 +567,9 @@ fn data_fin_retransmitted_if_lost() {
     // Drop every segment carrying a DATA_FIN, once.
     let mut dropped = 0u32;
     w.mangle = Some(Box::new(move |_, seg: TcpSegment| {
-        let has_fin = seg.mptcp_options().any(|m| {
-            matches!(m, MptcpOption::Dss { data_fin: true, .. })
-        });
+        let has_fin = seg
+            .mptcp_options()
+            .any(|m| matches!(m, MptcpOption::Dss { data_fin: true, .. }));
         if has_fin && dropped < 1 {
             dropped += 1;
             return None;

@@ -62,7 +62,11 @@ mod tests {
         ];
         for (reference, truth) in cases {
             let low = truth & 0xffff_ffff;
-            assert_eq!(infer_full_dsn(reference, low), truth, "ref={reference} truth={truth}");
+            assert_eq!(
+                infer_full_dsn(reference, low),
+                truth,
+                "ref={reference} truth={truth}"
+            );
         }
     }
 }

@@ -76,7 +76,7 @@ impl MptcpListener {
                 self.rejected_syns += 1;
                 return None;
             };
-            if idx >= self.conns.len() || !self.conns[idx].accept_join(seg, now) {
+            if idx >= self.conns.len() || self.conns[idx].accept_join(seg, now).is_err() {
                 self.rejected_syns += 1;
                 return None;
             }

@@ -30,6 +30,7 @@
 //! * Four connection-level reorder algorithms (§4.3, [`reorder`]).
 //! * DATA_FIN vs subflow FIN teardown and REMOVE_ADDR mobility (§3.4).
 
+pub mod api;
 pub mod config;
 pub mod conn;
 pub mod dsn;
@@ -39,9 +40,11 @@ pub mod reorder;
 pub mod subflow;
 pub mod token;
 
-pub use config::{Mechanisms, MptcpConfig, ReorderAlgo};
+pub use api::{JoinError, ReadOutcome, SubflowError, SubflowId, WriteOutcome};
+pub use config::{ConfigError, Mechanisms, MptcpConfig, MptcpConfigBuilder, ReorderAlgo};
 pub use conn::{ConnEvent, ConnState, ConnStats, MptcpConnection};
 pub use endpoint::MptcpListener;
+pub use mptcp_telemetry as telemetry;
 pub use token::{KeyPool, KeySet, TokenTable};
 
 #[cfg(test)]

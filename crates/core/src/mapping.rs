@@ -290,7 +290,11 @@ mod tests {
         // A checksummed mapping is held until complete (a modified
         // segment must be rejected whole, S3.3.6), then delivered once.
         let mut delivered = Vec::new();
-        for (off, chunk) in [(0u64, &payload[..3]), (3, &payload[3..8]), (8, &payload[8..])] {
+        for (off, chunk) in [
+            (0u64, &payload[..3]),
+            (3, &payload[3..8]),
+            (8, &payload[8..]),
+        ] {
             let out = t.consume(off, Bytes::copy_from_slice(chunk));
             if off + (chunk.len() as u64) < payload.len() as u64 {
                 assert!(out.is_empty(), "held until the checksum verdict");

@@ -322,8 +322,8 @@ mod tests {
         // Pop recycles the node slot.
         assert!(q.pop_ready(0).is_some());
         q.insert(100, b(10), 1); // reuses slot with bumped generation
-        // sf0's cursor points at the recycled slot; the generation check
-        // must force a scan rather than corrupt the list.
+                                 // sf0's cursor points at the recycled slot; the generation check
+                                 // must force a scan rather than corrupt the list.
         q.insert(50, b(10), 0);
         assert_eq!(q.len(), 2);
         let a = q.pop_ready(50).unwrap();

@@ -130,7 +130,8 @@ mod tests {
         let mut sf = Subflow::new(sock(), MappingTracker::new(true), JoinState::Initial, 0);
         let before = sf.tx_headroom();
         assert!(before > 0);
-        sf.sock.send_chunk(bytes::Bytes::from_static(&[0; 1000]), vec![]);
+        sf.sock
+            .send_chunk(bytes::Bytes::from_static(&[0; 1000]), vec![]);
         assert_eq!(sf.tx_headroom(), before - 1000);
     }
 }

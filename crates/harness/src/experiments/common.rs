@@ -74,7 +74,7 @@ pub fn tcp_cfg(buf: usize, autotune: bool) -> TcpConfig {
 }
 
 /// Result of one bulk run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BulkResult {
     /// Application-level goodput in Mbps over the measurement window.
     pub goodput_mbps: f64,
@@ -86,6 +86,9 @@ pub struct BulkResult {
     pub receiver_mem: f64,
     /// Did the transport fall back to plain TCP?
     pub fell_back: bool,
+    /// Client-side transport telemetry at the end of the run (M1–M4,
+    /// fallback causes, reorder/scheduler internals).
+    pub telemetry: mptcp::telemetry::TelemetrySnapshot,
 }
 
 /// Run a continuous bulk transfer (client → server) for `warmup +
@@ -119,14 +122,20 @@ pub fn run_bulk(
     let delivered = sc.server().app_bytes_received - delivered0;
     let scheduled = scheduled_bytes(&mut sc) - scheduled0;
     let warm = t0;
-    let (smem, rmem, fell_back) = {
+    let (smem, rmem, fell_back, telemetry) = {
         let client = sc.client();
         let smem = client.mem_sampler.mean_after(warm);
         let fell = match &client.transport {
             crate::transport::Transport::Mptcp(c) => c.is_fallback(),
             _ => false,
         };
-        (smem, sc.server().mem_sampler.mean_after(warm), fell)
+        let telemetry = client.transport.telemetry();
+        (
+            smem,
+            sc.server().mem_sampler.mean_after(warm),
+            fell,
+            telemetry,
+        )
     };
     BulkResult {
         goodput_mbps: Rates::mbps(delivered, elapsed),
@@ -134,6 +143,7 @@ pub fn run_bulk(
         sender_mem: smem,
         receiver_mem: rmem,
         fell_back,
+        telemetry,
     }
 }
 

@@ -81,7 +81,9 @@ pub fn measure_mptcp(trials: usize, existing: usize, scan_lookup: bool, seed: u6
     for _ in 0..trials {
         let syn = mp_syn(&mut rng);
         let t = Instant::now();
-        let idx = listener.handle_segment(SimTime::ZERO, &syn).expect("accepted");
+        let idx = listener
+            .handle_segment(SimTime::ZERO, &syn)
+            .expect("accepted");
         // Poll only the new connection: the cost under test is key
         // generation + token uniqueness + SYN/ACK construction, not
         // unrelated connections.

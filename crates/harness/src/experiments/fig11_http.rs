@@ -109,5 +109,7 @@ pub fn sweep(cfg: Config, sizes: &[usize], seed: u64) -> Vec<Row> {
 
 /// The paper's x-axis (bytes): 4 KB – 300 KB.
 pub fn default_sizes() -> Vec<usize> {
-    vec![4_096, 16_384, 30_000, 65_536, 100_000, 150_000, 200_000, 300_000]
+    vec![
+        4_096, 16_384, 30_000, 65_536, 100_000, 150_000, 200_000, 300_000,
+    ]
 }

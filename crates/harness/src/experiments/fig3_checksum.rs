@@ -79,9 +79,10 @@ pub fn measure_packet_cost() -> f64 {
     let mut seq = client.poll(now).map(|s| s.seq).unwrap_or(SeqNum(2));
     let t = Instant::now();
     for _ in 0..reps {
-        let mut seg = mptcp_packet::TcpSegment::new(tuple, seq, SeqNum(501), mptcp_packet::TcpFlags::ACK);
+        let mut seg =
+            mptcp_packet::TcpSegment::new(tuple, seq, SeqNum(501), mptcp_packet::TcpFlags::ACK);
         seg.payload = payload.clone();
-        seq = seq + 1460;
+        seq += 1460;
         server.handle_segment(now, &seg);
         std::hint::black_box(server.poll(now));
         std::hint::black_box(server.read(usize::MAX));

@@ -78,5 +78,12 @@ pub fn quick(buf: usize, v: Variant, seed: u64) -> BulkResult {
         Variant::Tcp => vec![Path::symmetric(LinkCfg::wifi())],
         _ => wifi_3g_paths(),
     };
-    run_bulk(v, buf, paths, Duration::from_secs(2), Duration::from_secs(8), seed)
+    run_bulk(
+        v,
+        buf,
+        paths,
+        Duration::from_secs(2),
+        Duration::from_secs(8),
+        seed,
+    )
 }

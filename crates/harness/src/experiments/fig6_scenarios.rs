@@ -16,7 +16,11 @@ use super::common::{run_bulk, BulkResult, Variant};
 
 /// A WAN-ish link: 10 ms one-way, one base-RTT of buffer.
 fn wan(rate_bps: u64) -> LinkCfg {
-    LinkCfg::with_buffer_time(rate_bps, Duration::from_millis(10), Duration::from_millis(20))
+    LinkCfg::with_buffer_time(
+        rate_bps,
+        Duration::from_millis(10),
+        Duration::from_millis(20),
+    )
 }
 
 /// Which Figure 6 panel.
@@ -72,7 +76,9 @@ impl Panel {
     pub fn default_bufs(&self) -> Vec<usize> {
         match self {
             Panel::WeakCellular => vec![100_000, 200_000, 500_000, 1_000_000, 2_000_000],
-            _ => vec![250_000, 500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000],
+            _ => vec![
+                250_000, 500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000,
+            ],
         }
     }
 

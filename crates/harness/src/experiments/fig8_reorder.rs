@@ -14,7 +14,7 @@
 //! Shortcuts > AllShortcuts, all above TCP, with the gap growing from 2 to
 //! 8 subflows.
 
-use mptcp::{MptcpConfig, Mechanisms, ReorderAlgo};
+use mptcp::{Mechanisms, MptcpConfig, ReorderAlgo};
 use mptcp_netsim::{Duration, LinkCfg, Path};
 use mptcp_packet::Endpoint;
 
@@ -74,7 +74,7 @@ pub fn run_cell(algo: ReorderAlgo, nsub: usize, seed: u64) -> Row {
         let conn = sc.client_mut().transport.as_mptcp().unwrap();
         for i in 2..nsub {
             let side = i % 2;
-            conn.open_subflow(
+            let _ = conn.open_subflow(
                 Endpoint::new(Endpoints::CLIENT[side], 30_000 + i as u16),
                 Endpoint::new(Endpoints::SERVER[side], Endpoints::PORT),
                 now,
@@ -100,7 +100,11 @@ pub fn run_cell(algo: ReorderAlgo, nsub: usize, seed: u64) -> Row {
         subflows: nsub,
         cpu_util: util,
         ops_per_pkt,
-        hit_rate: if ins1 > 0 { hits1 as f64 / ins1 as f64 } else { 0.0 },
+        hit_rate: if ins1 > 0 {
+            hits1 as f64 / ins1 as f64
+        } else {
+            0.0
+        },
         goodput_mbps: crate::metrics::Rates::mbps(bytes1 - bytes0, sc.sim.now - t0),
     }
 }
@@ -122,7 +126,13 @@ fn snapshot(sc: &mut Scenario) -> (u64, u64, u64, u64, u64) {
     let server = sc.server();
     let conn = &server.listener.conns[0];
     let pkts: u64 = conn.subflows().iter().map(|s| s.sock.stats.segs_in).sum();
-    (conn.ooo.ops(), conn.ooo.inserts(), conn.ooo.shortcut_hits(), pkts, bytes)
+    (
+        conn.ooo.ops(),
+        conn.ooo.inserts(),
+        conn.ooo.shortcut_hits(),
+        pkts,
+        bytes,
+    )
 }
 
 /// Run the whole figure: all algorithms × {2, 8} subflows + TCP baselines.

@@ -13,7 +13,11 @@ use super::common::{run_bulk, Variant};
 
 /// Capped-WiFi link: 2 Mbps, 20 ms RTT, 80 ms buffer.
 pub fn capped_wifi() -> LinkCfg {
-    LinkCfg::with_buffer_time(2_000_000, Duration::from_millis(10), Duration::from_millis(80))
+    LinkCfg::with_buffer_time(
+        2_000_000,
+        Duration::from_millis(10),
+        Duration::from_millis(80),
+    )
 }
 
 /// One sweep point.

@@ -15,12 +15,12 @@
 //! regular TCP after fallback), `Stalled(pct)` (made partial progress).
 
 use mptcp::{Mechanisms, MptcpConfig};
-use mptcp_netsim::{Duration, LinkCfg, Middlebox, Path};
+use mptcp_middlebox::proxy::UnseenAckPolicy;
 use mptcp_middlebox::{
     HoleDropper, Nat, OptionStripper, PayloadModifier, ProactiveAcker, SegmentCoalescer,
     SegmentSplitter, SeqRewriter, StripMode, SynDropper,
 };
-use mptcp_middlebox::proxy::UnseenAckPolicy;
+use mptcp_netsim::{Duration, LinkCfg, Middlebox, Path};
 use mptcp_tcpstack::TcpConfig;
 
 use crate::hosts::{ClientApp, ServerApp};

@@ -9,9 +9,9 @@ use std::collections::HashMap;
 
 use mptcp::{ConnEvent, MptcpConfig, MptcpConnection, MptcpListener};
 use mptcp_netsim::{Duration, Host, Outbox, SimRng, SimTime};
+use mptcp_packet::SeqNum;
 use mptcp_packet::{Endpoint, FourTuple, TcpSegment};
 use mptcp_tcpstack::{TcpConfig, TcpSocket};
-use mptcp_packet::SeqNum;
 
 use crate::metrics::Sampler;
 use crate::transport::Transport;
@@ -163,7 +163,7 @@ impl ClientHost {
             let joins = self.factory.joins.clone();
             if let Some(conn) = self.transport.as_mptcp() {
                 for (l, r) in joins {
-                    conn.open_subflow(l, r, now);
+                    let _ = conn.open_subflow(l, r, now);
                 }
             }
         }
@@ -173,7 +173,7 @@ impl ClientHost {
             for ev in conn.take_events() {
                 if let ConnEvent::PeerAddr(a) = ev {
                     let remote = Endpoint::new(a.addr, a.port.unwrap_or(self.factory.server.port));
-                    conn.open_subflow(local, remote, now);
+                    let _ = conn.open_subflow(local, remote, now);
                 }
             }
         }
@@ -207,7 +207,10 @@ impl ClientHost {
                 }
                 Self::note_sent(&mut self.app_bytes_sent, &mut self.block_sent, n, now);
             },
-            ClientApp::HttpLoop { requested, completed } => {
+            ClientApp::HttpLoop {
+                requested,
+                completed,
+            } => {
                 if !*requested {
                     let req = vec![0x47u8; HTTP_REQUEST_LEN];
                     if self.transport.write(&req) == HTTP_REQUEST_LEN {
@@ -366,7 +369,7 @@ impl ServerHost {
                 None => {
                     // Sink / SlowSink: drain within budget.
                     while budget > 0 {
-                        let Some(b) = self.listener.conns[idx].read(budget) else {
+                        let Some(b) = self.listener.conns[idx].read(budget).into_data() else {
                             break;
                         };
                         let n = b.len();
@@ -383,7 +386,7 @@ impl ServerHost {
                     }
                     let conn = &mut self.listener.conns[idx];
                     if !prog.got_request {
-                        if conn.read(usize::MAX).is_some() {
+                        if conn.read(usize::MAX).into_data().is_some() {
                             prog.got_request = true;
                             self.responses_started += 1;
                         } else {
@@ -393,7 +396,7 @@ impl ServerHost {
                     while prog.response_written < file_size {
                         let want = (file_size - prog.response_written).min(64 * 1024);
                         let buf = vec![0x52u8; want];
-                        let n = conn.write(&buf);
+                        let n = conn.write(&buf).accepted();
                         if n == 0 {
                             break;
                         }
@@ -454,6 +457,8 @@ impl Host for ServerHost {
 }
 
 /// Either kind of host, so one simulation can mix them.
+// Hosts are few and long-lived; boxing the big variant buys nothing.
+#[allow(clippy::large_enum_variant)]
 pub enum Node {
     /// A client.
     Client(ClientHost),

@@ -154,7 +154,11 @@ mod tests {
 
     #[test]
     fn delay_stats_pair_and_quantile() {
-        let sent = vec![SimTime::ZERO, SimTime::from_millis(10), SimTime::from_millis(20)];
+        let sent = vec![
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        ];
         let recv = vec![
             SimTime::from_millis(5),
             SimTime::from_millis(30),

@@ -1,6 +1,9 @@
-//! Plain-text/CSV rendering of experiment rows, for piping into plotting
-//! tools (`repro figN | tee` covers the human-readable side; these helpers
-//! produce machine-readable series).
+//! Plain-text/CSV/JSON rendering of experiment rows, for piping into
+//! plotting tools (`repro figN | tee` covers the human-readable side; these
+//! helpers produce machine-readable series and per-run JSON reports that
+//! embed the transport's [`TelemetrySnapshot`]).
+
+use mptcp::telemetry::TelemetrySnapshot;
 
 /// A labelled series of (x, y) points.
 #[derive(Clone, Debug)]
@@ -48,6 +51,99 @@ fn escape(s: &str) -> String {
     }
 }
 
+/// One run of one experiment cell, ready for JSON emission: scalar metrics
+/// plus the full telemetry snapshot captured at the end of the run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Experiment name, e.g. `"fig4"`.
+    pub experiment: String,
+    /// Variant/cell label, e.g. `"MPTCP+M1,2 @ 200 KiB"`.
+    pub label: String,
+    /// Scalar metrics in emission order, e.g. `("goodput_mbps", 8.4)`.
+    pub metrics: Vec<(String, f64)>,
+    /// Transport telemetry at the end of the run.
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl RunReport {
+    /// Start a report for one experiment cell.
+    pub fn new(
+        experiment: impl Into<String>,
+        label: impl Into<String>,
+        telemetry: TelemetrySnapshot,
+    ) -> Self {
+        RunReport {
+            experiment: experiment.into(),
+            label: label.into(),
+            metrics: Vec::new(),
+            telemetry,
+        }
+    }
+
+    /// Append a scalar metric (builder style).
+    pub fn metric(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Serialize as a single JSON object. Non-finite metric values render
+    /// as `null` so the output stays valid JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"experiment\":{},\"label\":{},\"metrics\":{{",
+            json_str(&self.experiment),
+            json_str(&self.label)
+        ));
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if value.is_finite() {
+                out.push_str(&format!("{}:{}", json_str(name), value));
+            } else {
+                out.push_str(&format!("{}:null", json_str(name)));
+            }
+        }
+        out.push_str("},\"telemetry\":");
+        out.push_str(&self.telemetry.to_json());
+        out.push('}');
+        out
+    }
+}
+
+/// Render a batch of run reports as a JSON array (one experiment's cells).
+pub fn to_json_lines(reports: &[RunReport]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&r.to_json());
+    }
+    out.push_str("\n]");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +170,35 @@ mod tests {
     #[test]
     fn empty_series() {
         assert_eq!(to_csv("x", &[]), "x\n");
+    }
+
+    #[test]
+    fn run_report_json() {
+        let report = RunReport::new("fig4", "MPTCP+M1,2", TelemetrySnapshot::default())
+            .metric("goodput_mbps", 8.5)
+            .metric("bad", f64::NAN);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"experiment\":\"fig4\""));
+        assert!(json.contains("\"goodput_mbps\":8.5"));
+        assert!(json.contains("\"bad\":null"));
+        assert!(json.contains("\"telemetry\":{"));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn json_lines_batch() {
+        let reports = vec![
+            RunReport::new("x", "a", TelemetrySnapshot::default()),
+            RunReport::new("x", "b", TelemetrySnapshot::default()),
+        ];
+        let out = to_json_lines(&reports);
+        assert!(out.starts_with('['));
+        assert!(out.ends_with(']'));
+        assert_eq!(out.matches("\"experiment\"").count(), 2);
     }
 }

@@ -51,7 +51,13 @@ impl Scenario {
     /// Build a scenario with one client, one server, and one path per
     /// entry of `paths` (path *i* connects client interface *i* to server
     /// interface *i*).
-    pub fn new(kind: TransportKind, app: ClientApp, server_app: ServerApp, paths: Vec<Path>, seed: u64) -> Scenario {
+    pub fn new(
+        kind: TransportKind,
+        app: ClientApp,
+        server_app: ServerApp,
+        paths: Vec<Path>,
+        seed: u64,
+    ) -> Scenario {
         Scenario::with_clients(kind, vec![app], server_app, paths, seed)
     }
 
@@ -65,21 +71,24 @@ impl Scenario {
         seed: u64,
     ) -> Scenario {
         let npaths = paths.len();
-        assert!(npaths >= 1 && npaths <= 3, "1..=3 paths supported");
+        assert!((1..=3).contains(&npaths), "1..=3 paths supported");
         let mut sim: Sim<Node> = Sim::new(seed);
 
         // Server first.
         let server_cfg = match &kind {
             TransportKind::Mptcp(cfg) => cfg.clone(),
-            TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => {
-                let mut c = MptcpConfig::default();
-                c.tcp = tcp.clone();
-                c.send_buf = tcp.send_buf;
-                c.recv_buf = tcp.recv_buf;
-                c
-            }
+            TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => MptcpConfig {
+                tcp: tcp.clone(),
+                send_buf: tcp.send_buf,
+                recv_buf: tcp.recv_buf,
+                ..MptcpConfig::default()
+            },
         };
-        let server = sim.add_host(Node::Server(ServerHost::new(server_cfg, server_app, seed ^ 0x5e4)));
+        let server = sim.add_host(Node::Server(ServerHost::new(
+            server_cfg,
+            server_app,
+            seed ^ 0x5e4,
+        )));
         for addr in &Endpoints::SERVER[..npaths] {
             sim.bind_addr(*addr, server);
         }
@@ -107,7 +116,10 @@ impl Scenario {
                 (1..npaths)
                     .map(|i| {
                         (
-                            Endpoint::new(Endpoints::CLIENT[i], base_port.wrapping_add(i as u16 * 100)),
+                            Endpoint::new(
+                                Endpoints::CLIENT[i],
+                                base_port.wrapping_add(i as u16 * 100),
+                            ),
                             Endpoint::new(Endpoints::SERVER[i], Endpoints::PORT),
                         )
                     })
@@ -162,11 +174,10 @@ impl Scenario {
         let mut sim: Sim<Node> = Sim::new(seed);
         let server_cfg = match &kind {
             TransportKind::Mptcp(cfg) => cfg.clone(),
-            TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => {
-                let mut c = MptcpConfig::default();
-                c.tcp = tcp.clone();
-                c
-            }
+            TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => MptcpConfig {
+                tcp: tcp.clone(),
+                ..MptcpConfig::default()
+            },
         };
         let server = sim.add_host(Node::Server(ServerHost::new(
             server_cfg,

@@ -5,11 +5,14 @@
 
 use bytes::Bytes;
 use mptcp::MptcpConnection;
-use mptcp_netsim::{SimTime};
+use mptcp_netsim::SimTime;
 use mptcp_packet::TcpSegment;
 use mptcp_tcpstack::TcpSocket;
 
 /// Client-side transport under test.
+// An MptcpConnection dwarfs a TcpSocket, but transports live one per host
+// for a whole simulation — boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 pub enum Transport {
     /// A Multipath TCP connection.
     Mptcp(MptcpConnection),
@@ -29,7 +32,7 @@ impl Transport {
     /// Write application bytes; returns amount accepted.
     pub fn write(&mut self, data: &[u8]) -> usize {
         match self {
-            Transport::Mptcp(c) => c.write(data),
+            Transport::Mptcp(c) => c.write(data).accepted(),
             Transport::Tcp(s) => s.send(data),
         }
     }
@@ -37,7 +40,7 @@ impl Transport {
     /// Read in-order bytes.
     pub fn read(&mut self, max: usize) -> Option<Bytes> {
         match self {
-            Transport::Mptcp(c) => c.read(max),
+            Transport::Mptcp(c) => c.read(max).into_data(),
             Transport::Tcp(s) => s.read(max),
         }
     }
@@ -103,6 +106,15 @@ impl Transport {
         match self {
             Transport::Mptcp(c) => Some(c),
             Transport::Tcp(_) => None,
+        }
+    }
+
+    /// Telemetry snapshot: the MPTCP connection's full recorder merge, or
+    /// the plain socket's recorder for the TCP baseline.
+    pub fn telemetry(&self) -> mptcp::telemetry::TelemetrySnapshot {
+        match self {
+            Transport::Mptcp(c) => c.telemetry(),
+            Transport::Tcp(s) => s.telemetry.snapshot(),
         }
     }
 }

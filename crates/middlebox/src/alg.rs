@@ -9,6 +9,7 @@
 use bytes::Bytes;
 use mptcp_netsim::{Dir, MbVerdict, Middlebox, SimRng, SimTime};
 use mptcp_packet::{SeqNum, TcpSegment};
+use mptcp_telemetry::{CounterId, Recorder};
 
 /// One applied modification, recorded in both coordinate spaces.
 #[derive(Clone, Copy, Debug)]
@@ -65,7 +66,13 @@ impl PayloadModifier {
 }
 
 impl Middlebox for PayloadModifier {
-    fn process(&mut self, _now: SimTime, dir: Dir, mut seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+    fn process(
+        &mut self,
+        _now: SimTime,
+        dir: Dir,
+        mut seg: TcpSegment,
+        _rng: &mut SimRng,
+    ) -> MbVerdict {
         match dir {
             Dir::Fwd => {
                 let orig_seq = seg.seq;
@@ -80,7 +87,8 @@ impl Middlebox for PayloadModifier {
                         let hit_end_orig = orig_seq + (pos + self.needle.len()) as u32;
                         let already = self.mods.iter().any(|m| m.orig_pos == hit_end_orig);
                         let mut out = Vec::with_capacity(
-                            seg.payload.len() + self.replacement.len() - self.needle.len().min(seg.payload.len()),
+                            seg.payload.len() + self.replacement.len()
+                                - self.needle.len().min(seg.payload.len()),
                         );
                         out.extend_from_slice(&seg.payload[..pos]);
                         out.extend_from_slice(&self.replacement);
@@ -115,15 +123,17 @@ impl Middlebox for PayloadModifier {
     fn name(&self) -> &'static str {
         "payload-modifier"
     }
+
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        rec.count_n(CounterId::MboxPayloadMutations, self.rewrites);
+    }
 }
 
 fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     if needle.is_empty() || haystack.len() < needle.len() {
         return None;
     }
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 #[cfg(test)]
@@ -136,10 +146,19 @@ mod tests {
         // The canonical FTP ALG case: "10.0.0.1" -> "192.168.100.100".
         let mut mb = PayloadModifier::new(b"10.0.0.1", b"192.168.100.100");
         let mut rng = SimRng::new(1);
-        let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(1000, b"PORT 10.0.0.1\r\n"), &mut rng);
+        let v = mb.process(
+            SimTime::ZERO,
+            Dir::Fwd,
+            data_seg(1000, b"PORT 10.0.0.1\r\n"),
+            &mut rng,
+        );
         let out = &v.forward[0];
         assert_eq!(&out.payload[..], b"PORT 192.168.100.100\r\n");
-        assert_eq!(out.seq, SeqNum(1000), "first modified segment keeps its seq");
+        assert_eq!(
+            out.seq,
+            SeqNum(1000),
+            "first modified segment keeps its seq"
+        );
         // Original was 15 bytes; modified is 22: delta +7.
         let v = mb.process(SimTime::ZERO, Dir::Fwd, data_seg(1015, b"NEXT"), &mut rng);
         assert_eq!(v.forward[0].seq, SeqNum(1022));

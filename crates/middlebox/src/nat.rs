@@ -45,7 +45,13 @@ impl Nat {
 }
 
 impl Middlebox for Nat {
-    fn process(&mut self, _now: SimTime, dir: Dir, mut seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+    fn process(
+        &mut self,
+        _now: SimTime,
+        dir: Dir,
+        mut seg: TcpSegment,
+        _rng: &mut SimRng,
+    ) -> MbVerdict {
         match dir {
             Dir::Fwd => {
                 let private = seg.tuple.src;
@@ -145,9 +151,6 @@ mod tests {
         let mut syn2 = syn_seg(1);
         syn2.tuple.src.port = 4001;
         let b = nat.process(SimTime::ZERO, Dir::Fwd, syn2, &mut rng);
-        assert_ne!(
-            a.forward[0].tuple.src.port,
-            b.forward[0].tuple.src.port
-        );
+        assert_ne!(a.forward[0].tuple.src.port, b.forward[0].tuple.src.port);
     }
 }

@@ -9,6 +9,7 @@
 
 use mptcp_netsim::{Dir, MbVerdict, Middlebox, SimRng, SimTime};
 use mptcp_packet::{options::kind, TcpOption, TcpSegment};
+use mptcp_telemetry::{CounterId, Recorder};
 
 /// Which segments an [`OptionStripper`] mangles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,10 +73,17 @@ fn option_kind(o: &TcpOption) -> u8 {
 }
 
 impl Middlebox for OptionStripper {
-    fn process(&mut self, _now: SimTime, _dir: Dir, mut seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+    fn process(
+        &mut self,
+        _now: SimTime,
+        _dir: Dir,
+        mut seg: TcpSegment,
+        _rng: &mut SimRng,
+    ) -> MbVerdict {
         if self.applies(&seg) {
             let before = seg.options.len();
-            seg.options.retain(|o| !self.kinds.contains(&option_kind(o)));
+            seg.options
+                .retain(|o| !self.kinds.contains(&option_kind(o)));
             self.stripped += (before - seg.options.len()) as u64;
         }
         MbVerdict::pass(seg)
@@ -83,6 +91,10 @@ impl Middlebox for OptionStripper {
 
     fn name(&self) -> &'static str {
         "option-stripper"
+    }
+
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        rec.count_n(CounterId::MboxOptionStrips, self.stripped);
     }
 }
 
@@ -108,7 +120,13 @@ impl SynDropper {
 }
 
 impl Middlebox for SynDropper {
-    fn process(&mut self, _now: SimTime, _dir: Dir, seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+    fn process(
+        &mut self,
+        _now: SimTime,
+        _dir: Dir,
+        seg: TcpSegment,
+        _rng: &mut SimRng,
+    ) -> MbVerdict {
         if seg.flags.syn
             && seg
                 .options
@@ -123,6 +141,10 @@ impl Middlebox for SynDropper {
 
     fn name(&self) -> &'static str {
         "syn-dropper"
+    }
+
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        rec.count_n(CounterId::MboxSegmentDrops, self.dropped);
     }
 }
 

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use mptcp_netsim::{Dir, MbVerdict, Middlebox, SimRng, SimTime};
 use mptcp_packet::{FourTuple, SeqNum, TcpFlags, TcpSegment};
+use mptcp_telemetry::{CounterId, Recorder};
 
 /// What to do with an ACK for data this box never saw.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,20 +53,28 @@ impl ProactiveAcker {
 }
 
 impl Middlebox for ProactiveAcker {
-    fn process(&mut self, _now: SimTime, _dir: Dir, seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+    fn process(
+        &mut self,
+        _now: SimTime,
+        _dir: Dir,
+        seg: TcpSegment,
+        _rng: &mut SimRng,
+    ) -> MbVerdict {
         let mut backward = Vec::new();
 
         // Track the data stream and optionally ack it pro-actively.
         if seg.seq_len() > 0 {
-            let e = self
-                .seen_high
-                .entry(seg.tuple)
-                .or_insert(seg.seq);
+            let e = self.seen_high.entry(seg.tuple).or_insert(seg.seq);
             if seg.seq_end().after(*e) {
                 *e = seg.seq_end();
             }
             if self.proactive && !seg.payload.is_empty() {
-                let mut ack = TcpSegment::new(seg.tuple.reversed(), SeqNum(0), seg.seq_end(), TcpFlags::ACK);
+                let mut ack = TcpSegment::new(
+                    seg.tuple.reversed(),
+                    SeqNum(0),
+                    seg.seq_end(),
+                    TcpFlags::ACK,
+                );
                 ack.window = 1 << 20;
                 backward.push(ack);
                 self.acks_generated += 1;
@@ -101,6 +110,10 @@ impl Middlebox for ProactiveAcker {
     fn name(&self) -> &'static str {
         "proactive-acker"
     }
+
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        rec.count_n(CounterId::MboxProactiveAcks, self.acks_generated);
+    }
 }
 
 /// Refuses to forward data beyond a sequence hole: segments after a gap
@@ -128,7 +141,13 @@ impl Default for HoleDropper {
 }
 
 impl Middlebox for HoleDropper {
-    fn process(&mut self, _now: SimTime, _dir: Dir, seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+    fn process(
+        &mut self,
+        _now: SimTime,
+        _dir: Dir,
+        seg: TcpSegment,
+        _rng: &mut SimRng,
+    ) -> MbVerdict {
         if seg.flags.syn || seg.flags.rst {
             self.expected.insert(seg.tuple, seg.seq_end());
             return MbVerdict::pass(seg);
@@ -156,6 +175,10 @@ impl Middlebox for HoleDropper {
 
     fn name(&self) -> &'static str {
         "hole-dropper"
+    }
+
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        rec.count_n(CounterId::MboxSegmentDrops, self.hole_drops);
     }
 }
 

@@ -14,6 +14,7 @@
 use bytes::Bytes;
 use mptcp_netsim::{Dir, Duration, MbVerdict, Middlebox, SimRng, SimTime};
 use mptcp_packet::{options, TcpSegment};
+use mptcp_telemetry::{CounterId, Recorder};
 
 /// Re-segments large payloads into `mss`-sized pieces, copying options to
 /// every piece (TSO behaviour).
@@ -31,7 +32,13 @@ impl SegmentSplitter {
 }
 
 impl Middlebox for SegmentSplitter {
-    fn process(&mut self, _now: SimTime, _dir: Dir, seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+    fn process(
+        &mut self,
+        _now: SimTime,
+        _dir: Dir,
+        seg: TcpSegment,
+        _rng: &mut SimRng,
+    ) -> MbVerdict {
         if seg.payload.len() <= self.mss {
             return MbVerdict::pass(seg);
         }
@@ -56,6 +63,10 @@ impl Middlebox for SegmentSplitter {
 
     fn name(&self) -> &'static str {
         "segment-splitter"
+    }
+
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        rec.count_n(CounterId::MboxResegmentations, self.splits);
     }
 }
 
@@ -169,6 +180,10 @@ impl Middlebox for SegmentCoalescer {
 
     fn name(&self) -> &'static str {
         "segment-coalescer"
+    }
+
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        rec.count_n(CounterId::MboxResegmentations, self.merges);
     }
 }
 

@@ -10,6 +10,7 @@
 
 use mptcp_netsim::{Dir, MbVerdict, Middlebox, SimRng, SimTime};
 use mptcp_packet::{SeqNum, TcpOption, TcpSegment};
+use mptcp_telemetry::{CounterId, Recorder};
 
 /// Rewrites ISNs in both directions with random offsets.
 pub struct SeqRewriter {
@@ -46,7 +47,13 @@ impl Default for SeqRewriter {
 }
 
 impl Middlebox for SeqRewriter {
-    fn process(&mut self, _now: SimTime, dir: Dir, mut seg: TcpSegment, rng: &mut SimRng) -> MbVerdict {
+    fn process(
+        &mut self,
+        _now: SimTime,
+        dir: Dir,
+        mut seg: TcpSegment,
+        rng: &mut SimRng,
+    ) -> MbVerdict {
         if seg.flags.syn {
             let slot = match dir {
                 Dir::Fwd => &mut self.delta_fwd,
@@ -76,6 +83,10 @@ impl Middlebox for SeqRewriter {
     fn name(&self) -> &'static str {
         "seq-rewriter"
     }
+
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        rec.count_n(CounterId::MboxSeqRewrites, self.rewritten);
+    }
 }
 
 #[cfg(test)]
@@ -96,7 +107,12 @@ mod tests {
         assert_ne!(d_fwd, 0);
 
         // Server SYN/ACK with ISS 5000, acking the *rewritten* client seq+1.
-        let mut synack = TcpSegment::new(tuple().reversed(), SeqNum(5000), syn_out.seq + 1, TcpFlags::SYN_ACK);
+        let mut synack = TcpSegment::new(
+            tuple().reversed(),
+            SeqNum(5000),
+            syn_out.seq + 1,
+            TcpFlags::SYN_ACK,
+        );
         let v = mb.process(SimTime::ZERO, Dir::Rev, synack.clone(), &mut rng);
         let synack_out = &v.forward[0];
         // The client must see an ack of its ORIGINAL iss+1.

@@ -39,7 +39,11 @@ impl LinkCfg {
     /// The paper's emulated WiFi path: 8 Mbps, 20 ms base RTT, 80 ms buffer.
     /// `delay` here is one-way (half the base RTT).
     pub fn wifi() -> LinkCfg {
-        LinkCfg::with_buffer_time(8_000_000, Duration::from_millis(10), Duration::from_millis(80))
+        LinkCfg::with_buffer_time(
+            8_000_000,
+            Duration::from_millis(10),
+            Duration::from_millis(80),
+        )
     }
 
     /// The paper's emulated 3G path: 2 Mbps, 150 ms base RTT, 2 s buffer.
@@ -161,7 +165,10 @@ mod tests {
         };
         let mut l = Link::new(cfg);
         let arr = l.transmit(SimTime::ZERO, 1500, &mut no_loss_rng()).unwrap();
-        assert_eq!(arr, SimTime::ZERO + Duration::from_micros(1500) + Duration::from_millis(10));
+        assert_eq!(
+            arr,
+            SimTime::ZERO + Duration::from_micros(1500) + Duration::from_millis(10)
+        );
     }
 
     #[test]

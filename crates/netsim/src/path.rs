@@ -7,6 +7,7 @@
 //! physical box sitting in the middle of the path.
 
 use mptcp_packet::TcpSegment;
+use mptcp_telemetry::{CounterId, Recorder};
 
 use crate::link::Link;
 use crate::rng::SimRng;
@@ -80,6 +81,11 @@ pub trait Middlebox: Send {
 
     /// Human-readable name for traces and reports.
     fn name(&self) -> &'static str;
+
+    /// Fold this element's interference counters into `rec`. The default
+    /// records nothing; boxes that strip options, rewrite payloads, etc.
+    /// override it so a path can report what it did to the traffic.
+    fn record_telemetry(&self, _rec: &mut Recorder) {}
 }
 
 /// A bidirectional path between two hosts.
@@ -159,10 +165,7 @@ impl Path {
 
     /// Earliest poll deadline across the chain.
     pub fn poll_at(&self) -> Option<SimTime> {
-        self.chain
-            .iter()
-            .filter_map(|m| m.poll_at())
-            .min()
+        self.chain.iter().filter_map(|m| m.poll_at()).min()
     }
 
     /// Poll every element, collecting released segments.
@@ -172,6 +175,20 @@ impl Path {
             out.extend(m.poll(now));
         }
         out
+    }
+
+    /// A telemetry snapshot of this path: link drop counters in both
+    /// directions plus whatever each middlebox reports.
+    pub fn telemetry(&self) -> mptcp_telemetry::TelemetrySnapshot {
+        let mut rec = Recorder::new();
+        for link in [&self.fwd, &self.rev] {
+            rec.count_n(CounterId::LinkQueueDrops, link.stats.queue_drops);
+            rec.count_n(CounterId::LinkRandomDrops, link.stats.random_drops);
+        }
+        for mb in &self.chain {
+            mb.record_telemetry(&mut rec);
+        }
+        rec.snapshot()
     }
 }
 
@@ -201,7 +218,13 @@ mod tests {
         tag: &'static [u8],
     }
     impl Middlebox for Tagger {
-        fn process(&mut self, _now: SimTime, _dir: Dir, mut seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+        fn process(
+            &mut self,
+            _now: SimTime,
+            _dir: Dir,
+            mut seg: TcpSegment,
+            _rng: &mut SimRng,
+        ) -> MbVerdict {
             let mut p = seg.payload.to_vec();
             p.extend_from_slice(self.tag);
             seg.payload = Bytes::from(p);
@@ -226,7 +249,13 @@ mod tests {
 
     struct Blackhole;
     impl Middlebox for Blackhole {
-        fn process(&mut self, _now: SimTime, _dir: Dir, _seg: TcpSegment, _rng: &mut SimRng) -> MbVerdict {
+        fn process(
+            &mut self,
+            _now: SimTime,
+            _dir: Dir,
+            _seg: TcpSegment,
+            _rng: &mut SimRng,
+        ) -> MbVerdict {
             MbVerdict::drop()
         }
         fn name(&self) -> &'static str {

@@ -250,7 +250,10 @@ impl<H: Host> Sim<H> {
 
     fn transmit_on(&mut self, pid: PathId, dir: Dir, seg: TcpSegment) {
         let wire_len = seg.wire_len();
-        if let Some(at) = self.paths[pid].link_mut(dir).transmit(self.now, wire_len, &mut self.rng) {
+        if let Some(at) = self.paths[pid]
+            .link_mut(dir)
+            .transmit(self.now, wire_len, &mut self.rng)
+        {
             self.deliveries.push(at, seg);
         }
     }

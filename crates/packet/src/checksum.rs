@@ -104,14 +104,23 @@ mod tests {
 
     #[test]
     fn odd_length_padded() {
-        assert_eq!(checksum(&[0xab]), fold(ones_complement_add(0, &[0xab, 0x00])));
+        assert_eq!(
+            checksum(&[0xab]),
+            fold(ones_complement_add(0, &[0xab, 0x00]))
+        );
     }
 
     #[test]
     fn dss_checksum_detects_payload_change() {
         let payload = b"USER anonymous\r\n";
         let ck = dss_checksum(1000, 1, payload.len() as u16, payload);
-        assert!(dss_checksum_valid(1000, 1, payload.len() as u16, payload, ck));
+        assert!(dss_checksum_valid(
+            1000,
+            1,
+            payload.len() as u16,
+            payload,
+            ck
+        ));
         let modified = b"USER 10.0.0.0001\r\n";
         assert!(!dss_checksum_valid(
             1000,
@@ -126,8 +135,20 @@ mod tests {
     fn dss_checksum_detects_mapping_shift() {
         let payload = b"hello world";
         let ck = dss_checksum(42, 7, payload.len() as u16, payload);
-        assert!(!dss_checksum_valid(43, 7, payload.len() as u16, payload, ck));
-        assert!(!dss_checksum_valid(42, 8, payload.len() as u16, payload, ck));
+        assert!(!dss_checksum_valid(
+            43,
+            7,
+            payload.len() as u16,
+            payload,
+            ck
+        ));
+        assert!(!dss_checksum_valid(
+            42,
+            8,
+            payload.len() as u16,
+            payload,
+            ck
+        ));
     }
 
     #[test]

@@ -110,7 +110,12 @@ pub fn idsn_from_key(key: u64) -> u64 {
 ///
 /// Truncated to the most significant 64 bits of
 /// `HMAC-SHA1(key_b || key_a, nonce_a || nonce_b)` per RFC 6824 §3.2.
-pub fn join_synack_mac(key_local: u64, key_remote: u64, nonce_remote: u32, nonce_local: u32) -> u64 {
+pub fn join_synack_mac(
+    key_local: u64,
+    key_remote: u64,
+    nonce_remote: u32,
+    nonce_local: u32,
+) -> u64 {
     let mut key = [0u8; 16];
     key[..8].copy_from_slice(&key_local.to_be_bytes());
     key[8..].copy_from_slice(&key_remote.to_be_bytes());
@@ -122,7 +127,12 @@ pub fn join_synack_mac(key_local: u64, key_remote: u64, nonce_remote: u32, nonce
 }
 
 /// MP_JOIN third-ACK MAC: the initiator's full 160-bit HMAC.
-pub fn join_ack_mac(key_local: u64, key_remote: u64, nonce_local: u32, nonce_remote: u32) -> [u8; SHA1_LEN] {
+pub fn join_ack_mac(
+    key_local: u64,
+    key_remote: u64,
+    nonce_local: u32,
+    nonce_remote: u32,
+) -> [u8; SHA1_LEN] {
     let mut key = [0u8; 16];
     key[..8].copy_from_slice(&key_local.to_be_bytes());
     key[8..].copy_from_slice(&key_remote.to_be_bytes());
@@ -143,9 +153,14 @@ mod tests {
     #[test]
     fn sha1_known_vectors() {
         // FIPS 180-1 test vectors.
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
         assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
@@ -154,7 +169,10 @@ mod tests {
     #[test]
     fn sha1_million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

@@ -378,7 +378,11 @@ impl MptcpOption {
                 } else {
                     None
                 };
-                Some(MptcpOption::AddAddr(AdvertisedAddr { addr_id, addr, port }))
+                Some(MptcpOption::AddAddr(AdvertisedAddr {
+                    addr_id,
+                    addr,
+                    port,
+                }))
             }
             subtype::REMOVE_ADDR => {
                 if value.len() < 2 {

@@ -185,7 +185,7 @@ pub fn decode_options(mut bytes: &[u8]) -> Vec<TcpOption> {
             }
             kind::WSCALE if value.len() == 1 => TcpOption::WindowScale(value[0]),
             kind::SACK_PERMITTED if value.is_empty() => TcpOption::SackPermitted,
-            kind::SACK if value.len() % 8 == 0 => {
+            kind::SACK if value.len().is_multiple_of(8) => {
                 let blocks = value
                     .chunks_exact(8)
                     .map(|c| {
@@ -321,6 +321,9 @@ mod tests {
             TcpOption::WindowScale(7),
             TcpOption::Timestamps { val: 9, ecr: 8 },
         ];
-        assert_eq!(options_wire_len(&opts), encode_options(&opts).unwrap().len());
+        assert_eq!(
+            options_wire_len(&opts),
+            encode_options(&opts).unwrap().len()
+        );
     }
 }

@@ -175,7 +175,10 @@ impl TcpSegment {
 
     /// Total on-the-wire size including IPv4 + TCP headers and options.
     pub fn wire_len(&self) -> usize {
-        IPV4_HEADER_LEN + TCP_HEADER_LEN + options::options_wire_len(&self.options) + self.payload.len()
+        IPV4_HEADER_LEN
+            + TCP_HEADER_LEN
+            + options::options_wire_len(&self.options)
+            + self.payload.len()
     }
 
     /// The first MPTCP option on this segment, if any.
@@ -231,7 +234,12 @@ impl TcpSegment {
     ///
     /// `src_addr`/`dst_addr` come from the (conceptual) IP header;
     /// `wscale_shift` re-expands the 16-bit window field.
-    pub fn decode(bytes: &[u8], src_addr: u32, dst_addr: u32, wscale_shift: u8) -> Option<TcpSegment> {
+    pub fn decode(
+        bytes: &[u8],
+        src_addr: u32,
+        dst_addr: u32,
+        wscale_shift: u8,
+    ) -> Option<TcpSegment> {
         if bytes.len() < TCP_HEADER_LEN {
             return None;
         }

@@ -39,7 +39,12 @@ fn arb_mptcp_option() -> impl Strategy<Value = MptcpOption> {
         // roundtrip exactly so equality holds.
         (
             proptest::option::of(any::<u32>()),
-            proptest::option::of((any::<u64>(), any::<u32>(), 1..u16::MAX, any::<Option<u16>>())),
+            proptest::option::of((
+                any::<u64>(),
+                any::<u32>(),
+                1..u16::MAX,
+                any::<Option<u16>>()
+            )),
             any::<bool>()
         )
             .prop_map(|(da, m, fin)| MptcpOption::Dss {

@@ -339,7 +339,12 @@ mod tests {
         // LIA grows continuously, Reno in MSS quanta; they stay within one
         // MSS of each other over a hundred ACKs.
         let diff = i64::from(lia.cwnd()) - i64::from(reno.cwnd());
-        assert!(diff.abs() <= 1000, "lia {} vs reno {}", lia.cwnd(), reno.cwnd());
+        assert!(
+            diff.abs() <= 1000,
+            "lia {} vs reno {}",
+            lia.cwnd(),
+            reno.cwnd()
+        );
     }
 
     #[test]

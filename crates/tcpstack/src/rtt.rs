@@ -38,7 +38,7 @@ impl RttEstimator {
                 self.rttvar = rtt / 2;
             }
             Some(srtt) => {
-                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                let delta = srtt.abs_diff(rtt);
                 self.rttvar = (self.rttvar * 3 + delta) / 4;
                 self.srtt = Some((srtt * 7 + rtt) / 8);
             }

@@ -81,7 +81,7 @@ impl SendQueue {
     /// Enqueue a chunk; returns the sequence number it was assigned.
     pub fn enqueue(&mut self, payload: Bytes, options: Vec<TcpOption>) -> SeqNum {
         let seq = self.end;
-        self.end = self.end + payload.len() as u32;
+        self.end += payload.len() as u32;
         // Merge option-less data into the previous option-less chunk so bulk
         // TCP traffic produces full-MSS segments.
         if options.is_empty() {
@@ -136,9 +136,10 @@ impl SendQueue {
         if !from.in_window(self.una, self.end - self.una) {
             return None;
         }
-        let chunk = self.chunks.iter().find(|c| {
-            from.after_eq(c.seq) && from.before(c.end())
-        })?;
+        let chunk = self
+            .chunks
+            .iter()
+            .find(|c| from.after_eq(c.seq) && from.before(c.end()))?;
         let off = (from - chunk.seq) as usize;
         let take = (chunk.payload.len() - off).min(max_len);
         Some(SegmentData {

@@ -9,6 +9,7 @@
 use bytes::Bytes;
 use mptcp_netsim::{Duration, SimTime};
 use mptcp_packet::{FourTuple, MptcpOption, SeqNum, TcpFlags, TcpOption, TcpSegment};
+use mptcp_telemetry::{CounterId, EventKind, Recorder};
 
 use crate::cc::{CongestionControl, Reno};
 use crate::config::TcpConfig;
@@ -117,6 +118,12 @@ pub struct TcpSocket {
     error: bool,
     /// Counters.
     pub stats: SocketStats,
+    /// Structured telemetry: counters plus a bounded event ring. An MPTCP
+    /// connection absorbs this into its own recorder per snapshot.
+    pub telemetry: Recorder,
+    /// Tag stamped into telemetry events (the owning subflow's index;
+    /// 0 for plain TCP).
+    telemetry_tag: u32,
 }
 
 impl TcpSocket {
@@ -224,8 +231,16 @@ impl TcpSocket {
             rx_mptcp: Vec::new(),
             error: false,
             stats: SocketStats::default(),
+            telemetry: Recorder::new(),
+            telemetry_tag: 0,
             cfg,
         }
+    }
+
+    /// Tag telemetry events emitted by this socket (the subflow index
+    /// when the socket backs an MPTCP subflow).
+    pub fn set_telemetry_tag(&mut self, tag: u32) {
+        self.telemetry_tag = tag;
     }
 
     // ------------------------------------------------------------------
@@ -615,9 +630,7 @@ impl TcpSocket {
         }
 
         // Window update (RFC 793 WL1/WL2 test).
-        if self.wl1.before(seg.seq)
-            || (self.wl1 == seg.seq && self.wl2.before_eq(ack))
-        {
+        if self.wl1.before(seg.seq) || (self.wl1 == seg.seq && self.wl2.before_eq(ack)) {
             self.snd_wnd = seg.window;
             self.wl1 = seg.seq;
             self.wl2 = ack;
@@ -661,8 +674,7 @@ impl TcpSocket {
                 // was actually cwnd-limited, else an application- or
                 // receive-window-limited flow inflates cwnd without bound
                 // (catastrophic on bufferbloated paths).
-                let cwnd_limited =
-                    flight_before + 2 * self.effective_mss as u32 >= self.cc.cwnd();
+                let cwnd_limited = flight_before + 2 * self.effective_mss as u32 >= self.cc.cwnd();
                 if cwnd_limited {
                     self.cc.on_ack(newly, rtt_sample);
                 }
@@ -716,6 +728,14 @@ impl TcpSocket {
                     .on_fast_retransmit(self.bytes_in_flight().min(self.cc.cwnd()));
                 self.pending_retransmit = Some(self.snd_una);
                 self.stats.fast_retransmits += 1;
+                self.telemetry.count(CounterId::TcpFastRetransmits);
+                self.telemetry.event(
+                    now.0,
+                    EventKind::TcpFastRetransmit {
+                        subflow: self.telemetry_tag,
+                        seq: self.snd_una.0,
+                    },
+                );
             }
             // Window inflation during recovery is handled by
             // `effective_cwnd` (pipe conservation: each duplicate ACK
@@ -750,6 +770,14 @@ impl TcpSocket {
             if cap < self.cc.cwnd() {
                 self.cc.set_cwnd(cap.max(2 * self.effective_mss as u32));
                 self.last_cap_at = Some(now);
+                self.telemetry.count(CounterId::M4CwndCaps);
+                self.telemetry.event(
+                    now.0,
+                    EventKind::M4Cap {
+                        subflow: self.telemetry_tag,
+                        cap: self.cc.cwnd(),
+                    },
+                );
             }
         }
     }
@@ -782,7 +810,8 @@ impl TcpSocket {
         // Clip to the advertised window's right edge (connection-level
         // clipping — data in-window at subflow level but out-of-window at
         // data level is dropped by the MPTCP layer above, §3.3.5).
-        let window_right = u64::from(self.rcv_nxt.dist_from(first_data)) + u64::from(self.adv_window());
+        let window_right =
+            u64::from(self.rcv_nxt.dist_from(first_data)) + u64::from(self.adv_window());
         let payload = if off + payload.len() as u64 > window_right {
             if off >= window_right {
                 self.need_ack = true;
@@ -794,7 +823,7 @@ impl TcpSocket {
         };
 
         let advanced = self.recv_q.insert(off, payload);
-        self.rcv_nxt = self.rcv_nxt + advanced as u32;
+        self.rcv_nxt += advanced as u32;
         self.maybe_grow_rbuf();
 
         if advanced > 0 {
@@ -840,7 +869,7 @@ impl TcpSocket {
             return;
         }
         self.fin_received = true;
-        self.rcv_nxt = self.rcv_nxt + 1;
+        self.rcv_nxt += 1;
         self.need_ack = true;
         match self.state {
             TcpState::Established => self.state = TcpState::CloseWait,
@@ -1061,6 +1090,14 @@ impl TcpSocket {
     fn on_rto(&mut self, now: SimTime) {
         self.consecutive_rtos += 1;
         self.stats.rtos += 1;
+        self.telemetry.count(CounterId::TcpRtos);
+        self.telemetry.event(
+            now.0,
+            EventKind::TcpRto {
+                subflow: self.telemetry_tag,
+                backoff: self.rto_backoff,
+            },
+        );
         if self.consecutive_rtos > 15 {
             self.enter_error();
             return;
@@ -1170,6 +1207,7 @@ impl TcpSocket {
         if self.probe_pending {
             self.probe_pending = false;
             self.stats.probes += 1;
+            self.telemetry.count(CounterId::TcpZeroWindowProbes);
             if let Some(seg) = self.build_probe(now) {
                 return Some(seg);
             }
@@ -1180,8 +1218,9 @@ impl TcpSocket {
         // segments or half the buffer, whichever is smaller).
         if self.state.is_synchronized() {
             let right = self.rcv_nxt + self.adv_window();
-            let threshold =
-                (2 * self.effective_mss).min(self.recv_q.capacity() / 2).max(1) as u32;
+            let threshold = (2 * self.effective_mss)
+                .min(self.recv_q.capacity() / 2)
+                .max(1) as u32;
             if right.after_eq(self.last_adv_right_edge + threshold) {
                 self.need_ack = true;
             }
@@ -1283,6 +1322,7 @@ impl TcpSocket {
         seg.options.extend(self.carry_options.iter().cloned());
         if retx {
             self.stats.retransmitted_segs += 1;
+            self.telemetry.count(CounterId::TcpRetransmittedSegs);
         }
         self.stats.bytes_out += seg.payload.len() as u64;
         Some(self.finish_segment(seg))
@@ -1316,7 +1356,7 @@ impl TcpSocket {
                 (first_data + end as u32).0,
             )]));
         }
-        Some(self.finish_segment(seg)).unwrap()
+        self.finish_segment(seg)
     }
 }
 
@@ -1474,8 +1514,10 @@ mod tests {
 
     #[test]
     fn flow_control_blocks_sender() {
-        let mut cfg = TcpConfig::default();
-        cfg.recv_buf = 2000; // tiny receive buffer
+        let cfg = TcpConfig {
+            recv_buf: 2000, // tiny receive buffer
+            ..TcpConfig::default()
+        };
         let now = SimTime::ZERO;
         let mut c = TcpSocket::client(TcpConfig::default(), tuple(), SeqNum(1), now, vec![]);
         let syn = c.poll(now).unwrap();
@@ -1505,8 +1547,10 @@ mod tests {
 
     #[test]
     fn zero_window_probe_reopens() {
-        let mut cfg = TcpConfig::default();
-        cfg.recv_buf = 1000;
+        let cfg = TcpConfig {
+            recv_buf: 1000,
+            ..TcpConfig::default()
+        };
         let now = SimTime::ZERO;
         let mut c = TcpSocket::client(TcpConfig::default(), tuple(), SeqNum(1), now, vec![]);
         let syn = c.poll(now).unwrap();
@@ -1650,10 +1694,7 @@ mod tests {
         s.handle_segment(now, &s2); // out of order
         let dup = s.poll(now).expect("dup ACK");
         assert_eq!(dup.ack, s1.seq);
-        assert!(dup
-            .options
-            .iter()
-            .any(|o| matches!(o, TcpOption::Sack(_))));
+        assert!(dup.options.iter().any(|o| matches!(o, TcpOption::Sack(_))));
         s.handle_segment(now, &s1);
         s.handle_segment(now, &s3);
         let cum = s.poll(now).expect("cumulative ACK");
@@ -1671,8 +1712,10 @@ mod tests {
         let ack = s.poll(t1).unwrap();
         c.handle_segment(t1 + Duration::from_millis(30), &ack);
         let srtt = c.srtt().expect("rtt sampled");
-        assert!(srtt >= Duration::from_millis(59) && srtt <= Duration::from_millis(62),
-            "srtt = {srtt:?}");
+        assert!(
+            srtt >= Duration::from_millis(59) && srtt <= Duration::from_millis(62),
+            "srtt = {srtt:?}"
+        );
     }
 
     #[test]
@@ -1685,10 +1728,12 @@ mod tests {
 
     #[test]
     fn autotuned_buffers_grow_on_demand() {
-        let mut cfg = TcpConfig::default();
-        cfg.autotune = true;
-        cfg.recv_buf = 1 << 20;
-        cfg.send_buf = 1 << 20;
+        let cfg = TcpConfig {
+            autotune: true,
+            recv_buf: 1 << 20,
+            send_buf: 1 << 20,
+            ..TcpConfig::default()
+        };
         let now = SimTime::ZERO;
         let mut c = TcpSocket::client(cfg.clone(), tuple(), SeqNum(1), now, vec![]);
         let syn = c.poll(now).unwrap();
@@ -1723,7 +1768,13 @@ mod tests {
         c.handle_segment(now, &ack);
         let opts = c.take_rx_mptcp();
         assert_eq!(opts.len(), 1);
-        assert!(matches!(opts[0], MptcpOption::Dss { data_ack: Some(55), .. }));
+        assert!(matches!(
+            opts[0],
+            MptcpOption::Dss {
+                data_ack: Some(55),
+                ..
+            }
+        ));
         assert!(c.take_rx_mptcp().is_empty(), "drained");
     }
 

@@ -26,7 +26,14 @@ fn regular_mptcp_underperforms_tcp_when_underbuffered() {
     // The paper's headline pathology (Fig 4a): with a small shared buffer,
     // packets stuck on 3G stall the fast WiFi path.
     let buf = 150_000;
-    let regular = run_bulk(Variant::MptcpRegular, buf, wifi_3g_paths(), WARM, MEAS, SEED);
+    let regular = run_bulk(
+        Variant::MptcpRegular,
+        buf,
+        wifi_3g_paths(),
+        WARM,
+        MEAS,
+        SEED,
+    );
     let tcp = wifi_tcp(buf);
     assert!(
         regular.goodput_mbps < tcp,
@@ -40,7 +47,14 @@ fn regular_mptcp_underperforms_tcp_when_underbuffered() {
 fn mechanisms_rescue_underbuffered_mptcp() {
     // Fig 4(c): M1+M2 lift underbuffered MPTCP well above regular MPTCP.
     let buf = 100_000;
-    let regular = run_bulk(Variant::MptcpRegular, buf, wifi_3g_paths(), WARM, MEAS, SEED);
+    let regular = run_bulk(
+        Variant::MptcpRegular,
+        buf,
+        wifi_3g_paths(),
+        WARM,
+        MEAS,
+        SEED,
+    );
     let fixed = run_bulk(Variant::MptcpM12, buf, wifi_3g_paths(), WARM, MEAS, SEED);
     assert!(
         fixed.goodput_mbps > regular.goodput_mbps * 1.1,

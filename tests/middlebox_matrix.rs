@@ -13,7 +13,10 @@ fn outcome(mbox: MboxKind, design: Design) -> mptcp_harness::experiments::mbox::
 #[test]
 fn clean_path_everyone_works() {
     for d in [Design::Mptcp, Design::Strawman, Design::Tcp] {
-        assert!(outcome(MboxKind::None, d).completed(), "{d:?} on clean path");
+        assert!(
+            outcome(MboxKind::None, d).completed(),
+            "{d:?} on clean path"
+        );
     }
 }
 

@@ -1,0 +1,219 @@
+//! Minimal, offline stand-in for `criterion`.
+//!
+//! Implements the group/bench_function/bench_with_input/iter API used by
+//! this workspace's benches, with a simple measurement loop: warm up,
+//! auto-scale the iteration count to ~50 ms of work, take the median of
+//! several samples, and print one line per benchmark. No statistics
+//! engine, no HTML reports, no command-line filtering beyond a substring
+//! match on the benchmark id.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: turns per-iteration time into a rate line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical items processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Just the parameter value (the group supplies the name).
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Runs one sample of `routine` with `iters` iterations and reports the
+/// elapsed wall-clock time.
+fn run_sample<F: FnMut(&mut Bencher)>(routine: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    b.elapsed
+}
+
+fn measure<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut routine: F) {
+    // Warm up and find an iteration count worth ~50 ms.
+    let mut iters = 1u64;
+    loop {
+        let t = run_sample(&mut routine, iters);
+        if t > Duration::from_millis(10) || iters > (1 << 30) {
+            let per_iter = t.as_secs_f64() / iters as f64;
+            iters = ((0.05 / per_iter.max(1e-12)) as u64).max(1);
+            break;
+        }
+        iters *= 4;
+    }
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| run_sample(&mut routine, iters).as_secs_f64() / iters as f64)
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let line = match throughput {
+        Some(Throughput::Bytes(n)) => format!(
+            "{label:<40} {:>12.1} ns/iter  {:>10.2} MiB/s",
+            median * 1e9,
+            n as f64 / median / (1024.0 * 1024.0)
+        ),
+        Some(Throughput::Elements(n)) => format!(
+            "{label:<40} {:>12.1} ns/iter  {:>10.2} Melem/s",
+            median * 1e9,
+            n as f64 / median / 1e6
+        ),
+        None => format!("{label:<40} {:>12.1} ns/iter", median * 1e9),
+    };
+    println!("{line}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&label) {
+            measure(&label, self.throughput, &mut f);
+        }
+        self
+    }
+
+    /// Benchmark a closure that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&label) {
+            measure(&label, self.throughput, |b| f(b, input));
+        }
+        self
+    }
+
+    /// End the group (prints nothing; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure under a bare name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(name) {
+            measure(name, None, &mut f);
+        }
+        self
+    }
+
+    /// Parse a substring filter from the command line (`cargo bench -- foo`).
+    pub fn configure_from_args(mut self) -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args
+            .into_iter()
+            .find(|a| !a.starts_with('-') && a != "bench");
+        self
+    }
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,199 @@
+//! Minimal, offline stand-in for `rand` 0.10.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and an `RngExt`
+//! with `random()` / `random_range()` — the exact surface `mptcp-netsim`
+//! uses. The generator is xoshiro256++ seeded through SplitMix64, which is
+//! deterministic, fast, and good enough for simulation workloads; it makes
+//! no cryptographic claims (neither do the call sites).
+
+/// Construct a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Derive a full state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The uniform-sampling extension trait (rand 0.10 spelling).
+pub trait RngExt {
+    /// Next raw 64 bits.
+    fn next_u64_raw(&mut self) -> u64;
+
+    /// A uniformly random value of `T`.
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform value in the given range. Panics on an empty range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Types producible uniformly from raw generator output.
+pub trait FromRng {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64_raw()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64_raw() >> 32) as u32
+    }
+}
+
+impl FromRng for u16 {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> u16 {
+        (rng.next_u64_raw() >> 48) as u16
+    }
+}
+
+impl FromRng for u8 {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> u8 {
+        (rng.next_u64_raw() >> 56) as u8
+    }
+}
+
+impl FromRng for usize {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64_raw() as usize
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64_raw() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable by `random_range`.
+pub trait SampleRange {
+    type Output;
+    fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); the modulo bias
+                // of a plain `%` would be invisible at simulation scale, but
+                // this is just as cheap.
+                let hi = ((rng.next_u64_raw() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi - lo;
+                if span == <$t>::MAX {
+                    return <$t as FromRng>::from_rng(rng);
+                }
+                lo + (0..span + 1).sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u64, u32, u16, u8, usize);
+
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Expand through SplitMix64 as the xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64_raw(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: f64 = r.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}
