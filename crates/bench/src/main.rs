@@ -18,10 +18,16 @@
 //!   fig11   HTTP requests/sec vs file size (TCP / bonding / MPTCP)
 //!   mbox    the §3 middlebox × design survival matrix
 //!   telemetry  one rwnd-limited MPTCP run: counter table + JSON report
+//!   trace   one traced run: time-series JSONL/CSV, MPTCP-aware packet
+//!           capture, gnuplot timeline (scenarios: fig4, fig9, fallback)
 //!   all     run everything
 //! ```
 //!
 //! `--quick` shrinks sweeps for a fast smoke run.
+//!
+//! `trace` takes a scenario plus `--out DIR` (default `trace_out/`) and
+//! `--fail-on-drops` (exit nonzero if any bounded ring overwrote records —
+//! the CI guard), e.g. `repro trace fig9 --out trace_out/`.
 
 use mptcp_harness::experiments::*;
 use mptcp_netsim::Duration;
@@ -47,6 +53,7 @@ fn main() {
         "fig11" => fig11(quick),
         "mbox" => mbox_matrix(),
         "telemetry" => telemetry_report(quick),
+        "trace" => trace_run(&args),
         "all" => {
             mbox_matrix();
             telemetry_report(quick);
@@ -347,6 +354,109 @@ fn telemetry_report(quick: bool) {
     println!();
     println!("JSON report:");
     println!("{}", mptcp_harness::to_json_lines(&[report]));
+}
+
+fn trace_run(args: &[String]) {
+    use mptcp_harness::experiments::trace as tr;
+    use mptcp_telemetry::TraceWriter;
+
+    let mut scenario = tr::TraceScenario::Fig9;
+    let mut out_dir = std::path::PathBuf::from("trace_out");
+    let mut fail_on_drops = false;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_dir = it
+                    .next()
+                    .map(Into::into)
+                    .unwrap_or_else(|| usage_trace("--out needs a directory"))
+            }
+            "--fail-on-drops" => fail_on_drops = true,
+            "--quick" => {}
+            s => {
+                scenario =
+                    tr::TraceScenario::parse(s).unwrap_or_else(|| usage_trace("unknown scenario"))
+            }
+        }
+    }
+
+    header(&format!(
+        "Trace: {} — {}",
+        scenario.name(),
+        scenario.describe()
+    ));
+    let art = tr::run(scenario, SEED);
+    let r = &art.run;
+    println!(
+        "goodput {:.2} Mbps, throughput {:.2} Mbps{}",
+        r.bulk.goodput_mbps,
+        r.bulk.throughput_mbps,
+        if r.bulk.fell_back { " (fell back)" } else { "" }
+    );
+    println!(
+        "trace: {} records retained of {} ({} dropped), {} spans, subflows {:?}",
+        r.trace.records.len(),
+        r.trace.total,
+        r.trace.dropped_samples,
+        r.trace.spans().count(),
+        r.trace.subflow_ids()
+    );
+    let mut span_counts = std::collections::BTreeMap::new();
+    for (_, _, kind) in r.trace.spans() {
+        *span_counts.entry(kind.name()).or_insert(0u64) += 1;
+    }
+    for (kind, n) in &span_counts {
+        println!("  span {kind}: {n}");
+    }
+    println!(
+        "capture: {} packets retained of {} ({} dropped)",
+        r.capture.records.len(),
+        r.capture.total,
+        r.capture.dropped_records
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    let stem = scenario.name();
+    let files = [
+        (
+            format!("{stem}_trace.jsonl"),
+            TraceWriter::to_jsonl(&r.trace),
+        ),
+        (format!("{stem}_trace.csv"), TraceWriter::to_csv(&r.trace)),
+        (format!("{stem}_pcap.jsonl"), r.capture.to_jsonl()),
+        (format!("{stem}_timeline.dat"), tr::timeline_dat(&r.trace)),
+        (
+            format!("{stem}_report.json"),
+            mptcp_harness::to_json_lines(std::slice::from_ref(&art.report)),
+        ),
+    ];
+    for (name, contents) in &files {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    let dropped = r.trace.dropped_samples + r.capture.dropped_records;
+    if fail_on_drops && dropped > 0 {
+        eprintln!(
+            "FAIL: {dropped} records dropped by bounded rings \
+             (trace {}, capture {}) — raise capacities",
+            r.trace.dropped_samples, r.capture.dropped_records
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage_trace(err: &str) -> ! {
+    eprintln!("{err}\nusage: repro trace [fig4|fig9|fallback] [--out DIR] [--fail-on-drops]");
+    std::process::exit(2);
 }
 
 fn mbox_matrix() {

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use mptcp_tcpstack::TcpConfig;
+use mptcp_telemetry::{TraceConfig, DEFAULT_EVENT_CAPACITY};
 
 /// The receive-path out-of-order queue algorithms of §4.3 / Figure 8.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +92,13 @@ pub struct MptcpConfig {
     /// Maximum live subflows per connection; `open_subflow` and
     /// `accept_join` refuse beyond this.
     pub max_subflows: usize,
+    /// Capacity of the telemetry event ring (discrete events retained in a
+    /// [`mptcp_telemetry::TelemetrySnapshot`]).
+    pub event_capacity: usize,
+    /// Time-series tracing of connection and subflow internals. Disabled
+    /// by default; when set enabled it is also propagated to each
+    /// subflow's `tcp.trace` so per-subflow cwnd/RTT series record too.
+    pub trace: TraceConfig,
 }
 
 impl Default for MptcpConfig {
@@ -113,6 +121,8 @@ impl Default for MptcpConfig {
             recv_buf: 2 * 1024 * 1024,
             auto_join: true,
             max_subflows: 8,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+            trace: TraceConfig::disabled(),
         }
     }
 }
@@ -134,6 +144,14 @@ impl MptcpConfig {
         self
     }
 
+    /// Enable or replace time-series tracing. The same config is pushed
+    /// down to the per-subflow TCP so subflow sockets trace too.
+    pub fn with_trace(mut self, trace: TraceConfig) -> MptcpConfig {
+        self.trace = trace;
+        self.tcp.trace = trace;
+        self
+    }
+
     /// Start a validated configuration build.
     pub fn builder() -> MptcpConfigBuilder {
         MptcpConfigBuilder {
@@ -151,6 +169,17 @@ impl MptcpConfig {
         }
         if self.max_subflows == 0 {
             return Err(ConfigError::ZeroMaxSubflows);
+        }
+        if self.event_capacity == 0 {
+            return Err(ConfigError::ZeroEventCapacity);
+        }
+        // A zero-capacity trace ring would silently drop every sample; the
+        // way to turn tracing off is `enabled: false`, not capacity 0.
+        if self.trace.enabled && self.trace.capacity == 0 {
+            return Err(ConfigError::ZeroTraceCapacity);
+        }
+        if self.tcp.trace.enabled && self.tcp.trace.capacity == 0 {
+            return Err(ConfigError::ZeroTraceCapacity);
         }
         // M3 starts the autotuned buffers at 64 KiB and grows them toward
         // the configured caps; caps below the start would "autotune"
@@ -191,6 +220,10 @@ pub enum ConfigError {
     ZeroRecvBuffer,
     /// `max_subflows` is zero: even the initial subflow is forbidden.
     ZeroMaxSubflows,
+    /// `event_capacity` is zero: the telemetry ring could hold nothing.
+    ZeroEventCapacity,
+    /// Tracing enabled with a zero-record ring; disable tracing instead.
+    ZeroTraceCapacity,
     /// M3 autotuning enabled with a buffer cap below its starting size.
     AutotuneCapBelowStart {
         /// The offending (smaller) cap.
@@ -214,6 +247,10 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroSendBuffer => f.write_str("send_buf must be nonzero"),
             ConfigError::ZeroRecvBuffer => f.write_str("recv_buf must be nonzero"),
             ConfigError::ZeroMaxSubflows => f.write_str("max_subflows must be nonzero"),
+            ConfigError::ZeroEventCapacity => f.write_str("event_capacity must be nonzero"),
+            ConfigError::ZeroTraceCapacity => {
+                f.write_str("enabled tracing needs a nonzero ring capacity")
+            }
             ConfigError::AutotuneCapBelowStart { cap, start } => write!(
                 f,
                 "autotune (M3) requires buffer caps >= its {start}-byte starting size, got {cap}"
@@ -296,6 +333,18 @@ impl MptcpConfigBuilder {
         self
     }
 
+    /// Size the telemetry event ring (discrete events kept per snapshot).
+    pub fn event_capacity(mut self, records: usize) -> Self {
+        self.cfg.event_capacity = records;
+        self
+    }
+
+    /// Enable or replace time-series tracing (pushed down to subflows).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.cfg = self.cfg.with_trace(trace);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<MptcpConfig, ConfigError> {
         self.cfg.validate()?;
@@ -351,6 +400,48 @@ mod tests {
             MptcpConfig::builder().max_subflows(0).build().unwrap_err(),
             ConfigError::ZeroMaxSubflows
         );
+    }
+
+    #[test]
+    fn builder_rejects_zero_event_capacity() {
+        assert_eq!(
+            MptcpConfig::builder()
+                .event_capacity(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroEventCapacity
+        );
+        let cfg = MptcpConfig::builder()
+            .event_capacity(1024)
+            .build()
+            .expect("nonzero capacity is valid");
+        assert_eq!(cfg.event_capacity, 1024);
+    }
+
+    #[test]
+    fn builder_rejects_zero_capacity_trace() {
+        let bad = TraceConfig {
+            enabled: true,
+            capacity: 0,
+            ..TraceConfig::enabled()
+        };
+        assert_eq!(
+            MptcpConfig::builder().trace(bad).build().unwrap_err(),
+            ConfigError::ZeroTraceCapacity
+        );
+        // Disabled tracing with zero capacity is the normal default.
+        MptcpConfig::builder()
+            .trace(TraceConfig::disabled())
+            .build()
+            .expect("disabled trace is always valid");
+    }
+
+    #[test]
+    fn trace_propagates_to_subflow_tcp() {
+        let cfg = MptcpConfig::default().with_trace(TraceConfig::enabled());
+        assert!(cfg.trace.enabled);
+        assert!(cfg.tcp.trace.enabled);
+        assert_eq!(cfg.tcp.trace.capacity, cfg.trace.capacity);
     }
 
     #[test]

@@ -26,7 +26,10 @@ use mptcp_packet::{
     checksum, crypto, DssMapping, Endpoint, FourTuple, MptcpOption, SeqNum, TcpOption, TcpSegment,
 };
 use mptcp_tcpstack::{cc, Lia, TcpSocket};
-use mptcp_telemetry::{CounterId, EventKind, FallbackCause, GaugeId, Recorder, TelemetrySnapshot};
+use mptcp_telemetry::{
+    CounterId, EventKind, FallbackCause, GaugeId, Recorder, TelemetrySnapshot, TraceRecord,
+    TraceSnapshot, Tracer, SPAN_CONN_LEVEL,
+};
 
 use crate::api::{JoinError, ReadOutcome, SubflowError, SubflowId, WriteOutcome};
 use crate::config::MptcpConfig;
@@ -175,6 +178,11 @@ pub struct MptcpConnection {
     /// Fine-grained mechanism telemetry (merged with per-subflow and
     /// reorder-queue recorders by [`MptcpConnection::telemetry`]).
     telemetry: Recorder,
+    /// Connection-level time-series tracer (ConnSamples and span events;
+    /// per-subflow series live in each subflow socket's tracer).
+    tracer: Tracer,
+    /// Scheduler currently stalled? Gates the transition-only stall span.
+    sched_stalled: bool,
     poll_cursor: usize,
 }
 
@@ -324,7 +332,9 @@ impl MptcpConnection {
             plain_rx_streak: 0,
             events: VecDeque::new(),
             stats: ConnStats::default(),
-            telemetry: Recorder::new(),
+            telemetry: Recorder::with_event_capacity(cfg.event_capacity),
+            tracer: Tracer::new(cfg.trace),
+            sched_stalled: false,
             poll_cursor: 0,
             cfg,
         }
@@ -458,6 +468,49 @@ impl MptcpConnection {
             rec.absorb(&sf.sock.telemetry);
         }
         rec.snapshot()
+    }
+
+    /// Snapshot the time-series trace: the connection-level tracer
+    /// (ConnSamples, span events) merged and time-sorted with every
+    /// subflow socket's tracer (SubflowSamples, TCP-level spans). Empty
+    /// when tracing is disabled.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        let mut snaps = vec![self.tracer.snapshot()];
+        for sf in &self.subflows {
+            snaps.push(sf.sock.tracer.snapshot());
+        }
+        TraceSnapshot::merge(snaps)
+    }
+
+    /// Record a discrete span event in the trace (no-op when disabled).
+    /// `subflow` is an index, or [`SPAN_CONN_LEVEL`] for connection-level.
+    fn trace_span(&mut self, now: SimTime, subflow: u32, kind: EventKind) {
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceRecord::Span {
+                at_ns: now.0,
+                subflow,
+                kind,
+            });
+        }
+    }
+
+    /// Record one connection-level sample (no-op when disabled).
+    fn trace_conn_sample(&mut self, now: SimTime) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let rec = TraceRecord::ConnSample {
+            at_ns: now.0,
+            rwnd: self.rcv_window(),
+            data_snd_nxt: self.snd_nxt,
+            data_snd_una: self.snd_una,
+            data_rcv_nxt: self.rcv_nxt,
+            reorder_segs: self.ooo.len() as u64,
+            reorder_bytes: self.ooo.buffered_bytes() as u64,
+            snd_buf_cap: self.snd_buf_cap as u64,
+            rcv_buf_cap: self.rcv_buf_cap as u64,
+        };
+        self.tracer.record(rec);
     }
 
     /// Measurement counters with the telemetry snapshot embedded — the
@@ -689,12 +742,13 @@ impl MptcpConnection {
         self.telemetry.count(CounterId::JoinsRejected);
         self.telemetry
             .event(now.0, EventKind::JoinRejected { token });
+        self.trace_span(now, SPAN_CONN_LEVEL, EventKind::JoinRejected { token });
     }
 
     /// Advertise an additional local address to the peer (ADD_ADDR) —
     /// how a multi-homed server invites NATted clients to open subflows
     /// toward its other interfaces (§3.2).
-    pub fn advertise_addr(&mut self, addr: u32, port: Option<u16>) {
+    pub fn advertise_addr(&mut self, addr: u32, port: Option<u16>, now: SimTime) {
         let addr_id = self.next_addr_id;
         self.next_addr_id += 1;
         let opt = TcpOption::Mptcp(MptcpOption::AddAddr(AdvertisedAddr {
@@ -704,16 +758,31 @@ impl MptcpConnection {
         }));
         if let Some(sf) = self.subflows.iter_mut().find(|s| s.usable()) {
             sf.sock.queue_oneshot_options(vec![opt]);
+            self.telemetry.count(CounterId::AddAddrsSent);
+            let kind = EventKind::AddAddr {
+                addr,
+                id: u32::from(addr_id),
+                sent: 1,
+            };
+            self.telemetry.event(now.0, kind);
+            self.trace_span(now, SPAN_CONN_LEVEL, kind);
         }
     }
 
     /// Withdraw an address: peers close subflows using it (§3.4 mobility).
-    pub fn remove_addr(&mut self, addr_id: u8) {
+    pub fn remove_addr(&mut self, addr_id: u8, now: SimTime) {
         let opt = TcpOption::Mptcp(MptcpOption::RemoveAddr {
             addr_ids: vec![addr_id],
         });
         if let Some(sf) = self.subflows.iter_mut().find(|s| s.usable()) {
             sf.sock.queue_oneshot_options(vec![opt]);
+            self.telemetry.count(CounterId::RemoveAddrsSent);
+            let kind = EventKind::RemoveAddr {
+                id: u32::from(addr_id),
+                sent: 1,
+            };
+            self.telemetry.event(now.0, kind);
+            self.trace_span(now, SPAN_CONN_LEVEL, kind);
         }
     }
 
@@ -920,10 +989,25 @@ impl MptcpConnection {
                     }
                 }
                 MptcpOption::AddAddr(a) => {
+                    self.telemetry.count(CounterId::AddAddrsReceived);
+                    let kind = EventKind::AddAddr {
+                        addr: a.addr,
+                        id: u32::from(a.addr_id),
+                        sent: 0,
+                    };
+                    self.telemetry.event(now.0, kind);
+                    self.trace_span(now, SPAN_CONN_LEVEL, kind);
                     self.events.push_back(ConnEvent::PeerAddr(a));
                 }
                 MptcpOption::RemoveAddr { addr_ids } => {
                     for id in addr_ids {
+                        self.telemetry.count(CounterId::RemoveAddrsReceived);
+                        let kind = EventKind::RemoveAddr {
+                            id: u32::from(id),
+                            sent: 0,
+                        };
+                        self.telemetry.event(now.0, kind);
+                        self.trace_span(now, SPAN_CONN_LEVEL, kind);
                         self.kill_subflows_by_addr_id(now, id);
                     }
                 }
@@ -973,8 +1057,16 @@ impl MptcpConnection {
                     subflow: idx as u32,
                 },
             );
+            self.trace_span(
+                now,
+                idx as u32,
+                EventKind::SubflowReset {
+                    subflow: idx as u32,
+                },
+            );
             return;
         }
+        let sf = &mut self.subflows[idx];
         sf.nonce_remote = nonce_remote;
         sf.join = JoinState::ClientEstablished;
         // Third ACK carries our full HMAC until the server confirms (by
@@ -1014,8 +1106,16 @@ impl MptcpConnection {
                     subflow: idx as u32,
                 },
             );
+            self.trace_span(
+                now,
+                idx as u32,
+                EventKind::SubflowReset {
+                    subflow: idx as u32,
+                },
+            );
             return;
         }
+        let sf = &mut self.subflows[idx];
         sf.join = JoinState::Active;
         self.events.push_back(ConnEvent::SubflowUp(idx));
     }
@@ -1117,6 +1217,11 @@ impl MptcpConnection {
             if segs > self.telemetry.gauge(GaugeId::OfoQueueSegs).max {
                 self.telemetry
                     .event(now.0, EventKind::ReorderHighWater { segs, bytes });
+                self.trace_span(
+                    now,
+                    SPAN_CONN_LEVEL,
+                    EventKind::ReorderHighWater { segs, bytes },
+                );
             }
             self.telemetry.gauge_set(GaugeId::OfoQueueSegs, segs);
             self.telemetry.gauge_set(GaugeId::OfoQueueBytes, bytes);
@@ -1157,6 +1262,14 @@ impl MptcpConnection {
                 dsn,
             },
         );
+        self.trace_span(
+            now,
+            idx as u32,
+            EventKind::ChecksumFail {
+                subflow: idx as u32,
+                dsn,
+            },
+        );
         if self.alive_subflows() > 1 {
             // §3.3.6: terminate the offending subflow; the transfer
             // continues on the others after re-injection.
@@ -1171,6 +1284,13 @@ impl MptcpConnection {
             self.telemetry.count(CounterId::SubflowResets);
             self.telemetry.event(
                 now.0,
+                EventKind::SubflowReset {
+                    subflow: idx as u32,
+                },
+            );
+            self.trace_span(
+                now,
+                idx as u32,
                 EventKind::SubflowReset {
                     subflow: idx as u32,
                 },
@@ -1208,6 +1328,7 @@ impl MptcpConnection {
         self.state = ConnState::Fallback;
         self.telemetry.count(CounterId::Fallbacks);
         self.telemetry.event(now.0, EventKind::Fallback { cause });
+        self.trace_span(now, SPAN_CONN_LEVEL, EventKind::Fallback { cause });
         self.events.push_back(ConnEvent::FellBack);
         // Stop MPTCP signalling; plain TCP from here.
         for sf in &mut self.subflows {
@@ -1321,6 +1442,16 @@ impl MptcpConnection {
             return;
         }
         self.reap_dead(now);
+        // Interval-driven trace sampling (congestion events add their own
+        // samples; this keeps the timeline dense even on quiet paths).
+        if self.tracer.sample_due(now.0) {
+            self.trace_conn_sample(now);
+            for sf in &mut self.subflows {
+                if !sf.dead {
+                    sf.sock.trace_sample(now);
+                }
+            }
+        }
         if self.state == ConnState::Fallback {
             return;
         }
@@ -1381,6 +1512,12 @@ impl MptcpConnection {
                 stalled_ns: self.data_rto_interval().as_nanos() as u64,
             },
         );
+        self.trace_span(
+            now,
+            SPAN_CONN_LEVEL,
+            EventKind::DataRto { dsn: self.snd_una },
+        );
+        self.trace_conn_sample(now);
         // Client-side fallback detection (§3.3.6): our DSS options are
         // being stripped somewhere — subflow delivery succeeds but nothing
         // is ever DATA_ACKed and no MPTCP option has arrived since the
@@ -1467,9 +1604,21 @@ impl MptcpConnection {
                 // Work is waiting but no subflow can take it.
                 if !self.pending.is_empty() || !self.reinject.is_empty() {
                     self.telemetry.count(CounterId::SchedulerStalls);
+                    if !self.sched_stalled {
+                        self.sched_stalled = true;
+                        self.trace_span(
+                            now,
+                            SPAN_CONN_LEVEL,
+                            EventKind::SchedulerStall {
+                                pending_bytes: self.pending_bytes as u64,
+                                reinject_queued: self.reinject.len() as u64,
+                            },
+                        );
+                    }
                 }
                 return;
             };
+            self.sched_stalled = false;
 
             // Re-injections first (fixed DSNs). Prefer a subflow other
             // than the one the chunk is already stuck on.
@@ -1624,6 +1773,15 @@ impl MptcpConnection {
                         to: fast as u32,
                     },
                 );
+                self.trace_span(
+                    now,
+                    culprit as u32,
+                    EventKind::M1Reinject {
+                        dsn: self.snd_una,
+                        from: culprit as u32,
+                        to: fast as u32,
+                    },
+                );
             }
         }
 
@@ -1652,6 +1810,18 @@ impl MptcpConnection {
                             after,
                         },
                     );
+                    self.trace_span(
+                        now,
+                        culprit as u32,
+                        EventKind::M2Penalize {
+                            subflow: culprit as u32,
+                            before,
+                            after,
+                        },
+                    );
+                    // The penalty is exactly the cwnd discontinuity Fig. 4
+                    // visualizes; pin a subflow sample at the instant.
+                    self.subflows[culprit].sock.trace_sample(now);
                 }
             }
         }
@@ -1778,6 +1948,15 @@ impl MptcpConnection {
                     rcv_cap: self.rcv_buf_cap as u64,
                 },
             );
+            self.trace_span(
+                now,
+                SPAN_CONN_LEVEL,
+                EventKind::M3Grow {
+                    snd_cap: self.snd_buf_cap as u64,
+                    rcv_cap: self.rcv_buf_cap as u64,
+                },
+            );
+            self.trace_conn_sample(now);
             self.telemetry
                 .gauge_set(GaugeId::SndBufCap, self.snd_buf_cap as u64);
             self.telemetry

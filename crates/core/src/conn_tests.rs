@@ -411,7 +411,8 @@ fn subflow_failure_recovers_on_other_path() {
 fn add_addr_event_surfaces() {
     let mut w = setup(MptcpConfig::default());
     w.run(SimTime::from_millis(100));
-    server_conn(&mut w).advertise_addr(0x0a000064, Some(80));
+    let t = w.now;
+    server_conn(&mut w).advertise_addr(0x0a000064, Some(80), t);
     w.run(w.now + Duration::from_millis(100));
     let evs = w.client.take_events();
     assert!(
@@ -495,7 +496,8 @@ fn remove_addr_closes_matching_subflows() {
 
     // The client withdraws its second address (addr_id of the join).
     let addr_id = w.client.subflows()[1].addr_id;
-    w.client.remove_addr(addr_id);
+    let t = w.now;
+    w.client.remove_addr(addr_id, t);
     w.run(w.now + Duration::from_millis(300));
     // The server killed the matching subflow...
     let s = server_conn(&mut w);

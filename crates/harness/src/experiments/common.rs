@@ -1,7 +1,8 @@
 //! Shared experiment plumbing: bulk-transfer runs and measurement windows.
 
+use mptcp::telemetry::{TraceConfig, TraceSnapshot};
 use mptcp::{Mechanisms, MptcpConfig, ReorderAlgo};
-use mptcp_netsim::{Duration, Path, SimTime};
+use mptcp_netsim::{CaptureConfig, CaptureSnapshot, Duration, PacketCapture, Path, SimTime};
 use mptcp_tcpstack::TcpConfig;
 
 use crate::hosts::{ClientApp, ServerApp};
@@ -91,6 +92,17 @@ pub struct BulkResult {
     pub telemetry: mptcp::telemetry::TelemetrySnapshot,
 }
 
+/// A [`BulkResult`] plus the time-series artifacts of a traced run.
+#[derive(Clone, Debug)]
+pub struct TracedBulkResult {
+    /// The scalar rates and telemetry of the run.
+    pub bulk: BulkResult,
+    /// Client-side time-series trace (conn + subflow samples, spans).
+    pub trace: TraceSnapshot,
+    /// Per-link packet capture with MPTCP options decoded.
+    pub capture: CaptureSnapshot,
+}
+
 /// Run a continuous bulk transfer (client → server) for `warmup +
 /// measure`, returning rates over the measurement window only.
 pub fn run_bulk(
@@ -101,7 +113,38 @@ pub fn run_bulk(
     measure: Duration,
     seed: u64,
 ) -> BulkResult {
-    let kind = variant.kind(buf);
+    run_bulk_traced(
+        variant,
+        buf,
+        paths,
+        warmup,
+        measure,
+        seed,
+        TraceConfig::disabled(),
+        CaptureConfig::disabled(),
+    )
+    .bulk
+}
+
+/// [`run_bulk`] with time-series tracing and packet capture wired in.
+/// Disabled configs make this identical (and identically cheap) to
+/// `run_bulk`.
+#[allow(clippy::too_many_arguments)] // mirrors run_bulk + the two configs
+pub fn run_bulk_traced(
+    variant: Variant,
+    buf: usize,
+    paths: Vec<Path>,
+    warmup: Duration,
+    measure: Duration,
+    seed: u64,
+    trace: TraceConfig,
+    capture: CaptureConfig,
+) -> TracedBulkResult {
+    let mut kind = variant.kind(buf);
+    match &mut kind {
+        TransportKind::Mptcp(cfg) => *cfg = cfg.clone().with_trace(trace),
+        TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => tcp.trace = trace,
+    }
     let mut sc = Scenario::new(
         kind,
         ClientApp::Bulk {
@@ -113,6 +156,7 @@ pub fn run_bulk(
         paths,
         seed,
     );
+    sc.sim.capture = PacketCapture::new(capture);
     sc.run_for(warmup);
     let delivered0 = sc.server().app_bytes_received;
     let scheduled0 = scheduled_bytes(&mut sc);
@@ -122,7 +166,7 @@ pub fn run_bulk(
     let delivered = sc.server().app_bytes_received - delivered0;
     let scheduled = scheduled_bytes(&mut sc) - scheduled0;
     let warm = t0;
-    let (smem, rmem, fell_back, telemetry) = {
+    let (smem, rmem, fell_back, telemetry, trace) = {
         let client = sc.client();
         let smem = client.mem_sampler.mean_after(warm);
         let fell = match &client.transport {
@@ -130,24 +174,30 @@ pub fn run_bulk(
             _ => false,
         };
         let telemetry = client.transport.telemetry();
+        let trace = client.transport.trace_snapshot();
         (
             smem,
             sc.server().mem_sampler.mean_after(warm),
             fell,
             telemetry,
+            trace,
         )
     };
-    BulkResult {
-        goodput_mbps: Rates::mbps(delivered, elapsed),
-        throughput_mbps: Rates::mbps(scheduled, elapsed),
-        sender_mem: smem,
-        receiver_mem: rmem,
-        fell_back,
-        telemetry,
+    TracedBulkResult {
+        bulk: BulkResult {
+            goodput_mbps: Rates::mbps(delivered, elapsed),
+            throughput_mbps: Rates::mbps(scheduled, elapsed),
+            sender_mem: smem,
+            receiver_mem: rmem,
+            fell_back,
+            telemetry,
+        },
+        trace,
+        capture: sc.sim.capture.snapshot(),
     }
 }
 
-fn scheduled_bytes(sc: &mut Scenario) -> u64 {
+pub(crate) fn scheduled_bytes(sc: &mut Scenario) -> u64 {
     match &mut sc.client_mut().transport {
         crate::transport::Transport::Mptcp(c) => c.stats.bytes_scheduled,
         crate::transport::Transport::Tcp(s) => s.stats.bytes_out,

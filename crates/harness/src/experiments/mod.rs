@@ -17,3 +17,4 @@ pub mod fig7_appdelay;
 pub mod fig8_reorder;
 pub mod fig9_wifi3g;
 pub mod mbox;
+pub mod trace;

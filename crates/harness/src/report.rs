@@ -3,7 +3,7 @@
 //! helpers produce machine-readable series and per-run JSON reports that
 //! embed the transport's [`TelemetrySnapshot`]).
 
-use mptcp::telemetry::TelemetrySnapshot;
+use mptcp::telemetry::{TelemetrySnapshot, TraceSnapshot};
 
 /// A labelled series of (x, y) points.
 #[derive(Clone, Debug)]
@@ -51,6 +51,35 @@ fn escape(s: &str) -> String {
     }
 }
 
+/// Compact bookkeeping of a run's time-series trace, embedded in the JSON
+/// report instead of the full record stream (which goes to its own JSONL
+/// file — see `experiments::trace`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Records retained in the snapshot.
+    pub records: u64,
+    /// Records ever offered to the tracers.
+    pub total: u64,
+    /// Records overwritten by the bounded rings.
+    pub dropped_samples: u64,
+    /// Discrete span events among the retained records.
+    pub spans: u64,
+    /// Distinct subflows with sample series.
+    pub subflows: u64,
+}
+
+impl From<&TraceSnapshot> for TraceSummary {
+    fn from(snap: &TraceSnapshot) -> TraceSummary {
+        TraceSummary {
+            records: snap.records.len() as u64,
+            total: snap.total,
+            dropped_samples: snap.dropped_samples,
+            spans: snap.spans().count() as u64,
+            subflows: snap.subflow_ids().len() as u64,
+        }
+    }
+}
+
 /// One run of one experiment cell, ready for JSON emission: scalar metrics
 /// plus the full telemetry snapshot captured at the end of the run.
 #[derive(Clone, Debug)]
@@ -63,6 +92,8 @@ pub struct RunReport {
     pub metrics: Vec<(String, f64)>,
     /// Transport telemetry at the end of the run.
     pub telemetry: TelemetrySnapshot,
+    /// Trace bookkeeping, when the run was traced.
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunReport {
@@ -77,12 +108,19 @@ impl RunReport {
             label: label.into(),
             metrics: Vec::new(),
             telemetry,
+            trace: None,
         }
     }
 
     /// Append a scalar metric (builder style).
     pub fn metric(mut self, name: impl Into<String>, value: f64) -> Self {
         self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Attach the trace bookkeeping of a traced run (builder style).
+    pub fn trace(mut self, snap: &TraceSnapshot) -> Self {
+        self.trace = Some(TraceSummary::from(snap));
         self
     }
 
@@ -107,6 +145,13 @@ impl RunReport {
         }
         out.push_str("},\"telemetry\":");
         out.push_str(&self.telemetry.to_json());
+        if let Some(t) = &self.trace {
+            out.push_str(&format!(
+                ",\"trace\":{{\"records\":{},\"total\":{},\"dropped_samples\":{},\
+                 \"spans\":{},\"subflows\":{}}}",
+                t.records, t.total, t.dropped_samples, t.spans, t.subflows
+            ));
+        }
         out.push('}');
         out
     }
@@ -183,6 +228,20 @@ mod tests {
         assert!(json.contains("\"bad\":null"));
         assert!(json.contains("\"telemetry\":{"));
         assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn run_report_embeds_trace_summary() {
+        let json = RunReport::new("trace", "fig9", TelemetrySnapshot::default())
+            .trace(&TraceSnapshot::default())
+            .to_json();
+        assert!(
+            json.contains("\"trace\":{\"records\":0,\"total\":0,\"dropped_samples\":0"),
+            "{json}"
+        );
+        // Untraced reports omit the key entirely.
+        let json = RunReport::new("x", "y", TelemetrySnapshot::default()).to_json();
+        assert!(!json.contains("\"trace\""), "{json}");
     }
 
     #[test]

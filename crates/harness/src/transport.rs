@@ -117,4 +117,14 @@ impl Transport {
             Transport::Tcp(s) => s.telemetry.snapshot(),
         }
     }
+
+    /// Time-series trace snapshot: connection + per-subflow tracers merged
+    /// and time-sorted, or the lone socket's tracer for the TCP baseline.
+    /// Empty unless the transport was configured with tracing enabled.
+    pub fn trace_snapshot(&self) -> mptcp::telemetry::TraceSnapshot {
+        match self {
+            Transport::Mptcp(c) => c.trace_snapshot(),
+            Transport::Tcp(s) => mptcp::telemetry::TraceSnapshot::merge(vec![s.tracer.snapshot()]),
+        }
+    }
 }

@@ -17,6 +17,7 @@
 //! * [`Sim`] — the driver: routes segments from [`Host`]s through paths,
 //!   applies middleboxes, schedules deliveries, and fires host timers.
 
+pub mod capture;
 pub mod event;
 pub mod link;
 pub mod path;
@@ -24,6 +25,10 @@ pub mod rng;
 pub mod sim;
 pub mod time;
 
+pub use capture::{
+    CaptureConfig, CaptureRecord, CaptureSnapshot, PacketCapture, PacketFate,
+    DEFAULT_CAPTURE_CAPACITY,
+};
 pub use event::EventQueue;
 pub use link::{Link, LinkCfg, LinkStats};
 pub use path::{Dir, MbVerdict, Middlebox, Path};

@@ -131,6 +131,14 @@ impl Path {
         }
     }
 
+    /// The link carrying traffic in direction `dir`.
+    pub fn link(&self, dir: Dir) -> &Link {
+        match dir {
+            Dir::Fwd => &self.fwd,
+            Dir::Rev => &self.rev,
+        }
+    }
+
     /// Run `seg` through the middlebox chain in direction `dir`.
     ///
     /// Returns `(survivors, backwash)`: segments that emerged at the far end

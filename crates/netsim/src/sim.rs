@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use mptcp_packet::TcpSegment;
 
+use crate::capture::{PacketCapture, PacketFate};
 use crate::event::EventQueue;
 use crate::path::{Dir, Path};
 use crate::rng::SimRng;
@@ -77,6 +78,10 @@ pub struct Sim<H: Host> {
     pub rng: SimRng,
     /// Segments dropped because no route or no owner existed.
     pub routing_drops: u64,
+    /// Pcap-like per-link capture; disabled (and free) by default. Enable
+    /// via [`PacketCapture::new`] with an enabled
+    /// [`CaptureConfig`](crate::capture::CaptureConfig).
+    pub capture: PacketCapture,
 }
 
 impl<H: Host> Sim<H> {
@@ -91,6 +96,7 @@ impl<H: Host> Sim<H> {
             deliveries: EventQueue::new(),
             rng: SimRng::new(seed),
             routing_drops: 0,
+            capture: PacketCapture::default(),
         }
     }
 
@@ -213,7 +219,9 @@ impl<H: Host> Sim<H> {
             if self.paths[pid].poll_at().is_some_and(|t| t <= self.now) {
                 let released = self.paths[pid].poll(self.now);
                 for (dir, seg) in released {
-                    self.transmit_on(pid, dir, seg);
+                    // Held-and-released segments (coalescers) may differ
+                    // from what the sender emitted; annotate as mutated.
+                    self.transmit_on(pid, dir, seg, true);
                 }
             }
         }
@@ -239,21 +247,56 @@ impl<H: Host> Sim<H> {
         };
         let (pid, dir) = entry.hops[entry.rr % entry.hops.len()];
         entry.rr = entry.rr.wrapping_add(1);
+        // Keep the pre-chain segment around only when capture is on, so the
+        // disabled path stays clone-free.
+        let original = if self.capture.is_enabled() {
+            Some(seg.clone())
+        } else {
+            None
+        };
         let (survivors, backwash) = self.paths[pid].apply_chain(self.now, dir, seg, &mut self.rng);
+        if let Some(orig) = &original {
+            if survivors.is_empty() {
+                self.capture
+                    .observe(self.now.0, pid, dir, orig, false, PacketFate::MboxDrop);
+            }
+        }
         for s in survivors {
-            self.transmit_on(pid, dir, s);
+            let mutated = original.as_ref().is_some_and(|o| *o != s);
+            self.transmit_on(pid, dir, s, mutated);
         }
         for s in backwash {
-            self.transmit_on(pid, dir.flip(), s);
+            // Backwash segments are middlebox-fabricated (e.g. a proxy's
+            // RST); they never match what the sender emitted.
+            self.transmit_on(pid, dir.flip(), s, true);
         }
     }
 
-    fn transmit_on(&mut self, pid: PathId, dir: Dir, seg: TcpSegment) {
+    fn transmit_on(&mut self, pid: PathId, dir: Dir, seg: TcpSegment, mutated: bool) {
         let wire_len = seg.wire_len();
-        if let Some(at) = self.paths[pid]
+        let drops_before = if self.capture.is_enabled() {
+            let stats = &self.paths[pid].link(dir).stats;
+            Some((stats.queue_drops, stats.random_drops))
+        } else {
+            None
+        };
+        let scheduled = self.paths[pid]
             .link_mut(dir)
-            .transmit(self.now, wire_len, &mut self.rng)
-        {
+            .transmit(self.now, wire_len, &mut self.rng);
+        if let Some((queue_before, random_before)) = drops_before {
+            let stats = &self.paths[pid].link(dir).stats;
+            let fate = if scheduled.is_some() {
+                PacketFate::Delivered
+            } else if stats.random_drops > random_before {
+                PacketFate::RandomDrop
+            } else {
+                debug_assert!(stats.queue_drops > queue_before);
+                PacketFate::QueueDrop
+            };
+            self.capture
+                .observe(self.now.0, pid, dir, &seg, mutated, fate);
+        }
+        if let Some(at) = scheduled {
             self.deliveries.push(at, seg);
         }
     }

@@ -1,6 +1,7 @@
 //! Socket configuration.
 
 use mptcp_netsim::Duration;
+use mptcp_telemetry::TraceConfig;
 
 /// Tunables for a [`crate::TcpSocket`].
 #[derive(Clone, Debug)]
@@ -32,6 +33,9 @@ pub struct TcpConfig {
     /// from the retried SYN (§3.1: "follow the retransmitted SYN with one
     /// that omits the MP_CAPABLE option").
     pub plain_syn_on_retry: bool,
+    /// Time-series tracing of cwnd/ssthresh/srtt/in-flight on congestion
+    /// events and a periodic interval. Disabled by default (zero-cost).
+    pub trace: TraceConfig,
 }
 
 impl Default for TcpConfig {
@@ -49,6 +53,7 @@ impl Default for TcpConfig {
             max_rto: Duration::from_secs(60),
             timestamps: true,
             plain_syn_on_retry: true,
+            trace: TraceConfig::disabled(),
         }
     }
 }

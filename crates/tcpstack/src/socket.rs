@@ -9,7 +9,7 @@
 use bytes::Bytes;
 use mptcp_netsim::{Duration, SimTime};
 use mptcp_packet::{FourTuple, MptcpOption, SeqNum, TcpFlags, TcpOption, TcpSegment};
-use mptcp_telemetry::{CounterId, EventKind, Recorder};
+use mptcp_telemetry::{CounterId, EventKind, Recorder, TraceRecord, Tracer};
 
 use crate::cc::{CongestionControl, Reno};
 use crate::config::TcpConfig;
@@ -124,6 +124,10 @@ pub struct TcpSocket {
     /// Tag stamped into telemetry events (the owning subflow's index;
     /// 0 for plain TCP).
     telemetry_tag: u32,
+    /// Time-series tracer: cwnd/ssthresh/srtt/in-flight samples on every
+    /// congestion-control event plus the configured interval. Disabled by
+    /// default (config-gated, no allocation, one branch on the hot path).
+    pub tracer: Tracer,
 }
 
 impl TcpSocket {
@@ -233,6 +237,7 @@ impl TcpSocket {
             stats: SocketStats::default(),
             telemetry: Recorder::new(),
             telemetry_tag: 0,
+            tracer: Tracer::new(cfg.trace),
             cfg,
         }
     }
@@ -241,6 +246,44 @@ impl TcpSocket {
     /// when the socket backs an MPTCP subflow).
     pub fn set_telemetry_tag(&mut self, tag: u32) {
         self.telemetry_tag = tag;
+    }
+
+    /// Replace the tracer (the MPTCP connection installs one per subflow
+    /// from its own trace configuration).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Record a [`TraceRecord::SubflowSample`] of the congestion and
+    /// sequence state. Called internally on every congestion-control
+    /// event; the owning connection also calls it on the sampling
+    /// interval. One branch and no work when tracing is disabled.
+    pub fn trace_sample(&mut self, now: SimTime) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let rec = TraceRecord::SubflowSample {
+            at_ns: now.0,
+            subflow: self.telemetry_tag,
+            cwnd: self.cc.cwnd(),
+            ssthresh: self.cc.ssthresh(),
+            srtt_us: self.rtt.srtt().map_or(0, |d| d.as_nanos() as u64 / 1000),
+            in_flight: self.bytes_in_flight(),
+            snd_nxt: self.snd_nxt.0,
+            rcv_nxt: self.rcv_nxt.0,
+        };
+        self.tracer.record(rec);
+    }
+
+    /// Record a span event against this subflow's trace series.
+    fn trace_span(&mut self, now: SimTime, kind: EventKind) {
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceRecord::Span {
+                at_ns: now.0,
+                subflow: self.telemetry_tag,
+                kind,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -685,6 +728,10 @@ impl TcpSocket {
                 self.apply_bufferbloat_cap(now);
             }
 
+            // Trace the post-ACK congestion state (ACKs that advance
+            // snd_una are the congestion-control events of interest).
+            self.trace_sample(now);
+
             if self.snd_una == self.snd_nxt_with_fin() {
                 self.rto_deadline = None;
             } else {
@@ -736,6 +783,14 @@ impl TcpSocket {
                         seq: self.snd_una.0,
                     },
                 );
+                self.trace_span(
+                    now,
+                    EventKind::TcpFastRetransmit {
+                        subflow: self.telemetry_tag,
+                        seq: self.snd_una.0,
+                    },
+                );
+                self.trace_sample(now);
             }
             // Window inflation during recovery is handled by
             // `effective_cwnd` (pipe conservation: each duplicate ACK
@@ -773,6 +828,13 @@ impl TcpSocket {
                 self.telemetry.count(CounterId::M4CwndCaps);
                 self.telemetry.event(
                     now.0,
+                    EventKind::M4Cap {
+                        subflow: self.telemetry_tag,
+                        cap: self.cc.cwnd(),
+                    },
+                );
+                self.trace_span(
+                    now,
                     EventKind::M4Cap {
                         subflow: self.telemetry_tag,
                         cap: self.cc.cwnd(),
@@ -1098,6 +1160,14 @@ impl TcpSocket {
                 backoff: self.rto_backoff,
             },
         );
+        self.trace_span(
+            now,
+            EventKind::TcpRto {
+                subflow: self.telemetry_tag,
+                backoff: self.rto_backoff,
+            },
+        );
+        self.trace_sample(now);
         if self.consecutive_rtos > 15 {
             self.enter_error();
             return;

@@ -18,6 +18,13 @@
 //! - bounded memory: the event ring drops the oldest events past its
 //!   capacity and reports how many were dropped, so long runs can't bloat.
 
+mod trace;
+
+pub use trace::{
+    TraceConfig, TraceRecord, TraceSnapshot, TraceWriter, Tracer, DEFAULT_SAMPLE_INTERVAL_NS,
+    DEFAULT_TRACE_CAPACITY, SPAN_CONN_LEVEL,
+};
+
 /// Monotone counters, one slot per variant, held in a fixed array inside
 /// [`Recorder`]. Grouped by the layer that increments them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -52,6 +59,15 @@ pub enum CounterId {
     JoinsRejected,
     /// Subflows torn down with RST while the connection survived.
     SubflowResets,
+    // -- core::conn: path management (§3.2, §3.4) ----------------------------
+    /// ADD_ADDR advertisements sent to the peer.
+    AddAddrsSent,
+    /// ADD_ADDR advertisements received from the peer.
+    AddAddrsReceived,
+    /// REMOVE_ADDR withdrawals sent to the peer.
+    RemoveAddrsSent,
+    /// REMOVE_ADDR withdrawals received from the peer.
+    RemoveAddrsReceived,
     // -- core::reorder -------------------------------------------------------
     /// Segments inserted into the out-of-order queue.
     ReorderInserts,
@@ -104,6 +120,10 @@ impl CounterId {
         CounterId::Fallbacks,
         CounterId::JoinsRejected,
         CounterId::SubflowResets,
+        CounterId::AddAddrsSent,
+        CounterId::AddAddrsReceived,
+        CounterId::RemoveAddrsSent,
+        CounterId::RemoveAddrsReceived,
         CounterId::ReorderInserts,
         CounterId::ReorderOps,
         CounterId::ReorderShortcutHits,
@@ -137,6 +157,10 @@ impl CounterId {
             CounterId::Fallbacks => "fallbacks",
             CounterId::JoinsRejected => "joins_rejected",
             CounterId::SubflowResets => "subflow_resets",
+            CounterId::AddAddrsSent => "add_addrs_sent",
+            CounterId::AddAddrsReceived => "add_addrs_received",
+            CounterId::RemoveAddrsSent => "remove_addrs_sent",
+            CounterId::RemoveAddrsReceived => "remove_addrs_received",
             CounterId::ReorderInserts => "reorder_inserts",
             CounterId::ReorderOps => "reorder_ops",
             CounterId::ReorderShortcutHits => "reorder_shortcut_hits",
@@ -157,7 +181,7 @@ impl CounterId {
 }
 
 /// Number of counter slots in a [`Recorder`].
-pub const NUM_COUNTERS: usize = 28;
+pub const NUM_COUNTERS: usize = 32;
 
 /// Instantaneous values tracked with a high-water mark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -279,6 +303,18 @@ pub enum EventKind {
     TcpRto { subflow: u32, backoff: u32 },
     /// Subflow-level fast retransmit of `seq` on subflow `subflow`.
     TcpFastRetransmit { subflow: u32, seq: u32 },
+    /// ADD_ADDR: address `addr` with identifier `id` advertised.
+    /// `sent` is 1 when we advertised, 0 when the peer did.
+    AddAddr { addr: u32, id: u32, sent: u32 },
+    /// REMOVE_ADDR: address identifier `id` withdrawn.
+    /// `sent` is 1 when we withdrew, 0 when the peer did.
+    RemoveAddr { id: u32, sent: u32 },
+    /// The scheduler entered a stall: work was queued but no subflow had
+    /// cwnd or send-buffer headroom. Recorded on the transition only.
+    SchedulerStall {
+        pending_bytes: u64,
+        reinject_queued: u64,
+    },
 }
 
 impl EventKind {
@@ -298,11 +334,14 @@ impl EventKind {
             EventKind::ReorderHighWater { .. } => "reorder_high_water",
             EventKind::TcpRto { .. } => "tcp_rto",
             EventKind::TcpFastRetransmit { .. } => "tcp_fast_retransmit",
+            EventKind::AddAddr { .. } => "add_addr",
+            EventKind::RemoveAddr { .. } => "remove_addr",
+            EventKind::SchedulerStall { .. } => "scheduler_stall",
         }
     }
 
     /// Variant payload as `(name, value)` pairs for serialization.
-    fn fields(self) -> Vec<(&'static str, u64)> {
+    pub(crate) fn fields(self) -> Vec<(&'static str, u64)> {
         match self {
             EventKind::M1Reinject { dsn, from, to } => {
                 vec![("dsn", dsn), ("from", from as u64), ("to", to as u64)]
@@ -341,6 +380,21 @@ impl EventKind {
             EventKind::TcpFastRetransmit { subflow, seq } => {
                 vec![("subflow", subflow as u64), ("seq", seq as u64)]
             }
+            EventKind::AddAddr { addr, id, sent } => vec![
+                ("addr", addr as u64),
+                ("id", id as u64),
+                ("sent", sent as u64),
+            ],
+            EventKind::RemoveAddr { id, sent } => {
+                vec![("id", id as u64), ("sent", sent as u64)]
+            }
+            EventKind::SchedulerStall {
+                pending_bytes,
+                reinject_queued,
+            } => vec![
+                ("pending_bytes", pending_bytes),
+                ("reinject_queued", reinject_queued),
+            ],
         }
     }
 }
