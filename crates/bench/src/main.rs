@@ -20,6 +20,8 @@
 //!   telemetry  one rwnd-limited MPTCP run: counter table + JSON report
 //!   trace   one traced run: time-series JSONL/CSV, MPTCP-aware packet
 //!           capture, gnuplot timeline (scenarios: fig4, fig9, fallback)
+//!   chaos   fault injection: single-path blackout survival + recovery,
+//!           all-paths abort with a typed reason, randomized seed sweep
 //!   all     run everything
 //! ```
 //!
@@ -28,6 +30,13 @@
 //! `trace` takes a scenario plus `--out DIR` (default `trace_out/`) and
 //! `--fail-on-drops` (exit nonzero if any bounded ring overwrote records —
 //! the CI guard), e.g. `repro trace fig9 --out trace_out/`.
+//!
+//! `chaos` takes `--out DIR` (default `chaos_out/`), `--seed-sweep N`
+//! (randomized fault schedules to run, default 4) and
+//! `--fail-on-invariant` (exit nonzero when any invariant — every byte
+//! delivered exactly once, no deadlock, abort only typed and only when
+//! all paths stay down — is violated), e.g.
+//! `repro chaos --seed-sweep 8 --fail-on-invariant`.
 
 use mptcp_harness::experiments::*;
 use mptcp_netsim::Duration;
@@ -54,6 +63,7 @@ fn main() {
         "mbox" => mbox_matrix(),
         "telemetry" => telemetry_report(quick),
         "trace" => trace_run(&args),
+        "chaos" => chaos_run(&args),
         "all" => {
             mbox_matrix();
             telemetry_report(quick);
@@ -452,6 +462,151 @@ fn trace_run(args: &[String]) {
         );
         std::process::exit(1);
     }
+}
+
+fn chaos_run(args: &[String]) {
+    use mptcp_harness::experiments::{chaos, trace as tr};
+    use mptcp_telemetry::TraceWriter;
+
+    let mut out_dir = std::path::PathBuf::from("chaos_out");
+    let mut sweep_n: u64 = 4;
+    let mut fail_on_invariant = false;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_dir = it
+                    .next()
+                    .map(Into::into)
+                    .unwrap_or_else(|| usage_chaos("--out needs a directory"))
+            }
+            "--seed-sweep" => {
+                sweep_n = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage_chaos("--seed-sweep needs a count"))
+            }
+            "--fail-on-invariant" => fail_on_invariant = true,
+            "--quick" => sweep_n = sweep_n.min(2),
+            other => usage_chaos(&format!("unknown argument: {other}")),
+        }
+    }
+
+    header("Chaos: fault injection, path failure and break-before-make recovery");
+    let art = chaos::run(SEED, sweep_n);
+
+    let b = &art.blackout;
+    println!("[blackout] WiFi path dark for 3 s at t=1 s, continuous bulk over WiFi+3G");
+    println!(
+        "  delivered: {} KB before, {} KB during (on 3G), {} KB after restore",
+        b.delivered_before / 1000,
+        b.delivered_during / 1000,
+        b.delivered_after / 1000
+    );
+    println!(
+        "  path failures {}, recoveries {}, reinjected chunks {}, final state {:?}",
+        b.path_failures, b.path_recoveries, b.reinjections, b.final_state
+    );
+    for ev in &b.telemetry.events {
+        match ev.kind {
+            mptcp_telemetry::EventKind::PathSuspect { .. }
+            | mptcp_telemetry::EventKind::PathFailed { .. }
+            | mptcp_telemetry::EventKind::PathRecovered { .. } => {
+                println!("  {:>9.3} s  {:?}", ev.at_ns as f64 / 1e9, ev.kind)
+            }
+            _ => {}
+        }
+    }
+    for f in &b.faults {
+        println!(
+            "  {:>9.3} s  fault {} on path {}",
+            f.at.0 as f64 / 1e9,
+            f.name,
+            f.path
+        );
+    }
+
+    let ap = &art.all_paths;
+    println!();
+    println!(
+        "[all-paths] every path dark at t=1 s, abort deadline {} s",
+        ap.abort_deadline.as_secs()
+    );
+    match (ap.abort, ap.aborted_at_s) {
+        (Some(r), Some(t)) => println!("  aborted at {t:.3} s: {r}"),
+        (r, t) => println!("  abort {r:?} at {t:?}"),
+    }
+
+    println!();
+    println!(
+        "[sweep] {sweep_n} randomized fault schedules, {} MB each",
+        6
+    );
+    println!(
+        "{:>12}  {:>12}  {:>7}  {:>9}  {:>8}",
+        "seed", "delivered", "faults", "elapsed", "verdict"
+    );
+    for run in &art.sweep {
+        println!(
+            "{:>12}  {:>9} KB  {:>7}  {:>7.1} s  {:>8}",
+            run.seed,
+            run.delivered / 1000,
+            run.faults.len(),
+            run.elapsed_s,
+            if run.violations.is_empty() {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+        );
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    let report =
+        mptcp_harness::RunReport::new("chaos", "blackout 3s, WiFi+3G", b.telemetry.clone())
+            .metric("delivered_during_blackout", b.delivered_during as f64)
+            .metric("path_failures", b.path_failures as f64)
+            .metric("path_recoveries", b.path_recoveries as f64)
+            .metric("reinjections", b.reinjections as f64)
+            .trace(&b.trace);
+    let files = [
+        (
+            "chaos_trace.jsonl".to_string(),
+            TraceWriter::to_jsonl(&b.trace),
+        ),
+        ("chaos_timeline.dat".to_string(), tr::timeline_dat(&b.trace)),
+        (
+            "chaos_report.json".to_string(),
+            mptcp_harness::to_json_lines(std::slice::from_ref(&report)),
+        ),
+    ];
+    for (name, contents) in &files {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    let violations = art.violations();
+    if !violations.is_empty() {
+        println!();
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATED: {v}");
+        }
+        if fail_on_invariant {
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage_chaos(err: &str) -> ! {
+    eprintln!("{err}\nusage: repro chaos [--out DIR] [--seed-sweep N] [--fail-on-invariant]");
+    std::process::exit(2);
 }
 
 fn usage_trace(err: &str) -> ! {

@@ -98,6 +98,46 @@ impl fmt::Display for SubflowError {
 
 impl std::error::Error for SubflowError {}
 
+/// Why a connection was aborted rather than closed cleanly.
+///
+/// Surfaced by [`crate::MptcpConnection::abort_reason`] and mirrored in
+/// telemetry as `ConnAborted { code }` with the codes documented here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Every subflow stayed Failed past the configured abort deadline with
+    /// work still outstanding (code 0).
+    AllPathsFailed,
+    /// REMOVE_ADDR (or local address removal) killed the last live subflow
+    /// (code 1).
+    LastSubflowRemoved,
+    /// The peer sent MP_FASTCLOSE (code 2).
+    PeerFastClose,
+}
+
+impl AbortReason {
+    /// Stable numeric code carried by the `ConnAborted` telemetry event.
+    pub fn code(&self) -> u32 {
+        match self {
+            AbortReason::AllPathsFailed => 0,
+            AbortReason::LastSubflowRemoved => 1,
+            AbortReason::PeerFastClose => 2,
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            AbortReason::AllPathsFailed => "all paths failed past the abort deadline",
+            AbortReason::LastSubflowRemoved => "address removal killed the last live subflow",
+            AbortReason::PeerFastClose => "peer sent MP_FASTCLOSE",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for AbortReason {}
+
 /// Why [`crate::MptcpConnection::accept_join`] rejected an MP_JOIN SYN.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum JoinError {

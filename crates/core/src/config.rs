@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use mptcp_netsim::Duration;
 use mptcp_tcpstack::TcpConfig;
 use mptcp_telemetry::{TraceConfig, DEFAULT_EVENT_CAPACITY};
 
@@ -68,6 +69,44 @@ impl Mechanisms {
     };
 }
 
+/// Path-failure detection and break-before-make recovery thresholds.
+///
+/// A subflow is demoted `Active -> Suspect` when its socket accumulates
+/// `suspect_after_rtos` consecutive RTOs (or its DATA_ACK progress stalls
+/// for `progress_timeout` with data outstanding), and `Suspect -> Failed`
+/// at `fail_after_rtos`, at which point its in-flight DSNs are reinjected
+/// on surviving subflows immediately. Non-Active subflows are re-probed
+/// every `probe_interval` (doubling per unanswered probe, capped at 8x);
+/// a probe answered returns the path to Active. When every live subflow
+/// is Failed for `abort_deadline`, the connection aborts with
+/// [`crate::AbortReason::AllPathsFailed`] instead of hanging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailureDetection {
+    /// Consecutive subflow RTOs before demotion to Suspect.
+    pub suspect_after_rtos: u32,
+    /// Consecutive subflow RTOs before the path is declared Failed.
+    pub fail_after_rtos: u32,
+    /// Demote a subflow whose delivered-byte count has not moved for this
+    /// long while data was outstanding on it.
+    pub progress_timeout: Duration,
+    /// Base interval between reachability probes of a demoted subflow.
+    pub probe_interval: Duration,
+    /// How long every path must stay Failed before the connection aborts.
+    pub abort_deadline: Duration,
+}
+
+impl Default for FailureDetection {
+    fn default() -> FailureDetection {
+        FailureDetection {
+            suspect_after_rtos: 2,
+            fail_after_rtos: 3,
+            progress_timeout: Duration::from_secs(4),
+            probe_interval: Duration::from_millis(500),
+            abort_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
 /// Configuration for an MPTCP connection.
 #[derive(Clone, Debug)]
 pub struct MptcpConfig {
@@ -99,6 +138,8 @@ pub struct MptcpConfig {
     /// by default; when set enabled it is also propagated to each
     /// subflow's `tcp.trace` so per-subflow cwnd/RTT series record too.
     pub trace: TraceConfig,
+    /// Path-failure detection thresholds and the all-paths abort deadline.
+    pub failure: FailureDetection,
 }
 
 impl Default for MptcpConfig {
@@ -123,6 +164,7 @@ impl Default for MptcpConfig {
             max_subflows: 8,
             event_capacity: DEFAULT_EVENT_CAPACITY,
             trace: TraceConfig::disabled(),
+            failure: FailureDetection::default(),
         }
     }
 }
@@ -201,6 +243,23 @@ impl MptcpConfig {
                 limit: REGULAR_REORDER_MAX_SUBFLOWS,
             });
         }
+        // Detection must escalate: zero thresholds would demote a healthy
+        // path, and a fail threshold below the suspect threshold would skip
+        // the Suspect state the scheduler relies on.
+        if self.failure.suspect_after_rtos == 0
+            || self.failure.fail_after_rtos < self.failure.suspect_after_rtos
+        {
+            return Err(ConfigError::FailureThresholdOrder {
+                suspect: self.failure.suspect_after_rtos,
+                fail: self.failure.fail_after_rtos,
+            });
+        }
+        if self.failure.progress_timeout.is_zero()
+            || self.failure.probe_interval.is_zero()
+            || self.failure.abort_deadline.is_zero()
+        {
+            return Err(ConfigError::ZeroFailureTimer);
+        }
         Ok(())
     }
 }
@@ -239,6 +298,17 @@ pub enum ConfigError {
         /// The largest supported with `ReorderAlgo::Regular`.
         limit: usize,
     },
+    /// Path-failure thresholds out of order: suspect must be nonzero and
+    /// no larger than fail.
+    FailureThresholdOrder {
+        /// The suspect threshold.
+        suspect: u32,
+        /// The fail threshold.
+        fail: u32,
+    },
+    /// A failure-detection timer (progress, probe, or abort deadline) is
+    /// zero; disable detection by raising thresholds, not by zero timers.
+    ZeroFailureTimer,
 }
 
 impl fmt::Display for ConfigError {
@@ -259,6 +329,13 @@ impl fmt::Display for ConfigError {
                 f,
                 "ReorderAlgo::Regular supports at most {limit} subflows, got max_subflows={max_subflows}"
             ),
+            ConfigError::FailureThresholdOrder { suspect, fail } => write!(
+                f,
+                "failure thresholds must satisfy 1 <= suspect <= fail, got suspect={suspect} fail={fail}"
+            ),
+            ConfigError::ZeroFailureTimer => {
+                f.write_str("failure-detection timers must be nonzero")
+            }
         }
     }
 }
@@ -342,6 +419,12 @@ impl MptcpConfigBuilder {
     /// Enable or replace time-series tracing (pushed down to subflows).
     pub fn trace(mut self, trace: TraceConfig) -> Self {
         self.cfg = self.cfg.with_trace(trace);
+        self
+    }
+
+    /// Replace the path-failure detection thresholds.
+    pub fn failure_detection(mut self, failure: FailureDetection) -> Self {
+        self.cfg.failure = failure;
         self
     }
 
@@ -458,6 +541,37 @@ mod tests {
             .buffers(AUTOTUNE_START)
             .build()
             .expect("64 KiB cap is the minimum");
+    }
+
+    #[test]
+    fn builder_rejects_bad_failure_detection() {
+        let err = MptcpConfig::builder()
+            .failure_detection(FailureDetection {
+                suspect_after_rtos: 4,
+                fail_after_rtos: 2,
+                ..FailureDetection::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::FailureThresholdOrder {
+                suspect: 4,
+                fail: 2
+            }
+        );
+        let err = MptcpConfig::builder()
+            .failure_detection(FailureDetection {
+                probe_interval: Duration::ZERO,
+                ..FailureDetection::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroFailureTimer);
+        MptcpConfig::builder()
+            .failure_detection(FailureDetection::default())
+            .build()
+            .expect("defaults are valid");
     }
 
     #[test]

@@ -31,12 +31,12 @@ use mptcp_telemetry::{
     TraceSnapshot, Tracer, SPAN_CONN_LEVEL,
 };
 
-use crate::api::{JoinError, ReadOutcome, SubflowError, SubflowId, WriteOutcome};
+use crate::api::{AbortReason, JoinError, ReadOutcome, SubflowError, SubflowId, WriteOutcome};
 use crate::config::MptcpConfig;
 use crate::dsn::infer_full_dsn;
 use crate::mapping::{Consumed, MappingTracker};
 use crate::reorder::{make_queue, OooQueue};
-use crate::subflow::{JoinState, Subflow};
+use crate::subflow::{JoinState, PathState, Subflow};
 use crate::token::{KeySet, TokenTable};
 
 /// Connection lifecycle state.
@@ -97,6 +97,10 @@ pub struct ConnStats {
     pub dup_bytes: u64,
     /// MP_JOIN attempts rejected (bad token or MAC).
     pub joins_rejected: u64,
+    /// Paths the failure detector declared Failed.
+    pub path_failures: u64,
+    /// Failed or Suspect paths that recovered to Active.
+    pub path_recoveries: u64,
     /// Per-mechanism telemetry (counters, gauges, event ring). Populated
     /// by [`MptcpConnection::conn_stats`]; the live `stats` field carries
     /// an empty snapshot.
@@ -171,6 +175,12 @@ pub struct MptcpConnection {
     /// Consecutive option-less non-SYN segments on the initial subflow
     /// while MPTCP is unconfirmed.
     plain_rx_streak: u32,
+
+    /// Why the connection was aborted, if it was.
+    abort_reason: Option<AbortReason>,
+    /// Since when every live subflow has been Failed — start of the
+    /// abort-deadline countdown.
+    all_failed_since: Option<SimTime>,
 
     events: VecDeque<ConnEvent>,
     /// Measurement counters.
@@ -330,6 +340,8 @@ impl MptcpConnection {
             rcv_eof: false,
             confirmed: false,
             plain_rx_streak: 0,
+            abort_reason: None,
+            all_failed_since: None,
             events: VecDeque::new(),
             stats: ConnStats::default(),
             telemetry: Recorder::with_event_capacity(cfg.event_capacity),
@@ -382,6 +394,12 @@ impl MptcpConnection {
     /// Did we fall back to regular TCP?
     pub fn is_fallback(&self) -> bool {
         self.state == ConnState::Fallback
+    }
+
+    /// Why the connection aborted, if it did (`None` for a clean close or
+    /// a still-live connection).
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        self.abort_reason
     }
 
     /// Stream EOF reached and drained?
@@ -605,8 +623,30 @@ impl MptcpConnection {
             if !sf.dead {
                 sf.sock.abort();
             }
+            // `tick` no longer runs once Closed; a timer left armed here
+            // would report a forever-past deadline from `poll_at`.
+            sf.probe_at = None;
+            sf.progress_at = None;
         }
+        self.data_rto_deadline = None;
         self.state = ConnState::Closed;
+    }
+
+    /// Abort with a recorded [`AbortReason`], surfaced via
+    /// [`MptcpConnection::abort_reason`], telemetry, and the trace.
+    pub fn abort_with(&mut self, reason: AbortReason, now: SimTime) {
+        if self.state == ConnState::Closed {
+            return;
+        }
+        self.abort_reason.get_or_insert(reason);
+        self.all_failed_since = None; // the deadline fired; stop reporting it
+        self.telemetry.count(CounterId::ConnAborts);
+        let kind = EventKind::ConnAborted {
+            code: reason.code(),
+        };
+        self.telemetry.event(now.0, kind);
+        self.trace_span(now, SPAN_CONN_LEVEL, kind);
+        self.abort();
     }
 
     // ------------------------------------------------------------------
@@ -770,12 +810,24 @@ impl MptcpConnection {
     }
 
     /// Withdraw an address: peers close subflows using it (§3.4 mobility).
+    ///
+    /// Local subflows riding the address are torn down too — the address
+    /// is gone, they cannot continue. If that was the last live subflow
+    /// the connection aborts with [`AbortReason::LastSubflowRemoved`]
+    /// instead of stalling silently.
     pub fn remove_addr(&mut self, addr_id: u8, now: SimTime) {
         let opt = TcpOption::Mptcp(MptcpOption::RemoveAddr {
             addr_ids: vec![addr_id],
         });
-        if let Some(sf) = self.subflows.iter_mut().find(|s| s.usable()) {
-            sf.sock.queue_oneshot_options(vec![opt]);
+        // Announce on a subflow that survives the withdrawal when one
+        // exists; on the last subflow the RST conveys the teardown anyway.
+        let carrier = self
+            .subflows
+            .iter()
+            .position(|s| s.usable() && s.addr_id != addr_id)
+            .or_else(|| self.subflows.iter().position(|s| s.usable()));
+        if let Some(i) = carrier {
+            self.subflows[i].sock.queue_oneshot_options(vec![opt]);
             self.telemetry.count(CounterId::RemoveAddrsSent);
             let kind = EventKind::RemoveAddr {
                 id: u32::from(addr_id),
@@ -784,6 +836,7 @@ impl MptcpConnection {
             self.telemetry.event(now.0, kind);
             self.trace_span(now, SPAN_CONN_LEVEL, kind);
         }
+        self.kill_subflows_by_addr_id(now, addr_id);
     }
 
     /// Does `tuple` (as seen in an incoming segment) belong to one of our
@@ -1026,7 +1079,7 @@ impl MptcpConnection {
                     }
                 }
                 MptcpOption::FastClose { .. } => {
-                    self.abort();
+                    self.abort_with(AbortReason::PeerFastClose, now);
                 }
                 MptcpOption::MpPrio { backup, .. } => {
                     self.subflows[idx].backup = backup;
@@ -1121,14 +1174,21 @@ impl MptcpConnection {
     }
 
     fn kill_subflows_by_addr_id(&mut self, now: SimTime, addr_id: u8) {
+        let mut any_killed = false;
         for i in 0..self.subflows.len() {
             if self.subflows[i].addr_id == addr_id && !self.subflows[i].dead {
                 self.subflows[i].sock.abort();
                 self.subflows[i].dead = true;
+                any_killed = true;
                 self.events.push_back(ConnEvent::SubflowDown(i));
             }
         }
         self.reinject_chunks_of_dead(now);
+        // Address removal that took out the last live subflow: there is no
+        // path left to recover on, so fail loudly rather than stall.
+        if any_killed && self.alive_subflows() == 0 {
+            self.abort_with(AbortReason::LastSubflowRemoved, now);
+        }
     }
 
     fn on_data_ack(&mut self, _now: SimTime, ack: u64) {
@@ -1330,11 +1390,16 @@ impl MptcpConnection {
         self.telemetry.event(now.0, EventKind::Fallback { cause });
         self.trace_span(now, SPAN_CONN_LEVEL, EventKind::Fallback { cause });
         self.events.push_back(ConnEvent::FellBack);
-        // Stop MPTCP signalling; plain TCP from here.
+        // Stop MPTCP signalling; plain TCP from here. The failure detector
+        // stops with it — clear its timers so they cannot pin `poll_at`.
         for sf in &mut self.subflows {
             sf.sock.set_carry_options(Vec::new());
             sf.sock.set_window_override(None);
+            sf.path_state = PathState::Active;
+            sf.probe_at = None;
+            sf.progress_at = None;
         }
+        self.all_failed_since = None;
         // Data already handed to subflow 0 is delivered by subflow
         // reliability; connection-level retransmission state is void.
         self.sent.clear();
@@ -1401,6 +1466,173 @@ impl MptcpConnection {
     }
 
     // ------------------------------------------------------------------
+    // Path-failure detection and break-before-make recovery.
+    // ------------------------------------------------------------------
+
+    /// Queue every retained chunk riding subflow `idx` for re-injection on
+    /// other subflows (break-before-make: the data moves *before* the
+    /// subflow is torn down, so a blackout costs one detection delay, not
+    /// a full TCP death). Returns how many chunks were newly queued.
+    fn reinject_chunks_of(&mut self, idx: usize) -> u64 {
+        let mut added = 0u64;
+        for (&dsn, c) in &self.sent {
+            if c.subflow == idx && !self.reinject.contains(&dsn) {
+                self.reinject.push_back(dsn);
+                added += 1;
+            }
+        }
+        let mut q: Vec<u64> = self.reinject.drain(..).collect();
+        q.sort_unstable();
+        q.dedup();
+        self.reinject = q.into();
+        self.stats.reinjections += added;
+        added
+    }
+
+    /// The failure detector: runs from `tick` on every live connection.
+    ///
+    /// Two signals demote a path — the subflow socket's consecutive-RTO
+    /// count, and a no-DATA_ACK-progress timer (subflow-level bytes_acked
+    /// frozen with data outstanding; catches paths whose ACKs a middlebox
+    /// forges). `Active -> Suspect` at `suspect_after_rtos`,
+    /// `Suspect -> Failed` at `fail_after_rtos` (or a doubly-expired
+    /// progress timer), recovery back to `Active` the moment the socket
+    /// sees a fresh ACK. Demoted paths are probed on a backoff schedule;
+    /// when every live path is Failed past `abort_deadline`, the
+    /// connection aborts with a typed reason instead of hanging.
+    fn detect_path_failures(&mut self, now: SimTime) {
+        let fd = self.cfg.failure;
+        for i in 0..self.subflows.len() {
+            let (rtos, stalled_for) = {
+                let sf = &mut self.subflows[i];
+                if sf.dead || !sf.sock.is_established() {
+                    sf.probe_at = None;
+                    continue;
+                }
+                // Progress bookkeeping: an advancing subflow ack counter
+                // (or an empty pipe) is proof of life.
+                let acked = sf.sock.stats.bytes_acked;
+                let in_flight = sf.sock.bytes_in_flight() > 0;
+                if !in_flight {
+                    sf.progress_bytes = acked;
+                    sf.progress_at = None;
+                } else if acked != sf.progress_bytes || sf.progress_at.is_none() {
+                    sf.progress_bytes = acked;
+                    sf.progress_at = Some(now);
+                }
+                let stalled_for = sf.progress_at.map_or(Duration::ZERO, |t| now.since(t));
+                (sf.sock.consecutive_rtos(), stalled_for)
+            };
+            let stalled = stalled_for >= fd.progress_timeout;
+            let hard_stalled = stalled_for >= fd.progress_timeout * 2;
+            let healthy = rtos == 0 && !stalled;
+            match self.subflows[i].path_state {
+                PathState::Active => {
+                    if rtos >= fd.fail_after_rtos || hard_stalled {
+                        self.fail_path(now, i);
+                    } else if rtos >= fd.suspect_after_rtos || stalled {
+                        self.suspect_path(now, i, rtos);
+                    }
+                }
+                PathState::Suspect => {
+                    if healthy {
+                        self.recover_path(now, i);
+                    } else if rtos >= fd.fail_after_rtos || hard_stalled {
+                        self.fail_path(now, i);
+                    }
+                }
+                PathState::Failed => {
+                    if healthy {
+                        self.recover_path(now, i);
+                    }
+                }
+            }
+            // Re-probe demoted paths: force a retransmit / bare ACK so a
+            // healed path has traffic to answer, with exponential backoff
+            // while it stays silent.
+            let sf = &mut self.subflows[i];
+            if sf.path_state != PathState::Active {
+                if let Some(at) = sf.probe_at {
+                    if at <= now {
+                        sf.sock.probe_path(now);
+                        sf.probes_unanswered += 1;
+                        let backoff = 1u32 << sf.probes_unanswered.min(3);
+                        sf.probe_at = Some(now + fd.probe_interval * backoff);
+                    }
+                }
+            }
+        }
+
+        // All-paths-failed accounting: the abort deadline runs while every
+        // live, established subflow sits in Failed.
+        let mut any_live = false;
+        let mut all_failed = true;
+        for sf in &self.subflows {
+            if sf.dead || !sf.sock.is_established() {
+                continue;
+            }
+            any_live = true;
+            if sf.path_state != PathState::Failed {
+                all_failed = false;
+            }
+        }
+        if any_live && all_failed {
+            let since = *self.all_failed_since.get_or_insert(now);
+            if now.since(since) >= fd.abort_deadline {
+                self.abort_with(AbortReason::AllPathsFailed, now);
+            }
+        } else {
+            self.all_failed_since = None;
+        }
+    }
+
+    fn suspect_path(&mut self, now: SimTime, idx: usize, rtos: u32) {
+        let sf = &mut self.subflows[idx];
+        sf.path_state = PathState::Suspect;
+        sf.probes_unanswered = 0;
+        sf.probe_at = Some(now + self.cfg.failure.probe_interval);
+        self.telemetry.count(CounterId::PathSuspects);
+        let kind = EventKind::PathSuspect {
+            subflow: idx as u32,
+            rtos,
+        };
+        self.telemetry.event(now.0, kind);
+        self.trace_span(now, idx as u32, kind);
+    }
+
+    fn fail_path(&mut self, now: SimTime, idx: usize) {
+        let reinjected = self.reinject_chunks_of(idx);
+        let sf = &mut self.subflows[idx];
+        sf.path_state = PathState::Failed;
+        if sf.probe_at.is_none() {
+            sf.probes_unanswered = 0;
+            sf.probe_at = Some(now + self.cfg.failure.probe_interval);
+        }
+        self.stats.path_failures += 1;
+        self.telemetry.count(CounterId::PathFailures);
+        let kind = EventKind::PathFailed {
+            subflow: idx as u32,
+            reinjected,
+        };
+        self.telemetry.event(now.0, kind);
+        self.trace_span(now, idx as u32, kind);
+    }
+
+    fn recover_path(&mut self, now: SimTime, idx: usize) {
+        let sf = &mut self.subflows[idx];
+        sf.path_state = PathState::Active;
+        sf.probe_at = None;
+        sf.probes_unanswered = 0;
+        self.stats.path_recoveries += 1;
+        self.telemetry.count(CounterId::PathRecoveries);
+        let kind = EventKind::PathRecovered {
+            subflow: idx as u32,
+        };
+        self.telemetry.event(now.0, kind);
+        self.trace_span(now, idx as u32, kind);
+    }
+
+    // ------------------------------------------------------------------
     // Output path.
     // ------------------------------------------------------------------
 
@@ -1420,18 +1652,38 @@ impl MptcpConnection {
         None
     }
 
-    /// Earliest deadline across subflows and the data-level timer.
+    /// Earliest deadline across subflows, the data-level timer, and the
+    /// failure detector (probes, progress timers, the all-paths abort
+    /// deadline — the guarantees of "abort, never hang" depend on these
+    /// being visible here).
     pub fn poll_at(&self, now: SimTime) -> Option<SimTime> {
+        fn earliest(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            }
+        }
         let mut t = self.data_rto_deadline;
+        if let Some(since) = self.all_failed_since {
+            t = earliest(t, Some(since + self.cfg.failure.abort_deadline));
+        }
         for sf in &self.subflows {
             if sf.dead {
                 continue;
             }
-            t = match (t, sf.sock.poll_at(now)) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, None) => a,
-                (None, b) => b,
-            };
+            t = earliest(t, sf.sock.poll_at(now));
+            t = earliest(t, sf.probe_at);
+            if let Some(p) = sf.progress_at {
+                // Only the two pending detector transitions (demote at one
+                // timeout, hard-fail at two) warrant a wakeup; a deadline
+                // already behind `now` fired on a previous tick and must
+                // not pin the event loop to the past.
+                let demote = p + self.cfg.failure.progress_timeout;
+                let hard_fail = p + self.cfg.failure.progress_timeout * 2;
+                let next = [demote, hard_fail].into_iter().find(|&d| d > now);
+                t = earliest(t, next);
+            }
         }
         t
     }
@@ -1471,6 +1723,10 @@ impl MptcpConnection {
         }
 
         if self.state == ConnState::Established || self.state == ConnState::AwaitingConfirm {
+            self.detect_path_failures(now);
+            if self.state == ConnState::Closed {
+                return; // abort deadline expired with every path Failed
+            }
             self.refresh_coupling();
             self.push_data(now);
             self.maybe_send_data_fin(now);
@@ -1586,14 +1842,25 @@ impl MptcpConnection {
     /// congestion window headroom (§4.2).
     fn push_data(&mut self, now: SimTime) {
         loop {
-            // Order usable subflows by smoothed RTT.
+            // Order usable subflows by smoothed RTT. The failure detector's
+            // verdict gates eligibility: Active paths first, backups next,
+            // Suspect paths only when nothing else is left, Failed paths
+            // never (their in-flight chunks were already reinjected).
+            let eligible = |sf: &Subflow, state: PathState, backup_ok: bool| {
+                sf.usable() && sf.path_state == state && (backup_ok || !sf.backup)
+            };
             let mut order: Vec<usize> = (0..self.subflows.len())
-                .filter(|&i| self.subflows[i].usable() && !self.subflows[i].backup)
+                .filter(|&i| eligible(&self.subflows[i], PathState::Active, false))
                 .collect();
             if order.is_empty() {
                 // Backup subflows only as a last resort.
                 order = (0..self.subflows.len())
-                    .filter(|&i| self.subflows[i].usable())
+                    .filter(|&i| eligible(&self.subflows[i], PathState::Active, true))
+                    .collect();
+            }
+            if order.is_empty() {
+                order = (0..self.subflows.len())
+                    .filter(|&i| eligible(&self.subflows[i], PathState::Suspect, true))
                     .collect();
             }
             order.sort_by_key(|&i| self.subflows[i].srtt_or_default());

@@ -11,9 +11,13 @@ use std::collections::HashMap;
 use mptcp_netsim::{Duration, SimTime};
 use mptcp_packet::{Endpoint, FourTuple, MptcpOption, TcpOption, TcpSegment};
 
-use crate::config::{Mechanisms, MptcpConfig};
+use mptcp_telemetry::{CounterId, EventKind};
+
+use crate::api::{AbortReason, WriteOutcome};
+use crate::config::{FailureDetection, Mechanisms, MptcpConfig};
 use crate::conn::{ConnEvent, MptcpConnection};
 use crate::endpoint::MptcpListener;
+use crate::subflow::PathState;
 
 const C1: u32 = 0x0a000001; // client addr 1
 const C2: u32 = 0x0a000002; // client addr 2
@@ -405,6 +409,153 @@ fn subflow_failure_recovers_on_other_path() {
         st.reinjections + st.opportunistic_retx + st.data_rtos > 0,
         "chunks were re-routed: {st:?}"
     );
+}
+
+#[test]
+fn path_blackout_fails_and_recovers() {
+    // A 3 s blackout on one of two paths: the failure detector must
+    // demote it (Suspect -> Failed), reinject its in-flight chunks on the
+    // survivor so the stream keeps flowing, and promote it back to Active
+    // once the blackout lifts — all visible in stats and telemetry.
+    let mut w = setup(MptcpConfig::default().with_buffers(256 * 1024));
+    // Make C2 the scheduler's preferred (lowest-RTT) path so the blackout
+    // hits a path that is actually carrying the stream.
+    w.set_delay(C1, S1, Duration::from_millis(100));
+    w.run(SimTime::from_millis(300));
+    let _ = w
+        .client
+        .open_subflow(Endpoint::new(C2, 1001), Endpoint::new(S1, 80), w.now);
+    w.run(w.now + Duration::from_millis(300));
+
+    let from = w.now + Duration::from_millis(300);
+    let until = from + Duration::from_secs(3);
+    w.mangle = Some(Box::new(move |t, seg| {
+        let on_c2 = seg.tuple.src.addr == C2 || seg.tuple.dst.addr == C2;
+        (!on_c2 || t < from || t >= until).then_some(seg)
+    }));
+
+    // Stream continuously through the blackout and past recovery.
+    let data = pattern(2_000_000);
+    let mut written = 0;
+    let mut got = Vec::new();
+    let deadline = until + Duration::from_secs(4);
+    while w.now < deadline {
+        if written < data.len() {
+            written += w.client.write(&data[written..]).accepted();
+        }
+        let target = w.now + Duration::from_millis(50);
+        w.run(target);
+        // A quiescent wire leaves `now` untouched; step it so the
+        // timeline reaches the blackout window regardless.
+        w.now = w.now.max(target);
+        got.extend_from_slice(&read_all(server_conn(&mut w)));
+    }
+    w.run(w.now + Duration::from_secs(5));
+    got.extend_from_slice(&read_all(server_conn(&mut w)));
+
+    // Exactly-once, in-order delivery of everything written.
+    assert_eq!(got.len(), written, "all written bytes delivered");
+    assert_eq!(got, data[..got.len()], "stream content intact");
+    let st = w.client.stats.clone();
+    assert!(st.path_failures >= 1, "blackout detected: {st:?}");
+    assert!(st.path_recoveries >= 1, "recovery detected: {st:?}");
+    assert!(
+        st.reinjections >= 1,
+        "break-before-make reinjection: {st:?}"
+    );
+    assert_eq!(
+        w.client.subflows()[1].path_state,
+        PathState::Active,
+        "path promoted back after the blackout"
+    );
+    let tel = w.client.telemetry();
+    assert!(tel.counter(CounterId::PathSuspects) >= 1);
+    assert!(tel.counter(CounterId::PathFailures) >= 1);
+    assert!(tel.counter(CounterId::PathRecoveries) >= 1);
+    assert!(tel
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::PathFailed { subflow: 1, .. })));
+    assert!(tel
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::PathRecovered { subflow: 1 })));
+}
+
+#[test]
+fn all_paths_blackout_aborts_with_typed_reason() {
+    // When every path goes dark and stays dark, the connection must fail
+    // loudly — a typed abort after the configured deadline — never hang.
+    let fd = FailureDetection {
+        abort_deadline: Duration::from_secs(2),
+        ..FailureDetection::default()
+    };
+    let cfg = MptcpConfig::builder()
+        .buffers(256 * 1024)
+        .failure_detection(fd)
+        .build()
+        .unwrap();
+    let mut w = setup(cfg);
+    w.run(SimTime::from_millis(100));
+    assert!(w.client.is_established());
+    // Exchange data first so MPTCP is confirmed — an unconfirmed client
+    // treats a data-level timeout as option stripping and falls back,
+    // which is the correct §3.3.6 behaviour but not what we test here.
+    w.client.write(&pattern(10_000));
+    w.run(w.now + Duration::from_millis(300));
+    let _ = read_all(server_conn(&mut w));
+
+    let from = w.now;
+    w.mangle = Some(Box::new(move |t, seg| (t < from).then_some(seg)));
+    // Data written into the blackout: RTOs accumulate, the only path goes
+    // Failed, and the abort deadline starts counting.
+    w.client.write(&pattern(50_000));
+    w.run(w.now + Duration::from_secs(30));
+
+    assert_eq!(w.client.abort_reason(), Some(AbortReason::AllPathsFailed));
+    assert!(!w.client.is_established());
+    let tel = w.client.telemetry();
+    assert!(tel.counter(CounterId::PathFailures) >= 1);
+    assert_eq!(tel.counter(CounterId::ConnAborts), 1);
+    // The abort happened promptly: detection (a few capped RTOs) plus the
+    // 2 s deadline, with slack — not at the 30 s horizon.
+    let abort_at = tel
+        .events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::ConnAborted { code: 0 }))
+        .expect("ConnAborted event recorded")
+        .at_ns;
+    assert!(
+        abort_at <= (from + Duration::from_secs(8)).0,
+        "abort within deadline + detection slack, got {abort_at}"
+    );
+}
+
+#[test]
+fn remove_addr_of_last_subflow_aborts_not_stalls() {
+    // Satellite: withdrawing the address under the only live subflow must
+    // produce a typed abort and a telemetry event, not a silent stall.
+    let mut w = setup(MptcpConfig::default());
+    w.run(SimTime::from_millis(100));
+    assert!(w.client.is_established());
+
+    let addr_id = w.client.subflows()[0].addr_id;
+    let t = w.now;
+    w.client.remove_addr(addr_id, t);
+
+    assert_eq!(
+        w.client.abort_reason(),
+        Some(AbortReason::LastSubflowRemoved)
+    );
+    assert_eq!(w.client.write(b"x"), WriteOutcome::Closed);
+    let tel = w.client.telemetry();
+    assert_eq!(tel.counter(CounterId::ConnAborts), 1);
+    assert!(tel
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::ConnAborted { code: 1 })));
+    // The wire drains the RSTs without livelocking on stale timers.
+    w.run(w.now + Duration::from_secs(2));
 }
 
 #[test]

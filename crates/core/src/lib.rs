@@ -40,11 +40,14 @@ pub mod reorder;
 pub mod subflow;
 pub mod token;
 
-pub use api::{JoinError, ReadOutcome, SubflowError, SubflowId, WriteOutcome};
-pub use config::{ConfigError, Mechanisms, MptcpConfig, MptcpConfigBuilder, ReorderAlgo};
+pub use api::{AbortReason, JoinError, ReadOutcome, SubflowError, SubflowId, WriteOutcome};
+pub use config::{
+    ConfigError, FailureDetection, Mechanisms, MptcpConfig, MptcpConfigBuilder, ReorderAlgo,
+};
 pub use conn::{ConnEvent, ConnState, ConnStats, MptcpConnection};
 pub use endpoint::MptcpListener;
 pub use mptcp_telemetry as telemetry;
+pub use subflow::PathState;
 pub use token::{KeyPool, KeySet, TokenTable};
 
 #[cfg(test)]

@@ -21,6 +21,24 @@ pub enum JoinState {
     Active,
 }
 
+/// Scheduler-visible health of a subflow's path.
+///
+/// Transitions are driven by [`crate::MptcpConnection::tick`]: consecutive
+/// subflow RTOs (or a stalled DATA_ACK progress timer) demote
+/// `Active -> Suspect -> Failed`; an answered reachability probe promotes
+/// straight back to `Active`. Thresholds live in
+/// [`crate::FailureDetection`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathState {
+    /// Healthy; preferred by the scheduler.
+    Active,
+    /// Failure suspected; scheduled only when no Active subflow has room.
+    Suspect,
+    /// Declared dead: never scheduled, its in-flight DSNs were reinjected
+    /// on survivors (break-before-make); probed for recovery.
+    Failed,
+}
+
 /// A subflow of an MPTCP connection.
 pub struct Subflow {
     /// The underlying TCP state machine.
@@ -44,6 +62,17 @@ pub struct Subflow {
     pub last_penalty: Option<SimTime>,
     /// Times mechanism 2 has penalized this subflow.
     pub penalties: u64,
+    /// Path health as seen by the scheduler.
+    pub path_state: PathState,
+    /// `sock.stats().bytes_acked` when progress was last observed.
+    pub(crate) progress_bytes: u64,
+    /// When `progress_bytes` last advanced (or data first went
+    /// outstanding); the no-progress detector measures from here.
+    pub(crate) progress_at: Option<SimTime>,
+    /// Next reachability probe due, while demoted.
+    pub(crate) probe_at: Option<SimTime>,
+    /// Consecutive unanswered probes; exponent for probe backoff.
+    pub(crate) probes_unanswered: u32,
 }
 
 impl Subflow {
@@ -60,6 +89,11 @@ impl Subflow {
             backup: false,
             last_penalty: None,
             penalties: 0,
+            path_state: PathState::Active,
+            progress_bytes: 0,
+            progress_at: None,
+            probe_at: None,
+            probes_unanswered: 0,
         }
     }
 

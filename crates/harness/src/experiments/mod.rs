@@ -6,6 +6,7 @@
 //! *shape* of each result — orderings, crossovers, ratios — is the
 //! reproduction target recorded in EXPERIMENTS.md.
 
+pub mod chaos;
 pub mod common;
 pub mod fig10_handshake;
 pub mod fig11_http;

@@ -65,6 +65,8 @@ pub enum PacketFate {
     RandomDrop,
     /// Swallowed by a middlebox in the path chain.
     MboxDrop,
+    /// Silently discarded because a fault held the link down.
+    FaultDrop,
 }
 
 impl PacketFate {
@@ -75,6 +77,7 @@ impl PacketFate {
             PacketFate::QueueDrop => "queue_drop",
             PacketFate::RandomDrop => "random_drop",
             PacketFate::MboxDrop => "mbox_drop",
+            PacketFate::FaultDrop => "fault_drop",
         }
     }
 }

@@ -19,6 +19,7 @@
 
 pub mod capture;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod path;
 pub mod rng;
@@ -30,6 +31,7 @@ pub use capture::{
     DEFAULT_CAPTURE_CAPACITY,
 };
 pub use event::EventQueue;
+pub use fault::{AppliedFault, FaultEvent, FaultKind, FaultSchedule};
 pub use link::{Link, LinkCfg, LinkStats};
 pub use path::{Dir, MbVerdict, Middlebox, Path};
 pub use rng::SimRng;

@@ -98,13 +98,19 @@ pub struct LinkStats {
     pub queue_drops: u64,
     /// Packets dropped by random loss.
     pub random_drops: u64,
+    /// Packets silently discarded while a fault held the link down.
+    pub fault_drops: u64,
 }
 
 /// A unidirectional link instance.
 pub struct Link {
-    /// Static parameters.
+    /// Static parameters. Fault events may rewrite these mid-run (loss
+    /// bursts, delay spikes, bandwidth drops) and restore them afterwards.
     pub cfg: LinkCfg,
     busy_until: SimTime,
+    /// Carrier state: a downed link is a silent blackhole — every packet
+    /// vanishes without an RST or any signal to the endpoints.
+    pub up: bool,
     /// Traffic counters.
     pub stats: LinkStats,
 }
@@ -115,6 +121,7 @@ impl Link {
         Link {
             cfg,
             busy_until: SimTime::ZERO,
+            up: true,
             stats: LinkStats::default(),
         }
     }
@@ -130,6 +137,10 @@ impl Link {
     /// Returns the instant the last bit arrives at the far end, or `None`
     /// if the packet was dropped (queue overflow or random loss).
     pub fn transmit(&mut self, now: SimTime, wire_len: usize, rng: &mut SimRng) -> Option<SimTime> {
+        if !self.up {
+            self.stats.fault_drops += 1;
+            return None;
+        }
         if rng.chance(self.cfg.loss) {
             self.stats.random_drops += 1;
             return None;
@@ -221,6 +232,19 @@ mod tests {
         // After half the serialization time, half the bytes remain.
         let half = SimTime::ZERO + Duration::from_micros(5000);
         assert_eq!(l.backlog_bytes(half), 5000);
+    }
+
+    #[test]
+    fn downed_link_swallows_silently() {
+        let mut l = Link::new(LinkCfg::gigabit());
+        let mut rng = no_loss_rng();
+        l.up = false;
+        assert!(l.transmit(SimTime::ZERO, 1500, &mut rng).is_none());
+        assert_eq!(l.stats.fault_drops, 1);
+        assert_eq!(l.stats.tx_packets, 0);
+        l.up = true;
+        assert!(l.transmit(SimTime::ZERO, 1500, &mut rng).is_some());
+        assert_eq!(l.stats.tx_packets, 1);
     }
 
     #[test]

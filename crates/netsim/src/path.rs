@@ -192,6 +192,7 @@ impl Path {
         for link in [&self.fwd, &self.rev] {
             rec.count_n(CounterId::LinkQueueDrops, link.stats.queue_drops);
             rec.count_n(CounterId::LinkRandomDrops, link.stats.random_drops);
+            rec.count_n(CounterId::LinkFaultDrops, link.stats.fault_drops);
         }
         for mb in &self.chain {
             mb.record_telemetry(&mut rec);

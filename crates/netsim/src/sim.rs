@@ -13,6 +13,7 @@ use mptcp_packet::TcpSegment;
 
 use crate::capture::{PacketCapture, PacketFate};
 use crate::event::EventQueue;
+use crate::fault::FaultSchedule;
 use crate::path::{Dir, Path};
 use crate::rng::SimRng;
 use crate::time::{min_deadline, SimTime};
@@ -82,6 +83,9 @@ pub struct Sim<H: Host> {
     /// via [`PacketCapture::new`] with an enabled
     /// [`CaptureConfig`](crate::capture::CaptureConfig).
     pub capture: PacketCapture,
+    /// Timed fault events (blackouts, loss bursts, middlebox churn)
+    /// applied to paths as the clock reaches them; empty by default.
+    pub faults: FaultSchedule,
 }
 
 impl<H: Host> Sim<H> {
@@ -97,6 +101,7 @@ impl<H: Host> Sim<H> {
             rng: SimRng::new(seed),
             routing_drops: 0,
             capture: PacketCapture::default(),
+            faults: FaultSchedule::default(),
         }
     }
 
@@ -210,10 +215,14 @@ impl<H: Host> Sim<H> {
         for p in &self.paths {
             next = min_deadline(next, p.poll_at());
         }
+        next = min_deadline(next, self.faults.next_at());
         next
     }
 
     fn fire_due(&mut self) {
+        // Scheduled faults mutate paths before any traffic moves at this
+        // instant, so a blackout swallows segments due "now".
+        self.faults.apply_due(self.now, &mut self.paths);
         // Middlebox timers (e.g. coalescers releasing held segments).
         for pid in 0..self.paths.len() {
             if self.paths[pid].poll_at().is_some_and(|t| t <= self.now) {
@@ -276,17 +285,19 @@ impl<H: Host> Sim<H> {
         let wire_len = seg.wire_len();
         let drops_before = if self.capture.is_enabled() {
             let stats = &self.paths[pid].link(dir).stats;
-            Some((stats.queue_drops, stats.random_drops))
+            Some((stats.queue_drops, stats.random_drops, stats.fault_drops))
         } else {
             None
         };
         let scheduled = self.paths[pid]
             .link_mut(dir)
             .transmit(self.now, wire_len, &mut self.rng);
-        if let Some((queue_before, random_before)) = drops_before {
+        if let Some((queue_before, random_before, fault_before)) = drops_before {
             let stats = &self.paths[pid].link(dir).stats;
             let fate = if scheduled.is_some() {
                 PacketFate::Delivered
+            } else if stats.fault_drops > fault_before {
+                PacketFate::FaultDrop
             } else if stats.random_drops > random_before {
                 PacketFate::RandomDrop
             } else {

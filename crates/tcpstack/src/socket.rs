@@ -330,9 +330,18 @@ impl TcpSocket {
         self.rtt.min_rtt()
     }
 
-    /// Current retransmission timeout.
+    /// Current retransmission timeout. The exponential backoff multiplier
+    /// is applied after the estimator's clamp, so cap the product too —
+    /// otherwise a dead path's RTO walks out to `max_rto * 512`.
     pub fn rto(&self) -> Duration {
-        self.rtt.rto() * self.rto_backoff
+        (self.rtt.rto() * self.rto_backoff).min(self.cfg.max_rto)
+    }
+
+    /// Consecutive RTO fires without an intervening new ACK. Path-failure
+    /// detection at the MPTCP layer reads this to demote a subflow before
+    /// the socket itself gives up.
+    pub fn consecutive_rtos(&self) -> u32 {
+        self.consecutive_rtos
     }
 
     /// Congestion window in bytes.
@@ -457,6 +466,25 @@ impl TcpSocket {
     /// driven by connection-level buffer changes).
     pub fn request_ack(&mut self) {
         self.need_ack = true;
+    }
+
+    /// Probe a possibly-dead path right now instead of waiting for the
+    /// backed-off RTO: schedule an immediate retransmission of the first
+    /// unacked segment (which elicits an ACK if the path works again), or
+    /// a pure ACK when nothing is outstanding. Used by MPTCP path-failure
+    /// recovery to re-test Suspect/Failed subflows.
+    pub fn probe_path(&mut self, now: SimTime) {
+        if !self.state.is_synchronized() || self.error {
+            return;
+        }
+        if self.snd_una.before(self.snd_nxt) {
+            self.pending_retransmit = Some(self.snd_una);
+            if self.rto_deadline.is_none() {
+                self.arm_rto(now);
+            }
+        } else {
+            self.need_ack = true;
+        }
     }
 
     /// First unacknowledged segment's data, for opportunistic
@@ -1552,6 +1580,35 @@ mod tests {
         let t2 = c.poll_at(t1).unwrap();
         assert!(t2 - t1 >= (t1 - SimTime::from_millis(1)), "backoff grew");
         assert_eq!(c.stats.rtos, 1);
+    }
+
+    #[test]
+    fn rto_backoff_capped_at_max_rto() {
+        let max_rto = Duration::from_secs(5);
+        let cfg = TcpConfig {
+            max_rto,
+            ..TcpConfig::default()
+        };
+        let now = SimTime::ZERO;
+        let mut c = TcpSocket::client(cfg.clone(), tuple(), SeqNum(1), now, vec![]);
+        let syn = c.poll(now).unwrap();
+        let mut s = TcpSocket::accept(cfg, &syn, SeqNum(500), now, vec![]);
+        pump(now, &mut c, &mut s);
+
+        c.send(b"x");
+        let _ = c.poll(SimTime::from_millis(1)).unwrap();
+        // Fire RTO after RTO without ever delivering the retransmission:
+        // the backoff multiplier climbs, but rto() must stay clamped.
+        let mut t = SimTime::from_millis(1);
+        for _ in 0..12 {
+            t = c.poll_at(t).unwrap();
+            while c.poll(t).is_some() {}
+            assert!(c.rto() <= max_rto, "rto {:?} exploded past cap", c.rto());
+        }
+        // Deep in backoff the product would be min_rto << 12 ≈ 819 s
+        // without the clamp; pin the cap exactly.
+        assert_eq!(c.rto(), max_rto);
+        assert!(c.consecutive_rtos() >= 10);
     }
 
     #[test]

@@ -68,6 +68,16 @@ pub enum CounterId {
     RemoveAddrsSent,
     /// REMOVE_ADDR withdrawals received from the peer.
     RemoveAddrsReceived,
+    // -- core::conn: path-failure detection and recovery ---------------------
+    /// Subflows demoted Active -> Suspect (consecutive RTOs / no progress).
+    PathSuspects,
+    /// Subflows declared Failed (in-flight data reinjected elsewhere).
+    PathFailures,
+    /// Suspect/Failed subflows that resumed progress and returned to Active.
+    PathRecoveries,
+    /// Connections aborted (all paths failed past the deadline, last
+    /// subflow removed, FastClose...).
+    ConnAborts,
     // -- core::reorder -------------------------------------------------------
     /// Segments inserted into the out-of-order queue.
     ReorderInserts,
@@ -102,6 +112,10 @@ pub enum CounterId {
     /// Segments swallowed outright by a middlebox (hole droppers,
     /// option-sensitive SYN droppers).
     MboxSegmentDrops,
+    /// Scheduled fault events applied by the simulator's fault schedule.
+    FaultsInjected,
+    /// Packets silently discarded because a fault forced the link down.
+    LinkFaultDrops,
 }
 
 impl CounterId {
@@ -124,6 +138,10 @@ impl CounterId {
         CounterId::AddAddrsReceived,
         CounterId::RemoveAddrsSent,
         CounterId::RemoveAddrsReceived,
+        CounterId::PathSuspects,
+        CounterId::PathFailures,
+        CounterId::PathRecoveries,
+        CounterId::ConnAborts,
         CounterId::ReorderInserts,
         CounterId::ReorderOps,
         CounterId::ReorderShortcutHits,
@@ -139,6 +157,8 @@ impl CounterId {
         CounterId::MboxProactiveAcks,
         CounterId::MboxSeqRewrites,
         CounterId::MboxSegmentDrops,
+        CounterId::FaultsInjected,
+        CounterId::LinkFaultDrops,
     ];
 
     /// Stable snake_case name used in JSON and table output.
@@ -161,6 +181,10 @@ impl CounterId {
             CounterId::AddAddrsReceived => "add_addrs_received",
             CounterId::RemoveAddrsSent => "remove_addrs_sent",
             CounterId::RemoveAddrsReceived => "remove_addrs_received",
+            CounterId::PathSuspects => "path_suspects",
+            CounterId::PathFailures => "path_failures",
+            CounterId::PathRecoveries => "path_recoveries",
+            CounterId::ConnAborts => "conn_aborts",
             CounterId::ReorderInserts => "reorder_inserts",
             CounterId::ReorderOps => "reorder_ops",
             CounterId::ReorderShortcutHits => "reorder_shortcut_hits",
@@ -176,12 +200,14 @@ impl CounterId {
             CounterId::MboxProactiveAcks => "mbox_proactive_acks",
             CounterId::MboxSeqRewrites => "mbox_seq_rewrites",
             CounterId::MboxSegmentDrops => "mbox_segment_drops",
+            CounterId::FaultsInjected => "faults_injected",
+            CounterId::LinkFaultDrops => "link_fault_drops",
         }
     }
 }
 
 /// Number of counter slots in a [`Recorder`].
-pub const NUM_COUNTERS: usize = 32;
+pub const NUM_COUNTERS: usize = 38;
 
 /// Instantaneous values tracked with a high-water mark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -315,6 +341,20 @@ pub enum EventKind {
         pending_bytes: u64,
         reinject_queued: u64,
     },
+    /// Subflow `subflow` demoted Active -> Suspect after `rtos` consecutive
+    /// RTOs (or a no-progress timeout when `rtos` is 0).
+    PathSuspect { subflow: u32, rtos: u32 },
+    /// Subflow `subflow` declared Failed; `reinjected` in-flight DSN chunks
+    /// were queued for delivery on surviving subflows.
+    PathFailed { subflow: u32, reinjected: u64 },
+    /// Subflow `subflow` resumed DATA_ACK progress and returned to Active.
+    PathRecovered { subflow: u32 },
+    /// The fault schedule took simulator path `path` down (blackout or
+    /// silent blackhole).
+    BlackoutInjected { path: u32 },
+    /// The connection aborted; `code` is the `AbortReason` discriminant
+    /// (0 = all paths failed, 1 = last subflow removed, 2 = peer FastClose).
+    ConnAborted { code: u32 },
 }
 
 impl EventKind {
@@ -337,6 +377,11 @@ impl EventKind {
             EventKind::AddAddr { .. } => "add_addr",
             EventKind::RemoveAddr { .. } => "remove_addr",
             EventKind::SchedulerStall { .. } => "scheduler_stall",
+            EventKind::PathSuspect { .. } => "path_suspect",
+            EventKind::PathFailed { .. } => "path_failed",
+            EventKind::PathRecovered { .. } => "path_recovered",
+            EventKind::BlackoutInjected { .. } => "blackout_injected",
+            EventKind::ConnAborted { .. } => "conn_aborted",
         }
     }
 
@@ -395,6 +440,16 @@ impl EventKind {
                 ("pending_bytes", pending_bytes),
                 ("reinject_queued", reinject_queued),
             ],
+            EventKind::PathSuspect { subflow, rtos } => {
+                vec![("subflow", subflow as u64), ("rtos", rtos as u64)]
+            }
+            EventKind::PathFailed {
+                subflow,
+                reinjected,
+            } => vec![("subflow", subflow as u64), ("reinjected", reinjected)],
+            EventKind::PathRecovered { subflow } => vec![("subflow", subflow as u64)],
+            EventKind::BlackoutInjected { path } => vec![("path", path as u64)],
+            EventKind::ConnAborted { code } => vec![("code", code as u64)],
         }
     }
 }
@@ -560,7 +615,7 @@ impl Recorder {
 
 /// Immutable copy of a [`Recorder`]'s state, suitable for embedding in
 /// stats structs and report output.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TelemetrySnapshot {
     counters: [u64; NUM_COUNTERS],
     gauges: [Gauge; NUM_GAUGES],
@@ -570,6 +625,19 @@ pub struct TelemetrySnapshot {
     pub events_total: u64,
     /// Events evicted from the ring before this snapshot.
     pub events_dropped: u64,
+}
+
+// Manual impl: derived `Default` stops at 32-element arrays.
+impl Default for TelemetrySnapshot {
+    fn default() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: [0; NUM_COUNTERS],
+            gauges: [Gauge::default(); NUM_GAUGES],
+            events: Vec::new(),
+            events_total: 0,
+            events_dropped: 0,
+        }
+    }
 }
 
 impl TelemetrySnapshot {

@@ -133,6 +133,67 @@ fn symmetric_paths_do_not_need_mechanisms() {
 }
 
 #[test]
+fn reinjection_after_subflow_death_delivers_on_survivor() {
+    // Break-before-make: when a path dies mid-transfer, the DSNs stranded
+    // in its flight window are reinjected and delivered on the survivor.
+    use mptcp::telemetry::EventKind;
+    use mptcp::{Mechanisms, MptcpConfig};
+    use mptcp_harness::{ClientApp, Scenario, ServerApp, TransportKind};
+    use mptcp_netsim::{FaultKind, SimTime};
+
+    const TOTAL: usize = 2_000_000;
+    let cfg = MptcpConfig::default()
+        .with_buffers(256 * 1024)
+        .with_mechanisms(Mechanisms::M1_2);
+    let mut sc = Scenario::new(
+        TransportKind::Mptcp(cfg),
+        ClientApp::Bulk {
+            total: TOTAL,
+            written: 0,
+            close_when_done: false,
+        },
+        ServerApp::Sink,
+        wifi_3g_paths(),
+        SEED,
+    );
+    // Kill the WiFi path — the scheduler's preferred one, so it carries
+    // in-flight data — permanently, one second in.
+    sc.sim
+        .faults
+        .at(SimTime::from_secs(1), 0, FaultKind::LinkDown);
+    let deadline = SimTime::from_secs(60);
+    while sc.sim.now < deadline && sc.server().app_bytes_received < TOTAL as u64 {
+        sc.run_for(Duration::from_secs(1));
+    }
+    assert_eq!(
+        sc.server().app_bytes_received,
+        TOTAL as u64,
+        "bytes stranded on the dead path were not delivered on the survivor"
+    );
+
+    let client = sc.client_mut();
+    let conn = client.transport.as_mptcp().expect("mptcp client");
+    let reinjections = conn.stats.reinjections;
+    let telemetry = client.transport.telemetry();
+    let reinjected_at_failure: u64 = telemetry
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::PathFailed {
+                subflow: 0,
+                reinjected,
+            } => Some(reinjected),
+            _ => None,
+        })
+        .sum();
+    assert!(reinjected_at_failure > 0, "path death reinjected nothing");
+    assert!(
+        reinjections >= reinjected_at_failure,
+        "stats.reinjections {reinjections} < {reinjected_at_failure} chunks reinjected at failure"
+    );
+}
+
+#[test]
 fn autotuning_keeps_memory_below_configured_max() {
     // Fig 5: with M3 the buffers grow only as needed.
     let buf = 2_000_000;
