@@ -23,6 +23,11 @@
 //!   chaos   fault injection: single-path blackout survival + recovery,
 //!           all-paths abort with a typed reason, randomized seed sweep
 //!   all     run everything
+//!
+//! real-network (UDP-encapsulated MPTCP, crates/runtime):
+//!   serve       serve fetch requests on N UDP ports (one per path)
+//!   fetch       connect over every listed path, transfer, verify bytes
+//!   wire-bench  loopback runtime throughput, writes BENCH_wire.json
 //! ```
 //!
 //! `--quick` shrinks sweeps for a fast smoke run.
@@ -37,6 +42,8 @@
 //! delivered exactly once, no deadlock, abort only typed and only when
 //! all paths stay down — is violated), e.g.
 //! `repro chaos --seed-sweep 8 --fail-on-invariant`.
+
+mod runtime_cli;
 
 use mptcp_harness::experiments::*;
 use mptcp_netsim::Duration;
@@ -64,6 +71,9 @@ fn main() {
         "telemetry" => telemetry_report(quick),
         "trace" => trace_run(&args),
         "chaos" => chaos_run(&args),
+        "serve" => runtime_cli::serve(&args),
+        "fetch" => runtime_cli::fetch(&args),
+        "wire-bench" => runtime_cli::wire_bench(&args),
         "all" => {
             mbox_matrix();
             telemetry_report(quick);

@@ -1,0 +1,347 @@
+//! `repro serve` / `repro fetch` / `repro wire-bench`: the real-network
+//! subcommands, built on `mptcp-runtime`.
+//!
+//! `serve` and `fetch` are two halves of a real two-process demo: the
+//! server multiplexes MPTCP-over-UDP connections on N fixed ports, the
+//! client opens one subflow per path and verifies every received byte
+//! against the deterministic keystream. `wire-bench` runs both ends
+//! in-process (server on a thread, client on the main thread, kernel
+//! loopback between them) and writes `BENCH_wire.json` with goodput and
+//! event-loop latency numbers.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use mptcp::MptcpConfig;
+use mptcp_runtime::{ClientRuntime, FetchClient, FetchServer, LoopConfig, ServerRuntime};
+
+const DEFAULT_SIZE: u64 = 8 * 1024 * 1024;
+const DEFAULT_SEED: u64 = 7;
+
+fn usage(cmd: &str, err: &str) -> ! {
+    eprintln!("{err}");
+    match cmd {
+        "serve" => eprintln!(
+            "usage: repro serve [--host H] [--port P] [--paths N] [--once] [--timeout-secs S]"
+        ),
+        "fetch" => eprintln!(
+            "usage: repro fetch --connect H:P[,H:P...] [--size BYTES] [--seed S] \
+             [--out FILE] [--timeout-secs S]"
+        ),
+        _ => eprintln!("usage: repro wire-bench [--size BYTES] [--paths N] [--out FILE] [--quick]"),
+    }
+    std::process::exit(2);
+}
+
+fn next_val<'a>(cmd: &str, flag: &str, it: &mut impl Iterator<Item = &'a String>) -> &'a str {
+    match it.next() {
+        Some(v) => v.as_str(),
+        None => usage(cmd, &format!("{flag} needs a value")),
+    }
+}
+
+/// `repro serve`: bind `--paths` consecutive UDP ports starting at
+/// `--port` and serve fetch requests until killed (or after one
+/// connection with `--once`).
+pub fn serve(args: &[String]) {
+    let mut host = "127.0.0.1".to_string();
+    let mut port: u16 = 19000;
+    let mut n_paths: usize = 2;
+    let mut once = false;
+    let mut timeout_secs: u64 = 0;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--host" => host = next_val("serve", "--host", &mut it).to_string(),
+            "--port" => {
+                port = next_val("serve", "--port", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("serve", "--port needs a number"))
+            }
+            "--paths" => {
+                n_paths = next_val("serve", "--paths", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("serve", "--paths needs a number"))
+            }
+            "--once" => once = true,
+            "--timeout-secs" => {
+                timeout_secs = next_val("serve", "--timeout-secs", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("serve", "--timeout-secs needs a number"))
+            }
+            "--quick" => {}
+            other => usage("serve", &format!("unknown argument: {other}")),
+        }
+    }
+    if n_paths == 0 || (port != 0 && usize::from(u16::MAX - port) < n_paths - 1) {
+        usage("serve", "--paths/--port out of range");
+    }
+
+    let binds: Vec<SocketAddr> = (0..n_paths)
+        .map(|i| {
+            let p = if port == 0 { 0 } else { port + i as u16 };
+            format!("{host}:{p}")
+                .parse()
+                .unwrap_or_else(|_| usage("serve", "bad --host"))
+        })
+        .collect();
+    let mut server = ServerRuntime::bind(
+        MptcpConfig::default(),
+        crate::SEED,
+        &binds,
+        Box::new(|| Box::new(FetchServer::new())),
+        LoopConfig::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind: {e}");
+        std::process::exit(1);
+    });
+    for i in 0..n_paths {
+        println!("serve: path {} on {}", i, server.local_addr(i).unwrap());
+    }
+
+    let start = Instant::now();
+    loop {
+        if !server.step() {
+            server.idle_wait();
+        }
+        if once && server.served() >= 1 {
+            break;
+        }
+        if timeout_secs > 0 && start.elapsed() > Duration::from_secs(timeout_secs) {
+            eprintln!(
+                "serve: timed out after {timeout_secs}s ({} served)",
+                server.served()
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "serve: done — {} accepted, {} served, {{{}}}",
+        server.accepted(),
+        server.served(),
+        server.stats().json_fields()
+    );
+}
+
+/// `repro fetch`: connect over every listed path, transfer, verify.
+pub fn fetch(args: &[String]) {
+    let mut connect: Vec<SocketAddr> = Vec::new();
+    let mut size = DEFAULT_SIZE;
+    let mut seed = DEFAULT_SEED;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut timeout_secs: u64 = 120;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => {
+                connect = next_val("fetch", "--connect", &mut it)
+                    .split(',')
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|_| usage("fetch", "--connect: bad address"))
+                    })
+                    .collect()
+            }
+            "--size" => {
+                size = next_val("fetch", "--size", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("fetch", "--size needs a number"))
+            }
+            "--seed" => {
+                seed = next_val("fetch", "--seed", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("fetch", "--seed needs a number"))
+            }
+            "--out" => out = Some(next_val("fetch", "--out", &mut it).into()),
+            "--timeout-secs" => {
+                timeout_secs = next_val("fetch", "--timeout-secs", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("fetch", "--timeout-secs needs a number"))
+            }
+            "--quick" => {}
+            other => usage("fetch", &format!("unknown argument: {other}")),
+        }
+    }
+    if connect.is_empty() {
+        usage("fetch", "--connect is required");
+    }
+
+    let binds: Vec<SocketAddr> = connect
+        .iter()
+        .map(|a| {
+            if a.ip().is_loopback() {
+                "127.0.0.1:0".parse().unwrap()
+            } else {
+                "0.0.0.0:0".parse().unwrap()
+            }
+        })
+        .collect();
+    let start = Instant::now();
+    let mut client = ClientRuntime::connect(
+        MptcpConfig::default(),
+        crate::SEED,
+        &binds,
+        &connect,
+        FetchClient::new(size, seed),
+        LoopConfig::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind: {e}");
+        std::process::exit(1);
+    });
+    let result = client.run(Duration::from_secs(timeout_secs));
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let app = client.app();
+    let goodput_mbps = (app.received() as f64 * 8.0) / elapsed / 1e6;
+    let iters = client
+        .stats()
+        .rec
+        .counter(mptcp_telemetry::CounterId::RtLoopIterations) as f64;
+    let json = format!(
+        "{{\"bench\":\"fetch\",\"size_bytes\":{},\"received\":{},\"ok\":{},\
+         \"checksum\":\"{:#018x}\",\"elapsed_s\":{:.3},\"goodput_mbps\":{:.2},\
+         \"subflows\":{},\"loop_iters_per_sec\":{:.0},{}}}",
+        size,
+        app.received(),
+        app.ok(),
+        app.checksum(),
+        elapsed,
+        goodput_mbps,
+        client.conn().subflows().len(),
+        iters / elapsed,
+        client.stats().json_fields()
+    );
+    println!("{json}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    match result {
+        Ok(()) if client.app().ok() => {}
+        Ok(()) => {
+            eprintln!(
+                "fetch: VERIFY FAILED — received {} of {size}, mismatch at {:?}",
+                client.app().received(),
+                client.app().mismatch_at()
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("fetch: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro wire-bench`: loopback throughput of the full runtime stack,
+/// written to `BENCH_wire.json`.
+pub fn wire_bench(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut size: u64 = if quick {
+        8 * 1024 * 1024
+    } else {
+        32 * 1024 * 1024
+    };
+    let mut n_paths: usize = 2;
+    let mut out = std::path::PathBuf::from("BENCH_wire.json");
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => {
+                size = next_val("wire-bench", "--size", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("wire-bench", "--size needs a number"))
+            }
+            "--paths" => {
+                n_paths = next_val("wire-bench", "--paths", &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("wire-bench", "--paths needs a number"))
+            }
+            "--out" => out = next_val("wire-bench", "--out", &mut it).into(),
+            "--quick" => {}
+            other => usage("wire-bench", &format!("unknown argument: {other}")),
+        }
+    }
+
+    // Wire-realistic segments, big buffers: the benchmark measures the
+    // runtime's datagram pipeline, so don't throttle it with small
+    // windows (the stack's ACK clocking makes the standard MSS fastest).
+    let cfg = MptcpConfig {
+        send_buf: 4 * 1024 * 1024,
+        recv_buf: 4 * 1024 * 1024,
+        ..MptcpConfig::default()
+    };
+    // Tight loop: on loopback the idle-sleep cap *is* the RTT, so shrink
+    // it and raise the batch limits to measure the pipeline, not the nap.
+    let loop_cfg = LoopConfig {
+        egress_cap: 512,
+        recv_batch: 256,
+        idle_sleep: Duration::from_micros(50),
+    };
+
+    let loopback: Vec<SocketAddr> = (0..n_paths)
+        .map(|_| "127.0.0.1:0".parse().unwrap())
+        .collect();
+    let mut server = ServerRuntime::bind(
+        cfg.clone(),
+        crate::SEED + 1,
+        &loopback,
+        Box::new(|| Box::new(FetchServer::new())),
+        loop_cfg,
+    )
+    .expect("bind server");
+    let addrs: Vec<SocketAddr> = (0..n_paths)
+        .map(|i| server.local_addr(i).unwrap())
+        .collect();
+    let server_thread = std::thread::spawn(move || {
+        let ok = server.run_until_served(1, Duration::from_secs(300)).is_ok();
+        (ok, format!("{{{}}}", server.stats().json_fields()))
+    });
+
+    let start = Instant::now();
+    let mut client = ClientRuntime::connect(
+        cfg,
+        crate::SEED,
+        &loopback,
+        &addrs,
+        FetchClient::new(size, DEFAULT_SEED),
+        loop_cfg,
+    )
+    .expect("bind client");
+    client
+        .run(Duration::from_secs(300))
+        .unwrap_or_else(|e| panic!("wire-bench transfer failed: {e}"));
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(client.app().ok(), "wire-bench payload failed verification");
+
+    let (server_ok, server_stats) = server_thread.join().expect("server thread");
+    assert!(server_ok, "server did not complete");
+
+    let iters = client
+        .stats()
+        .rec
+        .counter(mptcp_telemetry::CounterId::RtLoopIterations) as f64;
+    let goodput_mbps = (size as f64 * 8.0) / elapsed / 1e6;
+    let json = format!(
+        "{{\"bench\":\"wire\",\"size_bytes\":{},\"paths\":{},\"elapsed_s\":{:.3},\
+         \"goodput_mbps\":{:.2},\"loop_iters_per_sec\":{:.0},\
+         \"client\":{{{}}},\"server\":{}}}",
+        size,
+        n_paths,
+        elapsed,
+        goodput_mbps,
+        iters / elapsed,
+        client.stats().json_fields(),
+        server_stats,
+    );
+    println!("{json}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out.display());
+}

@@ -1637,6 +1637,12 @@ impl MptcpConnection {
     // ------------------------------------------------------------------
 
     /// Emit at most one segment; call until `None`.
+    ///
+    /// Each call ticks the connection at `now` first, which is where
+    /// timers fire. Ticks are idempotent at a fixed `now`: a timer that
+    /// fires re-arms strictly after `now`, so draining `poll` in a loop
+    /// never double-fires anything. See [`MptcpConnection::poll_at`] for
+    /// the full contract an event loop may rely on.
     pub fn poll(&mut self, now: SimTime) -> Option<TcpSegment> {
         self.tick(now);
         let n = self.subflows.len();
@@ -1656,6 +1662,23 @@ impl MptcpConnection {
     /// failure detector (probes, progress timers, the all-paths abort
     /// deadline — the guarantees of "abort, never hang" depend on these
     /// being visible here).
+    ///
+    /// # The event-loop contract (wall-clock jitter)
+    ///
+    /// A real event loop sleeps until the returned deadline and wakes
+    /// *late*. The machine promises, and `tests/poll_contract.rs`
+    /// enforces:
+    ///
+    /// * **Late ticks are safe.** A tick at `deadline + jitter` fires
+    ///   each elapsed timer exactly once — never once per nominal
+    ///   interval the jitter covered — and re-arms it relative to the
+    ///   tick's `now`, not the missed deadline.
+    /// * **No stale deadlines.** Immediately after a tick at `now`,
+    ///   every deadline returned here is strictly greater than `now`
+    ///   (a past deadline would pin the loop in a busy spin).
+    /// * **No stalls.** While a retransmission or detector transition is
+    ///   pending, this returns `Some`; a loop that always sleeps until
+    ///   `poll_at` cannot hang a connection that still has work.
     pub fn poll_at(&self, now: SimTime) -> Option<SimTime> {
         fn earliest(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
             match (a, b) {

@@ -1,0 +1,231 @@
+//! The `poll_at` / `poll` (tick) contract under wall-clock jitter.
+//!
+//! The real event loop (`crates/runtime`) sleeps until the deadline
+//! `poll_at` returns and the OS wakes it *late* — often by milliseconds,
+//! under load by whole scheduler quanta. The state machines therefore
+//! promise:
+//!
+//! 1. **Late ticks fire elapsed timers exactly once.** A tick at
+//!    `deadline + jitter` runs each expired timer one time — not once per
+//!    nominal interval covered by the jitter — and re-arms it relative to
+//!    `now`, not to the missed deadline.
+//! 2. **No double-fire.** Repeated ticks at the same `now` (the loop
+//!    drains `poll` until `None`) do not re-run a timer that already
+//!    fired at that instant.
+//! 3. **Never stalls, never pins to the past.** While work is pending
+//!    (unacked data ⇒ a retransmission must eventually happen), `poll_at`
+//!    returns `Some(t)`; immediately after a tick, every returned
+//!    deadline is strictly in the future, so a loop that sleeps until
+//!    `poll_at` can neither hang forever nor spin at 100% CPU on a stale
+//!    deadline.
+//!
+//! The test blackholes one direction of a client↔listener pair so both
+//! the subflow RTO and the connection-level data RTO are pending, then
+//! delivers wakeups with grossly exaggerated jitter.
+
+use mptcp::{FailureDetection, MptcpConfig, MptcpConnection, MptcpListener};
+use mptcp_netsim::{Duration, SimRng, SimTime};
+use mptcp_packet::{Endpoint, FourTuple, TcpSegment};
+
+const CLIENT: u32 = 0x0a000002;
+const SERVER: u32 = 0x0a000001;
+
+/// Failure detection far out of the way: this test is about timer
+/// mechanics, not about path-failure semantics (covered elsewhere).
+fn lax_cfg() -> MptcpConfig {
+    MptcpConfig {
+        failure: FailureDetection {
+            suspect_after_rtos: 50,
+            fail_after_rtos: 100,
+            progress_timeout: Duration::from_secs(600),
+            probe_interval: Duration::from_secs(600),
+            abort_deadline: Duration::from_secs(3600),
+        },
+        ..MptcpConfig::default()
+    }
+}
+
+/// Drain `client.poll` at `now` (each call ticks) and return the emitted
+/// segments. Checks invariant 3 on exit: after a tick, `poll_at` never
+/// returns a deadline at or before `now`.
+fn drain(client: &mut MptcpConnection, now: SimTime) -> Vec<TcpSegment> {
+    let mut out = Vec::new();
+    while let Some(seg) = client.poll(now) {
+        out.push(seg);
+        assert!(out.len() < 10_000, "poll never quiesced");
+    }
+    if let Some(t) = client.poll_at(now) {
+        assert!(
+            t > now,
+            "poll_at returned a deadline not in the future right after a \
+             tick: {t:?} <= {now:?} (the event loop would spin)"
+        );
+    }
+    out
+}
+
+/// One full exchange step: client output → listener, listener output →
+/// client. Returns when both sides are quiescent at `now`.
+fn pump(client: &mut MptcpConnection, listener: &mut MptcpListener, now: SimTime) {
+    for _ in 0..100 {
+        let c_out = drain(client, now);
+        let mut s_out = Vec::new();
+        for seg in &c_out {
+            listener.handle_segment(now, seg);
+        }
+        listener.poll(now, &mut s_out);
+        for seg in &s_out {
+            client.handle_segment(now, seg);
+        }
+        if c_out.is_empty() && s_out.is_empty() {
+            return;
+        }
+    }
+    panic!("handshake pump never quiesced");
+}
+
+#[test]
+fn late_ticks_fire_elapsed_timers_exactly_once() {
+    let cfg = lax_cfg();
+    let tuple = FourTuple {
+        src: Endpoint::new(CLIENT, 4000),
+        dst: Endpoint::new(SERVER, 80),
+    };
+    let mut now = SimTime::from_millis(1);
+    let mut client = MptcpConnection::client(cfg.clone(), tuple, now, SimRng::new(1));
+    let mut listener = MptcpListener::new(cfg, 2);
+    pump(&mut client, &mut listener, now);
+    assert!(client.is_established());
+
+    // Warmup: one delivered, DATA_ACKed write, walking time forward
+    // deadline-by-deadline (the delayed-ACK flush needs its timer to
+    // elapse). The jitter below then lands on a *confirmed* mid-stream
+    // connection — an unconfirmed client treats the first data RTO as
+    // middlebox option-stripping and falls back (§3.3.6), which is not
+    // the behavior under test here.
+    const WARM: usize = 1024;
+    assert_eq!(client.write(&[0x11u8; WARM]).accepted(), WARM);
+    let mut warm = 0usize;
+    for _ in 0..50 {
+        pump(&mut client, &mut listener, now);
+        while let Some(b) = listener.conns[0].read(usize::MAX).into_data() {
+            warm += b.len();
+        }
+        if warm == WARM && client.poll_at(now).is_none() {
+            break;
+        }
+        match [client.poll_at(now), listener.poll_at(now)]
+            .into_iter()
+            .flatten()
+            .min()
+        {
+            Some(t) => {
+                assert!(t > now);
+                now = t;
+            }
+            None => break,
+        }
+    }
+    assert_eq!(warm, WARM, "warmup write must be delivered");
+    assert_eq!(client.stats.data_rtos, 0, "warmup must not need timers");
+
+    // Queue data, then blackhole everything the client sends: both the
+    // subflow RTO and the data-level RTO are now pending.
+    const DATA: usize = 20 * 1024;
+    let wrote = client.write(&vec![0xa5u8; DATA]).accepted();
+    assert_eq!(wrote, DATA);
+    let lost = drain(&mut client, now);
+    assert!(!lost.is_empty(), "the write must have produced segments");
+    assert_eq!(client.stats.data_rtos, 0);
+    assert_eq!(client.subflows()[0].sock.stats.rtos, 0);
+
+    // Invariant 3: unacked data pending ⇒ there must be a future deadline.
+    let deadline = client
+        .poll_at(now)
+        .expect("unacked data pending but no deadline: the loop would sleep forever");
+    assert!(deadline > now);
+
+    // First wakeup, grossly late: jitter spanning many nominal RTO
+    // intervals. Invariant 1: each elapsed timer fires exactly once.
+    now = deadline + Duration::from_secs(3);
+    let retx1 = drain(&mut client, now);
+    assert!(!retx1.is_empty(), "an elapsed RTO must retransmit");
+    assert_eq!(
+        client.stats.data_rtos, 1,
+        "a late tick must fire the data RTO once, not once per missed interval"
+    );
+    assert_eq!(
+        client.subflows()[0].sock.stats.rtos,
+        1,
+        "a late tick must fire the subflow RTO once, not once per missed interval"
+    );
+
+    // Invariant 2: more ticks at the same instant change nothing.
+    let again = drain(&mut client, now);
+    assert!(
+        again.is_empty(),
+        "a repeated tick at the same now re-emitted"
+    );
+    assert_eq!(client.stats.data_rtos, 1);
+    assert_eq!(client.subflows()[0].sock.stats.rtos, 1);
+
+    // Second late wakeup: the timers re-armed relative to the late tick
+    // (backoff included). Only the timer whose deadline elapsed fires —
+    // exactly once each; the still-future one (the data RTO's interval
+    // grows with the backed-off subflow RTO) stays untouched.
+    let deadline2 = client.poll_at(now).expect("retransmission still pending");
+    assert!(deadline2 > now, "re-armed deadline must be in the future");
+    now = deadline2 + Duration::from_secs(2);
+    let retx2 = drain(&mut client, now);
+    assert!(!retx2.is_empty(), "the elapsed deadline must retransmit");
+    let data2 = client.stats.data_rtos - 1;
+    let sub2 = client.subflows()[0].sock.stats.rtos - 1;
+    assert!(
+        data2 <= 1 && sub2 <= 1,
+        "no timer may fire more than once per tick (data +{data2}, subflow +{sub2})"
+    );
+    assert!(
+        data2 + sub2 >= 1,
+        "the timer owning the elapsed deadline must have fired"
+    );
+
+    // Heal the wire: deliver the retransmissions and let the exchange
+    // run, sleeping until whichever endpoint's `poll_at` is earliest —
+    // exactly what the real event loop does. If `poll_at` ever returned
+    // `None` with data outstanding (a stall) or a past deadline, this
+    // loop would panic. The connection recovers fully: jitter cost time,
+    // nothing else.
+    for seg in &retx2 {
+        listener.handle_segment(now, seg);
+    }
+    let mut got = 0usize;
+    for _ in 0..1000 {
+        pump(&mut client, &mut listener, now);
+        while let Some(b) = listener.conns[0].read(usize::MAX).into_data() {
+            got += b.len();
+        }
+        if got == DATA {
+            break;
+        }
+        let next = [client.poll_at(now), listener.poll_at(now)]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("data outstanding but neither endpoint wants a wakeup");
+        assert!(
+            next > now,
+            "deadline pinned to the past would spin the loop"
+        );
+        now = next;
+    }
+    assert_eq!(
+        got, DATA,
+        "server must deliver the full stream after recovery"
+    );
+
+    // All data acked: the data-level timer disarms; whatever deadline
+    // remains (delayed-ack flush, etc.) is still strictly future.
+    if let Some(t) = client.poll_at(now) {
+        assert!(t > now);
+    }
+}

@@ -187,10 +187,11 @@ impl ClientHost {
                 while *written < *total {
                     let want = (*total - *written).min(64 * 1024);
                     let buf = vec![0x5au8; want];
-                    let n = self.transport.write(&buf);
-                    if n == 0 {
+                    // WouldBlock: retry on the next drive. Closed: the
+                    // failure path below (`transport.failed`) decides.
+                    let Ok(n) = self.transport.write(&buf) else {
                         break;
-                    }
+                    };
                     *written += n;
                     let close = *written >= *total && *close_when_done;
                     Self::note_sent(&mut self.app_bytes_sent, &mut self.block_sent, n, now);
@@ -201,10 +202,9 @@ impl ClientHost {
             }
             ClientApp::Blocks => loop {
                 let buf = [0xb1u8; BLOCK];
-                let n = self.transport.write(&buf);
-                if n == 0 {
+                let Ok(n) = self.transport.write(&buf) else {
                     break;
-                }
+                };
                 Self::note_sent(&mut self.app_bytes_sent, &mut self.block_sent, n, now);
             },
             ClientApp::HttpLoop {
@@ -213,7 +213,7 @@ impl ClientHost {
             } => {
                 if !*requested {
                     let req = vec![0x47u8; HTTP_REQUEST_LEN];
-                    if self.transport.write(&req) == HTTP_REQUEST_LEN {
+                    if self.transport.write(&req) == Ok(HTTP_REQUEST_LEN) {
                         *requested = true;
                     }
                 }

@@ -22,4 +22,4 @@ pub use hosts::{ClientApp, ClientHost, ServerApp, ServerHost};
 pub use metrics::{AppDelayStats, Rates, Sampler};
 pub use report::{to_csv, to_json_lines, RunReport, Series};
 pub use scenario::{Endpoints, Scenario, TransportKind};
-pub use transport::Transport;
+pub use transport::{Transport, WriteError};

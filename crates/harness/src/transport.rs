@@ -3,11 +3,37 @@
 //! Experiments compare MPTCP against regular TCP (and TCP over bonded
 //! links); [`Transport`] gives the hosts one API for all of them.
 
+use std::fmt;
+
 use bytes::Bytes;
-use mptcp::MptcpConnection;
+use mptcp::{MptcpConnection, WriteOutcome};
 use mptcp_netsim::SimTime;
 use mptcp_packet::TcpSegment;
 use mptcp_tcpstack::TcpSocket;
+
+/// Why a [`Transport::write`] accepted no bytes.
+///
+/// The distinction matters to the applications: backpressure means "try
+/// again after ACKs free buffer space", a closed send direction means no
+/// amount of retrying will ever move these bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteError {
+    /// Send buffers are full; retry once acknowledgements drain them.
+    WouldBlock,
+    /// The sending direction is closed or the connection has failed.
+    Closed,
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteError::WouldBlock => write!(f, "send buffer full (backpressure)"),
+            WriteError::Closed => write!(f, "sending direction closed"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
 
 /// Client-side transport under test.
 // An MptcpConnection dwarfs a TcpSocket, but transports live one per host
@@ -29,11 +55,22 @@ impl Transport {
         }
     }
 
-    /// Write application bytes; returns amount accepted.
-    pub fn write(&mut self, data: &[u8]) -> usize {
+    /// Write application bytes; returns the amount accepted (never 0) or
+    /// why nothing was accepted.
+    pub fn write(&mut self, data: &[u8]) -> Result<usize, WriteError> {
         match self {
-            Transport::Mptcp(c) => c.write(data).accepted(),
-            Transport::Tcp(s) => s.send(data),
+            Transport::Mptcp(c) => match c.write(data) {
+                WriteOutcome::Accepted(n) | WriteOutcome::FellBack(n) if n > 0 => Ok(n),
+                WriteOutcome::Accepted(_)
+                | WriteOutcome::FellBack(_)
+                | WriteOutcome::WouldBlock => Err(WriteError::WouldBlock),
+                WriteOutcome::Closed => Err(WriteError::Closed),
+            },
+            Transport::Tcp(s) => match s.send(data) {
+                n if n > 0 => Ok(n),
+                _ if s.is_error() || s.send_closed() => Err(WriteError::Closed),
+                _ => Err(WriteError::WouldBlock),
+            },
         }
     }
 
@@ -126,5 +163,53 @@ impl Transport {
             Transport::Mptcp(c) => c.trace_snapshot(),
             Transport::Tcp(s) => mptcp::telemetry::TraceSnapshot::merge(vec![s.tracer.snapshot()]),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mptcp_packet::{Endpoint, FourTuple, SeqNum};
+    use mptcp_tcpstack::TcpConfig;
+
+    fn established_tcp() -> Transport {
+        let tuple = FourTuple {
+            src: Endpoint::new(1, 1),
+            dst: Endpoint::new(2, 2),
+        };
+        let now = SimTime::ZERO;
+        let mut client = TcpSocket::client(TcpConfig::default(), tuple, SeqNum(1), now, vec![]);
+        let syn = client.poll(now).unwrap();
+        let mut server = TcpSocket::accept(TcpConfig::default(), &syn, SeqNum(500), now, vec![]);
+        let synack = server.poll(now).unwrap();
+        client.handle_segment(now, &synack);
+        Transport::Tcp(client)
+    }
+
+    #[test]
+    fn backpressure_and_closure_are_distinct_errors() {
+        let mut t = established_tcp();
+        // Filling the send buffer must surface as backpressure, not
+        // closure: the app should retry, not give up.
+        let chunk = vec![0u8; 64 * 1024];
+        let mut wrote = 0usize;
+        loop {
+            match t.write(&chunk) {
+                Ok(n) => {
+                    assert!(n > 0, "Ok(0) is never a valid write result");
+                    wrote += n;
+                }
+                Err(e) => {
+                    assert_eq!(e, WriteError::WouldBlock);
+                    break;
+                }
+            }
+            assert!(wrote < 1 << 30, "send buffer never filled");
+        }
+        assert!(wrote > 0, "an established socket must accept some data");
+
+        // After close, the same call reports a permanent condition.
+        t.close();
+        assert_eq!(t.write(&chunk), Err(WriteError::Closed));
     }
 }

@@ -20,4 +20,4 @@ pub mod tcp;
 pub use mptcp_opts::{DssMapping, MptcpOption};
 pub use options::TcpOption;
 pub use seq::SeqNum;
-pub use tcp::{Endpoint, FourTuple, TcpFlags, TcpSegment};
+pub use tcp::{Endpoint, FourTuple, TcpFlags, TcpSegment, WireDecodeError};

@@ -144,6 +144,36 @@ pub struct TcpSegment {
     pub payload: Bytes,
 }
 
+/// Why [`TcpSegment::decode_verified`] rejected a buffer of wire bytes.
+///
+/// Real-I/O receive paths (the UDP encapsulation runtime) need to tell a
+/// datagram cut short in flight from one actively corrupted: the former is
+/// countable noise, the latter is the §7 lesson about mutable headers
+/// showing up on a live network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireDecodeError {
+    /// Fewer bytes than a TCP header, or fewer than the data offset claims.
+    Truncated,
+    /// The header is self-inconsistent (data offset below the minimum).
+    Malformed,
+    /// The TCP checksum over the pseudo-header and segment did not verify:
+    /// at least one bit changed between encode and decode.
+    BadChecksum,
+}
+
+impl std::fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            WireDecodeError::Truncated => "segment truncated",
+            WireDecodeError::Malformed => "TCP header malformed",
+            WireDecodeError::BadChecksum => "TCP checksum mismatch",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for WireDecodeError {}
+
 /// Fixed TCP header size without options.
 pub const TCP_HEADER_LEN: usize = 20;
 /// IPv4 header size assumed for wire-length accounting.
@@ -267,6 +297,42 @@ impl TcpSegment {
             options,
             payload,
         })
+    }
+
+    /// Decode wire bytes with the TCP checksum verified first.
+    ///
+    /// [`TcpSegment::decode`] trusts its input (simulator segments never
+    /// bit-rot); a real receive path must not. Any truncation or bit flip
+    /// between [`TcpSegment::encode`] and here is rejected: truncation is
+    /// caught structurally or by the pseudo-header length term, and a flip
+    /// of any single bit always changes the ones-complement sum.
+    pub fn decode_verified(
+        bytes: &[u8],
+        src_addr: u32,
+        dst_addr: u32,
+        wscale_shift: u8,
+    ) -> Result<TcpSegment, WireDecodeError> {
+        if bytes.len() < TCP_HEADER_LEN {
+            return Err(WireDecodeError::Truncated);
+        }
+        let data_offset = ((bytes[12] >> 4) as usize) * 4;
+        if data_offset < TCP_HEADER_LEN {
+            return Err(WireDecodeError::Malformed);
+        }
+        if bytes.len() < data_offset {
+            return Err(WireDecodeError::Truncated);
+        }
+        let mut sum = 0u32;
+        sum = crate::checksum::add_u32(sum, src_addr);
+        sum = crate::checksum::add_u32(sum, dst_addr);
+        sum = crate::checksum::add_u16(sum, 6); // protocol TCP
+        sum = crate::checksum::add_u16(sum, bytes.len() as u16);
+        sum = crate::checksum::ones_complement_add(sum, bytes);
+        if crate::checksum::fold(sum) != 0 {
+            return Err(WireDecodeError::BadChecksum);
+        }
+        TcpSegment::decode(bytes, src_addr, dst_addr, wscale_shift)
+            .ok_or(WireDecodeError::Malformed)
     }
 }
 

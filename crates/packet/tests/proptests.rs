@@ -67,6 +67,14 @@ fn arb_mptcp_option() -> impl Strategy<Value = MptcpOption> {
         proptest::collection::vec(any::<u8>(), 1..8)
             .prop_map(|ids| MptcpOption::RemoveAddr { addr_ids: ids }),
         any::<u64>().prop_map(|dsn| MptcpOption::MpFail { dsn }),
+        proptest::collection::vec(any::<u8>(), 20..21).prop_map(|mac| {
+            let mut m = [0u8; 20];
+            m.copy_from_slice(&mac);
+            MptcpOption::MpJoinAck { mac: m }
+        }),
+        (any::<bool>(), any::<Option<u8>>())
+            .prop_map(|(backup, addr_id)| MptcpOption::MpPrio { backup, addr_id }),
+        any::<u64>().prop_map(|receiver_key| MptcpOption::FastClose { receiver_key }),
     ]
 }
 
@@ -136,6 +144,62 @@ proptest! {
         // Ones-complement sums can collide only via reordering of 16-bit
         // words, never via a single-byte XOR flip.
         prop_assert!(!dss_checksum_valid(42, 7, payload.len() as u16, &modified, ck));
+    }
+
+    #[test]
+    fn verified_decode_roundtrips_and_rejects_corruption(
+        opts in proptest::collection::vec(arb_option(), 0..2),
+        payload in proptest::collection::vec(any::<u8>(), 0..400),
+        seq in any::<u32>(),
+        truncate_by in any::<prop::sample::Index>(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bits in 1u8..=255,
+    ) {
+        let mut seg = TcpSegment::new(
+            FourTuple {
+                src: Endpoint::new(0x0a000001, 1234),
+                dst: Endpoint::new(0x0a000002, 80),
+            },
+            SeqNum(seq),
+            SeqNum(0),
+            TcpFlags::ACK,
+        );
+        seg.options = opts;
+        seg.payload = Bytes::from(payload);
+        let wire = seg.encode(4).expect("options fit");
+
+        // Intact bytes verify and roundtrip exactly.
+        let back = TcpSegment::decode_verified(&wire, 0x0a000001, 0x0a000002, 4)
+            .expect("intact wire bytes verify");
+        prop_assert_eq!(back, seg);
+
+        // A proper prefix is never accepted as the original: short ones
+        // fail structurally, longer ones trip the pseudo-header length
+        // folded into the checksum. (Ones-complement sums admit rare
+        // collisions where a truncated tail cancels the length delta, so
+        // the contract is "never the original", not "always rejected".)
+        let cut = truncate_by.index(wire.len());
+        match TcpSegment::decode_verified(&wire[..cut], 0x0a000001, 0x0a000002, 4) {
+            Err(_) => {}
+            Ok(t) => prop_assert_ne!(t, seg.clone()),
+        }
+
+        // A flip of any bits within one byte always breaks the
+        // ones-complement sum, wherever it lands (header, option, payload,
+        // or the checksum field itself).
+        let mut flipped = wire.clone();
+        let i = flip_at.index(flipped.len());
+        flipped[i] ^= flip_bits;
+        prop_assert!(
+            TcpSegment::decode_verified(&flipped, 0x0a000001, 0x0a000002, 4).is_err()
+        );
+    }
+
+    #[test]
+    fn verified_decode_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let _ = TcpSegment::decode_verified(&bytes, 1, 2, 7);
     }
 
     #[test]

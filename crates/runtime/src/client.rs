@@ -1,0 +1,224 @@
+//! Client-side event loop: one MPTCP connection over N real UDP paths.
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use mptcp::{MptcpConfig, MptcpConnection, SubflowError};
+use mptcp_netsim::{SimRng, SimTime};
+use mptcp_packet::TcpSegment;
+use mptcp_telemetry::CounterId;
+
+use crate::clock::{Clock, WallClock};
+use crate::egress::Egress;
+use crate::paths::PathSet;
+use crate::proto::ConnApp;
+use crate::stats::RuntimeStats;
+use crate::{virtual_tuple, LoopConfig, RuntimeError};
+
+/// One connection, one app, N UDP paths, driven by a readiness loop.
+pub struct ClientRuntime<A: ConnApp> {
+    clock: WallClock,
+    conn: MptcpConnection,
+    app: A,
+    paths: PathSet,
+    server_addrs: Vec<SocketAddr>,
+    egress: Egress,
+    stats: RuntimeStats,
+    cfg: LoopConfig,
+    ingress: Vec<TcpSegment>,
+    joined: bool,
+    /// The deadline the previous step promised to honor; compared against
+    /// the next wake-up to measure tick skew.
+    promised: Option<SimTime>,
+}
+
+impl<A: ConnApp> ClientRuntime<A> {
+    /// Bind `local_binds` (one per path; use port 0 for ephemeral), aim
+    /// each path at the matching entry of `server_addrs`, and active-open
+    /// the connection on path 0.
+    pub fn connect(
+        mptcp: MptcpConfig,
+        seed: u64,
+        local_binds: &[SocketAddr],
+        server_addrs: &[SocketAddr],
+        app: A,
+        cfg: LoopConfig,
+    ) -> io::Result<ClientRuntime<A>> {
+        assert_eq!(
+            local_binds.len(),
+            server_addrs.len(),
+            "one server address per local path"
+        );
+        assert!(!local_binds.is_empty(), "at least one path");
+        let mut paths = PathSet::bind(local_binds)?;
+        let clock = WallClock::new();
+        let now = clock.now();
+
+        let tuple0 = virtual_tuple(0, paths.local_addr(0)?.port(), server_addrs[0].port());
+        paths.learn(tuple0, 0, server_addrs[0]);
+        let conn = MptcpConnection::client(mptcp, tuple0, now, SimRng::new(seed));
+
+        Ok(ClientRuntime {
+            clock,
+            conn,
+            app,
+            paths,
+            server_addrs: server_addrs.to_vec(),
+            egress: Egress::new(cfg.egress_cap),
+            stats: RuntimeStats::new(),
+            cfg,
+            ingress: Vec::new(),
+            joined: false,
+            promised: None,
+        })
+    }
+
+    /// One loop iteration: drain ingress, drive the app, pump output,
+    /// flush. Returns whether any datagram moved (progress).
+    pub fn step(&mut self) -> bool {
+        let now = self.clock.now();
+        self.stats.rec.count(CounterId::RtLoopIterations);
+        if let Some(d) = self.promised.take() {
+            if d > SimTime::ZERO && now > d {
+                self.stats.record_late_tick(now.0 - d.0);
+            }
+        }
+
+        // Ingress: drain every path, then feed the state machine.
+        let mut rx = 0;
+        for i in 0..self.paths.len() {
+            rx += self
+                .paths
+                .drain(i, self.cfg.recv_batch, &mut self.stats, &mut self.ingress);
+        }
+        if rx > 0 {
+            self.stats.rec.count(CounterId::RtRecvBatches);
+        }
+        for seg in std::mem::take(&mut self.ingress) {
+            self.conn.handle_segment(now, &seg);
+        }
+
+        // Application progress, then join any paths that became available.
+        self.app.drive(&mut self.conn, now);
+        self.open_pending_joins(now);
+
+        // Pump connection output into the bounded egress queue.
+        let polled = self.pump(now);
+
+        // Flush to the kernel.
+        let tx = self.egress.flush(&mut self.paths, &mut self.stats);
+        if tx > 0 {
+            self.stats.rec.count(CounterId::RtSendBatches);
+        }
+
+        self.promised = self.conn.poll_at(now);
+        rx > 0 || tx > 0 || polled > 0
+    }
+
+    fn pump(&mut self, now: SimTime) -> usize {
+        let mut polled = 0;
+        loop {
+            if !self.egress.has_room() {
+                // Queue still full after the last flush: the kernel is the
+                // bottleneck, so leave the connection unpolled (that is the
+                // backpressure) and try again next iteration.
+                self.stats.rec.count(CounterId::RtEgressBackpressure);
+                break;
+            }
+            let Some(seg) = self.conn.poll(now) else {
+                break;
+            };
+            polled += 1;
+            if let Some(route) = self.paths.route(seg.tuple) {
+                self.egress
+                    .push(route.path, route.peer, crate::wire::encode_datagram(&seg));
+            }
+            // Segments without a route can only belong to a subflow whose
+            // path was never registered; dropping them is indistinguishable
+            // from loss and recovery handles it.
+        }
+        polled
+    }
+
+    fn open_pending_joins(&mut self, now: SimTime) {
+        if self.joined || !self.conn.is_established() {
+            return;
+        }
+        for i in 1..self.paths.len() {
+            let Ok(local) = self.paths.local_addr(i) else {
+                continue;
+            };
+            let tuple = virtual_tuple(i, local.port(), self.server_addrs[i].port());
+            match self.conn.open_subflow(tuple.src, tuple.dst, now) {
+                Ok(_) | Err(SubflowError::DuplicateSubflow) => {
+                    self.paths.learn(tuple, i, self.server_addrs[i]);
+                }
+                Err(_) => {}
+            }
+        }
+        self.joined = true;
+    }
+
+    /// Sleep until the next protocol deadline, capped at the loop's idle
+    /// cap so arriving datagrams are noticed promptly. (A std-only loop has
+    /// no multi-socket readiness syscall, so bounded polling stands in for
+    /// epoll; the cap bounds added ingress latency.)
+    pub fn idle_wait(&mut self) {
+        let now = self.clock.now();
+        let cap = self.cfg.idle_sleep;
+        let sleep = match self.promised {
+            Some(d) if d <= now => return,
+            Some(d) => std::time::Duration::from_nanos(d.0 - now.0).min(cap),
+            None => cap,
+        };
+        if !sleep.is_zero() {
+            std::thread::sleep(sleep);
+        }
+    }
+
+    /// Drive until the app finishes, then linger briefly for the close
+    /// handshake. Errors on connection abort or timeout.
+    pub fn run(&mut self, timeout: std::time::Duration) -> Result<(), RuntimeError> {
+        let hard = Instant::now() + timeout;
+        while !self.app.finished() {
+            if let Some(reason) = self.conn.abort_reason() {
+                return Err(RuntimeError::Aborted(reason));
+            }
+            if !self.step() {
+                self.idle_wait();
+            }
+            if Instant::now() > hard {
+                return Err(RuntimeError::Timeout);
+            }
+        }
+        // Best-effort close handshake; the transfer itself is done.
+        let linger = Instant::now() + std::time::Duration::from_millis(500);
+        while !self.conn.fully_closed() && Instant::now() < linger {
+            if !self.step() {
+                self.idle_wait();
+            }
+        }
+        Ok(())
+    }
+
+    /// Block or unblock a path (fault injection for tests and demos).
+    pub fn block_path(&mut self, i: usize, blocked: bool) {
+        self.paths.set_blocked(i, blocked);
+    }
+
+    /// The application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// The connection (telemetry, stats, subflows).
+    pub fn conn(&self) -> &MptcpConnection {
+        &self.conn
+    }
+
+    /// Loop instrumentation.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+}

@@ -1,0 +1,116 @@
+//! Mapping wall-clock time onto the simulation clock.
+//!
+//! The core MPTCP state machines ([`mptcp::MptcpConnection`],
+//! `mptcp::MptcpListener`) are written against [`SimTime`], an absolute
+//! nanosecond instant. In the simulator that clock is advanced by the event
+//! queue; here it is driven by [`std::time::Instant`] so the same unmodified
+//! state machines run against real elapsed time.
+
+use std::time::Instant;
+
+use mptcp_netsim::SimTime;
+
+/// The instant the runtime's epoch maps to.
+///
+/// `SimTime::ZERO` is load-bearing inside the core: `poll_at` returns
+/// `Some(SimTime::ZERO)` as the "poll me immediately" sentinel, and several
+/// `Option<SimTime>` fields treat zero as "never armed". Anchoring the
+/// wall-clock epoch one millisecond *after* zero keeps every real timestamp
+/// strictly positive, so a genuine deadline can never be confused with the
+/// sentinel.
+pub const EPOCH_OFFSET: SimTime = SimTime::from_millis(1);
+
+/// A monotonic source of [`SimTime`].
+///
+/// Abstracting the clock keeps the event loop testable: unit tests drive it
+/// with a [`ManualClock`] and assert on exact timer behaviour, while the
+/// real binaries use [`WallClock`].
+pub trait Clock {
+    /// Current instant. Must be monotonically non-decreasing.
+    fn now(&self) -> SimTime;
+}
+
+/// Wall-clock time: `EPOCH_OFFSET` plus nanoseconds elapsed since the
+/// clock was created.
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// Anchor the epoch at the moment of creation.
+    pub fn new() -> WallClock {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        let elapsed = self.start.elapsed();
+        SimTime(EPOCH_OFFSET.0.saturating_add(elapsed.as_nanos() as u64))
+    }
+}
+
+/// A hand-advanced clock for tests.
+pub struct ManualClock {
+    now: std::cell::Cell<u64>,
+}
+
+impl ManualClock {
+    /// Start at `EPOCH_OFFSET`.
+    pub fn new() -> ManualClock {
+        ManualClock {
+            now: std::cell::Cell::new(EPOCH_OFFSET.0),
+        }
+    }
+
+    /// Advance the clock by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.now.set(self.now.get() + ns);
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        ManualClock::new()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.now.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic_and_past_epoch() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(a >= EPOCH_OFFSET);
+        assert!(b >= a);
+        assert!(
+            a > SimTime::ZERO,
+            "real timestamps never equal the sentinel"
+        );
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        let a = c.now();
+        c.advance_ns(1_000);
+        assert_eq!(c.now().0, a.0 + 1_000);
+    }
+}

@@ -1,0 +1,128 @@
+//! Bounded per-connection egress queues.
+//!
+//! The state machines generate segments on `poll`; the kernel accepts them
+//! on `send_to`. Between the two sits a small bounded queue so that a slow
+//! or briefly unwritable socket exerts backpressure on the *connection*
+//! (the loop simply stops polling it) instead of growing an unbounded
+//! buffer or dropping segments the state machine believes are in flight.
+//! Congestion control already bounds how much a connection wants in the
+//! air, so a modest cap is enough to keep the pipe busy.
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+
+use mptcp_telemetry::{CounterId, GaugeId};
+
+use crate::paths::{PathSet, SendOutcome};
+use crate::stats::RuntimeStats;
+
+/// A framed datagram waiting for the kernel.
+struct Pending {
+    path: usize,
+    peer: SocketAddr,
+    datagram: Vec<u8>,
+}
+
+/// FIFO of framed datagrams with a hard capacity.
+pub struct Egress {
+    q: VecDeque<Pending>,
+    cap: usize,
+}
+
+impl Egress {
+    /// A queue that holds at most `cap` datagrams.
+    pub fn new(cap: usize) -> Egress {
+        Egress {
+            q: VecDeque::with_capacity(cap),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Whether another datagram may be enqueued.
+    pub fn has_room(&self) -> bool {
+        self.q.len() < self.cap
+    }
+
+    /// Queued datagrams.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Enqueue one framed datagram. Callers must check [`Egress::has_room`]
+    /// first; pushing into a full queue is a logic error upstream (the loop
+    /// should have stopped polling the connection).
+    pub fn push(&mut self, path: usize, peer: SocketAddr, datagram: Vec<u8>) {
+        debug_assert!(self.has_room(), "egress pushed past capacity");
+        self.q.push_back(Pending {
+            path,
+            peer,
+            datagram,
+        });
+    }
+
+    /// Write queued datagrams to their paths until the queue empties or the
+    /// kernel pushes back. Returns how many were handed to the kernel.
+    pub fn flush(&mut self, paths: &mut PathSet, stats: &mut RuntimeStats) -> usize {
+        // Record the pre-flush depth so the gauge's high-water mark shows
+        // peak queue occupancy, not the (usually empty) post-flush state.
+        stats
+            .rec
+            .gauge_set(GaugeId::RtEgressQueueDepth, self.q.len() as u64);
+        let mut sent = 0;
+        while let Some(p) = self.q.front() {
+            match paths.send(p.path, p.peer, &p.datagram) {
+                SendOutcome::Sent => {
+                    self.q.pop_front();
+                    sent += 1;
+                    stats.rec.count(CounterId::RtDatagramsTx);
+                }
+                SendOutcome::Dropped => {
+                    // Blocked path or hard error: the datagram is gone, as
+                    // it would be on a dead link. Loss recovery owns it now.
+                    self.q.pop_front();
+                }
+                SendOutcome::Busy => break,
+            }
+        }
+        stats
+            .rec
+            .gauge_set(GaugeId::RtEgressQueueDepth, self.q.len() as u64);
+        sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_gates_room() {
+        let mut e = Egress::new(2);
+        let peer: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(e.has_room());
+        e.push(0, peer, vec![1]);
+        e.push(0, peer, vec![2]);
+        assert!(!e.has_room());
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn flush_drains_in_order() {
+        let mut paths = PathSet::bind(&["127.0.0.1:0".parse().unwrap()]).unwrap();
+        let sink = PathSet::bind(&["127.0.0.1:0".parse().unwrap()]).unwrap();
+        let peer = sink.local_addr(0).unwrap();
+        let mut stats = RuntimeStats::new();
+        let mut e = Egress::new(8);
+        e.push(0, peer, vec![0u8; 32]);
+        e.push(0, peer, vec![0u8; 32]);
+        let sent = e.flush(&mut paths, &mut stats);
+        assert_eq!(sent, 2);
+        assert!(e.is_empty());
+        assert_eq!(stats.rec.counter(CounterId::RtDatagramsTx), 2);
+    }
+}

@@ -1,0 +1,258 @@
+//! Real UDP sockets and the virtual-tuple route table.
+//!
+//! Each MPTCP path is one non-blocking [`UdpSocket`] — one real four-tuple
+//! per subflow, mirroring how a deployed MPTCP uses distinct interface
+//! addresses. The route table maps each *outgoing* virtual four-tuple (the
+//! identity the state machines stamp on segments they emit) to the path
+//! index and real peer address that reach the other end.
+//!
+//! Routes are learned from ingress: every datagram that decodes cleanly on
+//! path `k` from real address `A` carrying virtual tuple `T` proves that
+//! replies for `T.reversed()` belong on `(k, A)`. The client seeds routes
+//! when it opens subflows (it chooses the virtual tuples); the server
+//! learns everything, so it needs no prior knowledge of client addresses
+//! and transparently follows a peer whose real address changes.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+use mptcp_packet::{FourTuple, TcpSegment};
+use mptcp_telemetry::CounterId;
+
+use crate::stats::RuntimeStats;
+use crate::wire;
+
+/// Where segments for one outgoing virtual tuple go.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Index into the path set.
+    pub path: usize,
+    /// Real UDP address of the peer on that path.
+    pub peer: SocketAddr,
+}
+
+struct PathSock {
+    sock: UdpSocket,
+    /// Fault-injection hook: a blocked path silently drops egress and
+    /// ignores (but still drains) ingress, emulating a blackholed link
+    /// without touching kernel state.
+    blocked: bool,
+}
+
+/// Outcome of one datagram send attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Handed to the kernel.
+    Sent,
+    /// Dropped because the path is administratively blocked.
+    Dropped,
+    /// Kernel send buffer full; retry later.
+    Busy,
+}
+
+/// The set of real sockets plus the virtual-tuple route table.
+pub struct PathSet {
+    paths: Vec<PathSock>,
+    routes: HashMap<FourTuple, Route>,
+    buf: Vec<u8>,
+}
+
+impl PathSet {
+    /// Bind one non-blocking UDP socket per address.
+    pub fn bind(addrs: &[SocketAddr]) -> io::Result<PathSet> {
+        let mut paths = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let sock = UdpSocket::bind(addr)?;
+            sock.set_nonblocking(true)?;
+            paths.push(PathSock {
+                sock,
+                blocked: false,
+            });
+        }
+        Ok(PathSet {
+            paths,
+            routes: HashMap::new(),
+            buf: vec![0u8; 65536],
+        })
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when the set has no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Real local address of path `i` (useful after binding port 0).
+    pub fn local_addr(&self, i: usize) -> io::Result<SocketAddr> {
+        self.paths[i].sock.local_addr()
+    }
+
+    /// Administratively block or unblock a path (fault injection).
+    pub fn set_blocked(&mut self, i: usize, blocked: bool) {
+        self.paths[i].blocked = blocked;
+    }
+
+    /// Install or update a route for an outgoing virtual tuple.
+    pub fn learn(&mut self, out_tuple: FourTuple, path: usize, peer: SocketAddr) {
+        self.routes.insert(out_tuple, Route { path, peer });
+    }
+
+    /// Route for an outgoing virtual tuple, if known.
+    pub fn route(&self, out_tuple: FourTuple) -> Option<Route> {
+        self.routes.get(&out_tuple).copied()
+    }
+
+    /// Drain up to `max` datagrams from path `i` into `out`.
+    ///
+    /// Each datagram is verified ([`wire::decode_datagram`]) before it is
+    /// surfaced; failures bump `RtDecodeErrors` and vanish. Every clean
+    /// segment also refreshes the reverse route. Blocked paths still drain
+    /// the kernel buffer (so queues do not rot) but discard everything.
+    pub fn drain(
+        &mut self,
+        i: usize,
+        max: usize,
+        stats: &mut RuntimeStats,
+        out: &mut Vec<TcpSegment>,
+    ) -> usize {
+        let mut received = 0;
+        for _ in 0..max {
+            let (len, from) = match self.paths[i].sock.recv_from(&mut self.buf) {
+                Ok(r) => r,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            };
+            if self.paths[i].blocked {
+                continue;
+            }
+            match wire::decode_datagram(&self.buf[..len]) {
+                Ok(seg) => {
+                    self.routes.insert(
+                        seg.tuple.reversed(),
+                        Route {
+                            path: i,
+                            peer: from,
+                        },
+                    );
+                    received += 1;
+                    stats.rec.count(CounterId::RtDatagramsRx);
+                    out.push(seg);
+                }
+                Err(_) => stats.rec.count(CounterId::RtDecodeErrors),
+            }
+        }
+        received
+    }
+
+    /// Attempt to send one already-framed datagram on path `i`.
+    pub fn send(&mut self, i: usize, peer: SocketAddr, datagram: &[u8]) -> SendOutcome {
+        if self.paths[i].blocked {
+            return SendOutcome::Dropped;
+        }
+        match self.paths[i].sock.send_to(datagram, peer) {
+            Ok(_) => SendOutcome::Sent,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => SendOutcome::Busy,
+            // Transient errors (e.g. ECONNREFUSED surfaced from ICMP on
+            // some platforms) are treated like loss: the retransmit
+            // machinery recovers or the failure detector takes the path.
+            Err(_) => SendOutcome::Dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mptcp_packet::{Endpoint, SeqNum, TcpFlags};
+
+    fn seg(tuple: FourTuple) -> TcpSegment {
+        let mut s = TcpSegment::new(tuple, SeqNum(1), SeqNum(0), TcpFlags::ACK);
+        s.payload = Bytes::from_static(b"x");
+        s
+    }
+
+    fn any_loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn routes_learned_from_ingress() {
+        let mut a = PathSet::bind(&[any_loopback()]).unwrap();
+        let mut b = PathSet::bind(&[any_loopback()]).unwrap();
+        let tuple = FourTuple {
+            src: Endpoint::new(0x0a000102, 7),
+            dst: Endpoint::new(0x0a000101, 8),
+        };
+        let dgram = wire::encode_datagram(&seg(tuple));
+        let b_addr = b.local_addr(0).unwrap();
+        assert_eq!(a.send(0, b_addr, &dgram), SendOutcome::Sent);
+
+        let mut stats = RuntimeStats::new();
+        let mut got = Vec::new();
+        // Non-blocking loopback delivery is fast but not instant.
+        for _ in 0..200 {
+            if b.drain(0, 16, &mut stats, &mut got) > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got.len(), 1);
+        let route = b.route(tuple.reversed()).expect("reverse route learned");
+        assert_eq!(route.path, 0);
+        assert_eq!(route.peer, a.local_addr(0).unwrap());
+    }
+
+    #[test]
+    fn blocked_path_drops_both_directions() {
+        let mut a = PathSet::bind(&[any_loopback()]).unwrap();
+        let mut b = PathSet::bind(&[any_loopback()]).unwrap();
+        let tuple = FourTuple {
+            src: Endpoint::new(1, 1),
+            dst: Endpoint::new(2, 2),
+        };
+        let dgram = wire::encode_datagram(&seg(tuple));
+        let b_addr = b.local_addr(0).unwrap();
+
+        a.set_blocked(0, true);
+        assert_eq!(a.send(0, b_addr, &dgram), SendOutcome::Dropped);
+
+        a.set_blocked(0, false);
+        assert_eq!(a.send(0, b_addr, &dgram), SendOutcome::Sent);
+        b.set_blocked(0, true);
+        let mut stats = RuntimeStats::new();
+        let mut got = Vec::new();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.drain(0, 16, &mut stats, &mut got);
+        assert!(got.is_empty(), "blocked ingress is discarded");
+    }
+
+    #[test]
+    fn corrupt_datagrams_counted_not_surfaced() {
+        let mut a = PathSet::bind(&[any_loopback()]).unwrap();
+        let mut b = PathSet::bind(&[any_loopback()]).unwrap();
+        let tuple = FourTuple {
+            src: Endpoint::new(1, 1),
+            dst: Endpoint::new(2, 2),
+        };
+        let mut dgram = wire::encode_datagram(&seg(tuple));
+        let last = dgram.len() - 1;
+        dgram[last] ^= 0xff;
+        a.send(0, b.local_addr(0).unwrap(), &dgram);
+        let mut stats = RuntimeStats::new();
+        let mut got = Vec::new();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.drain(0, 16, &mut stats, &mut got);
+        assert!(got.is_empty());
+        assert_eq!(
+            stats.rec.counter(CounterId::RtDecodeErrors),
+            1,
+            "corruption is visible in telemetry"
+        );
+    }
+}

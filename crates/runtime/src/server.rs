@@ -1,0 +1,244 @@
+//! Server-side event loop: a listener multiplexing many connections over
+//! shared UDP sockets.
+//!
+//! Demux is entirely the core's: [`mptcp::MptcpListener`] routes segments
+//! to connections by virtual four-tuple and MP_JOIN token, so the runtime
+//! only moves datagrams. The loop maintains a *dirty set* — connections
+//! touched by ingress, an expired deadline, or backlogged egress — and
+//! drives exactly those, so idle connections cost nothing per iteration.
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use mptcp::{MptcpConfig, MptcpListener};
+use mptcp_netsim::SimTime;
+use mptcp_packet::TcpSegment;
+use mptcp_telemetry::CounterId;
+
+use crate::clock::{Clock, WallClock};
+use crate::egress::Egress;
+use crate::paths::PathSet;
+use crate::proto::ConnApp;
+use crate::stats::RuntimeStats;
+use crate::timers::DeadlineHeap;
+use crate::{LoopConfig, RuntimeError};
+
+/// Creates the application attached to each accepted connection.
+pub type AppFactory = Box<dyn FnMut() -> Box<dyn ConnApp + Send> + Send>;
+
+/// Listener, per-connection apps and egress queues, and the deadline heap.
+pub struct ServerRuntime {
+    clock: WallClock,
+    listener: MptcpListener,
+    apps: Vec<Box<dyn ConnApp + Send>>,
+    egress: Vec<Egress>,
+    /// Finished *and* fully closed; excluded from all further work.
+    reaped: Vec<bool>,
+    paths: PathSet,
+    stats: RuntimeStats,
+    cfg: LoopConfig,
+    timers: DeadlineHeap,
+    factory: AppFactory,
+    ingress: Vec<TcpSegment>,
+    dirty: Vec<usize>,
+    dirty_flag: Vec<bool>,
+    due: Vec<usize>,
+    served: u64,
+    promised: Option<SimTime>,
+}
+
+impl ServerRuntime {
+    /// Bind the given addresses (one socket per path) and serve.
+    pub fn bind(
+        mptcp: MptcpConfig,
+        seed: u64,
+        binds: &[SocketAddr],
+        factory: AppFactory,
+        cfg: LoopConfig,
+    ) -> io::Result<ServerRuntime> {
+        assert!(!binds.is_empty(), "at least one path");
+        Ok(ServerRuntime {
+            clock: WallClock::new(),
+            listener: MptcpListener::new(mptcp, seed),
+            apps: Vec::new(),
+            egress: Vec::new(),
+            reaped: Vec::new(),
+            paths: PathSet::bind(binds)?,
+            stats: RuntimeStats::new(),
+            cfg,
+            timers: DeadlineHeap::new(),
+            factory,
+            ingress: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: Vec::new(),
+            due: Vec::new(),
+            served: 0,
+            promised: None,
+        })
+    }
+
+    /// Real local address of path `i`.
+    pub fn local_addr(&self, i: usize) -> io::Result<SocketAddr> {
+        self.paths.local_addr(i)
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        while self.apps.len() <= idx {
+            self.apps.push((self.factory)());
+            self.egress.push(Egress::new(self.cfg.egress_cap));
+            self.reaped.push(false);
+            self.dirty_flag.push(false);
+        }
+    }
+
+    fn mark(&mut self, idx: usize) {
+        if !self.dirty_flag[idx] {
+            self.dirty_flag[idx] = true;
+            self.dirty.push(idx);
+        }
+    }
+
+    /// One loop iteration. Returns whether any datagram or segment moved.
+    pub fn step(&mut self) -> bool {
+        let now = self.clock.now();
+        self.stats.rec.count(CounterId::RtLoopIterations);
+        if let Some(d) = self.promised.take() {
+            if d > SimTime::ZERO && now > d {
+                self.stats.record_late_tick(now.0 - d.0);
+            }
+        }
+
+        // Ingress on every path; demux marks connections dirty.
+        let mut rx = 0;
+        for i in 0..self.paths.len() {
+            rx += self
+                .paths
+                .drain(i, self.cfg.recv_batch, &mut self.stats, &mut self.ingress);
+        }
+        if rx > 0 {
+            self.stats.rec.count(CounterId::RtRecvBatches);
+        }
+        for seg in std::mem::take(&mut self.ingress) {
+            if let Some(idx) = self.listener.handle_segment(now, &seg) {
+                self.ensure(idx);
+                self.mark(idx);
+            }
+        }
+
+        // Expired deadlines join the dirty set.
+        let mut due = std::mem::take(&mut self.due);
+        self.timers.pop_due(now, &mut due);
+        for idx in due.drain(..) {
+            self.mark(idx);
+        }
+        self.due = due;
+
+        // Drive exactly the dirty connections.
+        let work = std::mem::take(&mut self.dirty);
+        let mut polled = 0;
+        let mut tx_total = 0;
+        for &idx in &work {
+            self.dirty_flag[idx] = false;
+        }
+        for idx in work {
+            if self.reaped[idx] {
+                continue;
+            }
+            let conn = &mut self.listener.conns[idx];
+            self.apps[idx].drive(conn, now);
+            loop {
+                if !self.egress[idx].has_room() {
+                    self.stats.rec.count(CounterId::RtEgressBackpressure);
+                    break;
+                }
+                let Some(seg) = conn.poll(now) else { break };
+                polled += 1;
+                if let Some(route) = self.paths.route(seg.tuple) {
+                    self.egress[idx].push(
+                        route.path,
+                        route.peer,
+                        crate::wire::encode_datagram(&seg),
+                    );
+                }
+            }
+            tx_total += self.egress[idx].flush(&mut self.paths, &mut self.stats);
+            if !self.egress[idx].is_empty() {
+                // Kernel pushback: retry the flush next iteration.
+                self.mark(idx);
+            }
+            let conn = &self.listener.conns[idx];
+            // A connection is served once the app is done and the
+            // data-level close completed both ways. Waiting for every
+            // subflow socket to finish dying would hostage completion to a
+            // blackholed path's FIN retransmissions.
+            let closed = conn.fully_closed() || (conn.send_closed() && conn.at_eof());
+            if self.apps[idx].finished() && closed {
+                self.reaped[idx] = true;
+                self.served += 1;
+                self.timers.schedule(idx, None);
+            } else {
+                self.timers.schedule(idx, conn.poll_at(now));
+            }
+        }
+        if tx_total > 0 {
+            self.stats.rec.count(CounterId::RtSendBatches);
+        }
+
+        self.promised = self.timers.next_deadline();
+        rx > 0 || polled > 0 || tx_total > 0 || !self.dirty.is_empty()
+    }
+
+    /// Sleep until the earliest connection deadline, capped at the idle
+    /// cap (see [`crate::client::ClientRuntime::idle_wait`]).
+    pub fn idle_wait(&mut self) {
+        let now = self.clock.now();
+        let cap = self.cfg.idle_sleep;
+        let sleep = match self.promised {
+            Some(d) if d <= now => return,
+            Some(d) => std::time::Duration::from_nanos(d.0 - now.0).min(cap),
+            None => cap,
+        };
+        if !sleep.is_zero() {
+            std::thread::sleep(sleep);
+        }
+    }
+
+    /// Serve until `n` connections have finished and closed, or time out.
+    pub fn run_until_served(
+        &mut self,
+        n: u64,
+        timeout: std::time::Duration,
+    ) -> Result<(), RuntimeError> {
+        let hard = Instant::now() + timeout;
+        while self.served < n {
+            if !self.step() {
+                self.idle_wait();
+            }
+            if Instant::now() > hard {
+                return Err(RuntimeError::Timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// Connections that finished their app and fully closed.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Total connections ever accepted (including reaped).
+    pub fn accepted(&self) -> usize {
+        self.listener.len()
+    }
+
+    /// The listener (connection table, token table, reject counters).
+    pub fn listener(&self) -> &MptcpListener {
+        &self.listener
+    }
+
+    /// Loop instrumentation.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+}

@@ -1,0 +1,131 @@
+//! Event-loop instrumentation.
+//!
+//! Runtime counters/gauges live in the shared [`mptcp_telemetry::Recorder`]
+//! (the `Rt*` ids) so one snapshot carries both protocol-level and
+//! loop-level signals. Tick skew — how late a wall-clock tick fired
+//! relative to the deadline `poll_at` asked for — additionally feeds a
+//! log-scaled histogram so the loop can report p50/p99/max latency without
+//! retaining per-sample memory.
+
+use mptcp_telemetry::{CounterId, GaugeId, Recorder};
+
+/// Power-of-two skew buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 is `[0, 2)`).
+const SKEW_BUCKETS: usize = 48;
+
+/// Loop instrumentation: shared recorder plus the tick-skew histogram.
+pub struct RuntimeStats {
+    /// Counters and gauges, absorbed into connection snapshots on report.
+    pub rec: Recorder,
+    skew: [u64; SKEW_BUCKETS],
+    skew_samples: u64,
+    skew_max_ns: u64,
+}
+
+impl RuntimeStats {
+    pub fn new() -> RuntimeStats {
+        RuntimeStats {
+            rec: Recorder::new(),
+            skew: [0; SKEW_BUCKETS],
+            skew_samples: 0,
+            skew_max_ns: 0,
+        }
+    }
+
+    /// Record a late tick: the loop woke `skew_ns` after the promised
+    /// deadline. Updates the counter, the high-water gauge, and the
+    /// histogram.
+    pub fn record_late_tick(&mut self, skew_ns: u64) {
+        self.rec.count(CounterId::RtLateTicks);
+        self.rec.gauge_set(GaugeId::RtTickSkewNs, skew_ns);
+        let bucket = (64 - u64::leading_zeros(skew_ns.max(1)) - 1) as usize;
+        self.skew[bucket.min(SKEW_BUCKETS - 1)] += 1;
+        self.skew_samples += 1;
+        self.skew_max_ns = self.skew_max_ns.max(skew_ns);
+    }
+
+    /// Number of late-tick samples recorded.
+    pub fn skew_samples(&self) -> u64 {
+        self.skew_samples
+    }
+
+    /// Worst observed skew in nanoseconds.
+    pub fn skew_max_ns(&self) -> u64 {
+        self.skew_max_ns
+    }
+
+    /// Skew at quantile `q` (0.0..=1.0), as the upper bound of the bucket
+    /// holding that quantile. Zero when no sample was recorded.
+    pub fn skew_quantile_ns(&self, q: f64) -> u64 {
+        if self.skew_samples == 0 {
+            return 0;
+        }
+        let rank = ((self.skew_samples as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.skew.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i, capped at the true max so a
+                // single huge sample doesn't report double its value.
+                return (1u64 << (i + 1)).min(self.skew_max_ns.max(1));
+            }
+        }
+        self.skew_max_ns
+    }
+
+    /// JSON object fragment with the loop's headline numbers (no braces;
+    /// callers splice it into a larger object).
+    pub fn json_fields(&self) -> String {
+        let c = |id: CounterId| self.rec.counter(id);
+        format!(
+            "\"loop_iterations\":{},\"datagrams_rx\":{},\"datagrams_tx\":{},\
+             \"decode_errors\":{},\"egress_backpressure\":{},\
+             \"egress_queue_high_water\":{},\"late_ticks\":{},\
+             \"tick_skew_p50_ns\":{},\"tick_skew_p99_ns\":{},\"tick_skew_max_ns\":{}",
+            c(CounterId::RtLoopIterations),
+            c(CounterId::RtDatagramsRx),
+            c(CounterId::RtDatagramsTx),
+            c(CounterId::RtDecodeErrors),
+            c(CounterId::RtEgressBackpressure),
+            self.rec.gauge(GaugeId::RtEgressQueueDepth).max,
+            c(CounterId::RtLateTicks),
+            self.skew_quantile_ns(0.50),
+            self.skew_quantile_ns(0.99),
+            self.skew_max_ns,
+        )
+    }
+}
+
+impl Default for RuntimeStats {
+    fn default() -> Self {
+        RuntimeStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_bucketed_samples() {
+        let mut s = RuntimeStats::new();
+        for _ in 0..99 {
+            s.record_late_tick(1_000); // bucket [512, 1024*2)
+        }
+        s.record_late_tick(1_000_000);
+        assert_eq!(s.skew_samples(), 100);
+        assert_eq!(s.skew_max_ns(), 1_000_000);
+        let p50 = s.skew_quantile_ns(0.50);
+        assert!((512..=2048).contains(&p50), "p50 {p50}");
+        // p99 rank lands on the 99th of the small samples.
+        assert!(s.skew_quantile_ns(0.99) <= 2048);
+        assert!(s.skew_quantile_ns(1.0) >= 524_288);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = RuntimeStats::new();
+        assert_eq!(s.skew_quantile_ns(0.99), 0);
+        assert_eq!(s.skew_max_ns(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Deadline tracking for many connections.
+//!
+//! The server multiplexes many connections; scanning every one of them for
+//! `poll_at` each loop iteration would make the idle loop O(connections).
+//! Instead each connection's current deadline lives in a lazy min-heap:
+//! re-scheduling pushes a new entry without removing the old, and stale
+//! entries (whose deadline no longer matches the connection's current one)
+//! are discarded as they surface. The heap therefore holds at most a few
+//! entries per connection and `next()`/`pop_due` stay O(log n).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mptcp_netsim::SimTime;
+
+/// Lazy min-heap of per-connection deadlines.
+pub struct DeadlineHeap {
+    heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// The authoritative current deadline per connection; heap entries
+    /// that disagree are stale.
+    current: Vec<Option<SimTime>>,
+}
+
+impl DeadlineHeap {
+    pub fn new() -> DeadlineHeap {
+        DeadlineHeap {
+            heap: BinaryHeap::new(),
+            current: Vec::new(),
+        }
+    }
+
+    fn slot(&mut self, conn: usize) -> &mut Option<SimTime> {
+        if conn >= self.current.len() {
+            self.current.resize(conn + 1, None);
+        }
+        &mut self.current[conn]
+    }
+
+    /// Record `conn`'s deadline (or clear it with `None`).
+    pub fn schedule(&mut self, conn: usize, deadline: Option<SimTime>) {
+        *self.slot(conn) = deadline;
+        if let Some(d) = deadline {
+            self.heap.push(Reverse((d, conn)));
+        }
+    }
+
+    /// Earliest live deadline, if any.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((d, conn))) = self.heap.peek() {
+            if self.current.get(conn).copied().flatten() == Some(d) {
+                return Some(d);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pop every connection whose deadline is `<= now`, clearing its
+    /// deadline (the caller re-schedules after re-polling it).
+    pub fn pop_due(&mut self, now: SimTime, due: &mut Vec<usize>) {
+        while let Some(&Reverse((d, conn))) = self.heap.peek() {
+            let live = self.current.get(conn).copied().flatten() == Some(d);
+            if live && d > now {
+                break;
+            }
+            self.heap.pop();
+            if live {
+                self.current[conn] = None;
+                due.push(conn);
+            }
+        }
+    }
+}
+
+impl Default for DeadlineHeap {
+    fn default() -> Self {
+        DeadlineHeap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_entries_are_skipped() {
+        let mut h = DeadlineHeap::new();
+        h.schedule(0, Some(SimTime(100)));
+        h.schedule(1, Some(SimTime(50)));
+        // Conn 1 re-schedules later; the 50ns entry is now stale.
+        h.schedule(1, Some(SimTime(200)));
+        assert_eq!(h.next_deadline(), Some(SimTime(100)));
+
+        let mut due = Vec::new();
+        h.pop_due(SimTime(150), &mut due);
+        assert_eq!(due, vec![0]);
+        assert_eq!(h.next_deadline(), Some(SimTime(200)));
+    }
+
+    #[test]
+    fn cleared_deadlines_never_fire() {
+        let mut h = DeadlineHeap::new();
+        h.schedule(3, Some(SimTime(10)));
+        h.schedule(3, None);
+        let mut due = Vec::new();
+        h.pop_due(SimTime(1_000), &mut due);
+        assert!(due.is_empty());
+        assert_eq!(h.next_deadline(), None);
+    }
+
+    #[test]
+    fn due_connections_pop_once() {
+        let mut h = DeadlineHeap::new();
+        h.schedule(0, Some(SimTime(10)));
+        h.schedule(1, Some(SimTime(20)));
+        let mut due = Vec::new();
+        h.pop_due(SimTime(25), &mut due);
+        due.sort_unstable();
+        assert_eq!(due, vec![0, 1]);
+        let mut again = Vec::new();
+        h.pop_due(SimTime(25), &mut again);
+        assert!(again.is_empty());
+    }
+}

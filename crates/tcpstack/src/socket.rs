@@ -516,9 +516,18 @@ impl TcpSocket {
         true
     }
 
+    /// The sending direction can accept no more data, ever: the state is
+    /// past the sending states or a FIN has been queued via
+    /// [`TcpSocket::close`]. Distinguishes a `send` that returned 0 for
+    /// lack of buffer space (retry later) from one that will return 0
+    /// forever.
+    pub fn send_closed(&self) -> bool {
+        (!self.state.can_send() && self.state != TcpState::SynSent) || self.fin_queued
+    }
+
     /// Enqueue plain payload (TCP application write). Returns bytes taken.
     pub fn send(&mut self, payload: &[u8]) -> usize {
-        if (!self.state.can_send() && self.state != TcpState::SynSent) || self.fin_queued {
+        if self.send_closed() {
             return 0;
         }
         let take = payload.len().min(self.send_space());

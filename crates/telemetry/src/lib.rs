@@ -116,6 +116,27 @@ pub enum CounterId {
     FaultsInjected,
     /// Packets silently discarded because a fault forced the link down.
     LinkFaultDrops,
+    // -- runtime: real-I/O event loop (crates/runtime) -----------------------
+    /// Event-loop iterations executed.
+    RtLoopIterations,
+    /// recv-drain rounds that harvested at least one datagram (one batch of
+    /// recv syscalls).
+    RtRecvBatches,
+    /// egress-flush rounds that pushed at least one datagram to a socket
+    /// (one batch of send syscalls).
+    RtSendBatches,
+    /// UDP datagrams received and decoded into segments.
+    RtDatagramsRx,
+    /// UDP datagrams encoded and handed to the kernel.
+    RtDatagramsTx,
+    /// Inbound datagrams rejected by framing/decode/TCP-checksum checks.
+    RtDecodeErrors,
+    /// Times a connection's output poll was skipped because its bounded
+    /// egress queue was full (backpressure applied).
+    RtEgressBackpressure,
+    /// Timer deadlines that were processed after they had already expired
+    /// (wall-clock jitter; skew tracked by the `rt_tick_skew_ns` gauge).
+    RtLateTicks,
 }
 
 impl CounterId {
@@ -159,6 +180,14 @@ impl CounterId {
         CounterId::MboxSegmentDrops,
         CounterId::FaultsInjected,
         CounterId::LinkFaultDrops,
+        CounterId::RtLoopIterations,
+        CounterId::RtRecvBatches,
+        CounterId::RtSendBatches,
+        CounterId::RtDatagramsRx,
+        CounterId::RtDatagramsTx,
+        CounterId::RtDecodeErrors,
+        CounterId::RtEgressBackpressure,
+        CounterId::RtLateTicks,
     ];
 
     /// Stable snake_case name used in JSON and table output.
@@ -202,12 +231,20 @@ impl CounterId {
             CounterId::MboxSegmentDrops => "mbox_segment_drops",
             CounterId::FaultsInjected => "faults_injected",
             CounterId::LinkFaultDrops => "link_fault_drops",
+            CounterId::RtLoopIterations => "rt_loop_iterations",
+            CounterId::RtRecvBatches => "rt_recv_batches",
+            CounterId::RtSendBatches => "rt_send_batches",
+            CounterId::RtDatagramsRx => "rt_datagrams_rx",
+            CounterId::RtDatagramsTx => "rt_datagrams_tx",
+            CounterId::RtDecodeErrors => "rt_decode_errors",
+            CounterId::RtEgressBackpressure => "rt_egress_backpressure",
+            CounterId::RtLateTicks => "rt_late_ticks",
         }
     }
 }
 
 /// Number of counter slots in a [`Recorder`].
-pub const NUM_COUNTERS: usize = 38;
+pub const NUM_COUNTERS: usize = 46;
 
 /// Instantaneous values tracked with a high-water mark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -225,6 +262,12 @@ pub enum GaugeId {
     Subflows,
     /// Bytes queued at the connection level awaiting scheduling.
     SendQueueBytes,
+    /// Runtime egress queue depth, in segments (`max` is the high-water
+    /// mark the backpressure bound was sized against).
+    RtEgressQueueDepth,
+    /// Wall-clock lateness of the most recent timer tick, in nanoseconds
+    /// (`max` is the worst skew observed; see the `rt_late_ticks` counter).
+    RtTickSkewNs,
 }
 
 impl GaugeId {
@@ -236,6 +279,8 @@ impl GaugeId {
         GaugeId::RcvBufCap,
         GaugeId::Subflows,
         GaugeId::SendQueueBytes,
+        GaugeId::RtEgressQueueDepth,
+        GaugeId::RtTickSkewNs,
     ];
 
     /// Stable snake_case name used in JSON and table output.
@@ -247,12 +292,14 @@ impl GaugeId {
             GaugeId::RcvBufCap => "rcv_buf_cap",
             GaugeId::Subflows => "subflows",
             GaugeId::SendQueueBytes => "send_queue_bytes",
+            GaugeId::RtEgressQueueDepth => "rt_egress_queue_depth",
+            GaugeId::RtTickSkewNs => "rt_tick_skew_ns",
         }
     }
 }
 
 /// Number of gauge slots in a [`Recorder`].
-pub const NUM_GAUGES: usize = 6;
+pub const NUM_GAUGES: usize = 8;
 
 /// Current value plus high-water mark for one gauge.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
