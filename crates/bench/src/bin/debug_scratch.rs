@@ -1,6 +1,6 @@
 //! Scratch diagnostics (not part of the reproduction).
 
-use mptcp::{Mechanisms, MptcpConfig};
+use mptcp::{CcAlgorithm, Mechanisms, MptcpConfig, SchedulerKind};
 use mptcp_harness::hosts::{ClientApp, ServerApp};
 use mptcp_harness::scenario::{Scenario, TransportKind};
 use mptcp_netsim::{Duration, LinkCfg, Path};
@@ -10,12 +10,22 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(500_000);
-    let coupled: bool = std::env::args().nth(2).map(|a| a == "lia").unwrap_or(true);
-    let mut cfg = MptcpConfig::default()
-        .with_buffers(buf)
-        .with_mechanisms(Mechanisms::M1_2);
-    cfg.checksum = false;
-    cfg.coupled_cc = coupled;
+    let cc: CcAlgorithm = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("known cc algorithm"))
+        .unwrap_or_default();
+    let sched: SchedulerKind = std::env::args()
+        .nth(3)
+        .map(|a| a.parse().expect("known scheduler"))
+        .unwrap_or_default();
+    let cfg = MptcpConfig::builder()
+        .buffers(buf)
+        .mechanisms(Mechanisms::M1_2)
+        .checksum(false)
+        .cc(cc)
+        .scheduler(sched)
+        .build()
+        .expect("valid config");
     let paths = vec![
         Path::symmetric(LinkCfg::wifi()),
         Path::symmetric(LinkCfg::threeg()),

@@ -32,6 +32,12 @@
 //!
 //! `--quick` shrinks sweeps for a fast smoke run.
 //!
+//! Every experiment accepts `--cc <reno|lia|olia|cubic>` and
+//! `--sched <minrtt|rr|redundant|blest>` to pick the congestion-control
+//! algorithm and packet scheduler (defaults: `lia`, `minrtt` — the
+//! paper's deployable configuration), e.g.
+//! `repro fig9 --cc olia --sched redundant`.
+//!
 //! `trace` takes a scenario plus `--out DIR` (default `trace_out/`) and
 //! `--fail-on-drops` (exit nonzero if any bounded ring overwrote records —
 //! the CI guard), e.g. `repro trace fig9 --out trace_out/`.
@@ -45,49 +51,80 @@
 
 mod runtime_cli;
 
+use mptcp_harness::experiments::common::Policy;
 use mptcp_harness::experiments::*;
 use mptcp_netsim::Duration;
 
 const SEED: u64 = 20120425; // NSDI'12 presentation date
 
+/// Remove `name <value>` from `args`, returning the value.
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        eprintln!("{name} needs a value");
+        std::process::exit(2);
+    }
+    args.remove(i);
+    Some(args.remove(i))
+}
+
+/// Parse the global `--cc` / `--sched` flags into a [`Policy`].
+fn parse_policy(args: &mut Vec<String>) -> Policy {
+    let mut policy = Policy::default();
+    if let Some(cc) = take_value_flag(args, "--cc") {
+        policy.cc = cc.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
+    if let Some(sched) = take_value_flag(args, "--sched") {
+        policy.sched = sched.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
+    policy
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let policy = parse_policy(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let which = args.first().map(String::as_str).unwrap_or("all");
 
     match which {
         "fig3" => fig3(),
-        "fig4" => fig4(quick),
-        "fig5" => fig5(quick),
-        "fig6a" => fig6(fig6_scenarios::Panel::WeakCellular, quick),
-        "fig6b" => fig6(fig6_scenarios::Panel::Asymmetric, quick),
-        "fig6c" => fig6(fig6_scenarios::Panel::Symmetric3, quick),
-        "fig7" => fig7(quick),
-        "fig8" => fig8(),
-        "fig9" => fig9(quick),
+        "fig4" => fig4(quick, policy),
+        "fig5" => fig5(quick, policy),
+        "fig6a" => fig6(fig6_scenarios::Panel::WeakCellular, quick, policy),
+        "fig6b" => fig6(fig6_scenarios::Panel::Asymmetric, quick, policy),
+        "fig6c" => fig6(fig6_scenarios::Panel::Symmetric3, quick, policy),
+        "fig7" => fig7(quick, policy),
+        "fig8" => fig8(policy),
+        "fig9" => fig9(quick, policy),
         "fig10" => fig10(quick),
-        "fig11" => fig11(quick),
-        "mbox" => mbox_matrix(),
-        "telemetry" => telemetry_report(quick),
-        "trace" => trace_run(&args),
-        "chaos" => chaos_run(&args),
+        "fig11" => fig11(quick, policy),
+        "mbox" => mbox_matrix(policy),
+        "telemetry" => telemetry_report(quick, policy),
+        "trace" => trace_run(&args, policy),
+        "chaos" => chaos_run(&args, policy),
         "serve" => runtime_cli::serve(&args),
         "fetch" => runtime_cli::fetch(&args),
         "wire-bench" => runtime_cli::wire_bench(&args),
         "all" => {
-            mbox_matrix();
-            telemetry_report(quick);
+            mbox_matrix(policy);
+            telemetry_report(quick, policy);
             fig3();
-            fig4(quick);
-            fig5(quick);
-            fig6(fig6_scenarios::Panel::WeakCellular, quick);
-            fig6(fig6_scenarios::Panel::Asymmetric, quick);
-            fig6(fig6_scenarios::Panel::Symmetric3, quick);
-            fig7(quick);
-            fig8();
-            fig9(quick);
+            fig4(quick, policy);
+            fig5(quick, policy);
+            fig6(fig6_scenarios::Panel::WeakCellular, quick, policy);
+            fig6(fig6_scenarios::Panel::Asymmetric, quick, policy);
+            fig6(fig6_scenarios::Panel::Symmetric3, quick, policy);
+            fig7(quick, policy);
+            fig8(policy);
+            fig9(quick, policy);
             fig10(quick);
-            fig11(quick);
+            fig11(quick, policy);
         }
         other => {
             eprintln!("unknown experiment: {other}");
@@ -99,6 +136,13 @@ fn main() {
 fn header(title: &str) {
     println!();
     println!("=== {title} ===");
+}
+
+/// Note a non-default policy under the header so sweeps are self-labelling.
+fn print_policy(policy: Policy) {
+    if policy != Policy::default() {
+        println!("(policy: cc={}, scheduler={})", policy.cc, policy.sched);
+    }
 }
 
 fn fig3() {
@@ -131,14 +175,15 @@ fn fig3() {
     }
 }
 
-fn fig4(quick: bool) {
+fn fig4(quick: bool, policy: Policy) {
     header("Figure 4: throughput vs receive buffer (WiFi 8M/20ms + 3G 2M/150ms)");
+    print_policy(policy);
     let bufs = if quick {
         vec![100_000, 200_000, 400_000, 1_000_000]
     } else {
         fig4_rcvbuf::default_bufs()
     };
-    let rows = fig4_rcvbuf::sweep(&bufs, SEED);
+    let rows = fig4_rcvbuf::sweep_with(&bufs, SEED, policy);
     print!("{:>9}", "buf KB");
     for v in fig4_rcvbuf::variants() {
         print!("  {:>16}", v.label());
@@ -171,14 +216,15 @@ fn fig4(quick: bool) {
     }
 }
 
-fn fig5(quick: bool) {
+fn fig5(quick: bool, policy: Policy) {
     header("Figure 5: memory used vs configured receive buffer (autotuning)");
+    print_policy(policy);
     let bufs = if quick {
         vec![200_000, 600_000, 1_000_000]
     } else {
         fig5_memory::default_bufs()
     };
-    let rows = fig5_memory::sweep(&bufs, SEED);
+    let rows = fig5_memory::sweep_with(&bufs, SEED, policy);
     if let Some(first) = rows.first() {
         print!("{:>9}", "buf KB");
         for (label, _, _) in &first.results {
@@ -196,13 +242,14 @@ fn fig5(quick: bool) {
     println!("(cells are mean sender/receiver memory)");
 }
 
-fn fig6(panel: fig6_scenarios::Panel, quick: bool) {
+fn fig6(panel: fig6_scenarios::Panel, quick: bool, policy: Policy) {
     header(&format!("Figure 6 {:?}: goodput vs buffer size", panel));
+    print_policy(policy);
     let mut bufs = panel.default_bufs();
     if quick {
         bufs.truncate(3);
     }
-    let rows = fig6_scenarios::sweep(panel, &bufs, SEED);
+    let rows = fig6_scenarios::sweep_with(panel, &bufs, SEED, policy);
     if let Some(first) = rows.first() {
         print!("{:>9}", "buf KB");
         for (label, _) in &first.results {
@@ -219,14 +266,15 @@ fn fig6(panel: fig6_scenarios::Panel, quick: bool) {
     }
 }
 
-fn fig7(quick: bool) {
+fn fig7(quick: bool, policy: Policy) {
     header("Figure 7: application-delay PDF (8 KB blocks, 200 KB buffers)");
+    print_policy(policy);
     let dur = if quick {
         Duration::from_secs(10)
     } else {
         Duration::from_secs(30)
     };
-    let curves = fig7_appdelay::run(200_000, dur, SEED);
+    let curves = fig7_appdelay::run_with(200_000, dur, SEED, policy);
     println!(
         "{:>16}  {:>8}  {:>8}  {:>8}  {:>8}",
         "curve", "mean ms", "p50 ms", "p95 ms", "p99 ms"
@@ -260,13 +308,14 @@ fn fig7(quick: bool) {
     }
 }
 
-fn fig8() {
+fn fig8(policy: Policy) {
     header("Figure 8: receiver CPU load by reorder algorithm (2 x 1 Gbps)");
+    print_policy(policy);
     println!(
         "{:>14}  {:>9}  {:>8}  {:>11}  {:>9}  {:>12}",
         "algorithm", "subflows", "CPU %", "ops/packet", "hit rate", "goodput Mbps"
     );
-    for r in fig8_reorder::run(SEED) {
+    for r in fig8_reorder::run_with(SEED, policy) {
         println!(
             "{:>14}  {:>9}  {:>8.1}  {:>11.2}  {:>8.0}%  {:>12.0}",
             r.algo,
@@ -279,14 +328,15 @@ fn fig8() {
     }
 }
 
-fn fig9(quick: bool) {
+fn fig9(quick: bool, policy: Policy) {
     header("Figure 9: MPTCP over real-like 3G and capped WiFi (both 2 Mbps)");
+    print_policy(policy);
     let bufs = if quick {
         vec![100_000, 500_000]
     } else {
         fig9_wifi3g::default_bufs()
     };
-    let rows = fig9_wifi3g::sweep(&bufs, SEED);
+    let rows = fig9_wifi3g::sweep_with(&bufs, SEED, policy);
     if let Some(first) = rows.first() {
         print!("{:>9}", "buf KB");
         for (label, _) in &first.results {
@@ -313,8 +363,9 @@ fn fig10(quick: bool) {
     }
 }
 
-fn fig11(quick: bool) {
+fn fig11(quick: bool, policy: Policy) {
     header("Figure 11: HTTP requests/sec vs transfer size (closed loop)");
+    print_policy(policy);
     let mut cfg = fig11_http::Config::default();
     let mut sizes = fig11_http::default_sizes();
     if quick {
@@ -328,7 +379,7 @@ fn fig11(quick: bool) {
         cfg.link_mbps,
         cfg.duration.as_secs()
     );
-    let rows = fig11_http::sweep(cfg, &sizes, SEED);
+    let rows = fig11_http::sweep_with(cfg, &sizes, SEED, policy);
     if let Some(first) = rows.first() {
         print!("{:>9}", "size KB");
         for (label, _) in &first.results {
@@ -345,20 +396,22 @@ fn fig11(quick: bool) {
     }
 }
 
-fn telemetry_report(quick: bool) {
+fn telemetry_report(quick: bool, policy: Policy) {
     header("Telemetry: MPTCP+M1,2, WiFi+3G, 200 KB receive buffer");
+    print_policy(policy);
     let measure = if quick {
         Duration::from_secs(5)
     } else {
         common::MEASURE
     };
-    let r = common::run_bulk(
+    let r = common::run_bulk_with(
         common::Variant::MptcpM12,
         200_000,
         common::wifi_3g_paths(),
         common::WARMUP,
         measure,
         SEED,
+        policy,
     );
     println!(
         "goodput {:.2} Mbps, throughput {:.2} Mbps",
@@ -367,6 +420,7 @@ fn telemetry_report(quick: bool) {
     print!("{}", r.telemetry.render_table());
     let report =
         mptcp_harness::RunReport::new("telemetry", common::Variant::MptcpM12.label(), r.telemetry)
+            .policy(policy.cc.name(), policy.sched.name())
             .metric("goodput_mbps", r.goodput_mbps)
             .metric("throughput_mbps", r.throughput_mbps)
             .metric("sender_mem", r.sender_mem)
@@ -376,7 +430,7 @@ fn telemetry_report(quick: bool) {
     println!("{}", mptcp_harness::to_json_lines(&[report]));
 }
 
-fn trace_run(args: &[String]) {
+fn trace_run(args: &[String], policy: Policy) {
     use mptcp_harness::experiments::trace as tr;
     use mptcp_telemetry::TraceWriter;
 
@@ -406,7 +460,8 @@ fn trace_run(args: &[String]) {
         scenario.name(),
         scenario.describe()
     ));
-    let art = tr::run(scenario, SEED);
+    print_policy(policy);
+    let art = tr::run_with(scenario, SEED, policy);
     let r = &art.run;
     println!(
         "goodput {:.2} Mbps, throughput {:.2} Mbps{}",
@@ -474,7 +529,7 @@ fn trace_run(args: &[String]) {
     }
 }
 
-fn chaos_run(args: &[String]) {
+fn chaos_run(args: &[String], policy: Policy) {
     use mptcp_harness::experiments::{chaos, trace as tr};
     use mptcp_telemetry::TraceWriter;
 
@@ -503,7 +558,8 @@ fn chaos_run(args: &[String]) {
     }
 
     header("Chaos: fault injection, path failure and break-before-make recovery");
-    let art = chaos::run(SEED, sweep_n);
+    print_policy(policy);
+    let art = chaos::run_with(SEED, sweep_n, policy);
 
     let b = &art.blackout;
     println!("[blackout] WiFi path dark for 3 s at t=1 s, continuous bulk over WiFi+3G");
@@ -577,6 +633,7 @@ fn chaos_run(args: &[String]) {
     }
     let report =
         mptcp_harness::RunReport::new("chaos", "blackout 3s, WiFi+3G", b.telemetry.clone())
+            .policy(policy.cc.name(), policy.sched.name())
             .metric("delivered_during_blackout", b.delivered_during as f64)
             .metric("path_failures", b.path_failures as f64)
             .metric("path_recoveries", b.path_recoveries as f64)
@@ -624,13 +681,14 @@ fn usage_trace(err: &str) -> ! {
     std::process::exit(2);
 }
 
-fn mbox_matrix() {
+fn mbox_matrix(policy: Policy) {
     header("S3/S4.1: middlebox x design survival matrix (200 KB transfer)");
+    print_policy(policy);
     println!(
         "{:>20}  {:>22}  {:>22}  {:>22}",
         "middlebox", "MPTCP", "strawman (striped)", "TCP"
     );
-    let cells = mbox::matrix(SEED);
+    let cells = mbox::matrix_with(SEED, policy);
     for chunk in cells.chunks(3) {
         print!("{:>20}", chunk[0].mbox.label());
         for cell in chunk {

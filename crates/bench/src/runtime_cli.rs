@@ -270,11 +270,10 @@ pub fn wire_bench(args: &[String]) {
     // Wire-realistic segments, big buffers: the benchmark measures the
     // runtime's datagram pipeline, so don't throttle it with small
     // windows (the stack's ACK clocking makes the standard MSS fastest).
-    let cfg = MptcpConfig {
-        send_buf: 4 * 1024 * 1024,
-        recv_buf: 4 * 1024 * 1024,
-        ..MptcpConfig::default()
-    };
+    let cfg = MptcpConfig::builder()
+        .buffers(4 * 1024 * 1024)
+        .build()
+        .expect("wire-bench config is valid");
     // Tight loop: on loopback the idle-sleep cap *is* the RTT, so shrink
     // it and raise the batch limits to measure the pipeline, not the nap.
     let loop_cfg = LoopConfig {

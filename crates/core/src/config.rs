@@ -1,10 +1,18 @@
-//! MPTCP connection configuration: mechanisms, scheduler, reorder algorithm.
+//! MPTCP connection configuration: mechanisms, policies, reorder algorithm.
+//!
+//! [`MptcpConfig::builder`] is the single supported construction path:
+//! it validates every knob combination and is where the two policy axes —
+//! [`CcAlgorithm`] and [`SchedulerKind`] — plug in. Raw fields are crate
+//! private; read accessors cover everything external code needs, and
+//! [`MptcpConfig::into_builder`] re-opens an existing config for edits.
 
 use std::fmt;
 
 use mptcp_netsim::Duration;
-use mptcp_tcpstack::TcpConfig;
+use mptcp_tcpstack::{CcAlgorithm, TcpConfig};
 use mptcp_telemetry::{TraceConfig, DEFAULT_EVENT_CAPACITY};
+
+use crate::sched::SchedulerKind;
 
 /// The receive-path out-of-order queue algorithms of §4.3 / Figure 8.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -108,38 +116,43 @@ impl Default for FailureDetection {
 }
 
 /// Configuration for an MPTCP connection.
+///
+/// Construct via [`MptcpConfig::builder`] (validated) or start from
+/// [`MptcpConfig::default`] and the `with_*` conveniences; fields are
+/// crate-private so every external mutation goes through the builder.
 #[derive(Clone, Debug)]
 pub struct MptcpConfig {
     /// Per-subflow TCP parameters.
-    pub tcp: TcpConfig,
+    pub(crate) tcp: TcpConfig,
     /// Require and verify DSS checksums (§3.3.6; off for datacenters).
-    pub checksum: bool,
+    pub(crate) checksum: bool,
     /// Receive-buffer mechanisms.
-    pub mech: Mechanisms,
+    pub(crate) mech: Mechanisms,
     /// Out-of-order queue algorithm.
-    pub reorder: ReorderAlgo,
-    /// Use coupled (LIA) congestion control across subflows; plain Reno
-    /// per subflow when false.
-    pub coupled_cc: bool,
+    pub(crate) reorder: ReorderAlgo,
+    /// Congestion-control algorithm installed on every subflow.
+    pub(crate) cc: CcAlgorithm,
+    /// Packet scheduler deciding which subflow carries each chunk.
+    pub(crate) scheduler: SchedulerKind,
     /// Connection-level send buffer cap in bytes.
-    pub send_buf: usize,
+    pub(crate) send_buf: usize,
     /// Connection-level receive buffer cap in bytes.
-    pub recv_buf: usize,
+    pub(crate) recv_buf: usize,
     /// Automatically open subflows toward addresses learned via ADD_ADDR
     /// or configured locally.
-    pub auto_join: bool,
+    pub(crate) auto_join: bool,
     /// Maximum live subflows per connection; `open_subflow` and
     /// `accept_join` refuse beyond this.
-    pub max_subflows: usize,
+    pub(crate) max_subflows: usize,
     /// Capacity of the telemetry event ring (discrete events retained in a
     /// [`mptcp_telemetry::TelemetrySnapshot`]).
-    pub event_capacity: usize,
+    pub(crate) event_capacity: usize,
     /// Time-series tracing of connection and subflow internals. Disabled
     /// by default; when set enabled it is also propagated to each
     /// subflow's `tcp.trace` so per-subflow cwnd/RTT series record too.
-    pub trace: TraceConfig,
+    pub(crate) trace: TraceConfig,
     /// Path-failure detection thresholds and the all-paths abort deadline.
-    pub failure: FailureDetection,
+    pub(crate) failure: FailureDetection,
 }
 
 impl Default for MptcpConfig {
@@ -157,7 +170,8 @@ impl Default for MptcpConfig {
             checksum: true,
             mech: Mechanisms::M1_2,
             reorder: ReorderAlgo::Shortcuts,
-            coupled_cc: true,
+            cc: CcAlgorithm::Lia,
+            scheduler: SchedulerKind::MinRtt,
             send_buf: 2 * 1024 * 1024,
             recv_buf: 2 * 1024 * 1024,
             auto_join: true,
@@ -199,6 +213,76 @@ impl MptcpConfig {
         MptcpConfigBuilder {
             cfg: MptcpConfig::default(),
         }
+    }
+
+    /// Re-open this configuration for further (validated) edits.
+    pub fn into_builder(self) -> MptcpConfigBuilder {
+        MptcpConfigBuilder { cfg: self }
+    }
+
+    /// Per-subflow TCP parameters.
+    pub fn tcp(&self) -> &TcpConfig {
+        &self.tcp
+    }
+
+    /// Are DSS checksums required and verified?
+    pub fn checksum(&self) -> bool {
+        self.checksum
+    }
+
+    /// The active receive-buffer mechanism set (M1–M4).
+    pub fn mechanisms(&self) -> Mechanisms {
+        self.mech
+    }
+
+    /// The out-of-order queue algorithm.
+    pub fn reorder(&self) -> ReorderAlgo {
+        self.reorder
+    }
+
+    /// The congestion-control algorithm installed on subflows.
+    pub fn cc(&self) -> CcAlgorithm {
+        self.cc
+    }
+
+    /// The packet scheduler placing chunks onto subflows.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// Connection-level send buffer cap (bytes).
+    pub fn send_buf(&self) -> usize {
+        self.send_buf
+    }
+
+    /// Connection-level receive buffer cap (bytes).
+    pub fn recv_buf(&self) -> usize {
+        self.recv_buf
+    }
+
+    /// Are advertised addresses joined automatically?
+    pub fn auto_join(&self) -> bool {
+        self.auto_join
+    }
+
+    /// Maximum live subflows per connection.
+    pub fn max_subflows(&self) -> usize {
+        self.max_subflows
+    }
+
+    /// Telemetry event-ring capacity.
+    pub fn event_capacity(&self) -> usize {
+        self.event_capacity
+    }
+
+    /// Time-series trace configuration.
+    pub fn trace(&self) -> TraceConfig {
+        self.trace
+    }
+
+    /// Path-failure detection thresholds.
+    pub fn failure_detection(&self) -> FailureDetection {
+        self.failure
     }
 
     /// Check invariants a hand-assembled configuration may violate.
@@ -386,10 +470,26 @@ impl MptcpConfigBuilder {
         self
     }
 
-    /// Couple congestion control across subflows (LIA) or not (Reno).
-    pub fn coupled_cc(mut self, on: bool) -> Self {
-        self.cfg.coupled_cc = on;
+    /// Select the congestion-control algorithm installed on subflows.
+    pub fn cc(mut self, algo: CcAlgorithm) -> Self {
+        self.cfg.cc = algo;
         self
+    }
+
+    /// Select the packet scheduler.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.cfg.scheduler = kind;
+        self
+    }
+
+    /// Couple congestion control across subflows (LIA) or not (Reno).
+    #[deprecated(note = "use `cc(CcAlgorithm::Lia)` / `cc(CcAlgorithm::Reno)`")]
+    pub fn coupled_cc(self, on: bool) -> Self {
+        self.cc(if on {
+            CcAlgorithm::Lia
+        } else {
+            CcAlgorithm::Reno
+        })
     }
 
     /// Automatically join advertised addresses.

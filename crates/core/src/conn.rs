@@ -25,7 +25,7 @@ use mptcp_packet::mptcp_opts::AdvertisedAddr;
 use mptcp_packet::{
     checksum, crypto, DssMapping, Endpoint, FourTuple, MptcpOption, SeqNum, TcpOption, TcpSegment,
 };
-use mptcp_tcpstack::{cc, Lia, TcpSocket};
+use mptcp_tcpstack::{CoupledState, FlowView, TcpSocket};
 use mptcp_telemetry::{
     CounterId, EventKind, FallbackCause, GaugeId, Recorder, TelemetrySnapshot, TraceRecord,
     TraceSnapshot, Tracer, SPAN_CONN_LEVEL,
@@ -36,6 +36,7 @@ use crate::config::MptcpConfig;
 use crate::dsn::infer_full_dsn;
 use crate::mapping::{Consumed, MappingTracker};
 use crate::reorder::{make_queue, OooQueue};
+use crate::sched::{PathSnapshot, SchedCtx, SchedDecision, Scheduler};
 use crate::subflow::{JoinState, PathState, Subflow};
 use crate::token::{KeySet, TokenTable};
 
@@ -191,7 +192,14 @@ pub struct MptcpConnection {
     /// Connection-level time-series tracer (ConnSamples and span events;
     /// per-subflow series live in each subflow socket's tracer).
     tracer: Tracer,
-    /// Scheduler currently stalled? Gates the transition-only stall span.
+    /// The configured packet scheduler (policy only; tiering, reinjection
+    /// and telemetry stay here in the connection).
+    sched: Box<dyn Scheduler>,
+    /// Cross-subflow congestion-control coupling state (owned here: only
+    /// the connection sees every subflow).
+    coupled: CoupledState,
+    /// Last scheduler decision was a stall? Gates the transition-only
+    /// stall span; any non-stall decision clears it.
     sched_stalled: bool,
     poll_cursor: usize,
 }
@@ -346,6 +354,8 @@ impl MptcpConnection {
             stats: ConnStats::default(),
             telemetry: Recorder::with_event_capacity(cfg.event_capacity),
             tracer: Tracer::new(cfg.trace),
+            sched: cfg.scheduler.build(),
+            coupled: CoupledState::new(cfg.cc),
             sched_stalled: false,
             poll_cursor: 0,
             cfg,
@@ -353,14 +363,9 @@ impl MptcpConnection {
     }
 
     /// Install the configured congestion controller on a subflow socket
-    /// (coupled LIA by default, per-subflow Reno otherwise).
+    /// (coupled LIA by default; see [`mptcp_tcpstack::CcAlgorithm`]).
     fn install_cc(cfg: &MptcpConfig, sock: &mut TcpSocket) {
-        if cfg.coupled_cc {
-            sock.set_cc(Box::new(Lia::new(
-                cfg.tcp.mss as u32,
-                cfg.tcp.init_cwnd_segs,
-            )));
-        }
+        sock.set_cc(cfg.cc.build(cfg.tcp.mss as u32, cfg.tcp.init_cwnd_segs));
     }
 
     fn set_remote_key(&mut self, key: u64) {
@@ -1838,102 +1843,176 @@ impl MptcpConnection {
         }
     }
 
-    /// Recompute LIA coupling across subflows (RFC 6356 alpha).
+    /// Recompute cross-subflow coupling and push per-flow signals down.
+    ///
+    /// The connection owns the [`CoupledState`]; subflow controllers only
+    /// ever see their own [`mptcp_tcpstack::CoupledSignal`].
     fn refresh_coupling(&mut self) {
-        if !self.cfg.coupled_cc {
+        if !self.coupled.is_coupled() {
             return;
         }
-        let flows: Vec<(u32, Duration)> = self
-            .subflows
-            .iter()
-            .filter(|s| s.usable())
-            .filter_map(|s| s.sock.srtt().map(|r| (s.sock.cwnd(), r)))
+        // Only subflows with an RTT sample shape the computation (matching
+        // the original LIA alpha computation).
+        let members: Vec<usize> = (0..self.subflows.len())
+            .filter(|&i| self.subflows[i].usable() && self.subflows[i].sock.srtt().is_some())
             .collect();
-        if flows.is_empty() {
+        if members.is_empty() {
             return;
         }
-        let alpha = cc::lia_alpha(&flows);
-        let total: u32 = flows.iter().map(|f| f.0).sum();
-        for sf in &mut self.subflows {
-            if sf.usable() {
-                sf.sock.cc_mut().set_coupled(alpha, total);
+        let flows: Vec<FlowView> = members
+            .iter()
+            .map(|&i| FlowView {
+                cwnd: self.subflows[i].sock.cwnd(),
+                srtt: self.subflows[i].sock.srtt().expect("filtered above"),
+            })
+            .collect();
+        let signals = self.coupled.recompute(&flows).to_vec();
+        for (&i, &sig) in members.iter().zip(&signals) {
+            self.subflows[i].sock.cc_mut().set_coupled(sig);
+        }
+        // Usable subflows still waiting for a first RTT sample see the
+        // aggregate (alpha/total) view too, as the inlined computation
+        // did — with a neutral per-path term for per-path algorithms.
+        let shared = mptcp_tcpstack::CoupledSignal {
+            alpha: if self.coupled.algo() == mptcp_tcpstack::CcAlgorithm::Olia {
+                0.0
+            } else {
+                signals[0].alpha
+            },
+            ..signals[0]
+        };
+        for i in 0..self.subflows.len() {
+            if self.subflows[i].usable() && !members.contains(&i) {
+                self.subflows[i].sock.cc_mut().set_coupled(shared);
             }
         }
     }
 
-    /// The scheduler: place chunks on the lowest-RTT subflow with
-    /// congestion window headroom (§4.2).
+    /// Chunk placement. The connection builds the eligibility-tiered
+    /// path snapshot (Active -> backup -> Suspect, never Failed), asks
+    /// the configured [`Scheduler`] where each chunk goes, and keeps the
+    /// reinjection queue, M1/M2 mechanisms, chunk cutting and stall/pick
+    /// telemetry here — so every scheduler policy inherits them.
     fn push_data(&mut self, now: SimTime) {
         loop {
-            // Order usable subflows by smoothed RTT. The failure detector's
-            // verdict gates eligibility: Active paths first, backups next,
-            // Suspect paths only when nothing else is left, Failed paths
-            // never (their in-flight chunks were already reinjected).
+            // The failure detector's verdict gates eligibility: Active
+            // paths first, backups next, Suspect paths only when nothing
+            // else is left, Failed paths never (their in-flight chunks
+            // were already reinjected).
             let eligible = |sf: &Subflow, state: PathState, backup_ok: bool| {
                 sf.usable() && sf.path_state == state && (backup_ok || !sf.backup)
             };
-            let mut order: Vec<usize> = (0..self.subflows.len())
+            let mut tier: Vec<usize> = (0..self.subflows.len())
                 .filter(|&i| eligible(&self.subflows[i], PathState::Active, false))
                 .collect();
-            if order.is_empty() {
+            if tier.is_empty() {
                 // Backup subflows only as a last resort.
-                order = (0..self.subflows.len())
+                tier = (0..self.subflows.len())
                     .filter(|&i| eligible(&self.subflows[i], PathState::Active, true))
                     .collect();
             }
-            if order.is_empty() {
-                order = (0..self.subflows.len())
+            if tier.is_empty() {
+                tier = (0..self.subflows.len())
                     .filter(|&i| eligible(&self.subflows[i], PathState::Suspect, true))
                     .collect();
             }
-            order.sort_by_key(|&i| self.subflows[i].srtt_or_default());
 
-            let Some(&target) = order.iter().find(|&&i| {
-                self.subflows[i].tx_headroom() > 0 && self.subflows[i].sock.send_space() > 0
-            }) else {
-                // Work is waiting but no subflow can take it.
-                if !self.pending.is_empty() || !self.reinject.is_empty() {
-                    self.telemetry.count(CounterId::SchedulerStalls);
-                    if !self.sched_stalled {
-                        self.sched_stalled = true;
-                        self.trace_span(
-                            now,
-                            SPAN_CONN_LEVEL,
-                            EventKind::SchedulerStall {
-                                pending_bytes: self.pending_bytes as u64,
-                                reinject_queued: self.reinject.len() as u64,
-                            },
-                        );
+            // Re-injections are next in line (fixed DSNs); prefer a
+            // subflow other than the one the chunk is already stuck on.
+            let reinject_head = self.reinject.front().copied();
+            let avoid = reinject_head
+                .filter(|&dsn| dsn >= self.snd_una)
+                .and_then(|dsn| self.sent.get(&dsn))
+                .map(|c| c.subflow);
+
+            let paths: Vec<PathSnapshot> = tier
+                .iter()
+                .map(|&i| {
+                    let sf = &self.subflows[i];
+                    PathSnapshot {
+                        id: i,
+                        srtt: sf.srtt_or_default(),
+                        cwnd: sf.sock.cwnd(),
+                        mss: sf.sock.mss(),
+                        headroom: sf.tx_headroom(),
+                        send_space: sf.sock.send_space(),
+                        in_flight: sf.sock.bytes_in_flight(),
+                        backup: sf.backup,
+                        suspect: sf.path_state == PathState::Suspect,
                     }
+                })
+                .collect();
+            let work_pending = !self.pending.is_empty() || !self.reinject.is_empty();
+            let decision = if paths.is_empty() {
+                SchedDecision::Stall
+            } else {
+                self.sched.pick(&SchedCtx {
+                    paths: &paths,
+                    send_window_free: self.snd_right_edge.saturating_sub(self.snd_nxt),
+                    pending_bytes: self.pending_bytes,
+                    is_reinject: reinject_head.is_some(),
+                    avoid,
+                })
+            };
+
+            let picks: Vec<usize> = match decision {
+                SchedDecision::Pick(id) => vec![id],
+                SchedDecision::PickAll(ids) => ids,
+                SchedDecision::Defer => {
+                    // A deliberate wait for a better path (BLEST): not a
+                    // stall — the fast path's ACK clock re-polls us.
+                    self.sched_stalled = false;
+                    if work_pending {
+                        self.telemetry.count(CounterId::SchedulerDefers);
+                    }
+                    return;
                 }
-                return;
+                SchedDecision::Stall => {
+                    // Work is waiting but no subflow can take it. Stall
+                    // accounting is per scheduler decision: a redundant
+                    // or round-robin placement with only *some* paths
+                    // blocked never lands here.
+                    if work_pending {
+                        self.telemetry.count(CounterId::SchedulerStalls);
+                        if !self.sched_stalled {
+                            self.sched_stalled = true;
+                            self.trace_span(
+                                now,
+                                SPAN_CONN_LEVEL,
+                                EventKind::SchedulerStall {
+                                    pending_bytes: self.pending_bytes as u64,
+                                    reinject_queued: self.reinject.len() as u64,
+                                },
+                            );
+                        }
+                    }
+                    return;
+                }
             };
             self.sched_stalled = false;
+            debug_assert!(!picks.is_empty(), "scheduler returned an empty pick set");
+            let primary = picks[0];
 
-            // Re-injections first (fixed DSNs). Prefer a subflow other
-            // than the one the chunk is already stuck on.
-            if let Some(&dsn) = self.reinject.front() {
+            // Re-injections first (fixed DSNs).
+            if let Some(dsn) = reinject_head {
                 if dsn < self.snd_una || !self.sent.contains_key(&dsn) {
                     self.reinject.pop_front();
                     continue;
                 }
-                let stuck_on = self.sent.get(&dsn).unwrap().subflow;
-                let target = order
-                    .iter()
-                    .copied()
-                    .find(|&i| {
-                        i != stuck_on
-                            && self.subflows[i].tx_headroom() > 0
-                            && self.subflows[i].sock.send_space() > 0
-                    })
-                    .unwrap_or(target);
                 let chunk_data = self.sent.get(&dsn).unwrap().data.clone();
-                self.place_chunk(target, dsn, chunk_data.clone(), now);
+                for &id in &picks {
+                    // Redundant copies (non-primary picks) are only
+                    // buffer-gated; skip one the buffer can't take.
+                    if id != primary && self.subflows[id].sock.send_space() < chunk_data.len() {
+                        continue;
+                    }
+                    self.place_chunk(id, dsn, chunk_data.clone(), now);
+                }
                 self.sent.insert(
                     dsn,
                     SentChunk {
                         data: chunk_data,
-                        subflow: target,
+                        subflow: primary,
                     },
                 );
                 self.reinject.pop_front();
@@ -1945,7 +2024,7 @@ impl MptcpConnection {
             // exhausted by data stuck on a slower path.
             let rwnd_limited = self.snd_nxt >= self.snd_right_edge && self.snd_una < self.snd_nxt;
             if rwnd_limited {
-                self.maybe_mechanisms(now, target);
+                self.maybe_mechanisms(now, primary);
                 return;
             }
             if self.pending.is_empty() {
@@ -1955,14 +2034,14 @@ impl MptcpConnection {
             // beyond DATA_ACK + window.
             let window_room = self.snd_right_edge.saturating_sub(self.snd_nxt);
             if window_room == 0 {
-                self.maybe_mechanisms(now, target);
+                self.maybe_mechanisms(now, primary);
                 return;
             }
 
             // Cut a chunk (≤ MSS, ≤ window) from pending data. Chunks are
             // the mapping granularity: retransmissions re-use identical
             // boundaries so middleboxes never see inconsistent content.
-            let mss = self.subflows[target].sock.mss();
+            let mss = self.subflows[primary].sock.mss();
             let take = mss.min(window_room as usize).min(self.pending_bytes);
             let mut chunk = Vec::with_capacity(take);
             while chunk.len() < take {
@@ -1980,12 +2059,19 @@ impl MptcpConnection {
             let data = Bytes::from(chunk);
             let dsn = self.snd_nxt;
             self.snd_nxt += take as u64;
-            self.place_chunk(target, dsn, data.clone(), now);
+            for &id in &picks {
+                // Redundant copies (non-primary picks) are only
+                // buffer-gated; skip one the buffer can't take.
+                if id != primary && self.subflows[id].sock.send_space() < take {
+                    continue;
+                }
+                self.place_chunk(id, dsn, data.clone(), now);
+            }
             self.sent.insert(
                 dsn,
                 SentChunk {
                     data,
-                    subflow: target,
+                    subflow: primary,
                 },
             );
             self.sent_bytes += take;

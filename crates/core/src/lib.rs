@@ -37,6 +37,7 @@ pub mod dsn;
 pub mod endpoint;
 pub mod mapping;
 pub mod reorder;
+pub mod sched;
 pub mod subflow;
 pub mod token;
 
@@ -46,7 +47,9 @@ pub use config::{
 };
 pub use conn::{ConnEvent, ConnState, ConnStats, MptcpConnection};
 pub use endpoint::MptcpListener;
+pub use mptcp_tcpstack::{CcAlgorithm, CoupledSignal, CoupledState, FlowView, TcpConfig};
 pub use mptcp_telemetry as telemetry;
+pub use sched::{PathSnapshot, SchedCtx, SchedDecision, Scheduler, SchedulerKind};
 pub use subflow::PathState;
 pub use token::{KeyPool, KeySet, TokenTable};
 

@@ -33,16 +33,16 @@ const SERVER: u32 = 0x0a000001;
 /// Failure detection far out of the way: this test is about timer
 /// mechanics, not about path-failure semantics (covered elsewhere).
 fn lax_cfg() -> MptcpConfig {
-    MptcpConfig {
-        failure: FailureDetection {
+    MptcpConfig::builder()
+        .failure_detection(FailureDetection {
             suspect_after_rtos: 50,
             fail_after_rtos: 100,
             progress_timeout: Duration::from_secs(600),
             probe_interval: Duration::from_secs(600),
             abort_deadline: Duration::from_secs(3600),
-        },
-        ..MptcpConfig::default()
-    }
+        })
+        .build()
+        .expect("valid config")
 }
 
 /// Drain `client.poll` at `now` (each call ticks) and return the emitted

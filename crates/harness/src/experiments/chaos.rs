@@ -22,22 +22,24 @@ use mptcp::telemetry::{CounterId, EventKind, TelemetrySnapshot, TraceConfig, Tra
 use mptcp::{AbortReason, FailureDetection, Mechanisms, MptcpConfig, PathState};
 use mptcp_netsim::{AppliedFault, Duration, FaultKind, SimRng, SimTime};
 
-use super::common::wifi_3g_paths;
+use super::common::{wifi_3g_paths, Policy};
 use crate::hosts::{ClientApp, ServerApp};
 use crate::scenario::{Scenario, TransportKind};
 
 /// Shared client configuration: generous buffers so the blackout strands
 /// real in-flight data, M1+M2 (the paper's recommended set), no checksum
 /// cost.
-fn chaos_cfg(trace: bool) -> MptcpConfig {
-    let mut cfg = MptcpConfig::default()
-        .with_buffers(256 * 1024)
-        .with_mechanisms(Mechanisms::M1_2);
-    cfg.checksum = false;
+fn chaos_cfg(trace: bool, policy: Policy) -> MptcpConfig {
+    let mut b = MptcpConfig::builder()
+        .buffers(256 * 1024)
+        .mechanisms(Mechanisms::M1_2)
+        .checksum(false)
+        .cc(policy.cc)
+        .scheduler(policy.sched);
     if trace {
-        cfg = cfg.with_trace(TraceConfig::enabled());
+        b = b.trace(TraceConfig::enabled());
     }
-    cfg
+    b.build().expect("chaos config is valid")
 }
 
 /// A continuous client → server bulk scenario over WiFi+3G.
@@ -89,7 +91,12 @@ pub struct BlackoutOutcome {
 /// Blackout the WiFi path (path 0 — the scheduler's preferred low-RTT
 /// path) from t=1 s for 3 s under a continuous bulk transfer.
 pub fn blackout(seed: u64) -> BlackoutOutcome {
-    let mut sc = bulk_scenario(chaos_cfg(true), usize::MAX / 2, seed);
+    blackout_with(seed, Policy::default())
+}
+
+/// [`blackout`] with an explicit cc + scheduler policy.
+pub fn blackout_with(seed: u64, policy: Policy) -> BlackoutOutcome {
+    let mut sc = bulk_scenario(chaos_cfg(true, policy), usize::MAX / 2, seed);
     sc.sim
         .faults
         .blackout(0, SimTime::from_secs(1), Duration::from_secs(3));
@@ -205,12 +212,20 @@ pub struct AllPathsOutcome {
 /// Take every path down (open-ended, no restore) one second into a bulk
 /// transfer; the connection must abort with a typed reason — never hang.
 pub fn all_paths(seed: u64) -> AllPathsOutcome {
+    all_paths_with(seed, Policy::default())
+}
+
+/// [`all_paths`] with an explicit cc + scheduler policy.
+pub fn all_paths_with(seed: u64, policy: Policy) -> AllPathsOutcome {
     let abort_deadline = Duration::from_secs(5);
-    let mut cfg = chaos_cfg(false);
-    cfg.failure = FailureDetection {
-        abort_deadline,
-        ..FailureDetection::default()
-    };
+    let cfg = chaos_cfg(false, policy)
+        .into_builder()
+        .failure_detection(FailureDetection {
+            abort_deadline,
+            ..FailureDetection::default()
+        })
+        .build()
+        .expect("chaos config is valid");
     let mut sc = bulk_scenario(cfg, usize::MAX / 2, seed);
     let from = SimTime::from_secs(1);
     sc.sim.faults.at(from, 0, FaultKind::LinkDown);
@@ -310,7 +325,12 @@ fn random_schedule(sc: &mut Scenario, seed: u64) {
 
 /// Run one seeded randomized-fault transfer and check the invariants.
 pub fn sweep_run(seed: u64) -> SweepRun {
-    let mut sc = bulk_scenario(chaos_cfg(false), SWEEP_TOTAL, seed);
+    sweep_run_with(seed, Policy::default())
+}
+
+/// [`sweep_run`] with an explicit cc + scheduler policy.
+pub fn sweep_run_with(seed: u64, policy: Policy) -> SweepRun {
+    let mut sc = bulk_scenario(chaos_cfg(false, policy), SWEEP_TOTAL, seed);
     random_schedule(&mut sc, seed);
 
     let mut delivered = 0u64;
@@ -394,10 +414,17 @@ impl ChaosArtifacts {
 
 /// Run everything.
 pub fn run(seed: u64, sweep_n: u64) -> ChaosArtifacts {
+    run_with(seed, sweep_n, Policy::default())
+}
+
+/// [`run`] with an explicit cc + scheduler policy.
+pub fn run_with(seed: u64, sweep_n: u64, policy: Policy) -> ChaosArtifacts {
     ChaosArtifacts {
-        blackout: blackout(seed),
-        all_paths: all_paths(seed),
-        sweep: (0..sweep_n).map(|i| sweep_run(seed ^ (i * 7919))).collect(),
+        blackout: blackout_with(seed, policy),
+        all_paths: all_paths_with(seed, policy),
+        sweep: (0..sweep_n)
+            .map(|i| sweep_run_with(seed ^ (i * 7919), policy))
+            .collect(),
     }
 }
 

@@ -1,13 +1,37 @@
 //! Shared experiment plumbing: bulk-transfer runs and measurement windows.
 
 use mptcp::telemetry::{TraceConfig, TraceSnapshot};
-use mptcp::{Mechanisms, MptcpConfig, ReorderAlgo};
+use mptcp::{CcAlgorithm, Mechanisms, MptcpConfig, ReorderAlgo, SchedulerKind};
 use mptcp_netsim::{CaptureConfig, CaptureSnapshot, Duration, PacketCapture, Path, SimTime};
 use mptcp_tcpstack::TcpConfig;
 
 use crate::hosts::{ClientApp, ServerApp};
 use crate::metrics::Rates;
 use crate::scenario::{Scenario, TransportKind};
+
+/// The (congestion-control, scheduler) policy pair a run uses.
+///
+/// Every experiment accepts one of these; the default — coupled LIA with
+/// the lowest-RTT scheduler — is the paper's deployable configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Policy {
+    /// Congestion-control algorithm installed on every subflow.
+    pub cc: CcAlgorithm,
+    /// Packet scheduler driving chunk placement.
+    pub sched: SchedulerKind,
+}
+
+impl Policy {
+    /// A policy from explicit parts.
+    pub fn new(cc: CcAlgorithm, sched: SchedulerKind) -> Policy {
+        Policy { cc, sched }
+    }
+
+    /// `"lia+minrtt"`-style label for reports and table headers.
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.cc, self.sched)
+    }
+}
 
 /// The transport variants the figures compare.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,8 +66,15 @@ impl Variant {
         }
     }
 
-    /// Build the transport kind with symmetric `buf` send/receive buffers.
+    /// Build the transport kind with symmetric `buf` send/receive buffers
+    /// and the default (LIA + minRTT) policy.
     pub fn kind(&self, buf: usize) -> TransportKind {
+        self.kind_with(buf, Policy::default())
+    }
+
+    /// [`Variant::kind`] with an explicit congestion-control + scheduler
+    /// policy. TCP variants ignore the policy (single path, Reno).
+    pub fn kind_with(&self, buf: usize, policy: Policy) -> TransportKind {
         match self {
             Variant::Tcp => TransportKind::Tcp(tcp_cfg(buf, false)),
             Variant::BondedTcp => TransportKind::BondedTcp(tcp_cfg(buf, false)),
@@ -55,12 +86,16 @@ impl Variant {
                     Variant::MptcpM123 => Mechanisms::M1_2_3,
                     _ => Mechanisms::ALL,
                 };
-                let mut cfg = MptcpConfig::default()
-                    .with_buffers(buf)
-                    .with_mechanisms(mech);
-                cfg.reorder = ReorderAlgo::Shortcuts;
-                // The paper's emulated-link studies disable checksum cost.
-                cfg.checksum = false;
+                let cfg = MptcpConfig::builder()
+                    .buffers(buf)
+                    .mechanisms(mech)
+                    .reorder(ReorderAlgo::Shortcuts)
+                    // The paper's emulated-link studies disable checksum cost.
+                    .checksum(false)
+                    .cc(policy.cc)
+                    .scheduler(policy.sched)
+                    .build()
+                    .expect("experiment config is valid");
                 TransportKind::Mptcp(cfg)
             }
         }
@@ -113,13 +148,36 @@ pub fn run_bulk(
     measure: Duration,
     seed: u64,
 ) -> BulkResult {
-    run_bulk_traced(
+    run_bulk_with(
         variant,
         buf,
         paths,
         warmup,
         measure,
         seed,
+        Policy::default(),
+    )
+}
+
+/// [`run_bulk`] with an explicit congestion-control + scheduler policy.
+#[allow(clippy::too_many_arguments)] // mirrors run_bulk + the policy
+pub fn run_bulk_with(
+    variant: Variant,
+    buf: usize,
+    paths: Vec<Path>,
+    warmup: Duration,
+    measure: Duration,
+    seed: u64,
+    policy: Policy,
+) -> BulkResult {
+    run_bulk_traced_with(
+        variant,
+        buf,
+        paths,
+        warmup,
+        measure,
+        seed,
+        policy,
         TraceConfig::disabled(),
         CaptureConfig::disabled(),
     )
@@ -140,7 +198,33 @@ pub fn run_bulk_traced(
     trace: TraceConfig,
     capture: CaptureConfig,
 ) -> TracedBulkResult {
-    let mut kind = variant.kind(buf);
+    run_bulk_traced_with(
+        variant,
+        buf,
+        paths,
+        warmup,
+        measure,
+        seed,
+        Policy::default(),
+        trace,
+        capture,
+    )
+}
+
+/// [`run_bulk_traced`] with an explicit policy.
+#[allow(clippy::too_many_arguments)] // mirrors run_bulk_traced + the policy
+pub fn run_bulk_traced_with(
+    variant: Variant,
+    buf: usize,
+    paths: Vec<Path>,
+    warmup: Duration,
+    measure: Duration,
+    seed: u64,
+    policy: Policy,
+    trace: TraceConfig,
+    capture: CaptureConfig,
+) -> TracedBulkResult {
+    let mut kind = variant.kind_with(buf, policy);
     match &mut kind {
         TransportKind::Mptcp(cfg) => *cfg = cfg.clone().with_trace(trace),
         TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => tcp.trace = trace,

@@ -17,6 +17,7 @@ use mptcp::{Mechanisms, MptcpConfig};
 use mptcp_netsim::{Duration, LinkCfg, Path};
 use mptcp_tcpstack::TcpConfig;
 
+use super::common::Policy;
 use crate::scenario::{Scenario, TransportKind};
 
 /// Sweep configuration.
@@ -80,14 +81,23 @@ fn run_one(kind: TransportKind, cfg: &Config, file_size: usize, seed: u64) -> f6
 
 /// Run the sweep over `sizes` for all three transports.
 pub fn sweep(cfg: Config, sizes: &[usize], seed: u64) -> Vec<Row> {
+    sweep_with(cfg, sizes, seed, Policy::default())
+}
+
+/// [`sweep`] with an explicit cc + scheduler policy for the MPTCP row.
+pub fn sweep_with(cfg: Config, sizes: &[usize], seed: u64, policy: Policy) -> Vec<Row> {
     sizes
         .iter()
         .map(|&file_size| {
             let tcp = TcpConfig::with_buffers(512 * 1024);
-            let mut mcfg = MptcpConfig::default()
-                .with_buffers(512 * 1024)
-                .with_mechanisms(Mechanisms::M1_2);
-            mcfg.checksum = false;
+            let mcfg = MptcpConfig::builder()
+                .buffers(512 * 1024)
+                .mechanisms(Mechanisms::M1_2)
+                .checksum(false)
+                .cc(policy.cc)
+                .scheduler(policy.sched)
+                .build()
+                .expect("fig11 config is valid");
             let results = vec![
                 (
                     "MPTCP",

@@ -13,7 +13,9 @@
 
 use mptcp_netsim::{Duration, LinkCfg, Path};
 
-use super::common::{run_bulk, wifi_3g_paths, BulkResult, Variant, MEASURE, WARMUP};
+use super::common::{
+    run_bulk, run_bulk_with, wifi_3g_paths, BulkResult, Policy, Variant, MEASURE, WARMUP,
+};
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -48,6 +50,11 @@ pub fn run_tcp_3g(buf: usize, seed: u64) -> BulkResult {
 
 /// Run the full sweep. `bufs` in bytes (paper: 0–1000 KB).
 pub fn sweep(bufs: &[usize], seed: u64) -> Vec<Row> {
+    sweep_with(bufs, seed, Policy::default())
+}
+
+/// [`sweep`] with an explicit cc + scheduler policy.
+pub fn sweep_with(bufs: &[usize], seed: u64, policy: Policy) -> Vec<Row> {
     bufs.iter()
         .map(|&buf| {
             let results = variants()
@@ -57,7 +64,10 @@ pub fn sweep(bufs: &[usize], seed: u64) -> Vec<Row> {
                         Variant::Tcp => vec![Path::symmetric(LinkCfg::wifi())],
                         _ => wifi_3g_paths(),
                     };
-                    (v, run_bulk(v, buf, paths, WARMUP, MEASURE, seed))
+                    (
+                        v,
+                        run_bulk_with(v, buf, paths, WARMUP, MEASURE, seed, policy),
+                    )
                 })
                 .collect();
             Row { buf, results }

@@ -12,7 +12,7 @@
 
 use mptcp_netsim::{Duration, LinkCfg, Path};
 
-use super::common::{run_bulk, BulkResult, Variant};
+use super::common::{run_bulk, run_bulk_with, BulkResult, Policy, Variant};
 
 /// A WAN-ish link: 10 ms one-way, one base-RTT of buffer.
 fn wan(rate_bps: u64) -> LinkCfg {
@@ -102,6 +102,11 @@ pub struct Row {
 
 /// Run one panel's sweep.
 pub fn sweep(panel: Panel, bufs: &[usize], seed: u64) -> Vec<Row> {
+    sweep_with(panel, bufs, seed, Policy::default())
+}
+
+/// [`sweep`] with an explicit cc + scheduler policy.
+pub fn sweep_with(panel: Panel, bufs: &[usize], seed: u64, policy: Policy) -> Vec<Row> {
     let (warm, meas) = panel.windows();
     bufs.iter()
         .map(|&buf| {
@@ -110,7 +115,7 @@ pub fn sweep(panel: Panel, bufs: &[usize], seed: u64) -> Vec<Row> {
                 ("MPTCP+M1,2", Variant::MptcpM12),
                 ("regular MPTCP", Variant::MptcpRegular),
             ] {
-                let r: BulkResult = run_bulk(v, buf, panel.paths(), warm, meas, seed);
+                let r: BulkResult = run_bulk_with(v, buf, panel.paths(), warm, meas, seed, policy);
                 results.push((label, r.goodput_mbps));
             }
             for (label, path) in panel.baselines() {

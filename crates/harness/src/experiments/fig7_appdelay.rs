@@ -14,7 +14,7 @@ use crate::hosts::{ClientApp, ServerApp};
 use crate::metrics::AppDelayStats;
 use crate::scenario::{Scenario, TransportKind};
 
-use super::common::{wifi_3g_paths, Variant};
+use super::common::{wifi_3g_paths, Policy, Variant};
 
 /// One curve of the PDF plot.
 #[derive(Clone, Debug)]
@@ -43,6 +43,11 @@ fn run_blocks(kind: TransportKind, paths: Vec<Path>, dur: Duration, seed: u64) -
 
 /// Run all four Figure 7 curves with `buf`-byte buffers.
 pub fn run(buf: usize, dur: Duration, seed: u64) -> Vec<Curve> {
+    run_with(buf, dur, seed, Policy::default())
+}
+
+/// [`run`] with an explicit cc + scheduler policy.
+pub fn run_with(buf: usize, dur: Duration, seed: u64, policy: Policy) -> Vec<Curve> {
     let mut out = Vec::new();
     for (label, v) in [
         ("MPTCP + M1,2", Variant::MptcpM12),
@@ -50,7 +55,7 @@ pub fn run(buf: usize, dur: Duration, seed: u64) -> Vec<Curve> {
     ] {
         out.push(Curve {
             label,
-            stats: run_blocks(v.kind(buf), wifi_3g_paths(), dur, seed),
+            stats: run_blocks(v.kind_with(buf, policy), wifi_3g_paths(), dur, seed),
         });
     }
     for (label, link) in [

@@ -9,7 +9,7 @@
 
 use mptcp_netsim::{Duration, LinkCfg, Path};
 
-use super::common::{run_bulk, Variant};
+use super::common::{run_bulk, run_bulk_with, Policy, Variant};
 
 /// Capped-WiFi link: 2 Mbps, 20 ms RTT, 80 ms buffer.
 pub fn capped_wifi() -> LinkCfg {
@@ -31,6 +31,12 @@ pub struct Row {
 
 /// Sweep the paper's buffer axis: 50, 100, 200, 500 KB.
 pub fn sweep(bufs: &[usize], seed: u64) -> Vec<Row> {
+    sweep_with(bufs, seed, Policy::default())
+}
+
+/// [`sweep`] with an explicit cc + scheduler policy for the MPTCP row
+/// (the TCP baselines are single-path and unaffected).
+pub fn sweep_with(bufs: &[usize], seed: u64, policy: Policy) -> Vec<Row> {
     let warm = Duration::from_secs(4);
     let meas = Duration::from_secs(25);
     bufs.iter()
@@ -40,7 +46,15 @@ pub fn sweep(bufs: &[usize], seed: u64) -> Vec<Row> {
                 Path::symmetric(capped_wifi()),
                 Path::symmetric(LinkCfg::threeg()),
             ];
-            let r = run_bulk(Variant::MptcpM12, buf, mptcp_paths, warm, meas, seed);
+            let r = run_bulk_with(
+                Variant::MptcpM12,
+                buf,
+                mptcp_paths,
+                warm,
+                meas,
+                seed,
+                policy,
+            );
             results.push(("MPTCP", r.goodput_mbps));
             let r = run_bulk(
                 Variant::Tcp,

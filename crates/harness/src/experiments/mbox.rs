@@ -23,6 +23,7 @@ use mptcp_middlebox::{
 use mptcp_netsim::{Duration, LinkCfg, Middlebox, Path};
 use mptcp_tcpstack::TcpConfig;
 
+use super::common::Policy;
 use crate::hosts::{ClientApp, ServerApp};
 use crate::scenario::{Scenario, TransportKind};
 
@@ -183,13 +184,22 @@ fn make_path(mbox: MboxKind, client_addr: u32) -> Path {
 
 /// Run one cell: a 200 KB transfer with a generous deadline.
 pub fn run_cell(mbox: MboxKind, design: Design, seed: u64) -> Cell {
+    run_cell_with(mbox, design, seed, Policy::default())
+}
+
+/// [`run_cell`] with an explicit cc + scheduler policy.
+pub fn run_cell_with(mbox: MboxKind, design: Design, seed: u64, policy: Policy) -> Cell {
     let buf = 256 * 1024;
     let (kind, paths) = match design {
         Design::Mptcp => {
-            let mut cfg = MptcpConfig::default()
-                .with_buffers(buf)
-                .with_mechanisms(Mechanisms::M1_2);
-            cfg.checksum = true; // the ALG detector must be armed
+            let cfg = MptcpConfig::builder()
+                .buffers(buf)
+                .mechanisms(Mechanisms::M1_2)
+                .checksum(true) // the ALG detector must be armed
+                .cc(policy.cc)
+                .scheduler(policy.sched)
+                .build()
+                .expect("middlebox config is valid");
             (
                 TransportKind::Mptcp(cfg),
                 vec![
@@ -250,10 +260,15 @@ pub fn run_cell(mbox: MboxKind, design: Design, seed: u64) -> Cell {
 
 /// Run the full matrix.
 pub fn matrix(seed: u64) -> Vec<Cell> {
+    matrix_with(seed, Policy::default())
+}
+
+/// [`matrix`] with an explicit cc + scheduler policy.
+pub fn matrix_with(seed: u64, policy: Policy) -> Vec<Cell> {
     let mut cells = Vec::new();
     for mbox in MboxKind::all() {
         for design in [Design::Mptcp, Design::Strawman, Design::Tcp] {
-            cells.push(run_cell(mbox, design, seed));
+            cells.push(run_cell_with(mbox, design, seed, policy));
         }
     }
     cells

@@ -24,8 +24,8 @@ use mptcp::{Mechanisms, MptcpConfig};
 use mptcp_middlebox::PayloadModifier;
 use mptcp_netsim::{CaptureConfig, Duration, LinkCfg, PacketCapture, Path};
 
-use super::common::{run_bulk_traced, scheduled_bytes, wifi_3g_paths};
-use super::common::{BulkResult, TracedBulkResult, Variant};
+use super::common::{run_bulk_traced_with, scheduled_bytes, wifi_3g_paths};
+use super::common::{BulkResult, Policy, TracedBulkResult, Variant};
 use super::fig9_wifi3g::capped_wifi;
 use crate::hosts::{ClientApp, ServerApp};
 use crate::metrics::Rates;
@@ -99,25 +99,31 @@ const TRACE_BUF: usize = 100_000;
 
 /// Run one traced scenario with default-capacity tracing and capture.
 pub fn run(scenario: TraceScenario, seed: u64) -> TraceArtifacts {
+    run_with(scenario, seed, Policy::default())
+}
+
+/// [`run`] with an explicit cc + scheduler policy.
+pub fn run_with(scenario: TraceScenario, seed: u64, policy: Policy) -> TraceArtifacts {
     let trace = TraceConfig::enabled();
     let capture = CaptureConfig::enabled();
     let (label, run) = match scenario {
         TraceScenario::Fig4 => (
             "MPTCP+M1,2 @ 100 KB, WiFi+3G",
-            run_bulk_traced(
+            run_bulk_traced_with(
                 Variant::MptcpM12,
                 TRACE_BUF,
                 wifi_3g_paths(),
                 Duration::from_secs(3),
                 Duration::from_secs(20),
                 seed,
+                policy,
                 trace,
                 capture,
             ),
         ),
         TraceScenario::Fig9 => (
             "MPTCP+M1,2 @ 100 KB, capped WiFi+3G",
-            run_bulk_traced(
+            run_bulk_traced_with(
                 Variant::MptcpM12,
                 TRACE_BUF,
                 vec![
@@ -127,16 +133,18 @@ pub fn run(scenario: TraceScenario, seed: u64) -> TraceArtifacts {
                 Duration::from_secs(4),
                 Duration::from_secs(25),
                 seed,
+                policy,
                 trace,
                 capture,
             ),
         ),
         TraceScenario::Fallback => (
             "MPTCP+M1,2 + checksum-mangling middlebox",
-            run_fallback(seed, trace, capture),
+            run_fallback(seed, policy, trace, capture),
         ),
     };
     let report = RunReport::new("trace", label, run.bulk.telemetry.clone())
+        .policy(policy.cc.name(), policy.sched.name())
         .metric("goodput_mbps", run.bulk.goodput_mbps)
         .metric("throughput_mbps", run.bulk.throughput_mbps)
         .metric("capture_records", run.capture.records.len() as f64)
@@ -153,12 +161,21 @@ pub fn run(scenario: TraceScenario, seed: u64) -> TraceArtifacts {
 /// payload-rewriting middlebox (FTP-ALG model) on both paths breaks the
 /// DSS checksum mid-transfer. Built by hand because it needs `checksum =
 /// true` and middleboxes, which [`Variant::kind`] does not model.
-fn run_fallback(seed: u64, trace: TraceConfig, capture: CaptureConfig) -> TracedBulkResult {
-    let mut cfg = MptcpConfig::default()
-        .with_buffers(256 * 1024)
-        .with_mechanisms(Mechanisms::M1_2);
-    cfg.checksum = true;
-    let cfg = cfg.with_trace(trace);
+fn run_fallback(
+    seed: u64,
+    policy: Policy,
+    trace: TraceConfig,
+    capture: CaptureConfig,
+) -> TracedBulkResult {
+    let cfg = MptcpConfig::builder()
+        .buffers(256 * 1024)
+        .mechanisms(Mechanisms::M1_2)
+        .checksum(true)
+        .cc(policy.cc)
+        .scheduler(policy.sched)
+        .trace(trace)
+        .build()
+        .expect("fallback-trace config is valid");
     let mangled_path = || {
         Path::symmetric(LinkCfg {
             rate_bps: 10_000_000,

@@ -88,6 +88,8 @@ pub struct RunReport {
     pub experiment: String,
     /// Variant/cell label, e.g. `"MPTCP+M1,2 @ 200 KiB"`.
     pub label: String,
+    /// `(cc, scheduler)` policy names, when the run had one.
+    pub policy: Option<(String, String)>,
     /// Scalar metrics in emission order, e.g. `("goodput_mbps", 8.4)`.
     pub metrics: Vec<(String, f64)>,
     /// Transport telemetry at the end of the run.
@@ -106,10 +108,17 @@ impl RunReport {
         RunReport {
             experiment: experiment.into(),
             label: label.into(),
+            policy: None,
             metrics: Vec::new(),
             telemetry,
             trace: None,
         }
+    }
+
+    /// Record the congestion-control + scheduler policy (builder style).
+    pub fn policy(mut self, cc: impl Into<String>, sched: impl Into<String>) -> Self {
+        self.policy = Some((cc.into(), sched.into()));
+        self
     }
 
     /// Append a scalar metric (builder style).
@@ -133,6 +142,16 @@ impl RunReport {
             json_str(&self.experiment),
             json_str(&self.label)
         ));
+        if let Some((cc, sched)) = &self.policy {
+            // Re-open the object: policy slots in before "metrics".
+            let metrics_open = out.len() - "\"metrics\":{".len();
+            out.truncate(metrics_open);
+            out.push_str(&format!(
+                "\"policy\":{{\"cc\":{},\"sched\":{}}},\"metrics\":{{",
+                json_str(cc),
+                json_str(sched)
+            ));
+        }
         for (i, (name, value)) in self.metrics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -228,6 +247,22 @@ mod tests {
         assert!(json.contains("\"bad\":null"));
         assert!(json.contains("\"telemetry\":{"));
         assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn run_report_embeds_policy() {
+        let json = RunReport::new("fig9", "MPTCP", TelemetrySnapshot::default())
+            .policy("olia", "redundant")
+            .metric("goodput_mbps", 2.0)
+            .to_json();
+        assert!(
+            json.contains("\"policy\":{\"cc\":\"olia\",\"sched\":\"redundant\"}"),
+            "{json}"
+        );
+        assert!(json.contains("\"goodput_mbps\":2"), "{json}");
+        // Unset policy omits the key.
+        let json = RunReport::new("x", "y", TelemetrySnapshot::default()).to_json();
+        assert!(!json.contains("\"policy\""), "{json}");
     }
 
     #[test]

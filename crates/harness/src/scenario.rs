@@ -77,12 +77,12 @@ impl Scenario {
         // Server first.
         let server_cfg = match &kind {
             TransportKind::Mptcp(cfg) => cfg.clone(),
-            TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => MptcpConfig {
-                tcp: tcp.clone(),
-                send_buf: tcp.send_buf,
-                recv_buf: tcp.recv_buf,
-                ..MptcpConfig::default()
-            },
+            TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => MptcpConfig::builder()
+                .tcp(tcp.clone())
+                .send_buf(tcp.send_buf)
+                .recv_buf(tcp.recv_buf)
+                .build()
+                .expect("single-path config is valid"),
         };
         let server = sim.add_host(Node::Server(ServerHost::new(
             server_cfg,
@@ -134,7 +134,7 @@ impl Scenario {
                 },
                 tcp_cfg: match &kind {
                     TransportKind::Tcp(t) | TransportKind::BondedTcp(t) => t.clone(),
-                    TransportKind::Mptcp(cfg) => cfg.tcp.clone(),
+                    TransportKind::Mptcp(cfg) => cfg.tcp().clone(),
                 },
                 local: Endpoint::new(Endpoints::CLIENT[0], base_port),
                 server: Endpoint::new(Endpoints::SERVER[0], Endpoints::PORT),
@@ -174,10 +174,10 @@ impl Scenario {
         let mut sim: Sim<Node> = Sim::new(seed);
         let server_cfg = match &kind {
             TransportKind::Mptcp(cfg) => cfg.clone(),
-            TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => MptcpConfig {
-                tcp: tcp.clone(),
-                ..MptcpConfig::default()
-            },
+            TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => MptcpConfig::builder()
+                .tcp(tcp.clone())
+                .build()
+                .expect("single-path config is valid"),
         };
         let server = sim.add_host(Node::Server(ServerHost::new(
             server_cfg,
@@ -224,7 +224,7 @@ impl Scenario {
                 },
                 tcp_cfg: match &kind {
                     TransportKind::Tcp(t) | TransportKind::BondedTcp(t) => t.clone(),
-                    TransportKind::Mptcp(cfg) => cfg.tcp.clone(),
+                    TransportKind::Mptcp(cfg) => cfg.tcp().clone(),
                 },
                 local: Endpoint::new(a1, 10_000),
                 server: Endpoint::new(Endpoints::SERVER[0], Endpoints::PORT),

@@ -55,10 +55,12 @@ fn rwnd_limited_run_records_m1_and_m2() {
 /// must name the cause.
 #[test]
 fn checksum_corruption_records_fallback_cause() {
-    let mut cfg = MptcpConfig::default()
-        .with_buffers(256 * 1024)
-        .with_mechanisms(Mechanisms::M1_2);
-    cfg.checksum = true;
+    let cfg = MptcpConfig::builder()
+        .buffers(256 * 1024)
+        .mechanisms(Mechanisms::M1_2)
+        .checksum(true)
+        .build()
+        .expect("valid config");
     let mangled_path = || {
         Path::symmetric(LinkCfg {
             rate_bps: 10_000_000,

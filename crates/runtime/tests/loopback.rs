@@ -10,7 +10,7 @@ use std::net::SocketAddr;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use mptcp::{FailureDetection, MptcpConfig};
+use mptcp::{FailureDetection, MptcpConfig, TcpConfig};
 use mptcp_runtime::{ClientRuntime, ConnApp, FetchClient, FetchServer, LoopConfig, ServerRuntime};
 use mptcp_telemetry::CounterId;
 
@@ -116,15 +116,21 @@ fn transfer_survives_mid_stream_path_blackout() {
     // RTTs are microseconds, so RTO == min_rto and three back-offs take
     // 50+100+200 ms before the path is declared Failed and its in-flight
     // data is reinjected on the survivor.
-    let mut cfg = MptcpConfig::default();
-    cfg.tcp.min_rto = Duration::from_millis(50);
-    cfg.failure = FailureDetection {
-        suspect_after_rtos: 2,
-        fail_after_rtos: 3,
-        progress_timeout: Duration::from_millis(800),
-        probe_interval: Duration::from_millis(200),
-        abort_deadline: Duration::from_secs(30),
+    let tcp = TcpConfig {
+        min_rto: Duration::from_millis(50),
+        ..TcpConfig::default()
     };
+    let cfg = MptcpConfig::builder()
+        .tcp(tcp)
+        .failure_detection(FailureDetection {
+            suspect_after_rtos: 2,
+            fail_after_rtos: 3,
+            progress_timeout: Duration::from_millis(800),
+            probe_interval: Duration::from_millis(200),
+            abort_deadline: Duration::from_secs(30),
+        })
+        .build()
+        .expect("valid config");
     let (addrs, server) = spawn_server(cfg.clone(), 2);
 
     let mut client = ClientRuntime::connect(

@@ -1,18 +1,43 @@
-//! Congestion control: Reno/NewReno and the coupled LIA algorithm.
+//! Congestion control: the pluggable per-subflow algorithm layer.
 //!
 //! The paper defers congestion control to [23] (Wischik et al., NSDI 2011)
-//! but the evaluation depends on it: MPTCP subflows run the *Linked
-//! Increases Algorithm* so that a multipath connection takes no more
-//! capacity than a single TCP on its best path. [`Lia`] implements the
-//! per-subflow half; the connection computes the coupling factor `alpha`
-//! across subflows and pushes it down via
-//! [`CongestionControl::set_coupled`].
+//! but the evaluation depends on it: MPTCP subflows run a *coupled*
+//! congestion controller so that a multipath connection takes no more
+//! capacity than a single TCP on its best path. This module provides the
+//! complete policy surface:
+//!
+//! * [`CongestionControl`] — the per-subflow state machine the socket
+//!   drives on ACKs, losses and timeouts.
+//! * [`CcAlgorithm`] — the registry of built-in algorithms
+//!   ([`Reno`], [`Lia`], [`Olia`], [`CoupledCubic`]) used by
+//!   `MptcpConfig::builder().cc(..)`, the `repro --cc` flag and JSON
+//!   reports (via [`FromStr`](core::str::FromStr)/[`Display`](core::fmt::Display)).
+//! * [`CoupledState`] — the cross-subflow coupling computation. The
+//!   connection owns one of these, feeds it a [`FlowView`] per usable
+//!   subflow once per RTT-ish, and pushes the resulting per-flow
+//!   [`CoupledSignal`]s down via [`CongestionControl::set_coupled`].
+//!
+//! # Contract
+//!
+//! The socket calls exactly one of `on_ack` / `on_dup_ack` /
+//! `on_fast_retransmit` / `on_retransmit_timeout` / `on_recovery_exit`
+//! per congestion event, always with the current virtual time. An
+//! algorithm must keep `cwnd() >= 1 MSS` at all times and must tolerate
+//! `set_cwnd`/`set_ssthresh` being forced between events (mechanism 2
+//! penalization and mechanism 4 bufferbloat capping do this). Coupling is
+//! advisory: `set_coupled` may never be called (single subflow, uncoupled
+//! config) and algorithms must behave like a sane single-path controller
+//! in that case.
 
-use mptcp_netsim::Duration;
+use core::fmt;
+use core::str::FromStr;
+
+use mptcp_netsim::{Duration, SimTime};
 
 /// Per-flow congestion control state machine, driven by the socket.
 ///
-/// All window quantities are in **bytes**.
+/// All window quantities are in **bytes**. Time is the simulator's
+/// virtual clock; algorithms must not assume wall time.
 pub trait CongestionControl: Send {
     /// Current congestion window.
     fn cwnd(&self) -> u32;
@@ -21,16 +46,17 @@ pub trait CongestionControl: Send {
     fn ssthresh(&self) -> u32;
 
     /// A cumulative ACK advanced `snd_una` by `bytes_acked`.
-    fn on_ack(&mut self, bytes_acked: u32, rtt: Option<Duration>);
+    /// `rtt` carries the RTT sample of this ACK when one was taken.
+    fn on_ack(&mut self, now: SimTime, bytes_acked: u32, rtt: Option<Duration>);
 
     /// A duplicate ACK arrived while in fast recovery (window inflation).
     fn on_dup_ack(&mut self);
 
     /// Entering fast retransmit; `in_flight` is the outstanding byte count.
-    fn on_fast_retransmit(&mut self, in_flight: u32);
+    fn on_fast_retransmit(&mut self, now: SimTime, in_flight: u32);
 
     /// A retransmission timeout fired.
-    fn on_retransmit_timeout(&mut self, in_flight: u32);
+    fn on_retransmit_timeout(&mut self, now: SimTime, in_flight: u32);
 
     /// Fast recovery completed (full ACK received): deflate the window.
     fn on_recovery_exit(&mut self);
@@ -42,9 +68,9 @@ pub trait CongestionControl: Send {
     /// Force the slow-start threshold.
     fn set_ssthresh(&mut self, bytes: u32);
 
-    /// Update coupling parameters (`alpha`, total cwnd across subflows).
-    /// No-op for uncoupled algorithms.
-    fn set_coupled(&mut self, _alpha: f64, _total_cwnd: u32) {}
+    /// Update coupling parameters computed by [`CoupledState`] across the
+    /// connection's subflows. No-op for uncoupled algorithms.
+    fn set_coupled(&mut self, _signal: CoupledSignal) {}
 
     /// Are we below ssthresh (exponential growth)?
     fn in_slow_start(&self) -> bool {
@@ -53,6 +79,199 @@ pub trait CongestionControl: Send {
 
     /// Algorithm name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// The registry of built-in congestion-control algorithms.
+///
+/// Parses from and prints as the canonical lowercase names used by the
+/// CLI (`repro <exp> --cc <name>`), the config builder and JSON reports:
+/// `"reno"`, `"lia"`, `"olia"`, `"cubic"`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CcAlgorithm {
+    /// Uncoupled NewReno on every subflow (each subflow competes like an
+    /// independent TCP — unfair at shared bottlenecks, useful baseline).
+    Reno,
+    /// RFC 6356 Linked Increases Algorithm (the paper's default).
+    #[default]
+    Lia,
+    /// Opportunistic LIA (Khalili et al.): per-path signed alpha terms
+    /// shift window to the best paths while keeping Pareto-optimality.
+    Olia,
+    /// Cubic window growth per subflow, capped by the LIA aggregate bound.
+    CoupledCubic,
+}
+
+impl CcAlgorithm {
+    /// All algorithms, in sweep order.
+    pub const ALL: [CcAlgorithm; 4] = [
+        CcAlgorithm::Reno,
+        CcAlgorithm::Lia,
+        CcAlgorithm::Olia,
+        CcAlgorithm::CoupledCubic,
+    ];
+
+    /// Canonical lowercase name (CLI flag value and report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            CcAlgorithm::Reno => "reno",
+            CcAlgorithm::Lia => "lia",
+            CcAlgorithm::Olia => "olia",
+            CcAlgorithm::CoupledCubic => "cubic",
+        }
+    }
+
+    /// Does this algorithm consume cross-subflow [`CoupledSignal`]s?
+    pub fn is_coupled(self) -> bool {
+        !matches!(self, CcAlgorithm::Reno)
+    }
+
+    /// Instantiate the per-subflow controller.
+    pub fn build(self, mss: u32, init_segs: u32) -> Box<dyn CongestionControl> {
+        match self {
+            CcAlgorithm::Reno => Box::new(Reno::new(mss, init_segs)),
+            CcAlgorithm::Lia => Box::new(Lia::new(mss, init_segs)),
+            CcAlgorithm::Olia => Box::new(Olia::new(mss, init_segs)),
+            CcAlgorithm::CoupledCubic => Box::new(CoupledCubic::new(mss, init_segs)),
+        }
+    }
+}
+
+impl fmt::Display for CcAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for CcAlgorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "reno" => Ok(CcAlgorithm::Reno),
+            "lia" | "coupled" => Ok(CcAlgorithm::Lia),
+            "olia" => Ok(CcAlgorithm::Olia),
+            "cubic" | "coupled-cubic" => Ok(CcAlgorithm::CoupledCubic),
+            other => Err(format!(
+                "unknown congestion-control algorithm `{other}` \
+                 (expected one of: reno, lia, olia, cubic)"
+            )),
+        }
+    }
+}
+
+/// Cross-subflow coupling parameters for one subflow, computed by
+/// [`CoupledState`] and pushed down via [`CongestionControl::set_coupled`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoupledSignal {
+    /// Aggregate-increase factor. For LIA this is the RFC 6356 connection
+    /// `alpha`; for OLIA it is this subflow's signed `alpha_i` term.
+    pub alpha: f64,
+    /// Sum of cwnd over coupled subflows (bytes).
+    pub total_cwnd: u32,
+    /// Sum of `cwnd_k / rtt_k` over coupled subflows (bytes/sec) — the
+    /// connection's aggregate transmission rate estimate.
+    pub rate_sum: f64,
+    /// This subflow's smoothed RTT at computation time.
+    pub srtt: Duration,
+}
+
+impl CoupledSignal {
+    /// Neutral signal: behaves like a single uncoupled flow.
+    pub fn uncoupled(cwnd: u32, srtt: Duration) -> CoupledSignal {
+        CoupledSignal {
+            alpha: 1.0,
+            total_cwnd: cwnd,
+            rate_sum: 0.0,
+            srtt,
+        }
+    }
+}
+
+/// A subflow's view handed to [`CoupledState::recompute`]: the current
+/// congestion window and smoothed RTT of one usable subflow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowView {
+    /// Congestion window (bytes).
+    pub cwnd: u32,
+    /// Smoothed RTT.
+    pub srtt: Duration,
+}
+
+/// The cross-subflow half of coupled congestion control.
+///
+/// Owned by the MPTCP connection (never by individual sockets): the
+/// connection is the only entity that sees every subflow, so it collects
+/// a [`FlowView`] per usable subflow, calls [`CoupledState::recompute`],
+/// and distributes the returned per-flow [`CoupledSignal`]s — one per
+/// input flow, in input order — to the subflow sockets. Algorithms never
+/// reach across subflows themselves; everything they may know about their
+/// siblings arrives in the signal.
+#[derive(Debug)]
+pub struct CoupledState {
+    algo: CcAlgorithm,
+    signals: Vec<CoupledSignal>,
+}
+
+impl CoupledState {
+    /// Coupling state for the configured algorithm.
+    pub fn new(algo: CcAlgorithm) -> CoupledState {
+        CoupledState {
+            algo,
+            signals: Vec::new(),
+        }
+    }
+
+    /// The algorithm this state couples for.
+    pub fn algo(&self) -> CcAlgorithm {
+        self.algo
+    }
+
+    /// Whether recomputation is worthwhile at all (false for Reno).
+    pub fn is_coupled(&self) -> bool {
+        self.algo.is_coupled()
+    }
+
+    /// Recompute coupling terms for the given flows. Returns one signal
+    /// per flow, in input order.
+    pub fn recompute(&mut self, flows: &[FlowView]) -> &[CoupledSignal] {
+        self.signals.clear();
+        let total: u32 = flows.iter().fold(0, |a, f| a.saturating_add(f.cwnd));
+        let rate_sum: f64 = flows
+            .iter()
+            .map(|f| f64::from(f.cwnd) / f.srtt.as_secs_f64().max(1e-6))
+            .sum();
+        match self.algo {
+            CcAlgorithm::Reno => {
+                // Uncoupled: neutral per-flow signals (not normally pushed).
+                for f in flows {
+                    self.signals.push(CoupledSignal::uncoupled(f.cwnd, f.srtt));
+                }
+            }
+            CcAlgorithm::Lia | CcAlgorithm::CoupledCubic => {
+                let pairs: Vec<(u32, Duration)> = flows.iter().map(|f| (f.cwnd, f.srtt)).collect();
+                let alpha = lia_alpha(&pairs);
+                for f in flows {
+                    self.signals.push(CoupledSignal {
+                        alpha,
+                        total_cwnd: total,
+                        rate_sum,
+                        srtt: f.srtt,
+                    });
+                }
+            }
+            CcAlgorithm::Olia => {
+                for (f, alpha) in flows.iter().zip(olia_alphas(flows)) {
+                    self.signals.push(CoupledSignal {
+                        alpha,
+                        total_cwnd: total,
+                        rate_sum,
+                        srtt: f.srtt,
+                    });
+                }
+            }
+        }
+        &self.signals
+    }
 }
 
 const INIT_SSTHRESH: u32 = u32::MAX / 2;
@@ -92,7 +311,7 @@ impl CongestionControl for Reno {
         self.ssthresh
     }
 
-    fn on_ack(&mut self, bytes_acked: u32, _rtt: Option<Duration>) {
+    fn on_ack(&mut self, _now: SimTime, bytes_acked: u32, _rtt: Option<Duration>) {
         if self.in_slow_start() {
             self.cwnd = self
                 .cwnd
@@ -113,12 +332,12 @@ impl CongestionControl for Reno {
         self.cwnd = self.cwnd.saturating_add(self.mss);
     }
 
-    fn on_fast_retransmit(&mut self, in_flight: u32) {
+    fn on_fast_retransmit(&mut self, _now: SimTime, in_flight: u32) {
         self.halve(in_flight);
         self.cwnd = self.ssthresh + 3 * self.mss;
     }
 
-    fn on_retransmit_timeout(&mut self, in_flight: u32) {
+    fn on_retransmit_timeout(&mut self, _now: SimTime, in_flight: u32) {
         self.halve(in_flight);
         self.cwnd = self.mss;
         self.acked_accum = 0;
@@ -147,8 +366,8 @@ impl CongestionControl for Reno {
 /// per-ACK increase is `min(alpha * acked * mss / cwnd_total,
 /// acked * mss / cwnd_i)` so the aggregate is no more aggressive than one
 /// TCP on the best path, while still shifting traffic toward less congested
-/// subflows. The connection recomputes `alpha` (RFC 6356 formula) and calls
-/// [`CongestionControl::set_coupled`].
+/// subflows. The connection recomputes `alpha` (RFC 6356 formula, via
+/// [`CoupledState`]) and calls [`CongestionControl::set_coupled`].
 pub struct Lia {
     cwnd: u32,
     ssthresh: u32,
@@ -185,7 +404,7 @@ impl CongestionControl for Lia {
         self.ssthresh
     }
 
-    fn on_ack(&mut self, bytes_acked: u32, _rtt: Option<Duration>) {
+    fn on_ack(&mut self, _now: SimTime, bytes_acked: u32, _rtt: Option<Duration>) {
         if self.in_slow_start() {
             self.cwnd = self
                 .cwnd
@@ -208,12 +427,12 @@ impl CongestionControl for Lia {
         self.cwnd = self.cwnd.saturating_add(self.mss);
     }
 
-    fn on_fast_retransmit(&mut self, in_flight: u32) {
+    fn on_fast_retransmit(&mut self, _now: SimTime, in_flight: u32) {
         self.halve(in_flight);
         self.cwnd = self.ssthresh + 3 * self.mss;
     }
 
-    fn on_retransmit_timeout(&mut self, in_flight: u32) {
+    fn on_retransmit_timeout(&mut self, _now: SimTime, in_flight: u32) {
         self.halve(in_flight);
         self.cwnd = self.mss;
         self.increase_accum = 0.0;
@@ -231,13 +450,295 @@ impl CongestionControl for Lia {
         self.ssthresh = bytes.max(2 * self.mss);
     }
 
-    fn set_coupled(&mut self, alpha: f64, total_cwnd: u32) {
-        self.alpha = alpha;
-        self.total_cwnd = total_cwnd;
+    fn set_coupled(&mut self, signal: CoupledSignal) {
+        self.alpha = signal.alpha;
+        self.total_cwnd = signal.total_cwnd;
     }
 
     fn name(&self) -> &'static str {
         "lia"
+    }
+}
+
+/// Opportunistic Linked Increases Algorithm (Khalili et al., CoNEXT 2012).
+///
+/// Congestion-avoidance increase per acked byte is
+/// `mss * (w/rtt^2) / rate_sum^2 + alpha_i * mss / w`, where `rate_sum`
+/// is the aggregate `sum(w_k/rtt_k)` and `alpha_i` the per-path signed
+/// term computed by [`olia_alphas`]: paths that look under-used relative
+/// to their quality receive `+1/(n*|collected|)`, the max-window paths
+/// pay `-1/(n*|M|)`, everyone else gets 0. With a single path the first
+/// term reduces exactly to Reno's `mss/w` growth. Slow start and loss
+/// response are Reno's.
+pub struct Olia {
+    cwnd: u32,
+    ssthresh: u32,
+    mss: u32,
+    alpha: f64,
+    rate_sum: f64,
+    srtt: Option<Duration>,
+    increase_accum: f64,
+}
+
+impl Olia {
+    /// New OLIA instance.
+    pub fn new(mss: u32, init_segs: u32) -> Olia {
+        Olia {
+            cwnd: mss * init_segs,
+            ssthresh: INIT_SSTHRESH,
+            mss,
+            alpha: 0.0,
+            rate_sum: 0.0,
+            srtt: None,
+            increase_accum: 0.0,
+        }
+    }
+
+    fn halve(&mut self, in_flight: u32) {
+        self.ssthresh = (in_flight / 2).max(2 * self.mss);
+    }
+}
+
+impl CongestionControl for Olia {
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, _now: SimTime, bytes_acked: u32, rtt: Option<Duration>) {
+        if self.in_slow_start() {
+            self.cwnd = self
+                .cwnd
+                .saturating_add(bytes_acked.min(self.mss))
+                .min(INIT_SSTHRESH);
+            return;
+        }
+        let w = f64::from(self.cwnd.max(1));
+        let mss = f64::from(self.mss);
+        let acked = f64::from(bytes_acked);
+        let rtt_s = self
+            .srtt
+            .or(rtt)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0)
+            .max(1e-6);
+        let inc = if self.rate_sum > 0.0 {
+            // Coupled: OLIA's rate-based first term plus the signed
+            // opportunistic alpha term.
+            let base = mss * (w / (rtt_s * rtt_s)) / (self.rate_sum * self.rate_sum);
+            let opportunistic = self.alpha * mss / w;
+            acked * (base + opportunistic)
+        } else {
+            // No coupling signal yet (single subflow): plain Reno CA.
+            acked * mss / w
+        };
+        self.increase_accum += inc;
+        if self.increase_accum >= 1.0 {
+            let add = self.increase_accum as u32;
+            self.increase_accum -= f64::from(add);
+            self.cwnd = self.cwnd.saturating_add(add).min(INIT_SSTHRESH);
+        } else if self.increase_accum <= -1.0 {
+            let sub = (-self.increase_accum) as u32;
+            self.increase_accum += f64::from(sub);
+            self.cwnd = self.cwnd.saturating_sub(sub).max(self.mss);
+        }
+    }
+
+    fn on_dup_ack(&mut self) {
+        self.cwnd = self.cwnd.saturating_add(self.mss);
+    }
+
+    fn on_fast_retransmit(&mut self, _now: SimTime, in_flight: u32) {
+        self.halve(in_flight);
+        self.cwnd = self.ssthresh + 3 * self.mss;
+    }
+
+    fn on_retransmit_timeout(&mut self, _now: SimTime, in_flight: u32) {
+        self.halve(in_flight);
+        self.cwnd = self.mss;
+        self.increase_accum = 0.0;
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn set_cwnd(&mut self, bytes: u32) {
+        self.cwnd = bytes.max(self.mss);
+    }
+
+    fn set_ssthresh(&mut self, bytes: u32) {
+        self.ssthresh = bytes.max(2 * self.mss);
+    }
+
+    fn set_coupled(&mut self, signal: CoupledSignal) {
+        self.alpha = signal.alpha;
+        self.rate_sum = signal.rate_sum;
+        self.srtt = Some(signal.srtt);
+    }
+
+    fn name(&self) -> &'static str {
+        "olia"
+    }
+}
+
+/// Cubic parameters (RFC 8312): multiplicative decrease and the C scaling
+/// constant, with windows measured in MSS for the cubic polynomial.
+const CUBIC_BETA: f64 = 0.7;
+const CUBIC_C: f64 = 0.4;
+
+/// Cubic window growth per subflow, coupled via the LIA aggregate bound.
+///
+/// In congestion avoidance the per-ACK increase is the classic cubic
+/// target chase `(target(t) - cwnd) * acked / cwnd` with
+/// `target(t) = C*(t - K)^3 + w_max` (in MSS), *capped* by LIA's coupled
+/// increase `alpha * acked * mss / total_cwnd` whenever a coupling signal
+/// is live — so a multipath bundle of cubic subflows still takes no more
+/// than one fast TCP at a shared bottleneck, while each subflow keeps
+/// cubic's RTT-fairness and fast-reprobe shape on its own path. Uses
+/// fast convergence (`w_max` shrinks by `(2-beta)/2` on back-to-back
+/// losses). Slow start is Reno's.
+pub struct CoupledCubic {
+    cwnd: u32,
+    ssthresh: u32,
+    mss: u32,
+    /// Window at the last loss event (bytes).
+    w_max: f64,
+    /// Epoch start: first CA ack after the last loss.
+    epoch_start: Option<SimTime>,
+    /// Time to reach `w_max` again (secs from epoch start).
+    k: f64,
+    alpha: f64,
+    total_cwnd: u32,
+    coupled: bool,
+    increase_accum: f64,
+}
+
+impl CoupledCubic {
+    /// New coupled-cubic instance.
+    pub fn new(mss: u32, init_segs: u32) -> CoupledCubic {
+        CoupledCubic {
+            cwnd: mss * init_segs,
+            ssthresh: INIT_SSTHRESH,
+            mss,
+            w_max: f64::from(mss * init_segs),
+            epoch_start: None,
+            k: 0.0,
+            alpha: 1.0,
+            total_cwnd: 0,
+            coupled: false,
+            increase_accum: 0.0,
+        }
+    }
+
+    fn on_loss(&mut self, in_flight: u32) {
+        let w = f64::from(self.cwnd);
+        // Fast convergence: if we crashed below the previous plateau,
+        // release capacity faster for newcomers.
+        self.w_max = if w < self.w_max {
+            w * (2.0 - CUBIC_BETA) / 2.0
+        } else {
+            w
+        };
+        let base = f64::from(in_flight.max(self.mss));
+        self.ssthresh = ((base * CUBIC_BETA) as u32).max(2 * self.mss);
+        self.epoch_start = None;
+        self.increase_accum = 0.0;
+    }
+
+    /// Cubic target window (bytes) at `t` seconds into the epoch.
+    fn target(&self, t: f64) -> f64 {
+        let mss = f64::from(self.mss);
+        let w_max_seg = self.w_max / mss;
+        let d = t - self.k;
+        (CUBIC_C * d * d * d + w_max_seg) * mss
+    }
+}
+
+impl CongestionControl for CoupledCubic {
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, now: SimTime, bytes_acked: u32, _rtt: Option<Duration>) {
+        if self.in_slow_start() {
+            self.cwnd = self
+                .cwnd
+                .saturating_add(bytes_acked.min(self.mss))
+                .min(INIT_SSTHRESH);
+            return;
+        }
+        let mss = f64::from(self.mss);
+        let w = f64::from(self.cwnd.max(1));
+        if self.epoch_start.is_none() {
+            self.epoch_start = Some(now);
+            if self.w_max < w {
+                // Already past the old plateau: start a new convex probe
+                // from here.
+                self.w_max = w;
+                self.k = 0.0;
+            } else {
+                self.k = ((self.w_max - w) / mss / CUBIC_C).cbrt();
+            }
+        }
+        let t = (now - self.epoch_start.unwrap()).as_secs_f64();
+        let cubic_inc = ((self.target(t) - w) / w * f64::from(bytes_acked)).max(0.0);
+        let inc = if self.coupled && self.total_cwnd > 0 {
+            let coupled_cap =
+                self.alpha * f64::from(bytes_acked) * mss / f64::from(self.total_cwnd.max(1));
+            cubic_inc.min(coupled_cap)
+        } else {
+            cubic_inc
+        };
+        self.increase_accum += inc;
+        if self.increase_accum >= 1.0 {
+            let add = self.increase_accum as u32;
+            self.increase_accum -= f64::from(add);
+            self.cwnd = self.cwnd.saturating_add(add).min(INIT_SSTHRESH);
+        }
+    }
+
+    fn on_dup_ack(&mut self) {
+        self.cwnd = self.cwnd.saturating_add(self.mss);
+    }
+
+    fn on_fast_retransmit(&mut self, _now: SimTime, in_flight: u32) {
+        self.on_loss(in_flight);
+        self.cwnd = self.ssthresh + 3 * self.mss;
+    }
+
+    fn on_retransmit_timeout(&mut self, _now: SimTime, in_flight: u32) {
+        self.on_loss(in_flight);
+        self.cwnd = self.mss;
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn set_cwnd(&mut self, bytes: u32) {
+        self.cwnd = bytes.max(self.mss);
+    }
+
+    fn set_ssthresh(&mut self, bytes: u32) {
+        self.ssthresh = bytes.max(2 * self.mss);
+    }
+
+    fn set_coupled(&mut self, signal: CoupledSignal) {
+        self.alpha = signal.alpha;
+        self.total_cwnd = signal.total_cwnd;
+        self.coupled = true;
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
     }
 }
 
@@ -262,9 +763,68 @@ pub fn lia_alpha(subflows: &[(u32, Duration)]) -> f64 {
     (total * best / (denom * denom)).max(f64::MIN_POSITIVE)
 }
 
+/// Compute OLIA's per-path `alpha_i` terms.
+///
+/// Following Khalili et al. §3, with path quality approximated by
+/// `w_i/rtt_i^2` (we do not track inter-loss distances, so the
+/// highest-throughput-potential path stands in for the "best path" set):
+///
+/// * `M` — the paths with the largest congestion window.
+/// * `collected` — best-quality paths *not* in `M` (good paths that the
+///   window distribution currently under-uses).
+/// * If `collected` is non-empty: `alpha_i = 1/(n*|collected|)` for
+///   collected paths, `alpha_i = -1/(n*|M|)` for max-window paths, and 0
+///   for everyone else — windows migrate from big to good-but-small.
+/// * If `collected` is empty (the best paths already hold the biggest
+///   windows): all `alpha_i = 0` and OLIA's rate term rules alone.
+pub fn olia_alphas(flows: &[FlowView]) -> Vec<f64> {
+    let n = flows.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let quality: Vec<f64> = flows
+        .iter()
+        .map(|f| {
+            let rtt_s = f.srtt.as_secs_f64().max(1e-6);
+            f64::from(f.cwnd) / (rtt_s * rtt_s)
+        })
+        .collect();
+    let max_w = flows.iter().map(|f| f.cwnd).max().unwrap_or(0);
+    let max_q = quality.iter().cloned().fold(0.0f64, f64::max);
+    let near = |a: f64, b: f64| (a - b).abs() <= b * 1e-9;
+    let in_m: Vec<bool> = flows.iter().map(|f| f.cwnd == max_w).collect();
+    let in_best: Vec<bool> = quality
+        .iter()
+        .map(|&q| max_q > 0.0 && near(q, max_q))
+        .collect();
+    let collected: Vec<bool> = (0..n).map(|i| in_best[i] && !in_m[i]).collect();
+    let n_collected = collected.iter().filter(|&&b| b).count();
+    if n_collected == 0 {
+        return vec![0.0; n];
+    }
+    let n_m = in_m.iter().filter(|&&b| b).count().max(1);
+    (0..n)
+        .map(|i| {
+            if collected[i] {
+                1.0 / (n as f64 * n_collected as f64)
+            } else if in_m[i] {
+                -1.0 / (n as f64 * n_m as f64)
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const T0: SimTime = SimTime(0);
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
 
     #[test]
     fn reno_slow_start_doubles_per_rtt() {
@@ -272,7 +832,7 @@ mod tests {
         let start = r.cwnd();
         // Acking a full window in MSS-sized chunks doubles cwnd.
         for _ in 0..10 {
-            r.on_ack(1000, None);
+            r.on_ack(T0, 1000, None);
         }
         assert_eq!(r.cwnd(), 2 * start);
     }
@@ -285,7 +845,7 @@ mod tests {
         assert!(!r.in_slow_start());
         // One full window of acks adds one MSS.
         for _ in 0..10 {
-            r.on_ack(1000, None);
+            r.on_ack(T0, 1000, None);
         }
         assert_eq!(r.cwnd(), 11_000);
     }
@@ -294,7 +854,7 @@ mod tests {
     fn reno_fast_retransmit_halves() {
         let mut r = Reno::new(1000, 10);
         r.set_cwnd(20_000);
-        r.on_fast_retransmit(20_000);
+        r.on_fast_retransmit(T0, 20_000);
         assert_eq!(r.ssthresh(), 10_000);
         assert_eq!(r.cwnd(), 13_000); // ssthresh + 3 MSS
         r.on_recovery_exit();
@@ -305,7 +865,7 @@ mod tests {
     fn reno_rto_collapses_to_one_mss() {
         let mut r = Reno::new(1000, 10);
         r.set_cwnd(20_000);
-        r.on_retransmit_timeout(20_000);
+        r.on_retransmit_timeout(T0, 20_000);
         assert_eq!(r.cwnd(), 1000);
         assert_eq!(r.ssthresh(), 10_000);
     }
@@ -317,7 +877,7 @@ mod tests {
         assert_eq!(r.cwnd(), 1000);
         r.set_ssthresh(0);
         assert_eq!(r.ssthresh(), 2000);
-        r.on_retransmit_timeout(100); // tiny flight still floors ssthresh
+        r.on_retransmit_timeout(T0, 100); // tiny flight still floors ssthresh
         assert_eq!(r.ssthresh(), 2000);
     }
 
@@ -332,9 +892,14 @@ mod tests {
         }
         for _ in 0..100 {
             let c = lia.cwnd();
-            lia.set_coupled(1.0, c);
-            lia.on_ack(1000, None);
-            reno.on_ack(1000, None);
+            lia.set_coupled(CoupledSignal {
+                alpha: 1.0,
+                total_cwnd: c,
+                rate_sum: 0.0,
+                srtt: Duration::from_millis(100),
+            });
+            lia.on_ack(T0, 1000, None);
+            reno.on_ack(T0, 1000, None);
         }
         // LIA grows continuously, Reno in MSS quanta; they stay within one
         // MSS of each other over a hundred ACKs.
@@ -353,9 +918,14 @@ mod tests {
         let mut lia = Lia::new(1000, 10);
         lia.set_ssthresh(5_000);
         lia.set_cwnd(10_000);
-        lia.set_coupled(1.0, 20_000);
+        lia.set_coupled(CoupledSignal {
+            alpha: 1.0,
+            total_cwnd: 20_000,
+            rate_sum: 0.0,
+            srtt: Duration::from_millis(100),
+        });
         for _ in 0..10 {
-            lia.on_ack(1000, None);
+            lia.on_ack(T0, 1000, None);
         }
         // Uncoupled would add ~1000; coupled adds ~500.
         assert!(lia.cwnd() <= 10_600, "cwnd grew to {}", lia.cwnd());
@@ -394,5 +964,231 @@ mod tests {
             (10_000, Duration::from_millis(200)),
         ]);
         assert!(a > 0.5, "alpha = {a}");
+    }
+
+    fn fv(cwnd: u32, ms: u64) -> FlowView {
+        FlowView {
+            cwnd,
+            srtt: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn olia_alpha_collected_path_gets_positive_share() {
+        // Path 0: small window, excellent quality (10 ms RTT) — collected.
+        // Path 1: max window, poor quality (100 ms RTT) — in M.
+        // q0 = 10_000/0.01^2 = 1e8 > q1 = 20_000/0.1^2 = 2e6.
+        // n = 2, |collected| = 1, |M| = 1:
+        //   alpha_0 = +1/(2*1) = 0.5, alpha_1 = -1/(2*1) = -0.5.
+        let a = olia_alphas(&[fv(10_000, 10), fv(20_000, 100)]);
+        assert!((a[0] - 0.5).abs() < 1e-12, "alpha = {a:?}");
+        assert!((a[1] + 0.5).abs() < 1e-12, "alpha = {a:?}");
+    }
+
+    #[test]
+    fn olia_alpha_zero_when_best_path_has_max_window() {
+        // Equal RTTs: the max-window path is also the best-quality path,
+        // so `collected` is empty and every alpha is zero.
+        let a = olia_alphas(&[fv(10_000, 50), fv(20_000, 50)]);
+        assert_eq!(a, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn olia_alpha_three_paths_hand_computed() {
+        // Path 0: w=10_000, rtt=10ms  -> q = 1e8   (best, not max-w: collected)
+        // Path 1: w=30_000, rtt=100ms -> q = 3e6   (max-w: M)
+        // Path 2: w=20_000, rtt=100ms -> q = 2e6   (neither)
+        // n = 3: alpha = [+1/3, -1/3, 0].
+        let a = olia_alphas(&[fv(10_000, 10), fv(30_000, 100), fv(20_000, 100)]);
+        assert!((a[0] - 1.0 / 3.0).abs() < 1e-12, "alpha = {a:?}");
+        assert!((a[1] + 1.0 / 3.0).abs() < 1e-12, "alpha = {a:?}");
+        assert!(a[2].abs() < 1e-12, "alpha = {a:?}");
+    }
+
+    #[test]
+    fn olia_alpha_degenerate_inputs() {
+        assert!(olia_alphas(&[]).is_empty());
+        // Single path: it is both best and max-window -> alpha 0.
+        assert_eq!(olia_alphas(&[fv(10_000, 50)]), vec![0.0]);
+    }
+
+    #[test]
+    fn olia_single_flow_matches_reno_rate() {
+        // With rate_sum = w/rtt the OLIA rate term reduces to mss/w: one
+        // full window of acks adds ~one MSS, like Reno CA.
+        let mut o = Olia::new(1000, 10);
+        o.set_ssthresh(5_000);
+        o.set_cwnd(10_000);
+        let rtt = Duration::from_millis(100);
+        o.set_coupled(CoupledSignal {
+            alpha: 0.0,
+            total_cwnd: 10_000,
+            rate_sum: 10_000.0 / 0.1,
+            srtt: rtt,
+        });
+        for _ in 0..10 {
+            o.on_ack(T0, 1000, Some(rtt));
+        }
+        assert!((10_900..=11_100).contains(&o.cwnd()), "cwnd = {}", o.cwnd());
+    }
+
+    #[test]
+    fn olia_negative_alpha_shrinks_window() {
+        // A max-window path with alpha = -0.5 and a dominant rate_sum
+        // grows slower than it shrinks: net decrease.
+        let mut o = Olia::new(1000, 10);
+        o.set_ssthresh(5_000);
+        o.set_cwnd(20_000);
+        let rtt = Duration::from_millis(100);
+        o.set_coupled(CoupledSignal {
+            alpha: -0.5,
+            total_cwnd: 30_000,
+            rate_sum: 300_000.0,
+            srtt: rtt,
+        });
+        let before = o.cwnd();
+        for _ in 0..40 {
+            o.on_ack(T0, 1000, Some(rtt));
+        }
+        assert!(o.cwnd() < before, "cwnd = {}", o.cwnd());
+    }
+
+    #[test]
+    fn cubic_convex_growth_accelerates_past_plateau() {
+        let mut c = CoupledCubic::new(1000, 10);
+        c.set_ssthresh(5_000);
+        c.set_cwnd(10_000);
+        // Drive acks across virtual time; cubic should pass its plateau
+        // (w_max = cwnd at epoch start) and accelerate.
+        let mut now_ms = 0;
+        let mut last = c.cwnd();
+        let mut grew = 0u32;
+        for _ in 0..50 {
+            now_ms += 100;
+            for _ in 0..10 {
+                c.on_ack(at_ms(now_ms), 1000, None);
+            }
+            grew += u32::from(c.cwnd() > last);
+            last = c.cwnd();
+        }
+        assert!(c.cwnd() > 10_000, "cwnd = {}", c.cwnd());
+        assert!(grew >= 10, "cwnd never grew: {}", c.cwnd());
+    }
+
+    #[test]
+    fn cubic_loss_sets_plateau_and_concave_approach() {
+        let mut c = CoupledCubic::new(1000, 10);
+        c.set_ssthresh(5_000);
+        c.set_cwnd(20_000);
+        c.on_fast_retransmit(at_ms(0), 20_000);
+        // beta = 0.7: ssthresh = 14_000, recovery exit deflates there.
+        assert_eq!(c.ssthresh(), 14_000);
+        c.on_recovery_exit();
+        assert_eq!(c.cwnd(), 14_000);
+        // K = cbrt((w_max - w)/mss/C) = cbrt(6/0.4) ~ 2.47 s.
+        // Early in the epoch growth is concave: cwnd approaches but does
+        // not exceed w_max = 20_000 within the first second.
+        let mut now_ms = 0;
+        for _ in 0..10 {
+            now_ms += 100;
+            for _ in 0..14 {
+                c.on_ack(at_ms(now_ms), 1000, None);
+            }
+        }
+        assert!(c.cwnd() > 14_000, "cwnd = {}", c.cwnd());
+        assert!(c.cwnd() <= 20_000, "cwnd = {}", c.cwnd());
+    }
+
+    #[test]
+    fn cubic_coupling_caps_increase() {
+        // Identical twins, one coupled with a tiny alpha: the coupled one
+        // must grow no faster than the LIA cap allows.
+        let mut free = CoupledCubic::new(1000, 10);
+        let mut capped = CoupledCubic::new(1000, 10);
+        for c in [&mut free, &mut capped] {
+            c.set_ssthresh(5_000);
+            c.set_cwnd(10_000);
+        }
+        capped.set_coupled(CoupledSignal {
+            alpha: 0.1,
+            total_cwnd: 40_000,
+            rate_sum: 0.0,
+            srtt: Duration::from_millis(100),
+        });
+        let mut now_ms = 0;
+        for _ in 0..30 {
+            now_ms += 100;
+            for _ in 0..10 {
+                free.on_ack(at_ms(now_ms), 1000, None);
+                capped.on_ack(at_ms(now_ms), 1000, None);
+            }
+        }
+        assert!(
+            capped.cwnd() < free.cwnd(),
+            "capped {} vs free {}",
+            capped.cwnd(),
+            free.cwnd()
+        );
+        // Cap is alpha*mss/total per MSS acked: 3s * 10 acks * 1000B *
+        // 0.1 * 1000/40_000 = 750 bytes max total growth.
+        assert!(capped.cwnd() <= 10_000 + 1000, "cwnd = {}", capped.cwnd());
+    }
+
+    #[test]
+    fn cc_algorithm_names_round_trip() {
+        for algo in CcAlgorithm::ALL {
+            let parsed: CcAlgorithm = algo.name().parse().unwrap();
+            assert_eq!(parsed, algo);
+            assert_eq!(format!("{algo}"), algo.name());
+        }
+        assert_eq!(
+            "CUBIC".parse::<CcAlgorithm>().unwrap(),
+            CcAlgorithm::CoupledCubic
+        );
+        assert!("vegas".parse::<CcAlgorithm>().is_err());
+    }
+
+    #[test]
+    fn cc_algorithm_builds_named_controller() {
+        for algo in CcAlgorithm::ALL {
+            let cc = algo.build(1460, 10);
+            assert_eq!(cc.name(), algo.name());
+            assert_eq!(cc.cwnd(), 14_600);
+        }
+        assert!(!CcAlgorithm::Reno.is_coupled());
+        assert!(CcAlgorithm::Olia.is_coupled());
+    }
+
+    #[test]
+    fn coupled_state_lia_signals() {
+        let mut st = CoupledState::new(CcAlgorithm::Lia);
+        assert!(st.is_coupled());
+        let flows = [fv(10_000, 100), fv(10_000, 100)];
+        let sigs = st.recompute(&flows);
+        assert_eq!(sigs.len(), 2);
+        // Equal paths: alpha = 1/2, shared by both flows.
+        assert!((sigs[0].alpha - 0.5).abs() < 1e-9);
+        assert_eq!(sigs[0].total_cwnd, 20_000);
+        // rate_sum = 2 * 10_000/0.1 = 200_000 B/s.
+        assert!((sigs[0].rate_sum - 200_000.0).abs() < 1.0);
+        assert_eq!(sigs[1].srtt, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn coupled_state_olia_per_flow_alphas() {
+        let mut st = CoupledState::new(CcAlgorithm::Olia);
+        let flows = [fv(10_000, 10), fv(20_000, 100)];
+        let sigs = st.recompute(&flows);
+        assert!((sigs[0].alpha - 0.5).abs() < 1e-12);
+        assert!((sigs[1].alpha + 0.5).abs() < 1e-12);
+        assert_eq!(sigs[0].total_cwnd, 30_000);
+    }
+
+    #[test]
+    fn coupled_state_reno_is_uncoupled() {
+        let mut st = CoupledState::new(CcAlgorithm::Reno);
+        assert!(!st.is_coupled());
+        let sigs = st.recompute(&[fv(10_000, 50)]);
+        assert_eq!(sigs[0].alpha, 1.0);
     }
 }

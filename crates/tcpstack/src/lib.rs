@@ -35,7 +35,10 @@ pub mod sendbuf;
 pub mod socket;
 pub mod state;
 
-pub use cc::{CongestionControl, Lia, Reno};
+pub use cc::{
+    CcAlgorithm, CongestionControl, CoupledCubic, CoupledSignal, CoupledState, FlowView, Lia, Olia,
+    Reno,
+};
 pub use config::TcpConfig;
 pub use rtt::RttEstimator;
 pub use socket::{SocketStats, TcpSocket};

@@ -737,7 +737,7 @@ impl TcpSocket {
                 if ack.after_eq(self.recover) {
                     self.rto_recovery = false;
                 }
-                self.cc.on_ack(newly, rtt_sample);
+                self.cc.on_ack(now, newly, rtt_sample);
             } else if self.in_recovery {
                 if ack.after_eq(self.recover) {
                     self.in_recovery = false;
@@ -756,7 +756,7 @@ impl TcpSocket {
                 // (catastrophic on bufferbloated paths).
                 let cwnd_limited = flight_before + 2 * self.effective_mss as u32 >= self.cc.cwnd();
                 if cwnd_limited {
-                    self.cc.on_ack(newly, rtt_sample);
+                    self.cc.on_ack(now, newly, rtt_sample);
                 }
             }
 
@@ -809,7 +809,7 @@ impl TcpSocket {
                 // (since-collapsed) window is mostly sitting in drop-tail
                 // queues or lost, and must not inflate ssthresh.
                 self.cc
-                    .on_fast_retransmit(self.bytes_in_flight().min(self.cc.cwnd()));
+                    .on_fast_retransmit(now, self.bytes_in_flight().min(self.cc.cwnd()));
                 self.pending_retransmit = Some(self.snd_una);
                 self.stats.fast_retransmits += 1;
                 self.telemetry.count(CounterId::TcpFastRetransmits);
@@ -1226,7 +1226,7 @@ impl TcpSocket {
             _ => {
                 if self.snd_una.before(self.snd_nxt_with_fin()) || self.fin_sent {
                     self.cc
-                        .on_retransmit_timeout(self.bytes_in_flight().min(self.cc.cwnd()));
+                        .on_retransmit_timeout(now, self.bytes_in_flight().min(self.cc.cwnd()));
                     self.in_recovery = false;
                     self.dup_acks = 0;
                     // Go-back-N: retransmit the whole outstanding window,

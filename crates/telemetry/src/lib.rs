@@ -44,6 +44,8 @@ pub enum CounterId {
     SchedulerPicks,
     /// Times the scheduler found every subflow blocked (no cwnd/rwnd room).
     SchedulerStalls,
+    /// Times the scheduler deliberately waited for a faster path (BLEST).
+    SchedulerDefers,
     /// Data-level retransmissions triggered by the data-level RTO.
     DataRtos,
     /// Progress stalls observed at DATA_ACK level (snd_una unmoved too long).
@@ -148,6 +150,7 @@ impl CounterId {
         CounterId::M4CwndCaps,
         CounterId::SchedulerPicks,
         CounterId::SchedulerStalls,
+        CounterId::SchedulerDefers,
         CounterId::DataRtos,
         CounterId::DataAckStalls,
         CounterId::DupDataBytes,
@@ -199,6 +202,7 @@ impl CounterId {
             CounterId::M4CwndCaps => "m4_cwnd_caps",
             CounterId::SchedulerPicks => "scheduler_picks",
             CounterId::SchedulerStalls => "scheduler_stalls",
+            CounterId::SchedulerDefers => "scheduler_defers",
             CounterId::DataRtos => "data_rtos",
             CounterId::DataAckStalls => "data_ack_stalls",
             CounterId::DupDataBytes => "dup_data_bytes",
@@ -244,7 +248,7 @@ impl CounterId {
 }
 
 /// Number of counter slots in a [`Recorder`].
-pub const NUM_COUNTERS: usize = 46;
+pub const NUM_COUNTERS: usize = 47;
 
 /// Instantaneous values tracked with a high-water mark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

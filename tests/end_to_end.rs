@@ -157,8 +157,11 @@ fn http_fleet_serves_requests() {
 
 #[test]
 fn http_fleet_mptcp_uses_two_subflows() {
-    let mut cfg = MptcpConfig::default().with_buffers(256 * 1024);
-    cfg.checksum = false;
+    let cfg = MptcpConfig::builder()
+        .buffers(256 * 1024)
+        .checksum(false)
+        .build()
+        .expect("valid config");
     let mut sc = Scenario::http_fleet(
         TransportKind::Mptcp(cfg),
         2,
