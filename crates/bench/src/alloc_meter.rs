@@ -1,0 +1,55 @@
+//! Optional process-wide allocation meter.
+//!
+//! With the `alloc-count` feature the binary's global allocator is
+//! replaced by a counting wrapper around the system allocator, and
+//! [`bytes_allocated`] reports cumulative allocated bytes (allocations
+//! plus realloc growth; frees are not subtracted — the meter measures
+//! allocator traffic, not live heap). Without the feature the meter
+//! reports `None` and costs nothing.
+//!
+//! `repro wire-bench` uses the delta across a transfer to publish
+//! `alloc_bytes_per_mib` in `BENCH_wire.json`:
+//!
+//! ```text
+//! cargo run --release --features alloc-count --bin repro -- wire-bench --quick
+//! ```
+
+#[cfg(feature = "alloc-count")]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: Counting = Counting;
+
+    pub fn bytes_allocated() -> Option<u64> {
+        Some(BYTES.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(not(feature = "alloc-count"))]
+mod imp {
+    pub fn bytes_allocated() -> Option<u64> {
+        None
+    }
+}
+
+pub use imp::bytes_allocated;

@@ -28,6 +28,12 @@
 //!   serve       serve fetch requests on N UDP ports (one per path)
 //!   fetch       connect over every listed path, transfer, verify bytes
 //!   wire-bench  loopback runtime throughput, writes BENCH_wire.json
+//!
+//! performance memory:
+//!   perf        hot-path microbenchmarks (codec, checksum, reorder) plus
+//!               one loopback wire transfer; writes BENCH_perf.json, or
+//!               with `--check BASELINE` fails on regression (the CI
+//!               perf gate; tolerance via REPRO_PERF_TOLERANCE)
 //! ```
 //!
 //! `--quick` shrinks sweeps for a fast smoke run.
@@ -49,6 +55,8 @@
 //! all paths stay down — is violated), e.g.
 //! `repro chaos --seed-sweep 8 --fail-on-invariant`.
 
+mod alloc_meter;
+mod perf_cli;
 mod runtime_cli;
 
 use mptcp_harness::experiments::common::Policy;
@@ -111,6 +119,7 @@ fn main() {
         "serve" => runtime_cli::serve(&args),
         "fetch" => runtime_cli::fetch(&args),
         "wire-bench" => runtime_cli::wire_bench(&args),
+        "perf" => perf_cli::perf(&args),
         "all" => {
             mbox_matrix(policy);
             telemetry_report(quick, policy);

@@ -1,0 +1,377 @@
+//! `repro perf` — the committed performance memory.
+//!
+//! Runs a fixed microbenchmark suite over the hot paths this codebase
+//! optimizes (segment codec, DSS checksum, reorder queue) plus one real
+//! loopback wire transfer, and writes the results to `BENCH_perf.json`.
+//! That file is committed: it is the performance the repository claims,
+//! and CI holds every change to it.
+//!
+//! ```text
+//! repro perf [--quick] [--skip-wire] [--out FILE]      # measure + write
+//! repro perf --check BASELINE [--quick] [--skip-wire]  # regression gate
+//! ```
+//!
+//! Every entry is a rate (higher is better). In `--check` mode a run
+//! fails when any entry lands below `baseline * (1 - tolerance)`; the
+//! measured numbers are then written to `BENCH_perf.candidate.json` so a
+//! genuine improvement (or an accepted trade-off) can be promoted to the
+//! new baseline by copying the candidate over it (see README).
+//!
+//! The default tolerance is 10%, overridable with the
+//! `REPRO_PERF_TOLERANCE` environment variable (e.g. `0.25` on noisy
+//! shared hardware). The wire-transfer entry always checks at a floor of
+//! 35%: loopback goodput on shared CI runners swings far more than the
+//! CPU-bound microbenchmarks do.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use mptcp::reorder::make_queue;
+use mptcp::ReorderAlgo;
+use mptcp_packet::{
+    checksum, DssMapping, Endpoint, FourTuple, MptcpOption, SeqNum, TcpFlags, TcpOption, TcpSegment,
+};
+
+/// Default baseline / output file.
+const DEFAULT_OUT: &str = "BENCH_perf.json";
+/// Where `--check` leaves the measured numbers on failure.
+const CANDIDATE_OUT: &str = "BENCH_perf.candidate.json";
+/// Default regression tolerance (fraction below baseline that fails).
+const DEFAULT_TOLERANCE: f64 = 0.10;
+/// Tolerance floor for the wire-transfer entry (loopback goodput is
+/// scheduling-noise-bound, not CPU-bound).
+const WIRE_TOLERANCE_FLOOR: f64 = 0.35;
+
+struct Entry {
+    name: &'static str,
+    value: f64,
+    /// Extra slack multiplier floor for noisy entries (0 = default).
+    tolerance_floor: f64,
+}
+
+/// Best-of-rounds throughput: run `f` until each round spans at least
+/// `min_time`, and report the fastest round's rate in `units/sec`.
+fn rate(units_per_iter: f64, rounds: usize, min_time: Duration, mut f: impl FnMut()) -> f64 {
+    let mut best = 0.0f64;
+    let mut iters = 1u64;
+    for _ in 0..rounds {
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let dt = t0.elapsed();
+            if dt >= min_time {
+                best = best.max(units_per_iter * iters as f64 / dt.as_secs_f64());
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+    best
+}
+
+/// The pre-optimization DSS checksum inner loop (16-bit big-endian
+/// chunks), kept verbatim as the speedup yardstick for
+/// `checksum_speedup_1500`.
+fn byte_pair_sum(sum: u32, data: &[u8]) -> u32 {
+    let mut s = sum;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        s = s.wrapping_add(u32::from(u16::from_be_bytes([c[0], c[1]])));
+    }
+    if let [b] = chunks.remainder() {
+        s = s.wrapping_add(u32::from(u16::from_be_bytes([*b, 0])));
+    }
+    s
+}
+
+/// A wire-realistic bulk-data segment: DSS with mapping + checksum,
+/// timestamps, 1400-byte payload.
+fn bulk_segment() -> TcpSegment {
+    let mut seg = TcpSegment::new(
+        FourTuple {
+            src: Endpoint::new(0x0a000001, 4242),
+            dst: Endpoint::new(0x0a000002, 80),
+        },
+        SeqNum(1_000_000),
+        SeqNum(500),
+        TcpFlags::ACK,
+    );
+    seg.window = 1 << 20;
+    seg.options.push(TcpOption::Mptcp(MptcpOption::Dss {
+        data_ack: Some(9_000_000),
+        mapping: Some(DssMapping {
+            dsn: 1_000_000,
+            subflow_seq: 1_000_000,
+            len: 1400,
+            checksum: Some(0xbeef),
+        }),
+        data_fin: false,
+    }));
+    seg.options.push(TcpOption::Timestamps { val: 77, ecr: 1 });
+    seg.payload = Bytes::from(vec![0xa5u8; 1400]);
+    seg
+}
+
+fn measure(quick: bool, skip_wire: bool) -> Vec<Entry> {
+    let (rounds, min_time) = if quick {
+        (2, Duration::from_millis(40))
+    } else {
+        (3, Duration::from_millis(200))
+    };
+    let mut entries = Vec::new();
+    let mbs = |bytes_per_iter: usize, f: &mut dyn FnMut()| {
+        rate(bytes_per_iter as f64 / 1e6, rounds, min_time, f)
+    };
+
+    // --- Codec: encode into a reused buffer, verified view-decode into a
+    // reused segment (the runtime's steady-state pipeline). -------------
+    let seg = bulk_segment();
+    let mut out: Vec<u8> = Vec::with_capacity(2048);
+    seg.encode_into(10, &mut out).expect("options fit");
+    let frame_len = out.len();
+    entries.push(Entry {
+        name: "codec_encode_mbps",
+        value: mbs(frame_len, &mut || {
+            out.clear();
+            seg.encode_into(10, &mut out).expect("options fit");
+            std::hint::black_box(out.len());
+        }),
+        tolerance_floor: 0.0,
+    });
+    let wire = Bytes::from(seg.encode(10).expect("options fit"));
+    let mut dec = TcpSegment::new(seg.tuple, SeqNum(0), SeqNum(0), TcpFlags::ACK);
+    entries.push(Entry {
+        name: "codec_decode_mbps",
+        value: mbs(frame_len, &mut || {
+            TcpSegment::decode_verified_view_into(&wire, 0x0a000001, 0x0a000002, 10, &mut dec)
+                .expect("roundtrip verifies");
+            std::hint::black_box(dec.payload.len());
+        }),
+        tolerance_floor: 0.0,
+    });
+
+    // --- Checksum: wide-word ones-complement at MTU and bulk sizes, plus
+    // the speedup over the byte-pair loop it replaced. -------------------
+    let buf_1500 = vec![0xa5u8; 1500];
+    let buf_64k = vec![0x5au8; 65536];
+    let wide_1500 = mbs(1500, &mut || {
+        std::hint::black_box(checksum::ones_complement_add(0, &buf_1500));
+    });
+    entries.push(Entry {
+        name: "checksum_1500_mbps",
+        value: wide_1500,
+        tolerance_floor: 0.0,
+    });
+    entries.push(Entry {
+        name: "checksum_64k_mbps",
+        value: mbs(65536, &mut || {
+            std::hint::black_box(checksum::ones_complement_add(0, &buf_64k));
+        }),
+        tolerance_floor: 0.0,
+    });
+    let ref_1500 = mbs(1500, &mut || {
+        std::hint::black_box(byte_pair_sum(0, &buf_1500));
+    });
+    entries.push(Entry {
+        name: "checksum_speedup_1500",
+        value: wide_1500 / ref_1500,
+        tolerance_floor: 0.0,
+    });
+
+    // --- Reorder queue (the default AllShortcuts algorithm). ------------
+    // In-order: batched contiguous runs, drained as they complete — the
+    // common case after a multi-datagram socket drain.
+    let chunk = Bytes::from(vec![0u8; 1460]);
+    const RUN: u64 = 64;
+    {
+        let mut q = make_queue(ReorderAlgo::AllShortcuts);
+        let mut rcv = 0u64;
+        let mut batch: Vec<(u64, Bytes, usize)> = Vec::with_capacity(RUN as usize);
+        entries.push(Entry {
+            name: "reorder_inorder_msegs",
+            value: rate(RUN as f64 / 1e6, rounds, min_time, || {
+                for i in 0..RUN {
+                    batch.push((rcv + i * 1460, chunk.clone(), 0));
+                }
+                q.insert_batch(&mut batch);
+                while let Some((d, b)) = q.pop_ready(rcv) {
+                    rcv = d + b.len() as u64;
+                }
+                std::hint::black_box(rcv);
+            }),
+            tolerance_floor: 0.0,
+        });
+    }
+    // Adversarial: two subflows, the second's half arriving first so
+    // every insert lands out of order, then the gap fills.
+    {
+        let mut q = make_queue(ReorderAlgo::AllShortcuts);
+        let mut base = 0u64;
+        entries.push(Entry {
+            name: "reorder_adversarial_msegs",
+            value: rate(RUN as f64 / 1e6, rounds, min_time, || {
+                for k in 0..RUN / 2 {
+                    q.insert(base + (RUN / 2 + k) * 1460, chunk.clone(), 1);
+                }
+                for k in (0..RUN / 2).rev() {
+                    q.insert(base + k * 1460, chunk.clone(), 0);
+                }
+                let mut rcv = base;
+                while let Some((d, b)) = q.pop_ready(rcv) {
+                    rcv = d + b.len() as u64;
+                }
+                base = rcv;
+                std::hint::black_box(base);
+            }),
+            tolerance_floor: 0.0,
+        });
+    }
+
+    // --- Wire: one real loopback transfer through the full runtime. -----
+    if !skip_wire {
+        let size: u64 = if quick { 4 << 20 } else { 8 << 20 };
+        let run = crate::runtime_cli::run_wire(size, 2);
+        entries.push(Entry {
+            name: "wire_goodput_mbps",
+            value: run.goodput_mbps,
+            tolerance_floor: WIRE_TOLERANCE_FLOOR,
+        });
+    }
+    entries
+}
+
+fn to_json(entries: &[Entry]) -> String {
+    let fields: Vec<String> = entries
+        .iter()
+        .map(|e| format!("\"{}\":{:.3}", e.name, e.value))
+        .collect();
+    format!(
+        "{{\"bench\":\"perf\",\"tolerance_default\":{DEFAULT_TOLERANCE},\"entries\":{{{}}}}}\n",
+        fields.join(",")
+    )
+}
+
+/// Extract a bare JSON number following `"key":` (the baseline file is
+/// machine-written flat JSON, so positional scanning is sufficient).
+fn json_f64(s: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = s.find(&pat)? + pat.len();
+    let rest = &s[i..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn tolerance() -> f64 {
+    match std::env::var("REPRO_PERF_TOLERANCE") {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("REPRO_PERF_TOLERANCE must be a number (e.g. 0.25), got {v:?}");
+            std::process::exit(2);
+        }),
+        Err(_) => DEFAULT_TOLERANCE,
+    }
+}
+
+pub fn perf(args: &[String]) {
+    let mut check: Option<std::path::PathBuf> = None;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut quick = false;
+    let mut skip_wire = false;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => {
+                check = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--check needs a baseline file");
+                            std::process::exit(2);
+                        })
+                        .into(),
+                )
+            }
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--out needs a file");
+                            std::process::exit(2);
+                        })
+                        .into(),
+                )
+            }
+            "--quick" => quick = true,
+            "--skip-wire" => skip_wire = true,
+            other => {
+                eprintln!(
+                    "unknown argument: {other}\n\
+                     usage: repro perf [--quick] [--skip-wire] [--out FILE] [--check BASELINE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let entries = measure(quick, skip_wire);
+    println!("perf: measured");
+    for e in &entries {
+        println!("  {:<28} {:>12.3}", e.name, e.value);
+    }
+    let json = to_json(&entries);
+
+    let Some(baseline_path) = check else {
+        let out = out.unwrap_or_else(|| DEFAULT_OUT.into());
+        std::fs::write(&out, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", out.display());
+        return;
+    };
+
+    let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+        std::process::exit(2);
+    });
+    let tol = tolerance();
+    let mut failed = false;
+    for e in &entries {
+        let Some(b) = json_f64(&baseline, e.name) else {
+            println!("  {:<28} (no baseline entry — skipped)", e.name);
+            continue;
+        };
+        let entry_tol = tol.max(e.tolerance_floor);
+        let floor = b * (1.0 - entry_tol);
+        let verdict = if e.value < floor {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<28} {:>12.3}  baseline {:>12.3}  (-{:.0}% floor {:.3})  {}",
+            e.name,
+            e.value,
+            b,
+            entry_tol * 100.0,
+            floor,
+            verdict
+        );
+    }
+    if failed {
+        std::fs::write(CANDIDATE_OUT, &json).ok();
+        eprintln!(
+            "perf: REGRESSION against {} (tolerance {:.0}%; override with \
+             REPRO_PERF_TOLERANCE). Measured numbers written to {CANDIDATE_OUT}; \
+             if the change is intended, promote them to the baseline \
+             (see README \"Refreshing the perf baseline\").",
+            baseline_path.display(),
+            tol * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf: no regression against {}", baseline_path.display());
+}

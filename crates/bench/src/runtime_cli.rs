@@ -237,6 +237,101 @@ pub fn fetch(args: &[String]) {
     }
 }
 
+/// Result of one in-process loopback transfer (see [`run_wire`]).
+pub struct WireRun {
+    pub goodput_mbps: f64,
+    /// Full `BENCH_wire.json` document for this run.
+    pub json: String,
+}
+
+/// Run both runtime ends in-process over kernel loopback: server on a
+/// thread, client on the caller's thread. Used by `repro wire-bench` and
+/// as the `wire_goodput_mbps` entry of `repro perf`.
+pub fn run_wire(size: u64, n_paths: usize) -> WireRun {
+    // Wire-realistic segments, big buffers: the benchmark measures the
+    // runtime's datagram pipeline, so don't throttle it with small
+    // windows (the stack's ACK clocking makes the standard MSS fastest).
+    let cfg = MptcpConfig::builder()
+        .buffers(4 * 1024 * 1024)
+        .build()
+        .expect("wire-bench config is valid");
+    // Tight loop: on loopback the idle-sleep cap *is* the RTT, so shrink
+    // it and raise the batch limits to measure the pipeline, not the nap.
+    let loop_cfg = LoopConfig {
+        egress_cap: 512,
+        recv_batch: 256,
+        idle_sleep: Duration::from_micros(50),
+    };
+
+    let loopback: Vec<SocketAddr> = (0..n_paths)
+        .map(|_| "127.0.0.1:0".parse().unwrap())
+        .collect();
+    let mut server = ServerRuntime::bind(
+        cfg.clone(),
+        crate::SEED + 1,
+        &loopback,
+        Box::new(|| Box::new(FetchServer::new())),
+        loop_cfg,
+    )
+    .expect("bind server");
+    let addrs: Vec<SocketAddr> = (0..n_paths)
+        .map(|i| server.local_addr(i).unwrap())
+        .collect();
+    let alloc_before = crate::alloc_meter::bytes_allocated();
+    let server_thread = std::thread::spawn(move || {
+        let ok = server.run_until_served(1, Duration::from_secs(300)).is_ok();
+        (ok, format!("{{{}}}", server.stats().json_fields()))
+    });
+
+    let start = Instant::now();
+    let mut client = ClientRuntime::connect(
+        cfg,
+        crate::SEED,
+        &loopback,
+        &addrs,
+        FetchClient::new(size, DEFAULT_SEED),
+        loop_cfg,
+    )
+    .expect("bind client");
+    client
+        .run(Duration::from_secs(300))
+        .unwrap_or_else(|e| panic!("wire-bench transfer failed: {e}"));
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(client.app().ok(), "wire-bench payload failed verification");
+
+    let (server_ok, server_stats) = server_thread.join().expect("server thread");
+    assert!(server_ok, "server did not complete");
+
+    // Whole-process allocation per MiB transferred (both ends), measured
+    // only when the `alloc-count` feature installs the counting
+    // allocator; `null` otherwise.
+    let alloc_bytes_per_mib = match (alloc_before, crate::alloc_meter::bytes_allocated()) {
+        (Some(a), Some(b)) => format!("{:.0}", (b - a) as f64 / (size as f64 / (1 << 20) as f64)),
+        _ => "null".to_string(),
+    };
+
+    let iters = client
+        .stats()
+        .rec
+        .counter(mptcp_telemetry::CounterId::RtLoopIterations) as f64;
+    let goodput_mbps = (size as f64 * 8.0) / elapsed / 1e6;
+    let json = format!(
+        "{{\"bench\":\"wire\",\"size_bytes\":{},\"paths\":{},\"elapsed_s\":{:.3},\
+         \"goodput_mbps\":{:.2},\"loop_iters_per_sec\":{:.0},\
+         \"alloc_bytes_per_mib\":{},\
+         \"client\":{{{}}},\"server\":{}}}",
+        size,
+        n_paths,
+        elapsed,
+        goodput_mbps,
+        iters / elapsed,
+        alloc_bytes_per_mib,
+        client.stats().json_fields(),
+        server_stats,
+    );
+    WireRun { goodput_mbps, json }
+}
+
 /// `repro wire-bench`: loopback throughput of the full runtime stack,
 /// written to `BENCH_wire.json`.
 pub fn wire_bench(args: &[String]) {
@@ -267,78 +362,9 @@ pub fn wire_bench(args: &[String]) {
         }
     }
 
-    // Wire-realistic segments, big buffers: the benchmark measures the
-    // runtime's datagram pipeline, so don't throttle it with small
-    // windows (the stack's ACK clocking makes the standard MSS fastest).
-    let cfg = MptcpConfig::builder()
-        .buffers(4 * 1024 * 1024)
-        .build()
-        .expect("wire-bench config is valid");
-    // Tight loop: on loopback the idle-sleep cap *is* the RTT, so shrink
-    // it and raise the batch limits to measure the pipeline, not the nap.
-    let loop_cfg = LoopConfig {
-        egress_cap: 512,
-        recv_batch: 256,
-        idle_sleep: Duration::from_micros(50),
-    };
-
-    let loopback: Vec<SocketAddr> = (0..n_paths)
-        .map(|_| "127.0.0.1:0".parse().unwrap())
-        .collect();
-    let mut server = ServerRuntime::bind(
-        cfg.clone(),
-        crate::SEED + 1,
-        &loopback,
-        Box::new(|| Box::new(FetchServer::new())),
-        loop_cfg,
-    )
-    .expect("bind server");
-    let addrs: Vec<SocketAddr> = (0..n_paths)
-        .map(|i| server.local_addr(i).unwrap())
-        .collect();
-    let server_thread = std::thread::spawn(move || {
-        let ok = server.run_until_served(1, Duration::from_secs(300)).is_ok();
-        (ok, format!("{{{}}}", server.stats().json_fields()))
-    });
-
-    let start = Instant::now();
-    let mut client = ClientRuntime::connect(
-        cfg,
-        crate::SEED,
-        &loopback,
-        &addrs,
-        FetchClient::new(size, DEFAULT_SEED),
-        loop_cfg,
-    )
-    .expect("bind client");
-    client
-        .run(Duration::from_secs(300))
-        .unwrap_or_else(|e| panic!("wire-bench transfer failed: {e}"));
-    let elapsed = start.elapsed().as_secs_f64();
-    assert!(client.app().ok(), "wire-bench payload failed verification");
-
-    let (server_ok, server_stats) = server_thread.join().expect("server thread");
-    assert!(server_ok, "server did not complete");
-
-    let iters = client
-        .stats()
-        .rec
-        .counter(mptcp_telemetry::CounterId::RtLoopIterations) as f64;
-    let goodput_mbps = (size as f64 * 8.0) / elapsed / 1e6;
-    let json = format!(
-        "{{\"bench\":\"wire\",\"size_bytes\":{},\"paths\":{},\"elapsed_s\":{:.3},\
-         \"goodput_mbps\":{:.2},\"loop_iters_per_sec\":{:.0},\
-         \"client\":{{{}}},\"server\":{}}}",
-        size,
-        n_paths,
-        elapsed,
-        goodput_mbps,
-        iters / elapsed,
-        client.stats().json_fields(),
-        server_stats,
-    );
-    println!("{json}");
-    if let Err(e) = std::fs::write(&out, &json) {
+    let run = run_wire(size, n_paths);
+    println!("{}", run.json);
+    if let Err(e) = std::fs::write(&out, &run.json) {
         eprintln!("cannot write {}: {e}", out.display());
         std::process::exit(1);
     }

@@ -169,7 +169,7 @@ impl Default for MptcpConfig {
             tcp,
             checksum: true,
             mech: Mechanisms::M1_2,
-            reorder: ReorderAlgo::Shortcuts,
+            reorder: ReorderAlgo::AllShortcuts,
             cc: CcAlgorithm::Lia,
             scheduler: SchedulerKind::MinRtt,
             send_buf: 2 * 1024 * 1024,

@@ -202,6 +202,13 @@ pub struct MptcpConnection {
     /// stall span; any non-stall decision clears it.
     sched_stalled: bool,
     poll_cursor: usize,
+    /// Scratch: consecutive in-mapping segments from one subflow drain,
+    /// delivered as a run so the reorder queue pays one walk per run.
+    /// Empty between calls; kept for its capacity.
+    mapped_run: Vec<(u64, Bytes)>,
+    /// Scratch for out-of-order items awaiting a batched `ooo` insert.
+    /// Empty between calls; kept for its capacity.
+    ooo_pending: Vec<(u64, Bytes, usize)>,
 }
 
 impl MptcpConnection {
@@ -358,6 +365,8 @@ impl MptcpConnection {
             coupled: CoupledState::new(cfg.cc),
             sched_stalled: false,
             poll_cursor: 0,
+            mapped_run: Vec::new(),
+            ooo_pending: Vec::new(),
             cfg,
         }
     }
@@ -930,6 +939,60 @@ impl MptcpConnection {
         }
     }
 
+    /// Feed a batch of segments that arrived together (one socket drain).
+    ///
+    /// On an established, confirmed connection this feeds every segment
+    /// into its subflow socket first and runs the post-input pipeline
+    /// (mapping translation, reorder, ack state) once per touched
+    /// subflow, so N datagrams cost one stream drain instead of N.
+    /// Outside steady state (handshake, fallback probation, single
+    /// segment) it degrades to per-segment [`handle_segment`] calls,
+    /// which keeps the fallback-streak and confirmation logic exact.
+    pub fn handle_segments(&mut self, now: SimTime, segs: &[TcpSegment]) {
+        let batch_ok = segs.len() > 1 && self.state == ConnState::Established && self.confirmed;
+        if !batch_ok {
+            for seg in segs {
+                self.handle_segment(now, seg);
+            }
+            return;
+        }
+        let mut touched: Vec<usize> = Vec::with_capacity(4);
+        for seg in segs {
+            let Some(idx) = self
+                .subflows
+                .iter()
+                .position(|s| s.sock.tuple() == seg.tuple.reversed())
+            else {
+                continue;
+            };
+            self.subflows[idx].sock.handle_segment(now, seg);
+            // Same data-level right-edge tracking as `handle_segment`.
+            // `snd_una` may be stale mid-batch (it advances in
+            // `after_input`), but `infer_full_dsn` only mis-anchors on a
+            // drift of ≥ 2^31 bytes — impossible within one drain.
+            if seg.flags.ack {
+                let dss_ack = seg.mptcp_options().find_map(|m| match m {
+                    MptcpOption::Dss {
+                        data_ack: Some(a), ..
+                    } => Some(*a),
+                    _ => None,
+                });
+                if let Some(a) = dss_ack {
+                    let edge = infer_full_dsn(self.snd_una, a).wrapping_add(u64::from(seg.window));
+                    if edge > self.snd_right_edge {
+                        self.snd_right_edge = edge;
+                    }
+                }
+            }
+            if !touched.contains(&idx) {
+                touched.push(idx);
+            }
+        }
+        for idx in touched {
+            self.after_input(now, idx);
+        }
+    }
+
     fn after_input(&mut self, now: SimTime, idx: usize) {
         self.process_handshake(now, idx);
         self.process_rx_options(now, idx);
@@ -1232,26 +1295,128 @@ impl MptcpConnection {
 
     /// Pull in-order subflow bytes, translate through mappings, and place
     /// them in the connection-level receive path.
+    ///
+    /// Consecutive mapped pieces are accumulated into `mapped_run` and
+    /// delivered together: a drain of N datagrams then costs one reorder
+    /// walk (via [`OooQueue::insert_batch`]) instead of N.
     fn drain_subflow_stream(&mut self, now: SimTime, idx: usize) {
         loop {
             let piece = self.subflows[idx].sock.read_stream(64 * 1024);
             let Some((off0, bytes)) = piece else { break };
             if self.state == ConnState::Fallback {
+                self.flush_mapped_run(now, idx);
                 self.deliver_raw(bytes);
                 continue;
             }
             let consumed = self.subflows[idx].tracker.consume(off0, bytes);
             for c in consumed {
                 match c {
-                    Consumed::Mapped { dsn, data } => self.receive_data(now, dsn, data, idx),
+                    Consumed::Mapped { dsn, data } => self.mapped_run.push((dsn, data)),
                     Consumed::ChecksumFail { dsn, data } => {
-                        self.on_checksum_fail(now, idx, dsn, data)
+                        self.flush_mapped_run(now, idx);
+                        self.on_checksum_fail(now, idx, dsn, data);
                     }
-                    Consumed::Unmapped { data } => self.on_unmapped(now, idx, data),
+                    Consumed::Unmapped { data } => {
+                        self.flush_mapped_run(now, idx);
+                        self.on_unmapped(now, idx, data);
+                    }
                 }
             }
         }
+        self.flush_mapped_run(now, idx);
         self.check_data_fin();
+    }
+
+    /// Dispatch the accumulated mapped run. A single piece takes the
+    /// scalar [`receive_data`] path (byte-identical behaviour, and the
+    /// common case under the simulator's one-segment delivery).
+    fn flush_mapped_run(&mut self, now: SimTime, idx: usize) {
+        match self.mapped_run.len() {
+            0 => {}
+            1 => {
+                let (dsn, data) = self.mapped_run.pop().expect("len checked");
+                self.receive_data(now, dsn, data, idx);
+            }
+            _ => self.receive_mapped_run(now, idx),
+        }
+    }
+
+    /// Run-oriented equivalent of calling [`receive_data`] per piece:
+    /// duplicate trimming and in-order delivery are identical, but
+    /// out-of-order pieces are staged in `ooo_pending` and inserted in
+    /// one [`OooQueue::insert_batch`] walk. The staged batch is flushed
+    /// before any in-order piece drains the queue, so `rcv_nxt`,
+    /// `app_rx`, and duplicate accounting evolve exactly as they would
+    /// under sequential calls.
+    fn receive_mapped_run(&mut self, now: SimTime, idx: usize) {
+        let mut run = std::mem::take(&mut self.mapped_run);
+        for (dsn, data) in run.drain(..) {
+            let end = dsn + data.len() as u64;
+            if end <= self.rcv_nxt {
+                self.stats.dup_bytes += data.len() as u64;
+                self.telemetry
+                    .count_n(CounterId::DupDataBytes, data.len() as u64);
+                continue;
+            }
+            let (dsn, data) = if dsn < self.rcv_nxt {
+                let cut = (self.rcv_nxt - dsn) as usize;
+                self.stats.dup_bytes += cut as u64;
+                self.telemetry.count_n(CounterId::DupDataBytes, cut as u64);
+                (self.rcv_nxt, data.slice(cut..))
+            } else {
+                (dsn, data)
+            };
+            if dsn > self.rcv_nxt {
+                self.ooo_pending.push((dsn, data, idx));
+                continue;
+            }
+            // In-order: anything staged so far must land in the queue
+            // first so the pop_ready drain below can see it.
+            self.flush_ooo_pending(now);
+            self.rcv_nxt = dsn + data.len() as u64;
+            self.deliver_raw(data);
+            let mut popped = false;
+            while let Some((d, b)) = self.ooo.pop_ready(self.rcv_nxt) {
+                debug_assert_eq!(d, self.rcv_nxt);
+                self.rcv_nxt = d + b.len() as u64;
+                self.deliver_raw(b);
+                popped = true;
+            }
+            if popped {
+                self.telemetry
+                    .gauge_set(GaugeId::OfoQueueSegs, self.ooo.len() as u64);
+                self.telemetry
+                    .gauge_set(GaugeId::OfoQueueBytes, self.ooo.buffered_bytes() as u64);
+            }
+        }
+        self.flush_ooo_pending(now);
+        self.mapped_run = run; // keep the capacity for the next drain
+    }
+
+    /// Batched counterpart of the `dsn > rcv_nxt` arm of
+    /// [`receive_data`]: one queue walk for the staged pieces, then the
+    /// same high-water event and gauge updates against the post-insert
+    /// queue state.
+    fn flush_ooo_pending(&mut self, now: SimTime) {
+        if self.ooo_pending.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.ooo_pending);
+        self.ooo.insert_batch(&mut pending);
+        self.ooo_pending = pending; // drained; keep the capacity
+        let segs = self.ooo.len() as u64;
+        let bytes = self.ooo.buffered_bytes() as u64;
+        if segs > self.telemetry.gauge(GaugeId::OfoQueueSegs).max {
+            self.telemetry
+                .event(now.0, EventKind::ReorderHighWater { segs, bytes });
+            self.trace_span(
+                now,
+                SPAN_CONN_LEVEL,
+                EventKind::ReorderHighWater { segs, bytes },
+            );
+        }
+        self.telemetry.gauge_set(GaugeId::OfoQueueSegs, segs);
+        self.telemetry.gauge_set(GaugeId::OfoQueueBytes, bytes);
     }
 
     fn deliver_raw(&mut self, data: Bytes) {

@@ -100,6 +100,38 @@ impl MptcpListener {
         Some(idx)
     }
 
+    /// Feed a batch of segments that arrived together (one socket drain).
+    ///
+    /// Contiguous runs destined for the same existing connection are
+    /// handed to [`MptcpConnection::handle_segments`], which drains the
+    /// subflow stream once per run instead of once per segment. SYNs and
+    /// strays fall through to the per-segment path. Indices of touched
+    /// connections are appended (deduplicated) to `touched`.
+    pub fn handle_segments(&mut self, now: SimTime, segs: &[TcpSegment], touched: &mut Vec<usize>) {
+        let mut i = 0;
+        while i < segs.len() {
+            let Some(&idx) = self.by_tuple.get(&segs[i].tuple.reversed()) else {
+                if let Some(idx) = self.handle_segment(now, &segs[i]) {
+                    if !touched.contains(&idx) {
+                        touched.push(idx);
+                    }
+                }
+                i += 1;
+                continue;
+            };
+            // Extend the run while segments keep resolving to `idx`.
+            let mut j = i + 1;
+            while j < segs.len() && self.by_tuple.get(&segs[j].tuple.reversed()) == Some(&idx) {
+                j += 1;
+            }
+            self.conns[idx].handle_segments(now, &segs[i..j]);
+            if !touched.contains(&idx) {
+                touched.push(idx);
+            }
+            i = j;
+        }
+    }
+
     /// Poll every live connection for output; emits into `out`.
     pub fn poll(&mut self, now: SimTime, out: &mut Vec<TcpSegment>) {
         for c in &mut self.conns {

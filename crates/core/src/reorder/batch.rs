@@ -53,8 +53,9 @@ impl AllShortcutsQueue {
     }
 
     /// Append a segment to the batch ending exactly at `dsn`, then merge
-    /// with the following batch if they now touch.
-    fn extend_batch(&mut self, start_key: u64, dsn: u64, data: Bytes) {
+    /// with the following batch if they now touch. Returns the batch's new
+    /// end, so a batch-insert run can track it without another lookup.
+    fn extend_batch(&mut self, start_key: u64, dsn: u64, data: Bytes) -> u64 {
         let len = data.len() as u64;
         let batch = self.batches.get_mut(&start_key).expect("batch exists");
         debug_assert_eq!(batch.end, dsn);
@@ -73,8 +74,10 @@ impl AllShortcutsQueue {
             batch.segs.append(&mut succ.segs);
             batch.end = succ_end;
             self.by_end.insert(succ_end, start_key);
+            succ_end
         } else {
             self.by_end.insert(new_end, start_key);
+            new_end
         }
     }
 
@@ -199,10 +202,55 @@ impl OooQueue for AllShortcutsQueue {
 
         let end = dsn + data.len() as u64;
         match target {
-            Some(t) if self.batches[&t].end == dsn => self.extend_batch(t, dsn, data),
+            Some(t) if self.batches[&t].end == dsn => {
+                self.extend_batch(t, dsn, data);
+            }
             _ => self.new_batch(dsn, data),
         }
         self.cursors.insert(subflow, end);
+    }
+
+    /// The promoted default ingress path: a drain of N contiguous datagrams
+    /// costs one lookup to find the target batch, then N O(1) appends
+    /// against a cached `(batch key, batch end)` — no per-segment cursor or
+    /// end-index probing.
+    fn insert_batch(&mut self, items: &mut Vec<(u64, Bytes, usize)>) {
+        // Batch being extended by the current contiguous run.
+        let mut cached: Option<(u64, u64)> = None;
+        for (dsn, data, subflow) in items.drain(..) {
+            if data.is_empty() {
+                self.inserts += 1;
+                continue;
+            }
+            let len = data.len() as u64;
+            // Fast path mirrors `insert`'s shortcut exactly: the subflow's
+            // cursor expected `dsn` AND a batch ends right there (the
+            // cached one — batch ends are unique, so `by_end[dsn]` could
+            // name no other).
+            let fast = matches!(cached, Some((_, end)) if end == dsn)
+                && self.cursors.get(&subflow) == Some(&dsn);
+            if fast {
+                let (key, _) = cached.unwrap();
+                self.inserts += 1;
+                self.ops += 1;
+                self.hits += 1;
+                let new_end = self.extend_batch(key, dsn, data);
+                self.cursors.insert(subflow, dsn + len);
+                // If a successor merge pushed the end past dsn+len, the next
+                // contiguous item misses the cache and takes the full
+                // insert — the same route the sequential shortcut takes.
+                cached = Some((key, new_end));
+                continue;
+            }
+            self.insert(dsn, data, subflow);
+            // Re-arm the cache: after an insert the subflow's cursor points
+            // one past the inserted bytes; if a batch ends exactly there,
+            // the next contiguous segment can take the fast path.
+            cached = self
+                .cursors
+                .get(&subflow)
+                .and_then(|&c| self.by_end.get(&c).map(|&k| (k, c)));
+        }
     }
 
     fn pop_ready(&mut self, rcv_nxt: u64) -> Option<(u64, Bytes)> {

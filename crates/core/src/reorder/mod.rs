@@ -45,6 +45,18 @@ pub trait OooQueue: Send {
     /// Insert a segment at data sequence `dsn`, arriving on `subflow`.
     fn insert(&mut self, dsn: u64, data: Bytes, subflow: usize);
 
+    /// Insert a run of segments that arrived together (one ingress drain),
+    /// consuming `items` but keeping its capacity for reuse.
+    ///
+    /// Observationally identical to calling [`OooQueue::insert`] in order;
+    /// batch-structured implementations override this so a drain of N
+    /// contiguous datagrams costs one lookup walk, not N.
+    fn insert_batch(&mut self, items: &mut Vec<(u64, Bytes, usize)>) {
+        for (dsn, data, subflow) in items.drain(..) {
+            self.insert(dsn, data, subflow);
+        }
+    }
+
     /// Pop the entry starting at `rcv_nxt`, if queued. Entries that have
     /// been fully superseded (end ≤ rcv_nxt) are discarded on the way.
     fn pop_ready(&mut self, rcv_nxt: u64) -> Option<(u64, Bytes)>;
@@ -245,6 +257,67 @@ mod tests {
             lin.ops(),
             sc.ops()
         );
+    }
+
+    #[test]
+    fn insert_batch_equals_sequential_insert() {
+        // Mixed workload: contiguous runs, gaps, duplicates, overlaps, an
+        // empty segment, and a cross-subflow interleave — batch insertion
+        // must yield exactly the same queue state as one-at-a-time.
+        let workload: Vec<(u64, usize, usize)> = vec![
+            (0, 10, 0),
+            (10, 10, 0),
+            (20, 10, 0), // run
+            (100, 10, 1),
+            (110, 10, 1), // second subflow's run
+            (15, 10, 0),  // overlap into the first run
+            (50, 0, 0),   // empty
+            (10, 10, 1),  // duplicate from the other subflow
+            (120, 10, 1),
+            (130, 10, 1), // run continues after interruption
+            (30, 10, 0),  // fills toward the far batch
+        ];
+        for algo in [
+            ReorderAlgo::Regular,
+            ReorderAlgo::Tree,
+            ReorderAlgo::Shortcuts,
+            ReorderAlgo::AllShortcuts,
+        ] {
+            let mut seq = make_queue(algo);
+            for &(dsn, n, sf) in &workload {
+                seq.insert(dsn, bytes(n, dsn as u8), sf);
+            }
+            let mut batched = make_queue(algo);
+            let mut items: Vec<(u64, Bytes, usize)> = workload
+                .iter()
+                .map(|&(dsn, n, sf)| (dsn, bytes(n, dsn as u8), sf))
+                .collect();
+            batched.insert_batch(&mut items);
+            assert!(items.is_empty(), "{algo:?}: batch consumes its input");
+            assert_eq!(batched.len(), seq.len(), "{algo:?}");
+            assert_eq!(batched.buffered_bytes(), seq.buffered_bytes(), "{algo:?}");
+            assert_eq!(batched.inserts(), seq.inserts(), "{algo:?}");
+            let a = drain(batched.as_mut(), 0);
+            let b = drain(seq.as_mut(), 0);
+            assert_eq!(a, b, "{algo:?}");
+            let a = drain(batched.as_mut(), 100);
+            let b = drain(seq.as_mut(), 100);
+            assert_eq!(a, b, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn batch_run_costs_one_walk() {
+        // The tentpole claim: a contiguous run through insert_batch pays
+        // the lookup once, then constant-work appends.
+        let mut q = make_queue(ReorderAlgo::AllShortcuts);
+        q.insert(10_000, bytes(10, 0), 1); // far batch so the queue is non-trivial
+        let mut items: Vec<(u64, Bytes, usize)> =
+            (0..256u64).map(|i| (i * 10, bytes(10, 0), 0)).collect();
+        q.insert_batch(&mut items);
+        // First item walks (arming the cache), remaining 255 hit it.
+        assert_eq!(q.shortcut_hits(), 255);
+        assert!(q.ops() <= 260, "ops = {}", q.ops());
     }
 
     #[test]

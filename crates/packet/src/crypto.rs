@@ -11,26 +11,86 @@
 /// Output size of SHA-1 in bytes.
 pub const SHA1_LEN: usize = 20;
 
-/// Compute the SHA-1 digest of `data` (FIPS 180-1).
-pub fn sha1(data: &[u8]) -> [u8; SHA1_LEN] {
-    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+const BLOCK: usize = 64;
 
-    let ml = (data.len() as u64).wrapping_mul(8);
-    let mut msg = data.to_vec();
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
+/// Incremental SHA-1 (FIPS 180-1): feed borrowed slices with
+/// [`Sha1::update`], no copy of the message is ever made — only a single
+/// 64-byte block buffer lives on the stack.
+pub struct Sha1 {
+    h: [u32; 5],
+    block: [u8; BLOCK],
+    /// Total message bytes fed so far; `len % 64` is the block fill.
+    len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Sha1 {
+        Sha1::new()
     }
-    msg.extend_from_slice(&ml.to_be_bytes());
+}
 
-    let mut w = [0u32; 80];
-    for block in msg.chunks_exact(64) {
+impl Sha1 {
+    pub fn new() -> Sha1 {
+        Sha1 {
+            h: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            block: [0u8; BLOCK],
+            len: 0,
+        }
+    }
+
+    /// Absorb `data` without copying it into an owned message buffer.
+    pub fn update(&mut self, mut data: &[u8]) {
+        let fill = (self.len % BLOCK as u64) as usize;
+        self.len += data.len() as u64;
+        if fill != 0 {
+            let take = (BLOCK - fill).min(data.len());
+            self.block[fill..fill + take].copy_from_slice(&data[..take]);
+            data = &data[take..];
+            if fill + take < BLOCK {
+                return;
+            }
+            let block = self.block;
+            self.compress(&block);
+        }
+        let mut chunks = data.chunks_exact(BLOCK);
+        for chunk in &mut chunks {
+            self.compress(chunk.try_into().unwrap());
+        }
+        let rest = chunks.remainder();
+        self.block[..rest.len()].copy_from_slice(rest);
+    }
+
+    /// Pad, process the final block(s), and return the digest.
+    pub fn finalize(mut self) -> [u8; SHA1_LEN] {
+        let ml = self.len.wrapping_mul(8);
+        let fill = (self.len % BLOCK as u64) as usize;
+        let mut tail = [0u8; BLOCK * 2];
+        tail[..fill].copy_from_slice(&self.block[..fill]);
+        tail[fill] = 0x80;
+        let total = if fill < 56 { BLOCK } else { BLOCK * 2 };
+        tail[total - 8..total].copy_from_slice(&ml.to_be_bytes());
+        let (first, second) = tail.split_at(BLOCK);
+        self.compress(first.try_into().unwrap());
+        if total == BLOCK * 2 {
+            self.compress(second.try_into().unwrap());
+        }
+
+        let mut out = [0u8; SHA1_LEN];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK]) {
+        let mut w = [0u32; 80];
         for (i, word) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
         }
         for i in 16..80 {
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
         }
+        let h = &mut self.h;
         let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
         for (i, &wi) in w.iter().enumerate() {
             let (f, k) = match i {
@@ -57,17 +117,18 @@ pub fn sha1(data: &[u8]) -> [u8; SHA1_LEN] {
         h[3] = h[3].wrapping_add(d);
         h[4] = h[4].wrapping_add(e);
     }
-
-    let mut out = [0u8; SHA1_LEN];
-    for (i, word) in h.iter().enumerate() {
-        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-    }
-    out
 }
 
-/// HMAC-SHA1 per RFC 2104.
+/// Compute the SHA-1 digest of `data` (FIPS 180-1).
+pub fn sha1(data: &[u8]) -> [u8; SHA1_LEN] {
+    let mut s = Sha1::new();
+    s.update(data);
+    s.finalize()
+}
+
+/// HMAC-SHA1 per RFC 2104, hashing the key pads and message incrementally —
+/// no concatenation buffers are allocated.
 pub fn hmac_sha1(key: &[u8], msg: &[u8]) -> [u8; SHA1_LEN] {
-    const BLOCK: usize = 64;
     let mut key_block = [0u8; BLOCK];
     if key.len() > BLOCK {
         key_block[..SHA1_LEN].copy_from_slice(&sha1(key));
@@ -75,19 +136,22 @@ pub fn hmac_sha1(key: &[u8], msg: &[u8]) -> [u8; SHA1_LEN] {
         key_block[..key.len()].copy_from_slice(key);
     }
 
-    let mut inner = Vec::with_capacity(BLOCK + msg.len());
-    for b in &key_block {
-        inner.push(b ^ 0x36);
+    let mut ipad = [0u8; BLOCK];
+    let mut opad = [0u8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
     }
-    inner.extend_from_slice(msg);
-    let inner_hash = sha1(&inner);
 
-    let mut outer = Vec::with_capacity(BLOCK + SHA1_LEN);
-    for b in &key_block {
-        outer.push(b ^ 0x5c);
-    }
-    outer.extend_from_slice(&inner_hash);
-    sha1(&outer)
+    let mut inner = Sha1::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_hash = inner.finalize();
+
+    let mut outer = Sha1::new();
+    outer.update(&opad);
+    outer.update(&inner_hash);
+    outer.finalize()
 }
 
 /// Derive the 32-bit connection token from a 64-bit MPTCP key.
@@ -193,6 +257,26 @@ mod tests {
             hex(&hmac_sha1(&[0xaa; 20], &[0xdd; 50])),
             "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
         );
+    }
+
+    #[test]
+    fn incremental_update_equals_oneshot() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 7) as u8).collect();
+        let oneshot = sha1(&data);
+        // Split at every boundary class: mid-block, exactly one block,
+        // block+1, and a final sliver.
+        for split in [0, 1, 55, 56, 63, 64, 65, 128, 299, 300] {
+            let mut s = Sha1::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finalize(), oneshot, "split {split}");
+        }
+        // Byte-at-a-time.
+        let mut s = Sha1::new();
+        for b in &data {
+            s.update(std::slice::from_ref(b));
+        }
+        assert_eq!(s.finalize(), oneshot);
     }
 
     #[test]

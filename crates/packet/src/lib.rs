@@ -14,10 +14,12 @@ pub mod checksum;
 pub mod crypto;
 pub mod mptcp_opts;
 pub mod options;
+pub mod pool;
 pub mod seq;
 pub mod tcp;
 
 pub use mptcp_opts::{DssMapping, MptcpOption};
 pub use options::TcpOption;
+pub use pool::{BufPool, PoolStats, PooledBuf};
 pub use seq::SeqNum;
 pub use tcp::{Endpoint, FourTuple, TcpFlags, TcpSegment, WireDecodeError};

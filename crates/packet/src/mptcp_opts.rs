@@ -262,6 +262,35 @@ impl MptcpOption {
         }
     }
 
+    /// Exact length of [`encode_value`](Self::encode_value)'s output, so
+    /// callers can reserve or patch length bytes without encoding into a
+    /// scratch buffer first.
+    pub fn value_len(&self) -> usize {
+        match self {
+            MptcpOption::MpCapable { receiver_key, .. } => {
+                2 + 8 + if receiver_key.is_some() { 8 } else { 0 }
+            }
+            MptcpOption::MpJoinSyn { .. } => 10,
+            MptcpOption::MpJoinSynAck { .. } => 14,
+            MptcpOption::MpJoinAck { .. } => 22,
+            MptcpOption::Dss {
+                data_ack, mapping, ..
+            } => {
+                let ack = if data_ack.is_some() { 4 } else { 0 };
+                let map = match mapping {
+                    Some(m) => 8 + 4 + 2 + if m.checksum.is_some() { 2 } else { 0 },
+                    None => 0,
+                };
+                2 + ack + map
+            }
+            MptcpOption::AddAddr(a) => 2 + 4 + if a.port.is_some() { 2 } else { 0 },
+            MptcpOption::RemoveAddr { addr_ids } => 1 + addr_ids.len(),
+            MptcpOption::MpPrio { addr_id, .. } => 1 + usize::from(addr_id.is_some()),
+            MptcpOption::MpFail { .. } => 10,
+            MptcpOption::FastClose { .. } => 10,
+        }
+    }
+
     /// Decode an MPTCP option value (bytes after kind and length).
     ///
     /// Returns `None` for malformed or unknown subtypes; a defensive parser
@@ -434,6 +463,7 @@ mod tests {
     fn roundtrip(opt: MptcpOption) {
         let mut buf = Vec::new();
         opt.encode_value(&mut buf);
+        assert_eq!(opt.value_len(), buf.len(), "value_len for {opt:?}");
         let decoded = MptcpOption::decode_value(&buf).expect("decode");
         assert_eq!(opt, decoded);
     }

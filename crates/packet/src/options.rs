@@ -62,11 +62,7 @@ impl TcpOption {
             TcpOption::SackPermitted => 2,
             TcpOption::Sack(blocks) => 2 + blocks.len() * 8,
             TcpOption::Timestamps { .. } => 10,
-            TcpOption::Mptcp(m) => {
-                let mut v = Vec::new();
-                m.encode_value(&mut v);
-                2 + v.len()
-            }
+            TcpOption::Mptcp(m) => 2 + m.value_len(),
             TcpOption::Unknown { data, .. } => 2 + data.len(),
         }
     }
@@ -97,11 +93,12 @@ impl TcpOption {
                 out.extend_from_slice(&ecr.to_be_bytes());
             }
             TcpOption::Mptcp(m) => {
-                let mut v = Vec::new();
-                m.encode_value(&mut v);
+                // Encode the value straight into `out` — no scratch Vec.
                 out.push(kind::MPTCP);
-                out.push((2 + v.len()) as u8);
-                out.extend_from_slice(&v);
+                out.push((2 + m.value_len()) as u8);
+                let before = out.len();
+                m.encode_value(out);
+                debug_assert_eq!(out.len() - before, m.value_len());
             }
             TcpOption::Unknown { kind, data } => {
                 out.push(*kind);
@@ -141,16 +138,32 @@ impl std::error::Error for OptionSpaceExceeded {}
 /// Fails if the encoded options exceed [`MAX_OPTIONS_LEN`].
 pub fn encode_options(opts: &[TcpOption]) -> Result<Vec<u8>, OptionSpaceExceeded> {
     let mut out = Vec::with_capacity(MAX_OPTIONS_LEN);
+    encode_options_into(opts, &mut out)?;
+    Ok(out)
+}
+
+/// Append the NOP-padded option block to `out` (the zero-copy entry point:
+/// `out` is typically a pooled segment buffer).
+///
+/// Fails — leaving `out` truncated back to its original length — if the
+/// encoded options exceed [`MAX_OPTIONS_LEN`].
+pub fn encode_options_into(
+    opts: &[TcpOption],
+    out: &mut Vec<u8>,
+) -> Result<(), OptionSpaceExceeded> {
+    let base = out.len();
     for o in opts {
-        o.encode(&mut out);
+        o.encode(out);
     }
-    while out.len() % 4 != 0 {
+    while !(out.len() - base).is_multiple_of(4) {
         out.push(kind::NOP);
     }
-    if out.len() > MAX_OPTIONS_LEN {
-        return Err(OptionSpaceExceeded { needed: out.len() });
+    let len = out.len() - base;
+    if len > MAX_OPTIONS_LEN {
+        out.truncate(base);
+        return Err(OptionSpaceExceeded { needed: len });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Total padded wire length of an option list.
@@ -162,8 +175,18 @@ pub fn options_wire_len(opts: &[TcpOption]) -> usize {
 /// Parse a TCP option block. Unknown kinds become [`TcpOption::Unknown`];
 /// malformed trailing bytes terminate the parse (defensive, per the paper's
 /// middlebox-hardening stance).
-pub fn decode_options(mut bytes: &[u8]) -> Vec<TcpOption> {
+pub fn decode_options(bytes: &[u8]) -> Vec<TcpOption> {
     let mut opts = Vec::new();
+    decode_options_into(bytes, &mut opts);
+    opts
+}
+
+/// Parse a TCP option block into a caller-provided `Vec`, clearing it first.
+/// Reusing the same `Vec` across segments keeps steady-state decode free of
+/// per-segment allocations (options that carry no inner heap data — DSS,
+/// timestamps, MSS — then cost nothing to push).
+pub fn decode_options_into(mut bytes: &[u8], opts: &mut Vec<TcpOption>) {
+    opts.clear();
     while let Some(&k) = bytes.first() {
         match k {
             kind::EOL => break,
@@ -216,7 +239,6 @@ pub fn decode_options(mut bytes: &[u8]) -> Vec<TcpOption> {
         opts.push(opt);
         bytes = &bytes[len..];
     }
-    opts
 }
 
 #[cfg(test)]

@@ -1,0 +1,318 @@
+//! A recycling buffer pool for the zero-copy segment pipeline.
+//!
+//! The paper's Figure 3 shows the per-byte costs (checksums) dominating
+//! MPTCP's CPU bill; the per-*packet* costs next in line are allocator
+//! traffic — a fresh `Vec<u8>` per encoded segment and per received
+//! datagram. [`BufPool`] removes both: a checkout hands back a reusable
+//! [`PooledBuf`], and [`PooledBuf::freeze`] turns a filled buffer into a
+//! cheap [`Bytes`] view without copying, so a received datagram's payload
+//! can flow decode → reorder queue → application as slices of one pooled
+//! allocation.
+//!
+//! # Ownership and aliasing rules
+//!
+//! Recycling is driven purely by `Arc` reference counts:
+//!
+//! * Each pooled buffer is an `Arc<PoolEntry>`. The free list holds one
+//!   strong reference to every idle buffer.
+//! * `checkout` only reuses an entry whose strong count is exactly 1 —
+//!   i.e. no [`PooledBuf`] and no frozen [`Bytes`] view (nor any slice of
+//!   one) is alive. Aliased entries are skipped, never handed out, so a
+//!   live view can never observe a buffer being rewritten.
+//! * [`PooledBuf::freeze`] returns the entry to the free list immediately;
+//!   it becomes reusable only once the returned `Bytes` and all its slices
+//!   drop (the strong count decays back to 1).
+//!
+//! Holding a frozen view for a long time (e.g. parked in a reorder queue
+//! across many ticks) is safe but pins the whole underlying buffer; the
+//! pool simply allocates fresh entries (counted as misses) while old ones
+//! are pinned.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+
+/// How many idle entries `checkout` inspects before giving up and
+/// allocating fresh. Entries still pinned by live views are rotated to the
+/// back of the free list so they are retried last.
+const CHECKOUT_PROBES: usize = 4;
+
+/// One pooled buffer. Public only so `Arc<PoolEntry>` can coerce to the
+/// `Arc<dyn AsRef<[u8]>>` owner that [`Bytes::from_shared`] wants.
+pub struct PoolEntry {
+    buf: Vec<u8>,
+}
+
+impl AsRef<[u8]> for PoolEntry {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Point-in-time pool statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served by recycling an idle buffer.
+    pub hits: u64,
+    /// Checkouts that had to allocate a fresh buffer (cold start, or every
+    /// idle entry still pinned by a live view).
+    pub misses: u64,
+    /// Buffers currently checked out (live [`PooledBuf`]s).
+    pub outstanding: u64,
+    /// Most buffers ever checked out simultaneously.
+    pub high_water: u64,
+}
+
+struct Shared {
+    free: Mutex<VecDeque<Arc<PoolEntry>>>,
+    /// Initial capacity of fresh buffers (they may grow; grown capacity is
+    /// kept across recycles).
+    buf_capacity: usize,
+    /// Free-list bound: entries returned past this are dropped instead.
+    max_idle: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    outstanding: AtomicU64,
+    high_water: AtomicU64,
+}
+
+/// A cloneable handle to a shared pool of reusable byte buffers.
+#[derive(Clone)]
+pub struct BufPool {
+    shared: Arc<Shared>,
+}
+
+impl BufPool {
+    /// A pool whose fresh buffers start with `buf_capacity` bytes of
+    /// capacity and whose free list keeps at most `max_idle` entries.
+    pub fn new(buf_capacity: usize, max_idle: usize) -> BufPool {
+        let max_idle = max_idle.max(1);
+        BufPool {
+            shared: Arc::new(Shared {
+                free: Mutex::new(VecDeque::with_capacity(max_idle)),
+                buf_capacity,
+                max_idle,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                outstanding: AtomicU64::new(0),
+                high_water: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Check out an empty buffer, recycling an idle one when possible.
+    pub fn checkout(&self) -> PooledBuf {
+        let mut entry = None;
+        {
+            let mut free = self.shared.free.lock().unwrap();
+            for _ in 0..CHECKOUT_PROBES.min(free.len()) {
+                let candidate = free.pop_front().unwrap();
+                if Arc::strong_count(&candidate) == 1 {
+                    entry = Some(candidate);
+                    break;
+                }
+                // Still pinned by a frozen view: retry it last.
+                free.push_back(candidate);
+            }
+        }
+        let entry = match entry {
+            Some(mut e) => {
+                self.shared.hits.fetch_add(1, Ordering::Relaxed);
+                // Sole owner (checked above, and we hold the only Arc).
+                Arc::get_mut(&mut e).expect("unaliased entry").buf.clear();
+                e
+            }
+            None => {
+                self.shared.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::new(PoolEntry {
+                    buf: Vec::with_capacity(self.shared.buf_capacity),
+                })
+            }
+        };
+        let out = self.shared.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shared.high_water.fetch_max(out, Ordering::Relaxed);
+        PooledBuf {
+            entry: Some(entry),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.shared.hits.load(Ordering::Relaxed),
+            misses: self.shared.misses.load(Ordering::Relaxed),
+            outstanding: self.shared.outstanding.load(Ordering::Relaxed),
+            high_water: self.shared.high_water.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Idle entries on the free list (pinned or not).
+    pub fn idle(&self) -> usize {
+        self.shared.free.lock().unwrap().len()
+    }
+}
+
+impl Shared {
+    fn give_back(&self, entry: Arc<PoolEntry>) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        let mut free = self.free.lock().unwrap();
+        if free.len() < self.max_idle {
+            free.push_back(entry);
+        }
+        // else: drop, shrinking the pool back toward its bound.
+    }
+}
+
+/// An exclusively-owned, writable pooled buffer.
+///
+/// Dereferences to `Vec<u8>` for writing. Dropping it returns the buffer
+/// to the pool; [`PooledBuf::freeze`] converts it into an immutable
+/// [`Bytes`] view instead (also returning the storage to the pool, which
+/// will reuse it only after the view dies).
+pub struct PooledBuf {
+    entry: Option<Arc<PoolEntry>>,
+    shared: Arc<Shared>,
+}
+
+impl PooledBuf {
+    /// Freeze the written contents into an immutable shared view.
+    ///
+    /// No bytes are copied and nothing is allocated: the `Bytes` is backed
+    /// by the same pooled storage, which stays off-limits to `checkout`
+    /// until the view (and every slice of it) is dropped.
+    pub fn freeze(mut self) -> Bytes {
+        let entry = self.entry.take().expect("not yet frozen");
+        let view: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::clone(&entry) as _;
+        self.shared.give_back(entry);
+        Bytes::from_shared(view)
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.entry.as_ref().expect("not frozen").buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        let entry = self.entry.as_mut().expect("not frozen");
+        // A checked-out buffer is never aliased: checkout requires strong
+        // count 1 and views are only minted by freeze (which consumes it).
+        &mut Arc::get_mut(entry)
+            .expect("checked-out buffer unaliased")
+            .buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(entry) = self.entry.take() {
+            self.shared.give_back(entry);
+        }
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PooledBuf({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_after_plain_drop() {
+        let pool = BufPool::new(64, 8);
+        let mut a = pool.checkout();
+        a.extend_from_slice(b"hello");
+        drop(a);
+        let b = pool.checkout();
+        assert!(b.is_empty(), "recycled buffer is cleared");
+        assert!(b.capacity() >= 64);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn live_view_is_never_aliased() {
+        let pool = BufPool::new(64, 8);
+        let mut a = pool.checkout();
+        a.extend_from_slice(b"pinned");
+        let view = a.freeze();
+        assert_eq!(&view[..], b"pinned");
+        assert_eq!(pool.idle(), 1, "storage returned to the free list");
+
+        // While the view lives, checkout must not reuse its storage.
+        let mut b = pool.checkout();
+        b.extend_from_slice(b"other!");
+        assert_eq!(&view[..], b"pinned", "view untouched by new checkout");
+        assert_eq!(pool.stats().misses, 2, "pinned entry skipped, not reused");
+
+        // A slice keeps the pin alive even after the parent view drops.
+        let slice = view.slice(1..3);
+        drop(view);
+        drop(b);
+        let c = pool.checkout();
+        assert_eq!(&slice[..], b"in", "slice still valid");
+        drop(c);
+        drop(slice);
+
+        // With every view dead the storage is reusable again.
+        let before = pool.stats().hits;
+        let _d = pool.checkout();
+        assert!(pool.stats().hits > before);
+    }
+
+    #[test]
+    fn freeze_then_drop_allows_reuse() {
+        let pool = BufPool::new(32, 4);
+        let mut a = pool.checkout();
+        a.extend_from_slice(&[7; 10]);
+        let v = a.freeze();
+        drop(v);
+        let b = pool.checkout();
+        assert_eq!(pool.stats().hits, 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn outstanding_and_high_water_track_checkouts() {
+        let pool = BufPool::new(16, 16);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        let c = pool.checkout();
+        assert_eq!(pool.stats().outstanding, 3);
+        assert_eq!(pool.stats().high_water, 3);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.stats().outstanding, 1);
+        assert_eq!(pool.stats().high_water, 3);
+        drop(c);
+        assert_eq!(pool.stats().outstanding, 0);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let pool = BufPool::new(8, 2);
+        let bufs: Vec<_> = (0..5).map(|_| pool.checkout()).collect();
+        drop(bufs);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn grown_capacity_survives_recycle() {
+        let pool = BufPool::new(8, 4);
+        let mut a = pool.checkout();
+        a.extend_from_slice(&[0u8; 1000]);
+        drop(a);
+        let b = pool.checkout();
+        assert!(b.capacity() >= 1000);
+    }
+}

@@ -232,32 +232,53 @@ impl TcpSegment {
     /// `wscale_shift` is the window scale negotiated for this direction: the
     /// codec stores `window >> shift` in the 16-bit field, as the wire does.
     pub fn encode(&self, wscale_shift: u8) -> Result<Vec<u8>, options::OptionSpaceExceeded> {
-        let opt_bytes = options::encode_options(&self.options)?;
-        let data_offset_words = (TCP_HEADER_LEN + opt_bytes.len()) / 4;
-        let mut out = Vec::with_capacity(TCP_HEADER_LEN + opt_bytes.len() + self.payload.len());
+        let mut out = Vec::with_capacity(
+            TCP_HEADER_LEN + options::options_wire_len(&self.options) + self.payload.len(),
+        );
+        self.encode_into(wscale_shift, &mut out)?;
+        Ok(out)
+    }
+
+    /// Encode by *appending* to `out` — the zero-copy entry point taking a
+    /// pooled buffer (anything dereferencing to `Vec<u8>`), so the hot path
+    /// never allocates a fresh `Vec` per segment.
+    ///
+    /// On error `out` is truncated back to its original length.
+    pub fn encode_into(
+        &self,
+        wscale_shift: u8,
+        out: &mut Vec<u8>,
+    ) -> Result<(), options::OptionSpaceExceeded> {
+        let base = out.len();
         out.extend_from_slice(&self.tuple.src.port.to_be_bytes());
         out.extend_from_slice(&self.tuple.dst.port.to_be_bytes());
         out.extend_from_slice(&self.seq.0.to_be_bytes());
         out.extend_from_slice(&self.ack.0.to_be_bytes());
-        out.push((data_offset_words as u8) << 4);
+        out.push(0); // data offset, patched once the options are in
         out.push(self.flags.to_bits());
         let wire_window = (self.window >> wscale_shift).min(u32::from(u16::MAX)) as u16;
         out.extend_from_slice(&wire_window.to_be_bytes());
         out.extend_from_slice(&[0, 0]); // checksum placeholder
         out.extend_from_slice(&[0, 0]); // urgent pointer
-        out.extend_from_slice(&opt_bytes);
+        if let Err(e) = options::encode_options_into(&self.options, out) {
+            out.truncate(base);
+            return Err(e);
+        }
+        let data_offset_words = (out.len() - base) / 4;
+        out[base + 12] = (data_offset_words as u8) << 4;
         out.extend_from_slice(&self.payload);
 
         // TCP checksum over pseudo-header + segment.
+        let seg = &out[base..];
         let mut sum = 0u32;
         sum = crate::checksum::add_u32(sum, self.tuple.src.addr);
         sum = crate::checksum::add_u32(sum, self.tuple.dst.addr);
         sum = crate::checksum::add_u16(sum, 6); // protocol TCP
-        sum = crate::checksum::add_u16(sum, out.len() as u16);
-        sum = crate::checksum::ones_complement_add(sum, &out);
+        sum = crate::checksum::add_u16(sum, seg.len() as u16);
+        sum = crate::checksum::ones_complement_add(sum, seg);
         let ck = crate::checksum::fold(sum);
-        out[16..18].copy_from_slice(&ck.to_be_bytes());
-        Ok(out)
+        out[base + 16..base + 18].copy_from_slice(&ck.to_be_bytes());
+        Ok(())
     }
 
     /// Decode from wire bytes produced by [`TcpSegment::encode`].
@@ -270,33 +291,62 @@ impl TcpSegment {
         dst_addr: u32,
         wscale_shift: u8,
     ) -> Option<TcpSegment> {
-        if bytes.len() < TCP_HEADER_LEN {
-            return None;
-        }
-        let src_port = u16::from_be_bytes([bytes[0], bytes[1]]);
-        let dst_port = u16::from_be_bytes([bytes[2], bytes[3]]);
-        let seq = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
-        let ack = u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
-        let data_offset = ((bytes[12] >> 4) as usize) * 4;
-        if data_offset < TCP_HEADER_LEN || bytes.len() < data_offset {
-            return None;
-        }
-        let flags = TcpFlags::from_bits(bytes[13]);
-        let window = u32::from(u16::from_be_bytes([bytes[14], bytes[15]])) << wscale_shift;
+        let (header, data_offset) = parse_header(bytes, src_addr, dst_addr, wscale_shift)?;
         let options = options::decode_options(&bytes[TCP_HEADER_LEN..data_offset]);
         let payload = Bytes::copy_from_slice(&bytes[data_offset..]);
         Some(TcpSegment {
-            tuple: FourTuple {
-                src: Endpoint::new(src_addr, src_port),
-                dst: Endpoint::new(dst_addr, dst_port),
-            },
-            seq: SeqNum(seq),
-            ack: SeqNum(ack),
-            flags,
-            window,
-            options,
             payload,
+            options,
+            ..header
         })
+    }
+
+    /// Decode a datagram held in shared storage, taking the payload as a
+    /// zero-copy slice of `bytes` — the receive-path twin of
+    /// [`TcpSegment::encode_into`]. The payload keeps the backing buffer
+    /// (e.g. a pooled receive buffer) alive for as long as it flows through
+    /// the reorder queue and up to the application.
+    pub fn decode_view(
+        bytes: &Bytes,
+        src_addr: u32,
+        dst_addr: u32,
+        wscale_shift: u8,
+    ) -> Option<TcpSegment> {
+        let (header, data_offset) = parse_header(bytes, src_addr, dst_addr, wscale_shift)?;
+        let options = options::decode_options(&bytes[TCP_HEADER_LEN..data_offset]);
+        let payload = bytes.slice(data_offset..);
+        Some(TcpSegment {
+            payload,
+            options,
+            ..header
+        })
+    }
+
+    /// Decode into an existing segment, reusing its `options` Vec and taking
+    /// the payload as a zero-copy slice of `bytes`. With a recycled `seg`
+    /// and pooled `bytes`, steady-state decode performs no heap allocation.
+    ///
+    /// Returns `false` (leaving `seg` in an unspecified but valid state)
+    /// when the bytes don't parse.
+    pub fn decode_view_into(
+        bytes: &Bytes,
+        src_addr: u32,
+        dst_addr: u32,
+        wscale_shift: u8,
+        seg: &mut TcpSegment,
+    ) -> bool {
+        let Some((header, data_offset)) = parse_header(bytes, src_addr, dst_addr, wscale_shift)
+        else {
+            return false;
+        };
+        seg.tuple = header.tuple;
+        seg.seq = header.seq;
+        seg.ack = header.ack;
+        seg.flags = header.flags;
+        seg.window = header.window;
+        options::decode_options_into(&bytes[TCP_HEADER_LEN..data_offset], &mut seg.options);
+        seg.payload = bytes.slice(data_offset..);
+        true
     }
 
     /// Decode wire bytes with the TCP checksum verified first.
@@ -312,28 +362,101 @@ impl TcpSegment {
         dst_addr: u32,
         wscale_shift: u8,
     ) -> Result<TcpSegment, WireDecodeError> {
-        if bytes.len() < TCP_HEADER_LEN {
-            return Err(WireDecodeError::Truncated);
-        }
-        let data_offset = ((bytes[12] >> 4) as usize) * 4;
-        if data_offset < TCP_HEADER_LEN {
-            return Err(WireDecodeError::Malformed);
-        }
-        if bytes.len() < data_offset {
-            return Err(WireDecodeError::Truncated);
-        }
-        let mut sum = 0u32;
-        sum = crate::checksum::add_u32(sum, src_addr);
-        sum = crate::checksum::add_u32(sum, dst_addr);
-        sum = crate::checksum::add_u16(sum, 6); // protocol TCP
-        sum = crate::checksum::add_u16(sum, bytes.len() as u16);
-        sum = crate::checksum::ones_complement_add(sum, bytes);
-        if crate::checksum::fold(sum) != 0 {
-            return Err(WireDecodeError::BadChecksum);
-        }
+        verify_wire(bytes, src_addr, dst_addr)?;
         TcpSegment::decode(bytes, src_addr, dst_addr, wscale_shift)
             .ok_or(WireDecodeError::Malformed)
     }
+
+    /// Checksum-verified zero-copy decode: [`TcpSegment::decode_verified`]
+    /// semantics with the payload sliced out of `bytes` rather than copied.
+    pub fn decode_verified_view(
+        bytes: &Bytes,
+        src_addr: u32,
+        dst_addr: u32,
+        wscale_shift: u8,
+    ) -> Result<TcpSegment, WireDecodeError> {
+        verify_wire(bytes, src_addr, dst_addr)?;
+        TcpSegment::decode_view(bytes, src_addr, dst_addr, wscale_shift)
+            .ok_or(WireDecodeError::Malformed)
+    }
+
+    /// Checksum-verified decode into a reusable segment: the fully
+    /// allocation-free receive path ([`TcpSegment::decode_view_into`] with
+    /// [`TcpSegment::decode_verified`]'s integrity guarantee).
+    pub fn decode_verified_view_into(
+        bytes: &Bytes,
+        src_addr: u32,
+        dst_addr: u32,
+        wscale_shift: u8,
+        seg: &mut TcpSegment,
+    ) -> Result<(), WireDecodeError> {
+        verify_wire(bytes, src_addr, dst_addr)?;
+        if TcpSegment::decode_view_into(bytes, src_addr, dst_addr, wscale_shift, seg) {
+            Ok(())
+        } else {
+            Err(WireDecodeError::Malformed)
+        }
+    }
+}
+
+/// Structural + checksum validation shared by the verified decoders.
+fn verify_wire(bytes: &[u8], src_addr: u32, dst_addr: u32) -> Result<(), WireDecodeError> {
+    if bytes.len() < TCP_HEADER_LEN {
+        return Err(WireDecodeError::Truncated);
+    }
+    let data_offset = ((bytes[12] >> 4) as usize) * 4;
+    if data_offset < TCP_HEADER_LEN {
+        return Err(WireDecodeError::Malformed);
+    }
+    if bytes.len() < data_offset {
+        return Err(WireDecodeError::Truncated);
+    }
+    let mut sum = 0u32;
+    sum = crate::checksum::add_u32(sum, src_addr);
+    sum = crate::checksum::add_u32(sum, dst_addr);
+    sum = crate::checksum::add_u16(sum, 6); // protocol TCP
+    sum = crate::checksum::add_u16(sum, bytes.len() as u16);
+    sum = crate::checksum::ones_complement_add(sum, bytes);
+    if crate::checksum::fold(sum) != 0 {
+        return Err(WireDecodeError::BadChecksum);
+    }
+    Ok(())
+}
+
+/// Parse the fixed 20-byte header, returning a payload-less segment and the
+/// data offset. Shared by the copying and view decoders.
+fn parse_header(
+    bytes: &[u8],
+    src_addr: u32,
+    dst_addr: u32,
+    wscale_shift: u8,
+) -> Option<(TcpSegment, usize)> {
+    if bytes.len() < TCP_HEADER_LEN {
+        return None;
+    }
+    let src_port = u16::from_be_bytes([bytes[0], bytes[1]]);
+    let dst_port = u16::from_be_bytes([bytes[2], bytes[3]]);
+    let seq = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let ack = u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    let data_offset = ((bytes[12] >> 4) as usize) * 4;
+    if data_offset < TCP_HEADER_LEN || bytes.len() < data_offset {
+        return None;
+    }
+    let flags = TcpFlags::from_bits(bytes[13]);
+    let window = u32::from(u16::from_be_bytes([bytes[14], bytes[15]])) << wscale_shift;
+    let header = TcpSegment {
+        tuple: FourTuple {
+            src: Endpoint::new(src_addr, src_port),
+            dst: Endpoint::new(dst_addr, dst_port),
+        },
+        seq: SeqNum(seq),
+        ack: SeqNum(ack),
+        flags,
+        window,
+        options: Vec::new(),
+        payload: Bytes::new(),
+    };
+    Some((header, data_offset))
 }
 
 #[cfg(test)]
@@ -416,6 +539,81 @@ mod tests {
         assert_eq!(seg.wire_len(), 44);
         seg.payload = Bytes::from_static(&[0; 100]);
         assert_eq!(seg.wire_len(), 144);
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let mut seg = TcpSegment::new(tuple(), SeqNum(77), SeqNum(88), TcpFlags::ACK);
+        seg.window = 4096;
+        seg.payload = Bytes::from_static(b"payload bytes");
+        seg.options = vec![TcpOption::Timestamps { val: 3, ecr: 4 }];
+        let wire = seg.encode(2).unwrap();
+        let mut buf = vec![0xAA, 0xBB]; // pre-existing bytes must survive
+        seg.encode_into(2, &mut buf).unwrap();
+        assert_eq!(&buf[..2], &[0xAA, 0xBB]);
+        assert_eq!(&buf[2..], &wire[..]);
+    }
+
+    #[test]
+    fn encode_into_truncates_on_option_overflow() {
+        let dss = TcpOption::Mptcp(MptcpOption::Dss {
+            data_ack: Some(1),
+            mapping: Some(crate::DssMapping {
+                dsn: 2,
+                subflow_seq: 3,
+                len: 4,
+                checksum: Some(5),
+            }),
+            data_fin: false,
+        });
+        let mut seg = TcpSegment::new(tuple(), SeqNum(0), SeqNum(0), TcpFlags::ACK);
+        seg.options = vec![dss.clone(), dss];
+        let mut buf = vec![1, 2, 3];
+        assert!(seg.encode_into(0, &mut buf).is_err());
+        assert_eq!(buf, vec![1, 2, 3], "failed encode leaves buffer intact");
+    }
+
+    #[test]
+    fn view_decoders_match_copy_decoder_without_copying() {
+        let mut seg = TcpSegment::new(tuple(), SeqNum(9), SeqNum(10), TcpFlags::ACK);
+        seg.payload = Bytes::from_static(b"zero copy me");
+        seg.options = vec![TcpOption::Timestamps { val: 1, ecr: 2 }];
+        let wire = Bytes::from(seg.encode(0).unwrap());
+
+        let copied = TcpSegment::decode(&wire, 0x0a000001, 0x0a000002, 0).unwrap();
+        let viewed = TcpSegment::decode_view(&wire, 0x0a000001, 0x0a000002, 0).unwrap();
+        assert_eq!(copied, viewed);
+        let verified = TcpSegment::decode_verified_view(&wire, 0x0a000001, 0x0a000002, 0).unwrap();
+        assert_eq!(copied, verified);
+
+        // The view's payload is a slice of the wire buffer, not a copy.
+        let off = wire.len() - seg.payload.len();
+        assert_eq!(
+            viewed.payload.as_ref().as_ptr(),
+            wire[off..].as_ptr(),
+            "payload aliases the datagram storage"
+        );
+
+        // Reusable-segment decode matches too, and reuses the options Vec.
+        let mut reused = TcpSegment::new(tuple(), SeqNum(0), SeqNum(0), TcpFlags::RST);
+        reused.options.reserve(8);
+        let cap = reused.options.capacity();
+        assert!(TcpSegment::decode_view_into(
+            &wire,
+            0x0a000001,
+            0x0a000002,
+            0,
+            &mut reused
+        ));
+        assert_eq!(reused, copied);
+        assert_eq!(reused.options.capacity(), cap);
+        assert!(!TcpSegment::decode_view_into(
+            &wire.slice(..10),
+            0x0a000001,
+            0x0a000002,
+            0,
+            &mut reused
+        ));
     }
 
     #[test]

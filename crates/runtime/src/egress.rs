@@ -11,16 +11,19 @@
 use std::collections::VecDeque;
 use std::net::SocketAddr;
 
+use mptcp_packet::PooledBuf;
 use mptcp_telemetry::{CounterId, GaugeId};
 
 use crate::paths::{PathSet, SendOutcome};
 use crate::stats::RuntimeStats;
 
-/// A framed datagram waiting for the kernel.
+/// A framed datagram waiting for the kernel. The buffer is pooled: a
+/// segment is encoded exactly once, survives `WouldBlock` retries in
+/// place, and its buffer recycles when the entry leaves the queue.
 struct Pending {
     path: usize,
     peer: SocketAddr,
-    datagram: Vec<u8>,
+    datagram: PooledBuf,
 }
 
 /// FIFO of framed datagrams with a hard capacity.
@@ -56,7 +59,7 @@ impl Egress {
     /// Enqueue one framed datagram. Callers must check [`Egress::has_room`]
     /// first; pushing into a full queue is a logic error upstream (the loop
     /// should have stopped polling the connection).
-    pub fn push(&mut self, path: usize, peer: SocketAddr, datagram: Vec<u8>) {
+    pub fn push(&mut self, path: usize, peer: SocketAddr, datagram: PooledBuf) {
         debug_assert!(self.has_room(), "egress pushed past capacity");
         self.q.push_back(Pending {
             path,
@@ -99,30 +102,41 @@ impl Egress {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mptcp_packet::BufPool;
+
+    fn frame(pool: &BufPool, fill: u8, len: usize) -> PooledBuf {
+        let mut b = pool.checkout();
+        b.resize(len, fill);
+        b
+    }
 
     #[test]
     fn capacity_gates_room() {
+        let pool = BufPool::new(64, 8);
         let mut e = Egress::new(2);
         let peer: SocketAddr = "127.0.0.1:1".parse().unwrap();
         assert!(e.has_room());
-        e.push(0, peer, vec![1]);
-        e.push(0, peer, vec![2]);
+        e.push(0, peer, frame(&pool, 1, 1));
+        e.push(0, peer, frame(&pool, 2, 1));
         assert!(!e.has_room());
         assert_eq!(e.len(), 2);
     }
 
     #[test]
-    fn flush_drains_in_order() {
+    fn flush_drains_in_order_and_recycles_buffers() {
         let mut paths = PathSet::bind(&["127.0.0.1:0".parse().unwrap()]).unwrap();
         let sink = PathSet::bind(&["127.0.0.1:0".parse().unwrap()]).unwrap();
         let peer = sink.local_addr(0).unwrap();
+        let pool = paths.pool();
         let mut stats = RuntimeStats::new();
         let mut e = Egress::new(8);
-        e.push(0, peer, vec![0u8; 32]);
-        e.push(0, peer, vec![0u8; 32]);
+        e.push(0, peer, frame(&pool, 0, 32));
+        e.push(0, peer, frame(&pool, 0, 32));
+        assert_eq!(pool.stats().outstanding, 2);
         let sent = e.flush(&mut paths, &mut stats);
         assert_eq!(sent, 2);
         assert!(e.is_empty());
         assert_eq!(stats.rec.counter(CounterId::RtDatagramsTx), 2);
+        assert_eq!(pool.stats().outstanding, 0, "flushed buffers recycled");
     }
 }

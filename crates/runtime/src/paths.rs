@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 
-use mptcp_packet::{FourTuple, TcpSegment};
+use mptcp_packet::{BufPool, FourTuple, TcpSegment};
 use mptcp_telemetry::CounterId;
 
 use crate::stats::RuntimeStats;
@@ -56,6 +56,10 @@ pub struct PathSet {
     paths: Vec<PathSock>,
     routes: HashMap<FourTuple, Route>,
     buf: Vec<u8>,
+    /// Recycled datagram buffers, shared with the egress side via
+    /// [`PathSet::pool`]. Once warm, neither direction allocates
+    /// per segment.
+    pool: BufPool,
 }
 
 impl PathSet {
@@ -74,7 +78,14 @@ impl PathSet {
             paths,
             routes: HashMap::new(),
             buf: vec![0u8; 65536],
+            pool: BufPool::new(2048, 64),
         })
+    }
+
+    /// A handle to the datagram buffer pool (cheap clone; shares storage
+    /// and statistics with this path set).
+    pub fn pool(&self) -> BufPool {
+        self.pool.clone()
     }
 
     /// Number of paths.
@@ -130,7 +141,13 @@ impl PathSet {
             if self.paths[i].blocked {
                 continue;
             }
-            match wire::decode_datagram(&self.buf[..len]) {
+            // Copy the datagram once into a pooled buffer and decode with
+            // the payload *viewed* out of it: the pooled storage stays
+            // pinned until the last payload view drops, then recycles.
+            let mut pb = self.pool.checkout();
+            pb.extend_from_slice(&self.buf[..len]);
+            let datagram = pb.freeze();
+            match wire::decode_datagram_view(&datagram) {
                 Ok(seg) => {
                     self.routes.insert(
                         seg.tuple.reversed(),

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use mptcp::{MptcpConfig, MptcpListener};
 use mptcp_netsim::SimTime;
-use mptcp_packet::TcpSegment;
+use mptcp_packet::{BufPool, TcpSegment};
 use mptcp_telemetry::CounterId;
 
 use crate::clock::{Clock, WallClock};
@@ -36,11 +36,14 @@ pub struct ServerRuntime {
     /// Finished *and* fully closed; excluded from all further work.
     reaped: Vec<bool>,
     paths: PathSet,
+    /// Datagram buffers, shared with `paths`' ingress side.
+    pool: BufPool,
     stats: RuntimeStats,
     cfg: LoopConfig,
     timers: DeadlineHeap,
     factory: AppFactory,
     ingress: Vec<TcpSegment>,
+    touched: Vec<usize>,
     dirty: Vec<usize>,
     dirty_flag: Vec<bool>,
     due: Vec<usize>,
@@ -58,18 +61,22 @@ impl ServerRuntime {
         cfg: LoopConfig,
     ) -> io::Result<ServerRuntime> {
         assert!(!binds.is_empty(), "at least one path");
+        let paths = PathSet::bind(binds)?;
+        let pool = paths.pool();
         Ok(ServerRuntime {
             clock: WallClock::new(),
             listener: MptcpListener::new(mptcp, seed),
             apps: Vec::new(),
             egress: Vec::new(),
             reaped: Vec::new(),
-            paths: PathSet::bind(binds)?,
+            paths,
+            pool,
             stats: RuntimeStats::new(),
             cfg,
             timers: DeadlineHeap::new(),
             factory,
             ingress: Vec::new(),
+            touched: Vec::new(),
             dirty: Vec::new(),
             dirty_flag: Vec::new(),
             due: Vec::new(),
@@ -119,12 +126,17 @@ impl ServerRuntime {
         if rx > 0 {
             self.stats.rec.count(CounterId::RtRecvBatches);
         }
-        for seg in std::mem::take(&mut self.ingress) {
-            if let Some(idx) = self.listener.handle_segment(now, &seg) {
-                self.ensure(idx);
-                self.mark(idx);
-            }
+        // Whole-batch handoff: contiguous same-connection runs cost one
+        // subflow-stream drain each instead of one per datagram.
+        let mut touched = std::mem::take(&mut self.touched);
+        self.listener
+            .handle_segments(now, &self.ingress, &mut touched);
+        self.ingress.clear();
+        for idx in touched.drain(..) {
+            self.ensure(idx);
+            self.mark(idx);
         }
+        self.touched = touched;
 
         // Expired deadlines join the dirty set.
         let mut due = std::mem::take(&mut self.due);
@@ -155,11 +167,9 @@ impl ServerRuntime {
                 let Some(seg) = conn.poll(now) else { break };
                 polled += 1;
                 if let Some(route) = self.paths.route(seg.tuple) {
-                    self.egress[idx].push(
-                        route.path,
-                        route.peer,
-                        crate::wire::encode_datagram(&seg),
-                    );
+                    let mut frame = self.pool.checkout();
+                    crate::wire::encode_datagram_into(&seg, &mut frame);
+                    self.egress[idx].push(route.path, route.peer, frame);
                 }
             }
             tx_total += self.egress[idx].flush(&mut self.paths, &mut self.stats);
@@ -184,6 +194,7 @@ impl ServerRuntime {
         if tx_total > 0 {
             self.stats.rec.count(CounterId::RtSendBatches);
         }
+        self.stats.sync_pool(self.pool.stats());
 
         self.promised = self.timers.next_deadline();
         rx > 0 || polled > 0 || tx_total > 0 || !self.dirty.is_empty()

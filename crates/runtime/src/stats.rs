@@ -7,6 +7,7 @@
 //! log-scaled histogram so the loop can report p50/p99/max latency without
 //! retaining per-sample memory.
 
+use mptcp_packet::PoolStats;
 use mptcp_telemetry::{CounterId, GaugeId, Recorder};
 
 /// Power-of-two skew buckets: bucket `i` holds samples in
@@ -20,6 +21,10 @@ pub struct RuntimeStats {
     skew: [u64; SKEW_BUCKETS],
     skew_samples: u64,
     skew_max_ns: u64,
+    /// Pool totals already mirrored into the recorder, so repeated
+    /// [`RuntimeStats::sync_pool`] calls add only the delta.
+    pool_hits_seen: u64,
+    pool_misses_seen: u64,
 }
 
 impl RuntimeStats {
@@ -29,7 +34,24 @@ impl RuntimeStats {
             skew: [0; SKEW_BUCKETS],
             skew_samples: 0,
             skew_max_ns: 0,
+            pool_hits_seen: 0,
+            pool_misses_seen: 0,
         }
+    }
+
+    /// Mirror buffer-pool statistics into the shared recorder: cumulative
+    /// hit/miss counters plus the `rt_pool_bufs` gauge (whose high-water
+    /// mark is taken from the pool's own atomically-tracked peak, so it is
+    /// exact even between sync points).
+    pub fn sync_pool(&mut self, s: PoolStats) {
+        self.rec
+            .count_n(CounterId::RtPoolHits, s.hits - self.pool_hits_seen);
+        self.rec
+            .count_n(CounterId::RtPoolMisses, s.misses - self.pool_misses_seen);
+        self.pool_hits_seen = s.hits;
+        self.pool_misses_seen = s.misses;
+        self.rec.gauge_set(GaugeId::RtPoolBufs, s.high_water);
+        self.rec.gauge_set(GaugeId::RtPoolBufs, s.outstanding);
     }
 
     /// Record a late tick: the loop woke `skew_ns` after the promised
@@ -81,7 +103,8 @@ impl RuntimeStats {
             "\"loop_iterations\":{},\"datagrams_rx\":{},\"datagrams_tx\":{},\
              \"decode_errors\":{},\"egress_backpressure\":{},\
              \"egress_queue_high_water\":{},\"late_ticks\":{},\
-             \"tick_skew_p50_ns\":{},\"tick_skew_p99_ns\":{},\"tick_skew_max_ns\":{}",
+             \"tick_skew_p50_ns\":{},\"tick_skew_p99_ns\":{},\"tick_skew_max_ns\":{},\
+             \"pool_hits\":{},\"pool_misses\":{},\"pool_high_water\":{}",
             c(CounterId::RtLoopIterations),
             c(CounterId::RtDatagramsRx),
             c(CounterId::RtDatagramsTx),
@@ -92,6 +115,9 @@ impl RuntimeStats {
             self.skew_quantile_ns(0.50),
             self.skew_quantile_ns(0.99),
             self.skew_max_ns,
+            c(CounterId::RtPoolHits),
+            c(CounterId::RtPoolMisses),
+            self.rec.gauge(GaugeId::RtPoolBufs).max,
         )
     }
 }

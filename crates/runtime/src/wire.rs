@@ -26,6 +26,7 @@
 //! machine, so a corrupt or truncated datagram is counted and dropped, never
 //! parsed into nonsense.
 
+use bytes::Bytes;
 use mptcp_packet::{TcpSegment, WireDecodeError};
 
 /// Frame magic: identifies (and versions) the encapsulation.
@@ -63,25 +64,31 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Encode `seg` into a self-contained datagram.
+/// Encode `seg` as a self-contained datagram appended to `out`.
+///
+/// Single-pass: the frame header and the TCP bytes are written directly
+/// into `out` (typically a pooled buffer), with no intermediate vector.
 ///
 /// Panics only if the segment's options exceed TCP's 40-byte option space,
 /// which the state machines never produce.
-pub fn encode_datagram(seg: &TcpSegment) -> Vec<u8> {
-    let tcp = seg
-        .encode(WIRE_WSCALE)
-        .expect("state machines never emit >40 bytes of options");
-    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + tcp.len());
+pub fn encode_datagram_into(seg: &TcpSegment, out: &mut Vec<u8>) {
     out.extend_from_slice(&MAGIC);
     out.push(WIRE_WSCALE);
     out.extend_from_slice(&seg.tuple.src.addr.to_be_bytes());
     out.extend_from_slice(&seg.tuple.dst.addr.to_be_bytes());
-    out.extend_from_slice(&tcp);
+    seg.encode_into(WIRE_WSCALE, out)
+        .expect("state machines never emit >40 bytes of options");
+}
+
+/// Encode `seg` into a fresh self-contained datagram.
+pub fn encode_datagram(seg: &TcpSegment) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 60 + seg.payload.len());
+    encode_datagram_into(seg, &mut out);
     out
 }
 
-/// Decode and verify one datagram into a [`TcpSegment`].
-pub fn decode_datagram(bytes: &[u8]) -> Result<TcpSegment, FrameError> {
+/// Shared framing checks: magic, length, virtual addresses.
+fn parse_frame_header(bytes: &[u8]) -> Result<(u8, u32, u32), FrameError> {
     if bytes.len() < FRAME_HEADER_LEN {
         return Err(FrameError::TooShort);
     }
@@ -91,8 +98,24 @@ pub fn decode_datagram(bytes: &[u8]) -> Result<TcpSegment, FrameError> {
     let wscale = bytes[4];
     let src = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
     let dst = u32::from_be_bytes([bytes[9], bytes[10], bytes[11], bytes[12]]);
+    Ok((wscale, src, dst))
+}
+
+/// Decode and verify one datagram into a [`TcpSegment`].
+pub fn decode_datagram(bytes: &[u8]) -> Result<TcpSegment, FrameError> {
+    let (wscale, src, dst) = parse_frame_header(bytes)?;
     TcpSegment::decode_verified(&bytes[FRAME_HEADER_LEN..], src, dst, wscale)
         .map_err(FrameError::Segment)
+}
+
+/// Decode and verify one datagram with the payload *viewed*, not copied:
+/// the returned segment's payload is a zero-copy slice of `bytes` (and
+/// keeps the underlying storage — e.g. a pooled buffer — alive until the
+/// payload is dropped).
+pub fn decode_datagram_view(bytes: &Bytes) -> Result<TcpSegment, FrameError> {
+    let (wscale, src, dst) = parse_frame_header(bytes)?;
+    let tcp = bytes.slice(FRAME_HEADER_LEN..);
+    TcpSegment::decode_verified_view(&tcp, src, dst, wscale).map_err(FrameError::Segment)
 }
 
 #[cfg(test)]
@@ -122,6 +145,26 @@ mod tests {
         let wire = encode_datagram(&seg);
         let back = decode_datagram(&wire).expect("roundtrips");
         assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn view_roundtrip_shares_storage() {
+        let seg = sample();
+        let wire = Bytes::from(encode_datagram(&seg));
+        let back = decode_datagram_view(&wire).expect("roundtrips");
+        assert_eq!(back, seg);
+        // The payload is a window into the datagram, not a copy.
+        let tail = &wire[wire.len() - seg.payload.len()..];
+        assert_eq!(back.payload.as_ref().as_ptr(), tail.as_ptr());
+    }
+
+    #[test]
+    fn encode_into_appends_after_existing_bytes() {
+        let seg = sample();
+        let mut buf = vec![0xEE; 3];
+        encode_datagram_into(&seg, &mut buf);
+        assert_eq!(&buf[..3], &[0xEE; 3]);
+        assert_eq!(&buf[3..], &encode_datagram(&seg)[..]);
     }
 
     #[test]

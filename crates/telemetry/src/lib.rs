@@ -139,6 +139,11 @@ pub enum CounterId {
     /// Timer deadlines that were processed after they had already expired
     /// (wall-clock jitter; skew tracked by the `rt_tick_skew_ns` gauge).
     RtLateTicks,
+    /// Egress buffer-pool checkouts satisfied by a recycled buffer.
+    RtPoolHits,
+    /// Egress buffer-pool checkouts that had to allocate a fresh buffer
+    /// (pool cold, or every pooled buffer still pinned by a live view).
+    RtPoolMisses,
 }
 
 impl CounterId {
@@ -191,6 +196,8 @@ impl CounterId {
         CounterId::RtDecodeErrors,
         CounterId::RtEgressBackpressure,
         CounterId::RtLateTicks,
+        CounterId::RtPoolHits,
+        CounterId::RtPoolMisses,
     ];
 
     /// Stable snake_case name used in JSON and table output.
@@ -243,12 +250,14 @@ impl CounterId {
             CounterId::RtDecodeErrors => "rt_decode_errors",
             CounterId::RtEgressBackpressure => "rt_egress_backpressure",
             CounterId::RtLateTicks => "rt_late_ticks",
+            CounterId::RtPoolHits => "rt_pool_hits",
+            CounterId::RtPoolMisses => "rt_pool_misses",
         }
     }
 }
 
 /// Number of counter slots in a [`Recorder`].
-pub const NUM_COUNTERS: usize = 47;
+pub const NUM_COUNTERS: usize = 49;
 
 /// Instantaneous values tracked with a high-water mark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -272,6 +281,9 @@ pub enum GaugeId {
     /// Wall-clock lateness of the most recent timer tick, in nanoseconds
     /// (`max` is the worst skew observed; see the `rt_late_ticks` counter).
     RtTickSkewNs,
+    /// Egress buffer-pool buffers checked out (`max` is the high-water
+    /// mark: the pool's peak working set).
+    RtPoolBufs,
 }
 
 impl GaugeId {
@@ -285,6 +297,7 @@ impl GaugeId {
         GaugeId::SendQueueBytes,
         GaugeId::RtEgressQueueDepth,
         GaugeId::RtTickSkewNs,
+        GaugeId::RtPoolBufs,
     ];
 
     /// Stable snake_case name used in JSON and table output.
@@ -298,12 +311,13 @@ impl GaugeId {
             GaugeId::SendQueueBytes => "send_queue_bytes",
             GaugeId::RtEgressQueueDepth => "rt_egress_queue_depth",
             GaugeId::RtTickSkewNs => "rt_tick_skew_ns",
+            GaugeId::RtPoolBufs => "rt_pool_bufs",
         }
     }
 }
 
 /// Number of gauge slots in a [`Recorder`].
-pub const NUM_GAUGES: usize = 8;
+pub const NUM_GAUGES: usize = 9;
 
 /// Current value plus high-water mark for one gauge.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

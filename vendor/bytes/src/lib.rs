@@ -1,9 +1,14 @@
 //! Minimal, offline stand-in for the `bytes` crate.
 //!
 //! Implements exactly the subset this workspace uses: an immutable,
-//! cheaply-clonable byte buffer with zero-copy `slice()`. Backed by an
-//! `Arc<[u8]>` plus a window, so clones and sub-slices share storage just
-//! like the real crate. No `BytesMut`, no `Buf`/`BufMut` traits.
+//! cheaply-clonable byte buffer with zero-copy `slice()`. Backed by shared
+//! storage plus a window, so clones and sub-slices share storage just like
+//! the real crate. No `BytesMut`, no `Buf`/`BufMut` traits.
+//!
+//! Storage comes in two flavors: a plain `Arc<[u8]>` (the classic backing)
+//! and an `Arc<dyn AsRef<[u8]>>` *owner* ([`Bytes::from_shared`]) so a
+//! buffer pool can hand out views into pooled storage without copying and
+//! observe, via the Arc strong count, when every view has died.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -11,22 +16,69 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Shared storage behind a [`Bytes`] view.
+#[derive(Clone)]
+enum Data {
+    /// An owned, immutable slice (the classic `Arc<[u8]>` backing).
+    Slice(Arc<[u8]>),
+    /// Arbitrary shared storage viewed through `AsRef<[u8]>`. Constructed
+    /// without copying; the allocation is whatever the owner already holds.
+    Owner(Arc<dyn AsRef<[u8]> + Send + Sync>),
+}
+
+impl Data {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Data::Slice(s) => s,
+            Data::Owner(o) => (**o).as_ref(),
+        }
+    }
+}
+
 /// A cheaply cloneable, immutable chunk of contiguous memory.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Data,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer. Allocation-free: every empty `Bytes` shares one
+    /// static storage object.
     pub fn new() -> Bytes {
+        static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Data::Slice(Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..])))),
             start: 0,
             end: 0,
         }
+    }
+
+    /// View the full contents of already-shared storage without copying.
+    ///
+    /// The returned `Bytes` (and everything sliced from it) holds a strong
+    /// reference to `owner`; the caller can keep its own `Arc` and use
+    /// `Arc::strong_count` to learn when all views have been dropped —
+    /// the contract a recycling buffer pool needs.
+    ///
+    /// The storage must be immutable while any view exists: the view
+    /// captures `owner.as_ref().len()` at construction time.
+    pub fn from_shared(owner: Arc<dyn AsRef<[u8]> + Send + Sync>) -> Bytes {
+        let end = (*owner).as_ref().len();
+        Bytes {
+            data: Data::Owner(owner),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Wrap a value implementing `AsRef<[u8]>` as shared storage.
+    ///
+    /// Allocates one `Arc` for the owner; the byte contents are not copied.
+    pub fn from_owner<T: AsRef<[u8]> + Send + Sync + 'static>(owner: T) -> Bytes {
+        Bytes::from_shared(Arc::new(owner))
     }
 
     /// Wrap a static slice (copies into shared storage; the real crate is
@@ -38,7 +90,7 @@ impl Bytes {
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
         Bytes {
-            data: Arc::from(data),
+            data: Data::Slice(Arc::from(data)),
             start: 0,
             end: data.len(),
         }
@@ -75,7 +127,7 @@ impl Bytes {
             "slice out of bounds: {begin}..{end} of {len}"
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + begin,
             end: self.start + end,
         }
@@ -96,7 +148,7 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -116,7 +168,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Data::Slice(Arc::from(v)),
             start: 0,
             end,
         }
@@ -264,5 +316,27 @@ mod tests {
     fn out_of_bounds_slice_panics() {
         let b = Bytes::from(vec![1u8]);
         let _ = b.slice(0..2);
+    }
+
+    #[test]
+    fn from_shared_views_without_copying() {
+        let owner: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(vec![1u8, 2, 3, 4]);
+        assert_eq!(Arc::strong_count(&owner), 1);
+        let b = Bytes::from_shared(Arc::clone(&owner));
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+        // The view (and any slice of it) pins the owner.
+        let tail = b.slice(2..);
+        assert_eq!(Arc::strong_count(&owner), 3);
+        assert_eq!(&tail[..], &[3, 4]);
+        drop(b);
+        drop(tail);
+        assert_eq!(Arc::strong_count(&owner), 1, "all views released");
+    }
+
+    #[test]
+    fn from_owner_equals_by_content() {
+        let b = Bytes::from_owner(vec![9u8, 9]);
+        assert_eq!(b, Bytes::copy_from_slice(&[9, 9]));
+        assert_eq!(b.slice(1..).len(), 1);
     }
 }
