@@ -25,9 +25,18 @@
 //!   all     run everything
 //!
 //! real-network (UDP-encapsulated MPTCP, crates/runtime):
-//!   serve       serve fetch requests on N UDP ports (one per path)
+//!   serve       serve fetch requests on N UDP ports (one per path);
+//!               `--admin H:P` opens the introspection socket
 //!   fetch       connect over every listed path, transfer, verify bytes
 //!   wire-bench  loopback runtime throughput, writes BENCH_wire.json
+//!               (including per-phase event-loop timings)
+//!
+//! live introspection (clients of `serve --admin`):
+//!   stat        one admin command, one response: `repro stat H:P conns`
+//!               is `ss -M` for this stack; `--validate` checks a
+//!               `metrics` scrape against the Prometheus text format
+//!   top         live health/loop-phase/connection view, refreshed every
+//!               `--interval-ms` (or one frame with `--once`)
 //!
 //! performance memory:
 //!   perf        hot-path microbenchmarks (codec, checksum, reorder) plus
@@ -55,6 +64,7 @@
 //! all paths stay down — is violated), e.g.
 //! `repro chaos --seed-sweep 8 --fail-on-invariant`.
 
+mod admin_cli;
 mod alloc_meter;
 mod perf_cli;
 mod runtime_cli;
@@ -119,6 +129,8 @@ fn main() {
         "serve" => runtime_cli::serve(&args),
         "fetch" => runtime_cli::fetch(&args),
         "wire-bench" => runtime_cli::wire_bench(&args),
+        "stat" => admin_cli::stat(&args),
+        "top" => admin_cli::top(&args),
         "perf" => perf_cli::perf(&args),
         "all" => {
             mbox_matrix(policy);

@@ -22,7 +22,8 @@ fn usage(cmd: &str, err: &str) -> ! {
     eprintln!("{err}");
     match cmd {
         "serve" => eprintln!(
-            "usage: repro serve [--host H] [--port P] [--paths N] [--once] [--timeout-secs S]"
+            "usage: repro serve [--host H] [--port P] [--paths N] [--once] [--timeout-secs S] \
+             [--admin H:P]"
         ),
         "fetch" => eprintln!(
             "usage: repro fetch --connect H:P[,H:P...] [--size BYTES] [--seed S] \
@@ -42,17 +43,27 @@ fn next_val<'a>(cmd: &str, flag: &str, it: &mut impl Iterator<Item = &'a String>
 
 /// `repro serve`: bind `--paths` consecutive UDP ports starting at
 /// `--port` and serve fetch requests until killed (or after one
-/// connection with `--once`).
+/// connection with `--once`). `--admin H:P` opens the introspection
+/// socket and turns on the loop-phase profiler, so `repro top`,
+/// `repro stat`, and any Prometheus scraper can watch the loop live.
 pub fn serve(args: &[String]) {
     let mut host = "127.0.0.1".to_string();
     let mut port: u16 = 19000;
     let mut n_paths: usize = 2;
     let mut once = false;
     let mut timeout_secs: u64 = 0;
+    let mut admin: Option<SocketAddr> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--host" => host = next_val("serve", "--host", &mut it).to_string(),
+            "--admin" => {
+                admin = Some(
+                    next_val("serve", "--admin", &mut it)
+                        .parse()
+                        .unwrap_or_else(|_| usage("serve", "--admin needs host:port")),
+                )
+            }
             "--port" => {
                 port = next_val("serve", "--port", &mut it)
                     .parse()
@@ -90,7 +101,10 @@ pub fn serve(args: &[String]) {
         crate::SEED,
         &binds,
         Box::new(|| Box::new(FetchServer::new())),
-        LoopConfig::default(),
+        LoopConfig {
+            profile: admin.is_some(),
+            ..LoopConfig::default()
+        },
     )
     .unwrap_or_else(|e| {
         eprintln!("cannot bind: {e}");
@@ -98,6 +112,13 @@ pub fn serve(args: &[String]) {
     });
     for i in 0..n_paths {
         println!("serve: path {} on {}", i, server.local_addr(i).unwrap());
+    }
+    if let Some(addr) = admin {
+        let bound = server.enable_admin(addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind admin socket {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!("serve: admin on {bound}");
     }
 
     let start = Instant::now();
@@ -261,6 +282,9 @@ pub fn run_wire(size: u64, n_paths: usize) -> WireRun {
         egress_cap: 512,
         recv_batch: 256,
         idle_sleep: Duration::from_micros(50),
+        // Phase timings ride along in BENCH_wire.json: ~one clock read
+        // per phase per iteration, noise against 10k+ ns iterations.
+        profile: true,
     };
 
     let loopback: Vec<SocketAddr> = (0..n_paths)
@@ -318,7 +342,7 @@ pub fn run_wire(size: u64, n_paths: usize) -> WireRun {
     let json = format!(
         "{{\"bench\":\"wire\",\"size_bytes\":{},\"paths\":{},\"elapsed_s\":{:.3},\
          \"goodput_mbps\":{:.2},\"loop_iters_per_sec\":{:.0},\
-         \"alloc_bytes_per_mib\":{},\
+         \"alloc_bytes_per_mib\":{},\"loop_phases\":{},\
          \"client\":{{{}}},\"server\":{}}}",
         size,
         n_paths,
@@ -326,6 +350,7 @@ pub fn run_wire(size: u64, n_paths: usize) -> WireRun {
         goodput_mbps,
         iters / elapsed,
         alloc_bytes_per_mib,
+        client.profiler().json_object(),
         client.stats().json_fields(),
         server_stats,
     );

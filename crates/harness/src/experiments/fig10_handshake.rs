@@ -15,6 +15,7 @@ use mptcp::{KeyPool, MptcpConfig, MptcpListener, TokenTable};
 use mptcp_netsim::{SimRng, SimTime};
 use mptcp_packet::{Endpoint, FourTuple, MptcpOption, SeqNum, TcpFlags, TcpOption, TcpSegment};
 use mptcp_tcpstack::TcpConfig;
+use mptcp_telemetry::LogHistogram;
 
 /// One measured configuration.
 #[derive(Clone, Debug)]
@@ -23,14 +24,27 @@ pub struct Row {
     pub label: String,
     /// Latency samples in nanoseconds.
     pub samples_ns: Vec<u64>,
+    /// Log-bucketed view of the same samples, for sort-free quantiles.
+    hist: LogHistogram,
 }
 
 impl Row {
-    /// Median latency in microseconds.
+    /// A row over raw nanosecond latency samples.
+    pub fn new(label: String, samples_ns: Vec<u64>) -> Row {
+        let mut hist = LogHistogram::new();
+        for &ns in &samples_ns {
+            hist.record(ns);
+        }
+        Row {
+            label,
+            samples_ns,
+            hist,
+        }
+    }
+
+    /// Median latency in microseconds (log-bucketed, ≤ ~3% error).
     pub fn median_us(&self) -> f64 {
-        let mut s = self.samples_ns.clone();
-        s.sort_unstable();
-        s[s.len() / 2] as f64 / 1000.0
+        self.hist.quantile(0.5) as f64 / 1000.0
     }
 
     /// PDF over microsecond buckets up to `max_us`.
@@ -96,10 +110,7 @@ pub fn measure_mptcp(trials: usize, existing: usize, scan_lookup: bool, seed: u6
     } else {
         format!("MPTCP - {existing} conn")
     };
-    Row {
-        label,
-        samples_ns: samples,
-    }
+    Row::new(label, samples)
 }
 
 /// Time the plain-TCP accept path (control block + SYN/ACK build).
@@ -121,10 +132,7 @@ pub fn measure_tcp(trials: usize, seed: u64) -> Row {
         samples.push(t.elapsed().as_nanos() as u64);
         debug_assert!(synack.is_some());
     }
-    Row {
-        label: "regular TCP".to_string(),
-        samples_ns: samples,
-    }
+    Row::new("regular TCP".to_string(), samples)
 }
 
 /// Time key acquisition with a precomputed pool (§5.2 optimization).
@@ -140,10 +148,7 @@ pub fn measure_keypool(trials: usize, seed: u64) -> Row {
         samples.push(t.elapsed().as_nanos() as u64);
         std::hint::black_box(ks);
     }
-    Row {
-        label: "MPTCP + key pool (keygen only)".to_string(),
-        samples_ns: samples,
-    }
+    Row::new("MPTCP + key pool (keygen only)".to_string(), samples)
 }
 
 /// The full Figure 10 set.

@@ -12,6 +12,7 @@ use mptcp_telemetry::CounterId;
 use crate::clock::{Clock, WallClock};
 use crate::egress::Egress;
 use crate::paths::PathSet;
+use crate::profile::{LoopProfiler, Phase};
 use crate::proto::ConnApp;
 use crate::stats::RuntimeStats;
 use crate::{virtual_tuple, LoopConfig, RuntimeError};
@@ -33,6 +34,7 @@ pub struct ClientRuntime<A: ConnApp> {
     /// The deadline the previous step promised to honor; compared against
     /// the next wake-up to measure tick skew.
     promised: Option<SimTime>,
+    profiler: LoopProfiler,
 }
 
 impl<A: ConnApp> ClientRuntime<A> {
@@ -75,12 +77,14 @@ impl<A: ConnApp> ClientRuntime<A> {
             ingress: Vec::new(),
             joined: false,
             promised: None,
+            profiler: LoopProfiler::new(cfg.profile),
         })
     }
 
     /// One loop iteration: drain ingress, drive the app, pump output,
     /// flush. Returns whether any datagram moved (progress).
     pub fn step(&mut self) -> bool {
+        let mut lap = self.profiler.start();
         let now = self.clock.now();
         self.stats.rec.count(CounterId::RtLoopIterations);
         if let Some(d) = self.promised.take() {
@@ -99,24 +103,29 @@ impl<A: ConnApp> ClientRuntime<A> {
         if rx > 0 {
             self.stats.rec.count(CounterId::RtRecvBatches);
         }
+        lap = self.profiler.lap(lap, Phase::RecvDrain);
         // Whole-batch handoff: one subflow-stream drain per touched
         // subflow instead of one per datagram. `clear` (not `take`) keeps
         // the vector's capacity across iterations.
         self.conn.handle_segments(now, &self.ingress);
         self.ingress.clear();
+        lap = self.profiler.lap(lap, Phase::Demux);
 
         // Application progress, then join any paths that became available.
         self.app.drive(&mut self.conn, now);
         self.open_pending_joins(now);
+        lap = self.profiler.lap(lap, Phase::Drive);
 
         // Pump connection output into the bounded egress queue.
         let polled = self.pump(now);
+        lap = self.profiler.lap(lap, Phase::PollEncode);
 
         // Flush to the kernel.
         let tx = self.egress.flush(&mut self.paths, &mut self.stats);
         if tx > 0 {
             self.stats.rec.count(CounterId::RtSendBatches);
         }
+        self.profiler.lap(lap, Phase::Flush);
         self.stats.sync_pool(self.pool.stats());
 
         self.promised = self.conn.poll_at(now);
@@ -184,7 +193,9 @@ impl<A: ConnApp> ClientRuntime<A> {
             None => cap,
         };
         if !sleep.is_zero() {
+            let t = self.profiler.start();
             std::thread::sleep(sleep);
+            self.profiler.lap(t, Phase::Idle);
         }
     }
 
@@ -231,5 +242,10 @@ impl<A: ConnApp> ClientRuntime<A> {
     /// Loop instrumentation.
     pub fn stats(&self) -> &RuntimeStats {
         &self.stats
+    }
+
+    /// Loop-phase timing histograms (inert unless `cfg.profile`).
+    pub fn profiler(&self) -> &LoopProfiler {
+        &self.profiler
     }
 }

@@ -26,10 +26,12 @@
 //!   used by the demo binaries, the smoke test, and the wire benchmark.
 //! - [`client`] / [`server`]: the event loops themselves.
 
+pub mod admin;
 pub mod client;
 pub mod clock;
 pub mod egress;
 pub mod paths;
+pub mod profile;
 pub mod proto;
 pub mod server;
 pub mod stats;
@@ -41,8 +43,10 @@ use std::time::Duration;
 use mptcp::AbortReason;
 use mptcp_packet::{Endpoint, FourTuple};
 
+pub use admin::{check_monotone, validate_exposition, AdminServer, Exposition};
 pub use client::ClientRuntime;
 pub use clock::{Clock, ManualClock, WallClock};
+pub use profile::{LoopProfiler, Phase};
 pub use proto::{ConnApp, FetchClient, FetchServer, Fnv1a, Keystream};
 pub use server::{AppFactory, ServerRuntime};
 pub use stats::RuntimeStats;
@@ -59,6 +63,10 @@ pub struct LoopConfig {
     /// deadlines, bounding how stale ingress can get (std has no
     /// multi-socket readiness wait).
     pub idle_sleep: Duration,
+    /// Collect loop-phase timing histograms (see [`profile::LoopProfiler`]).
+    /// Off by default: disabled profiling reads no clocks and allocates
+    /// nothing.
+    pub profile: bool,
 }
 
 impl Default for LoopConfig {
@@ -67,6 +75,7 @@ impl Default for LoopConfig {
             egress_cap: 256,
             recv_batch: 64,
             idle_sleep: Duration::from_micros(500),
+            profile: false,
         }
     }
 }

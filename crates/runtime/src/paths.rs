@@ -108,6 +108,16 @@ impl PathSet {
         self.paths[i].blocked = blocked;
     }
 
+    /// Whether path `i` is administratively blocked.
+    pub fn is_blocked(&self, i: usize) -> bool {
+        self.paths[i].blocked
+    }
+
+    /// Number of learned routes that egress via path `i`.
+    pub fn routes_on(&self, i: usize) -> usize {
+        self.routes.values().filter(|r| r.path == i).count()
+    }
+
     /// Install or update a route for an outgoing virtual tuple.
     pub fn learn(&mut self, out_tuple: FourTuple, path: usize, peer: SocketAddr) {
         self.routes.insert(out_tuple, Route { path, peer });

@@ -16,9 +16,11 @@ use mptcp_netsim::SimTime;
 use mptcp_packet::{BufPool, TcpSegment};
 use mptcp_telemetry::CounterId;
 
+use crate::admin::{AdminCtx, AdminServer};
 use crate::clock::{Clock, WallClock};
 use crate::egress::Egress;
 use crate::paths::PathSet;
+use crate::profile::{lap_into, LoopProfiler, Phase};
 use crate::proto::ConnApp;
 use crate::stats::RuntimeStats;
 use crate::timers::DeadlineHeap;
@@ -35,6 +37,8 @@ pub struct ServerRuntime {
     egress: Vec<Egress>,
     /// Finished *and* fully closed; excluded from all further work.
     reaped: Vec<bool>,
+    /// Accept time per connection (for admin `conns` age reporting).
+    created: Vec<SimTime>,
     paths: PathSet,
     /// Datagram buffers, shared with `paths`' ingress side.
     pool: BufPool,
@@ -49,6 +53,9 @@ pub struct ServerRuntime {
     due: Vec<usize>,
     served: u64,
     promised: Option<SimTime>,
+    profiler: LoopProfiler,
+    /// Live introspection plane, polled from this same loop when enabled.
+    admin: Option<AdminServer>,
 }
 
 impl ServerRuntime {
@@ -69,6 +76,7 @@ impl ServerRuntime {
             apps: Vec::new(),
             egress: Vec::new(),
             reaped: Vec::new(),
+            created: Vec::new(),
             paths,
             pool,
             stats: RuntimeStats::new(),
@@ -82,7 +90,19 @@ impl ServerRuntime {
             due: Vec::new(),
             served: 0,
             promised: None,
+            profiler: LoopProfiler::new(cfg.profile),
+            admin: None,
         })
+    }
+
+    /// Bind the admin introspection socket (intended for localhost) and
+    /// start answering stat-protocol and `GET /metrics` requests from this
+    /// loop. Returns the bound address (useful with port 0).
+    pub fn enable_admin(&mut self, addr: SocketAddr) -> io::Result<SocketAddr> {
+        let admin = AdminServer::bind(addr)?;
+        let local = admin.local_addr()?;
+        self.admin = Some(admin);
+        Ok(local)
     }
 
     /// Real local address of path `i`.
@@ -90,11 +110,12 @@ impl ServerRuntime {
         self.paths.local_addr(i)
     }
 
-    fn ensure(&mut self, idx: usize) {
+    fn ensure(&mut self, idx: usize, now: SimTime) {
         while self.apps.len() <= idx {
             self.apps.push((self.factory)());
             self.egress.push(Egress::new(self.cfg.egress_cap));
             self.reaped.push(false);
+            self.created.push(now);
             self.dirty_flag.push(false);
         }
     }
@@ -108,6 +129,7 @@ impl ServerRuntime {
 
     /// One loop iteration. Returns whether any datagram or segment moved.
     pub fn step(&mut self) -> bool {
+        let mut lap = self.profiler.start();
         let now = self.clock.now();
         self.stats.rec.count(CounterId::RtLoopIterations);
         if let Some(d) = self.promised.take() {
@@ -126,6 +148,7 @@ impl ServerRuntime {
         if rx > 0 {
             self.stats.rec.count(CounterId::RtRecvBatches);
         }
+        lap = self.profiler.lap(lap, Phase::RecvDrain);
         // Whole-batch handoff: contiguous same-connection runs cost one
         // subflow-stream drain each instead of one per datagram.
         let mut touched = std::mem::take(&mut self.touched);
@@ -133,7 +156,7 @@ impl ServerRuntime {
             .handle_segments(now, &self.ingress, &mut touched);
         self.ingress.clear();
         for idx in touched.drain(..) {
-            self.ensure(idx);
+            self.ensure(idx, now);
             self.mark(idx);
         }
         self.touched = touched;
@@ -145,11 +168,15 @@ impl ServerRuntime {
             self.mark(idx);
         }
         self.due = due;
+        self.profiler.lap(lap, Phase::Demux);
 
-        // Drive exactly the dirty connections.
+        // Drive exactly the dirty connections. Drive / poll-encode / flush
+        // interleave per connection, so their laps accumulate across the
+        // loop and are recorded once per iteration.
         let work = std::mem::take(&mut self.dirty);
         let mut polled = 0;
         let mut tx_total = 0;
+        let mut acc = [0u64; 3];
         for &idx in &work {
             self.dirty_flag[idx] = false;
         }
@@ -157,8 +184,10 @@ impl ServerRuntime {
             if self.reaped[idx] {
                 continue;
             }
+            let mut t = self.profiler.start();
             let conn = &mut self.listener.conns[idx];
             self.apps[idx].drive(conn, now);
+            lap_into(&mut t, &mut acc[0]);
             loop {
                 if !self.egress[idx].has_room() {
                     self.stats.rec.count(CounterId::RtEgressBackpressure);
@@ -172,7 +201,9 @@ impl ServerRuntime {
                     self.egress[idx].push(route.path, route.peer, frame);
                 }
             }
+            lap_into(&mut t, &mut acc[1]);
             tx_total += self.egress[idx].flush(&mut self.paths, &mut self.stats);
+            lap_into(&mut t, &mut acc[2]);
             if !self.egress[idx].is_empty() {
                 // Kernel pushback: retry the flush next iteration.
                 self.mark(idx);
@@ -194,7 +225,25 @@ impl ServerRuntime {
         if tx_total > 0 {
             self.stats.rec.count(CounterId::RtSendBatches);
         }
+        if self.profiler.enabled() {
+            self.profiler.record(Phase::Drive, acc[0]);
+            self.profiler.record(Phase::PollEncode, acc[1]);
+            self.profiler.record(Phase::Flush, acc[2]);
+        }
         self.stats.sync_pool(self.pool.stats());
+
+        if let Some(admin) = self.admin.as_mut() {
+            let ctx = AdminCtx {
+                listener: &self.listener,
+                profiler: &self.profiler,
+                paths: &self.paths,
+                conn_created: &self.created,
+                reaped: &self.reaped,
+                now,
+                served: self.served,
+            };
+            admin.poll(&mut self.stats, &ctx);
+        }
 
         self.promised = self.timers.next_deadline();
         rx > 0 || polled > 0 || tx_total > 0 || !self.dirty.is_empty()
@@ -211,7 +260,9 @@ impl ServerRuntime {
             None => cap,
         };
         if !sleep.is_zero() {
+            let t = self.profiler.start();
             std::thread::sleep(sleep);
+            self.profiler.lap(t, Phase::Idle);
         }
     }
 
@@ -251,5 +302,15 @@ impl ServerRuntime {
     /// Loop instrumentation.
     pub fn stats(&self) -> &RuntimeStats {
         &self.stats
+    }
+
+    /// Loop-phase timing histograms (inert unless `cfg.profile`).
+    pub fn profiler(&self) -> &LoopProfiler {
+        &self.profiler
+    }
+
+    /// Bound admin-socket address, when the admin plane is enabled.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().and_then(|a| a.local_addr().ok())
     }
 }

@@ -4,23 +4,43 @@
 //! (the `Rt*` ids) so one snapshot carries both protocol-level and
 //! loop-level signals. Tick skew — how late a wall-clock tick fired
 //! relative to the deadline `poll_at` asked for — additionally feeds a
-//! log-scaled histogram so the loop can report p50/p99/max latency without
-//! retaining per-sample memory.
+//! [`LogHistogram`] so the loop can report p50/p99/max latency without
+//! retaining per-sample memory. JSON output iterates the registry lists
+//! below, so the runtime JSON, Prometheus exposition, and `RunReport`
+//! all read the same names from the same ids and cannot drift.
 
 use mptcp_packet::PoolStats;
-use mptcp_telemetry::{CounterId, GaugeId, Recorder};
+use mptcp_telemetry::{CounterId, GaugeId, LogHistogram, Recorder};
 
-/// Power-of-two skew buckets: bucket `i` holds samples in
-/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 is `[0, 2)`).
-const SKEW_BUCKETS: usize = 48;
+/// The counters the runtime loop itself owns, in report order. Exposition
+/// and JSON iterate this list instead of hand-listing ids.
+pub const RUNTIME_COUNTERS: &[CounterId] = &[
+    CounterId::RtLoopIterations,
+    CounterId::RtRecvBatches,
+    CounterId::RtSendBatches,
+    CounterId::RtDatagramsRx,
+    CounterId::RtDatagramsTx,
+    CounterId::RtDecodeErrors,
+    CounterId::RtEgressBackpressure,
+    CounterId::RtLateTicks,
+    CounterId::RtPoolHits,
+    CounterId::RtPoolMisses,
+    CounterId::RtAdminRequests,
+];
+
+/// The gauges the runtime loop itself owns, in report order.
+pub const RUNTIME_GAUGES: &[GaugeId] = &[
+    GaugeId::RtEgressQueueDepth,
+    GaugeId::RtTickSkewNs,
+    GaugeId::RtPoolOutstanding,
+    GaugeId::RtPoolHighWater,
+];
 
 /// Loop instrumentation: shared recorder plus the tick-skew histogram.
 pub struct RuntimeStats {
     /// Counters and gauges, absorbed into connection snapshots on report.
     pub rec: Recorder,
-    skew: [u64; SKEW_BUCKETS],
-    skew_samples: u64,
-    skew_max_ns: u64,
+    skew: LogHistogram,
     /// Pool totals already mirrored into the recorder, so repeated
     /// [`RuntimeStats::sync_pool`] calls add only the delta.
     pool_hits_seen: u64,
@@ -31,18 +51,16 @@ impl RuntimeStats {
     pub fn new() -> RuntimeStats {
         RuntimeStats {
             rec: Recorder::new(),
-            skew: [0; SKEW_BUCKETS],
-            skew_samples: 0,
-            skew_max_ns: 0,
+            skew: LogHistogram::new(),
             pool_hits_seen: 0,
             pool_misses_seen: 0,
         }
     }
 
     /// Mirror buffer-pool statistics into the shared recorder: cumulative
-    /// hit/miss counters plus the `rt_pool_bufs` gauge (whose high-water
-    /// mark is taken from the pool's own atomically-tracked peak, so it is
-    /// exact even between sync points).
+    /// hit/miss counters plus two gauges — `rt_pool_outstanding` (buffers
+    /// checked out right now) and `rt_pool_high_water` (the pool's own
+    /// atomically-tracked peak, exact even between sync points).
     pub fn sync_pool(&mut self, s: PoolStats) {
         self.rec
             .count_n(CounterId::RtPoolHits, s.hits - self.pool_hits_seen);
@@ -50,8 +68,9 @@ impl RuntimeStats {
             .count_n(CounterId::RtPoolMisses, s.misses - self.pool_misses_seen);
         self.pool_hits_seen = s.hits;
         self.pool_misses_seen = s.misses;
-        self.rec.gauge_set(GaugeId::RtPoolBufs, s.high_water);
-        self.rec.gauge_set(GaugeId::RtPoolBufs, s.outstanding);
+        self.rec
+            .gauge_set(GaugeId::RtPoolOutstanding, s.outstanding);
+        self.rec.gauge_set(GaugeId::RtPoolHighWater, s.high_water);
     }
 
     /// Record a late tick: the loop woke `skew_ns` after the promised
@@ -60,65 +79,56 @@ impl RuntimeStats {
     pub fn record_late_tick(&mut self, skew_ns: u64) {
         self.rec.count(CounterId::RtLateTicks);
         self.rec.gauge_set(GaugeId::RtTickSkewNs, skew_ns);
-        let bucket = (64 - u64::leading_zeros(skew_ns.max(1)) - 1) as usize;
-        self.skew[bucket.min(SKEW_BUCKETS - 1)] += 1;
-        self.skew_samples += 1;
-        self.skew_max_ns = self.skew_max_ns.max(skew_ns);
+        self.skew.record(skew_ns);
     }
 
     /// Number of late-tick samples recorded.
     pub fn skew_samples(&self) -> u64 {
-        self.skew_samples
+        self.skew.samples()
     }
 
     /// Worst observed skew in nanoseconds.
     pub fn skew_max_ns(&self) -> u64 {
-        self.skew_max_ns
+        self.skew.max()
     }
 
-    /// Skew at quantile `q` (0.0..=1.0), as the upper bound of the bucket
-    /// holding that quantile. Zero when no sample was recorded.
+    /// Skew at quantile `q` (0.0..=1.0). Zero when no sample was recorded.
     pub fn skew_quantile_ns(&self, q: f64) -> u64 {
-        if self.skew_samples == 0 {
-            return 0;
-        }
-        let rank = ((self.skew_samples as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.skew.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Upper bound of bucket i, capped at the true max so a
-                // single huge sample doesn't report double its value.
-                return (1u64 << (i + 1)).min(self.skew_max_ns.max(1));
-            }
-        }
-        self.skew_max_ns
+        self.skew.quantile(q)
     }
 
-    /// JSON object fragment with the loop's headline numbers (no braces;
-    /// callers splice it into a larger object).
+    /// The tick-skew histogram itself (for exposition summaries).
+    pub fn skew_hist(&self) -> &LogHistogram {
+        &self.skew
+    }
+
+    /// JSON object fragment with the loop's numbers (no braces; callers
+    /// splice it into a larger object). Keys come straight from the
+    /// telemetry registry: every counter in [`RUNTIME_COUNTERS`] under its
+    /// `name()`, every gauge in [`RUNTIME_GAUGES`] as `<name>` (current)
+    /// plus `<name>_peak` (high-water), then the skew quantiles.
     pub fn json_fields(&self) -> String {
-        let c = |id: CounterId| self.rec.counter(id);
-        format!(
-            "\"loop_iterations\":{},\"datagrams_rx\":{},\"datagrams_tx\":{},\
-             \"decode_errors\":{},\"egress_backpressure\":{},\
-             \"egress_queue_high_water\":{},\"late_ticks\":{},\
-             \"tick_skew_p50_ns\":{},\"tick_skew_p99_ns\":{},\"tick_skew_max_ns\":{},\
-             \"pool_hits\":{},\"pool_misses\":{},\"pool_high_water\":{}",
-            c(CounterId::RtLoopIterations),
-            c(CounterId::RtDatagramsRx),
-            c(CounterId::RtDatagramsTx),
-            c(CounterId::RtDecodeErrors),
-            c(CounterId::RtEgressBackpressure),
-            self.rec.gauge(GaugeId::RtEgressQueueDepth).max,
-            c(CounterId::RtLateTicks),
-            self.skew_quantile_ns(0.50),
-            self.skew_quantile_ns(0.99),
-            self.skew_max_ns,
-            c(CounterId::RtPoolHits),
-            c(CounterId::RtPoolMisses),
-            self.rec.gauge(GaugeId::RtPoolBufs).max,
-        )
+        let mut out = String::new();
+        for &id in RUNTIME_COUNTERS {
+            out.push_str(&format!("\"{}\":{},", id.name(), self.rec.counter(id)));
+        }
+        for &id in RUNTIME_GAUGES {
+            let g = self.rec.gauge(id);
+            out.push_str(&format!(
+                "\"{}\":{},\"{}_peak\":{},",
+                id.name(),
+                g.current,
+                id.name(),
+                g.max
+            ));
+        }
+        out.push_str(&format!(
+            "\"rt_tick_skew_p50_ns\":{},\"rt_tick_skew_p99_ns\":{},\"rt_tick_skew_max_ns\":{}",
+            self.skew.quantile(0.50),
+            self.skew.quantile(0.99),
+            self.skew.max()
+        ));
+        out
     }
 }
 
@@ -136,7 +146,7 @@ mod tests {
     fn quantiles_track_bucketed_samples() {
         let mut s = RuntimeStats::new();
         for _ in 0..99 {
-            s.record_late_tick(1_000); // bucket [512, 1024*2)
+            s.record_late_tick(1_000);
         }
         s.record_late_tick(1_000_000);
         assert_eq!(s.skew_samples(), 100);
@@ -153,5 +163,51 @@ mod tests {
         let s = RuntimeStats::new();
         assert_eq!(s.skew_quantile_ns(0.99), 0);
         assert_eq!(s.skew_max_ns(), 0);
+    }
+
+    #[test]
+    fn sync_pool_splits_outstanding_and_high_water() {
+        let mut s = RuntimeStats::new();
+        s.sync_pool(PoolStats {
+            hits: 10,
+            misses: 2,
+            outstanding: 3,
+            high_water: 7,
+        });
+        assert_eq!(s.rec.gauge(GaugeId::RtPoolOutstanding).current, 3);
+        assert_eq!(s.rec.gauge(GaugeId::RtPoolHighWater).current, 7);
+        assert_eq!(s.rec.counter(CounterId::RtPoolHits), 10);
+        // A second sync adds only the delta and tracks the new currents.
+        s.sync_pool(PoolStats {
+            hits: 14,
+            misses: 2,
+            outstanding: 1,
+            high_water: 9,
+        });
+        assert_eq!(s.rec.counter(CounterId::RtPoolHits), 14);
+        assert_eq!(s.rec.gauge(GaugeId::RtPoolOutstanding).current, 1);
+        assert_eq!(s.rec.gauge(GaugeId::RtPoolOutstanding).max, 3);
+        assert_eq!(s.rec.gauge(GaugeId::RtPoolHighWater).current, 9);
+    }
+
+    #[test]
+    fn json_fields_come_from_the_registry() {
+        let mut s = RuntimeStats::new();
+        s.rec.count(CounterId::RtLoopIterations);
+        s.record_late_tick(5_000);
+        let json = format!("{{{}}}", s.json_fields());
+        for &id in RUNTIME_COUNTERS {
+            assert!(
+                json.contains(&format!("\"{}\":", id.name())),
+                "missing {}",
+                id.name()
+            );
+        }
+        for &id in RUNTIME_GAUGES {
+            assert!(json.contains(&format!("\"{}\":", id.name())));
+            assert!(json.contains(&format!("\"{}_peak\":", id.name())));
+        }
+        assert!(json.contains("\"rt_tick_skew_p99_ns\":"));
+        assert!(json.contains("\"rt_loop_iterations\":1"));
     }
 }

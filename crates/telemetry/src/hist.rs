@@ -1,0 +1,279 @@
+//! Log-linear histogram for latency-style samples.
+//!
+//! Three subsystems grew their own quantile machinery: the runtime's
+//! power-of-2 tick-skew buckets, the harness's sort-per-call
+//! `AppDelayStats::quantile`, and the fig10 handshake rows. This is the
+//! one replacement: an HdrHistogram-style log-linear layout — every
+//! power-of-2 range is split into `SUBS` equal sub-buckets — so relative
+//! error is bounded by `1/SUBS` (~3%) at any magnitude while the whole
+//! structure stays a fixed ~15 KiB of `u64` counts. No dependencies, no
+//! `std::time`, no per-sample allocation: values are caller-supplied
+//! integers (nanoseconds, usually).
+
+/// log2 of the sub-buckets per power-of-2 range.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per power-of-2 range (32 -> ~3.1% worst-case bucket width).
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range: the linear region
+/// `[0, 2*SUBS)` plus `SUBS` sub-buckets for each octave above it.
+const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
+
+/// Fixed-memory log-linear histogram over `u64` samples with tracked
+/// min/max/sum, bounded ~3% relative quantile error.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    /// Boxed so the ~15 KiB of buckets never lands on the stack.
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    samples: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for `v`: identity in the linear region, else
+/// `(msb - SUB_BITS)` octaves of `SUBS` buckets plus the sub-bucket read
+/// from the bits just below the most significant one.
+fn bucket_index(v: u64) -> usize {
+    if v < (2 * SUBS) as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) as usize) & (SUBS - 1);
+    (msb as usize - SUB_BITS as usize) * SUBS + SUBS + sub
+}
+
+/// Exclusive upper bound of bucket `i` (the value quantiles report).
+fn bucket_bound(i: usize) -> u64 {
+    if i < 2 * SUBS {
+        return i as u64 + 1;
+    }
+    let block = (i / SUBS - 1) as u32;
+    let sub = (i % SUBS) as u64;
+    // Saturates only on the single topmost bucket, whose true bound is 2^64.
+    ((SUBS as u64 + sub) << block).saturating_add(1u64 << block)
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: vec![0u64; NUM_BUCKETS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("bucket count"),
+            samples: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.samples += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, exact. Zero when empty.
+    pub fn min(&self) -> u64 {
+        if self.samples == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, exact. Zero when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Value at quantile `q` in `0.0..=1.0`: the upper bound of the bucket
+    /// holding the `ceil(q * samples)`-th sample, clamped into
+    /// `[min, max]` so the extremes are exact (`quantile(0.0)` is the
+    /// tracked minimum, `quantile(1.0)` the tracked maximum). Zero when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.samples == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        let rank = ((self.samples as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            if seen >= rank {
+                return bucket_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold `other`'s samples into this histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.samples += other.samples;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Forget every sample.
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.samples = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Non-empty buckets as `(exclusive_upper_bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (bucket_bound(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reports_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.samples(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn linear_region_is_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..(2 * SUBS as u64) {
+            h.record(v);
+        }
+        // Every value below 2*SUBS gets its own bucket.
+        assert_eq!(h.nonzero_buckets().count(), 2 * SUBS);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 2 * SUBS as u64 - 1);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_match() {
+        let mut vals: Vec<u64> = (0..63)
+            .flat_map(|shift| [0u64, 1, 3].map(|off| (1u64 << shift) + off))
+            .collect();
+        vals.sort_unstable();
+        let mut prev = 0usize;
+        for v in vals {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            assert!(i < NUM_BUCKETS);
+            // v must fall below its bucket's exclusive upper bound.
+            assert!(v < bucket_bound(i), "v {v} bound {}", bucket_bound(i));
+            prev = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        for _ in 0..1000 {
+            h.record(123_456);
+        }
+        let p50 = h.quantile(0.5) as f64;
+        let err = (p50 - 123_456.0).abs() / 123_456.0;
+        assert!(err <= 1.0 / SUBS as f64, "relative error {err}");
+    }
+
+    #[test]
+    fn extreme_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(1_000_000);
+        h.record(5_000_000);
+        h.record(20_000_000);
+        assert_eq!(h.quantile(0.0), 1_000_000);
+        assert_eq!(h.quantile(1.0), 20_000_000);
+        assert_eq!(h.min(), 1_000_000);
+        assert_eq!(h.max(), 20_000_000);
+        assert_eq!(h.sum(), 26_000_000);
+    }
+
+    #[test]
+    fn skewed_distribution_quantiles() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let p50 = h.quantile(0.50);
+        assert!((992..=1008).contains(&p50), "p50 {p50}");
+        assert!(h.quantile(0.99) <= 1008);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.samples(), 3);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.sum(), 1_000_015);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LogHistogram::new();
+        h.record(42);
+        h.clear();
+        assert_eq!(h.samples(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+}

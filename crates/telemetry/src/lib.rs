@@ -18,8 +18,10 @@
 //! - bounded memory: the event ring drops the oldest events past its
 //!   capacity and reports how many were dropped, so long runs can't bloat.
 
+mod hist;
 mod trace;
 
+pub use hist::LogHistogram;
 pub use trace::{
     TraceConfig, TraceRecord, TraceSnapshot, TraceWriter, Tracer, DEFAULT_SAMPLE_INTERVAL_NS,
     DEFAULT_TRACE_CAPACITY, SPAN_CONN_LEVEL,
@@ -144,6 +146,8 @@ pub enum CounterId {
     /// Egress buffer-pool checkouts that had to allocate a fresh buffer
     /// (pool cold, or every pooled buffer still pinned by a live view).
     RtPoolMisses,
+    /// Admin-socket commands served (stat protocol lines + HTTP scrapes).
+    RtAdminRequests,
 }
 
 impl CounterId {
@@ -198,6 +202,7 @@ impl CounterId {
         CounterId::RtLateTicks,
         CounterId::RtPoolHits,
         CounterId::RtPoolMisses,
+        CounterId::RtAdminRequests,
     ];
 
     /// Stable snake_case name used in JSON and table output.
@@ -252,12 +257,69 @@ impl CounterId {
             CounterId::RtLateTicks => "rt_late_ticks",
             CounterId::RtPoolHits => "rt_pool_hits",
             CounterId::RtPoolMisses => "rt_pool_misses",
+            CounterId::RtAdminRequests => "rt_admin_requests",
+        }
+    }
+
+    /// One-line human description, used as the Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            CounterId::M1Reinjections => "M1 opportunistic reinjections onto another subflow",
+            CounterId::M2Penalizations => "M2 slow-subflow cwnd penalizations",
+            CounterId::M3BufferGrowths => "M3 receive/send buffer autotune growth steps",
+            CounterId::M4CwndCaps => "M4 subflow cwnd caps applied to bound bufferbloat",
+            CounterId::SchedulerPicks => "segments handed to a subflow by the scheduler",
+            CounterId::SchedulerStalls => "times the scheduler found every subflow blocked",
+            CounterId::SchedulerDefers => "times the scheduler waited for a faster path (BLEST)",
+            CounterId::DataRtos => "data-level retransmission timeouts",
+            CounterId::DataAckStalls => "DATA_ACK-level progress stalls",
+            CounterId::DupDataBytes => "duplicate data bytes discarded by the receiver",
+            CounterId::ChecksumFailures => "DSS checksum verification failures",
+            CounterId::Fallbacks => "connections that fell back to regular TCP",
+            CounterId::JoinsRejected => "MP_JOIN attempts rejected",
+            CounterId::SubflowResets => "subflows reset while the connection survived",
+            CounterId::AddAddrsSent => "ADD_ADDR advertisements sent",
+            CounterId::AddAddrsReceived => "ADD_ADDR advertisements received",
+            CounterId::RemoveAddrsSent => "REMOVE_ADDR withdrawals sent",
+            CounterId::RemoveAddrsReceived => "REMOVE_ADDR withdrawals received",
+            CounterId::PathSuspects => "subflows demoted Active to Suspect",
+            CounterId::PathFailures => "subflows declared Failed",
+            CounterId::PathRecoveries => "subflows recovered back to Active",
+            CounterId::ConnAborts => "connections aborted",
+            CounterId::ReorderInserts => "segments inserted into the out-of-order queue",
+            CounterId::ReorderOps => "pointer visits performed by the reorder algorithm",
+            CounterId::ReorderShortcutHits => "reorder inserts satisfied by a shortcut",
+            CounterId::TcpRtos => "subflow TCP retransmission timer fires",
+            CounterId::TcpFastRetransmits => "subflow TCP fast retransmits",
+            CounterId::TcpRetransmittedSegs => "subflow TCP segments retransmitted",
+            CounterId::TcpZeroWindowProbes => "subflow TCP zero-window probes sent",
+            CounterId::LinkQueueDrops => "packets dropped by a full simulated link queue",
+            CounterId::LinkRandomDrops => "packets dropped by configured random loss",
+            CounterId::MboxOptionStrips => "TCP options removed by a middlebox",
+            CounterId::MboxPayloadMutations => "payload bytes rewritten by a middlebox",
+            CounterId::MboxResegmentations => "segments split or coalesced by a middlebox",
+            CounterId::MboxProactiveAcks => "ACKs manufactured by a proactive-ACKing middlebox",
+            CounterId::MboxSeqRewrites => "sequence numbers rewritten by a middlebox",
+            CounterId::MboxSegmentDrops => "segments swallowed outright by a middlebox",
+            CounterId::FaultsInjected => "scheduled fault events applied by the simulator",
+            CounterId::LinkFaultDrops => "packets discarded by a fault-forced link outage",
+            CounterId::RtLoopIterations => "event-loop iterations executed",
+            CounterId::RtRecvBatches => "recv-drain rounds that harvested at least one datagram",
+            CounterId::RtSendBatches => "egress-flush rounds that pushed at least one datagram",
+            CounterId::RtDatagramsRx => "UDP datagrams received and decoded",
+            CounterId::RtDatagramsTx => "UDP datagrams handed to the kernel",
+            CounterId::RtDecodeErrors => "inbound datagrams rejected by framing or checksum checks",
+            CounterId::RtEgressBackpressure => "polls skipped because the egress queue was full",
+            CounterId::RtLateTicks => "timer deadlines processed after they expired",
+            CounterId::RtPoolHits => "buffer-pool checkouts satisfied by a recycled buffer",
+            CounterId::RtPoolMisses => "buffer-pool checkouts that allocated a fresh buffer",
+            CounterId::RtAdminRequests => "admin-socket commands served",
         }
     }
 }
 
 /// Number of counter slots in a [`Recorder`].
-pub const NUM_COUNTERS: usize = 49;
+pub const NUM_COUNTERS: usize = 50;
 
 /// Instantaneous values tracked with a high-water mark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -281,9 +343,11 @@ pub enum GaugeId {
     /// Wall-clock lateness of the most recent timer tick, in nanoseconds
     /// (`max` is the worst skew observed; see the `rt_late_ticks` counter).
     RtTickSkewNs,
-    /// Egress buffer-pool buffers checked out (`max` is the high-water
-    /// mark: the pool's peak working set).
-    RtPoolBufs,
+    /// Egress buffer-pool buffers currently checked out.
+    RtPoolOutstanding,
+    /// Egress buffer-pool peak working set (the pool's own atomically
+    /// tracked high-water mark, exact even between sync points).
+    RtPoolHighWater,
 }
 
 impl GaugeId {
@@ -297,7 +361,8 @@ impl GaugeId {
         GaugeId::SendQueueBytes,
         GaugeId::RtEgressQueueDepth,
         GaugeId::RtTickSkewNs,
-        GaugeId::RtPoolBufs,
+        GaugeId::RtPoolOutstanding,
+        GaugeId::RtPoolHighWater,
     ];
 
     /// Stable snake_case name used in JSON and table output.
@@ -311,13 +376,30 @@ impl GaugeId {
             GaugeId::SendQueueBytes => "send_queue_bytes",
             GaugeId::RtEgressQueueDepth => "rt_egress_queue_depth",
             GaugeId::RtTickSkewNs => "rt_tick_skew_ns",
-            GaugeId::RtPoolBufs => "rt_pool_bufs",
+            GaugeId::RtPoolOutstanding => "rt_pool_outstanding",
+            GaugeId::RtPoolHighWater => "rt_pool_high_water",
+        }
+    }
+
+    /// One-line human description, used as the Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            GaugeId::OfoQueueSegs => "out-of-order queue depth in segments",
+            GaugeId::OfoQueueBytes => "out-of-order queue occupancy in bytes",
+            GaugeId::SndBufCap => "connection-level send buffer capacity in bytes",
+            GaugeId::RcvBufCap => "connection-level receive buffer capacity in bytes",
+            GaugeId::Subflows => "established subflows",
+            GaugeId::SendQueueBytes => "bytes queued awaiting scheduling",
+            GaugeId::RtEgressQueueDepth => "runtime egress queue depth in segments",
+            GaugeId::RtTickSkewNs => "lateness of the most recent timer tick in nanoseconds",
+            GaugeId::RtPoolOutstanding => "buffer-pool buffers currently checked out",
+            GaugeId::RtPoolHighWater => "buffer-pool peak working set",
         }
     }
 }
 
 /// Number of gauge slots in a [`Recorder`].
-pub const NUM_GAUGES: usize = 9;
+pub const NUM_GAUGES: usize = 10;
 
 /// Current value plus high-water mark for one gauge.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
