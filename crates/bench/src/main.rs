@@ -22,6 +22,9 @@
 //!           capture, gnuplot timeline (scenarios: fig4, fig9, fallback)
 //!   chaos   fault injection: single-path blackout survival + recovery,
 //!           all-paths abort with a typed reason, randomized seed sweep
+//!   handover  WiFi -> cellular migration over a pre-opened backup
+//!           subflow; the PM reacts to the interface withdrawal in zero
+//!           time, so the app-visible stall stays under one minimum RTO
 //!   all     run everything
 //!
 //! real-network (UDP-encapsulated MPTCP, crates/runtime):
@@ -47,11 +50,13 @@
 //!
 //! `--quick` shrinks sweeps for a fast smoke run.
 //!
-//! Every experiment accepts `--cc <reno|lia|olia|cubic>` and
-//! `--sched <minrtt|rr|redundant|blest>` to pick the congestion-control
-//! algorithm and packet scheduler (defaults: `lia`, `minrtt` — the
-//! paper's deployable configuration), e.g.
-//! `repro fig9 --cc olia --sched redundant`.
+//! Every experiment accepts `--cc <reno|lia|olia|cubic>`,
+//! `--sched <minrtt|rr|redundant|blest>` and
+//! `--pm <default|fullmesh|backup|signal>` to pick the
+//! congestion-control algorithm, packet scheduler and path-manager
+//! policy (defaults: `lia`, `minrtt`, `default` — the paper's
+//! deployable configuration), e.g.
+//! `repro fig9 --cc olia --sched redundant --pm fullmesh`.
 //!
 //! `trace` takes a scenario plus `--out DIR` (default `trace_out/`) and
 //! `--fail-on-drops` (exit nonzero if any bounded ring overwrote records —
@@ -63,6 +68,12 @@
 //! delivered exactly once, no deadlock, abort only typed and only when
 //! all paths stay down — is violated), e.g.
 //! `repro chaos --seed-sweep 8 --fail-on-invariant`.
+//!
+//! `handover` takes `--out DIR` (default `handover_out/`) and
+//! `--fail-on-stall` (exit nonzero when any migration invariant — backup
+//! pre-opened, REMOVE_ADDR sent, MP_PRIO promotion, app stall within one
+//! minimum RTO, no timer fires on the surviving path — is violated),
+//! e.g. `repro handover --fail-on-stall`.
 
 mod admin_cli;
 mod alloc_meter;
@@ -86,7 +97,7 @@ fn take_value_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
     Some(args.remove(i))
 }
 
-/// Parse the global `--cc` / `--sched` flags into a [`Policy`].
+/// Parse the global `--cc` / `--sched` / `--pm` flags into a [`Policy`].
 fn parse_policy(args: &mut Vec<String>) -> Policy {
     let mut policy = Policy::default();
     if let Some(cc) = take_value_flag(args, "--cc") {
@@ -97,6 +108,12 @@ fn parse_policy(args: &mut Vec<String>) -> Policy {
     }
     if let Some(sched) = take_value_flag(args, "--sched") {
         policy.sched = sched.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
+    if let Some(pm) = take_value_flag(args, "--pm") {
+        policy.pm = pm.parse().unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
         });
@@ -126,6 +143,7 @@ fn main() {
         "telemetry" => telemetry_report(quick, policy),
         "trace" => trace_run(&args, policy),
         "chaos" => chaos_run(&args, policy),
+        "handover" => handover_run(&args, policy),
         "serve" => runtime_cli::serve(&args),
         "fetch" => runtime_cli::fetch(&args),
         "wire-bench" => runtime_cli::wire_bench(&args),
@@ -162,7 +180,10 @@ fn header(title: &str) {
 /// Note a non-default policy under the header so sweeps are self-labelling.
 fn print_policy(policy: Policy) {
     if policy != Policy::default() {
-        println!("(policy: cc={}, scheduler={})", policy.cc, policy.sched);
+        println!(
+            "(policy: cc={}, scheduler={}, pm={})",
+            policy.cc, policy.sched, policy.pm
+        );
     }
 }
 
@@ -441,7 +462,7 @@ fn telemetry_report(quick: bool, policy: Policy) {
     print!("{}", r.telemetry.render_table());
     let report =
         mptcp_harness::RunReport::new("telemetry", common::Variant::MptcpM12.label(), r.telemetry)
-            .policy(policy.cc.name(), policy.sched.name())
+            .policy(policy.cc.name(), policy.sched.name(), policy.pm.name())
             .metric("goodput_mbps", r.goodput_mbps)
             .metric("throughput_mbps", r.throughput_mbps)
             .metric("sender_mem", r.sender_mem)
@@ -654,7 +675,7 @@ fn chaos_run(args: &[String], policy: Policy) {
     }
     let report =
         mptcp_harness::RunReport::new("chaos", "blackout 3s, WiFi+3G", b.telemetry.clone())
-            .policy(policy.cc.name(), policy.sched.name())
+            .policy(policy.cc.name(), policy.sched.name(), policy.pm.name())
             .metric("delivered_during_blackout", b.delivered_during as f64)
             .metric("path_failures", b.path_failures as f64)
             .metric("path_recoveries", b.path_recoveries as f64)
@@ -694,6 +715,123 @@ fn chaos_run(args: &[String], policy: Policy) {
 
 fn usage_chaos(err: &str) -> ! {
     eprintln!("{err}\nusage: repro chaos [--out DIR] [--seed-sweep N] [--fail-on-invariant]");
+    std::process::exit(2);
+}
+
+fn handover_run(args: &[String], policy: Policy) {
+    use mptcp_harness::experiments::{handover, trace as tr};
+    use mptcp_telemetry::TraceWriter;
+
+    let mut out_dir = std::path::PathBuf::from("handover_out");
+    let mut fail_on_stall = false;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_dir = it
+                    .next()
+                    .map(Into::into)
+                    .unwrap_or_else(|| usage_handover("--out needs a directory"))
+            }
+            "--fail-on-stall" => fail_on_stall = true,
+            "--quick" => {}
+            other => usage_handover(&format!("unknown argument: {other}")),
+        }
+    }
+
+    header("Handover: WiFi withdrawn mid-stream, migrate onto pre-opened backup");
+    print_policy(policy);
+    let out = handover::run_with(SEED, policy);
+
+    println!(
+        "WiFi address withdrawn at t={:.1} s; backup subflow {} before the switch \
+         ({} bytes on it — the scheduler's last-resort tier)",
+        out.switch_at_s,
+        if out.backup_preopened {
+            "established"
+        } else {
+            "MISSING"
+        },
+        out.backup_bytes_before
+    );
+    println!(
+        "  delivered: {} KB before, {} KB after (cellular only)",
+        out.delivered_before / 1000,
+        out.delivered_after / 1000
+    );
+    println!(
+        "  longest app-visible gap {:.0} ms (budget {:.0} ms = one min RTO)",
+        out.max_gap_ms, out.stall_budget_ms
+    );
+    println!(
+        "  REMOVE_ADDR sent {}, MP_PRIO promotions {}",
+        out.remove_addrs_sent, out.promotions
+    );
+    // The migration as the PM saw it: every decision is a trace span.
+    for (at, _, kind) in out.trace.spans() {
+        match kind {
+            mptcp_telemetry::EventKind::PmOpenSubflow { .. }
+            | mptcp_telemetry::EventKind::PmBackupPromoted { .. }
+            | mptcp_telemetry::EventKind::RemoveAddr { .. } => {
+                println!("  {:>9.3} s  {:?}", at as f64 / 1e9, kind)
+            }
+            _ => {}
+        }
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    let report = mptcp_harness::RunReport::new(
+        "handover",
+        "wifi withdrawn at 3s, pre-opened backup",
+        out.telemetry.clone(),
+    )
+    .policy(policy.cc.name(), policy.sched.name(), policy.pm.name())
+    .metric("max_gap_ms", out.max_gap_ms)
+    .metric("stall_budget_ms", out.stall_budget_ms)
+    .metric("delivered_before", out.delivered_before as f64)
+    .metric("delivered_after", out.delivered_after as f64)
+    .metric("backup_bytes_before_switch", out.backup_bytes_before as f64)
+    .metric("promotions", out.promotions as f64)
+    .trace(&out.trace);
+    let files = [
+        (
+            "handover_trace.jsonl".to_string(),
+            TraceWriter::to_jsonl(&out.trace),
+        ),
+        (
+            "handover_timeline.dat".to_string(),
+            tr::timeline_dat(&out.trace),
+        ),
+        (
+            "handover_report.json".to_string(),
+            mptcp_harness::to_json_lines(std::slice::from_ref(&report)),
+        ),
+    ];
+    for (name, contents) in &files {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if !out.violations.is_empty() {
+        println!();
+        for v in &out.violations {
+            eprintln!("HANDOVER VIOLATED: {v}");
+        }
+        if fail_on_stall {
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage_handover(err: &str) -> ! {
+    eprintln!("{err}\nusage: repro handover [--out DIR] [--fail-on-stall]");
     std::process::exit(2);
 }
 

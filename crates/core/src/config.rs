@@ -12,6 +12,7 @@ use mptcp_netsim::Duration;
 use mptcp_tcpstack::{CcAlgorithm, TcpConfig};
 use mptcp_telemetry::{TraceConfig, DEFAULT_EVENT_CAPACITY};
 
+use crate::pm::PathManagerCfg;
 use crate::sched::SchedulerKind;
 
 /// The receive-path out-of-order queue algorithms of §4.3 / Figure 8.
@@ -153,6 +154,8 @@ pub struct MptcpConfig {
     pub(crate) trace: TraceConfig,
     /// Path-failure detection thresholds and the all-paths abort deadline.
     pub(crate) failure: FailureDetection,
+    /// Path-manager policy, endpoint registry and limits.
+    pub(crate) pm: PathManagerCfg,
 }
 
 impl Default for MptcpConfig {
@@ -179,6 +182,7 @@ impl Default for MptcpConfig {
             event_capacity: DEFAULT_EVENT_CAPACITY,
             trace: TraceConfig::disabled(),
             failure: FailureDetection::default(),
+            pm: PathManagerCfg::default(),
         }
     }
 }
@@ -285,6 +289,21 @@ impl MptcpConfig {
         self.failure
     }
 
+    /// Path-manager policy, endpoint registry and limits.
+    pub fn path_manager(&self) -> &PathManagerCfg {
+        &self.pm
+    }
+
+    /// Replace the path-manager configuration on an already-built config,
+    /// re-running validation. Harness plumbing: one scenario config fans
+    /// out into distinct client (subflow endpoints) and server (signal
+    /// endpoints) variants without rebuilding from scratch.
+    pub fn with_path_manager(mut self, pm: PathManagerCfg) -> Result<MptcpConfig, ConfigError> {
+        self.pm = pm;
+        self.validate()?;
+        Ok(self)
+    }
+
     /// Check invariants a hand-assembled configuration may violate.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.send_buf == 0 {
@@ -344,6 +363,19 @@ impl MptcpConfig {
         {
             return Err(ConfigError::ZeroFailureTimer);
         }
+        // ADD_ADDR reliability needs a real interval; disable the path
+        // manager's advertising by registering no signal endpoints, not by
+        // a zero timer.
+        if self.pm.limits.add_addr_rtx.is_zero() {
+            return Err(ConfigError::ZeroPmTimer);
+        }
+        // Two registry entries for one address would double-advertise and
+        // double-join it.
+        for (i, a) in self.pm.endpoints.iter().enumerate() {
+            if self.pm.endpoints[..i].iter().any(|b| b.addr == a.addr) {
+                return Err(ConfigError::DuplicatePmEndpoint { addr: a.addr });
+            }
+        }
         Ok(())
     }
 }
@@ -393,6 +425,13 @@ pub enum ConfigError {
     /// A failure-detection timer (progress, probe, or abort deadline) is
     /// zero; disable detection by raising thresholds, not by zero timers.
     ZeroFailureTimer,
+    /// The path manager's ADD_ADDR retransmit interval is zero.
+    ZeroPmTimer,
+    /// Two path-manager endpoints registered the same local address.
+    DuplicatePmEndpoint {
+        /// The duplicated address.
+        addr: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -419,6 +458,12 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::ZeroFailureTimer => {
                 f.write_str("failure-detection timers must be nonzero")
+            }
+            ConfigError::ZeroPmTimer => {
+                f.write_str("path-manager add_addr_rtx interval must be nonzero")
+            }
+            ConfigError::DuplicatePmEndpoint { addr } => {
+                write!(f, "path-manager endpoint address {addr:#010x} registered twice")
             }
         }
     }
@@ -525,6 +570,12 @@ impl MptcpConfigBuilder {
     /// Replace the path-failure detection thresholds.
     pub fn failure_detection(mut self, failure: FailureDetection) -> Self {
         self.cfg.failure = failure;
+        self
+    }
+
+    /// Replace the path-manager policy, endpoint registry and limits.
+    pub fn path_manager(mut self, pm: PathManagerCfg) -> Self {
+        self.cfg.pm = pm;
         self
     }
 
@@ -672,6 +723,40 @@ mod tests {
             .failure_detection(FailureDetection::default())
             .build()
             .expect("defaults are valid");
+    }
+
+    #[test]
+    fn builder_rejects_bad_path_manager() {
+        use crate::pm::{EndpointFlags, PmEndpoint, PmLimits, PmPolicy};
+        let err = MptcpConfig::builder()
+            .path_manager(PathManagerCfg::default().limits(PmLimits {
+                add_addr_rtx: Duration::ZERO,
+                ..PmLimits::default()
+            }))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPmTimer);
+        let err = MptcpConfig::builder()
+            .path_manager(
+                PathManagerCfg::new(PmPolicy::Fullmesh)
+                    .endpoint(PmEndpoint::new(7, EndpointFlags::SUBFLOW))
+                    .endpoint(PmEndpoint::new(7, EndpointFlags::SIGNAL))
+                    .limits(PmLimits {
+                        max_subflows: 4,
+                        ..PmLimits::default()
+                    }),
+            )
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::DuplicatePmEndpoint { addr: 7 });
+        let cfg = MptcpConfig::builder()
+            .path_manager(
+                PathManagerCfg::new(PmPolicy::Fullmesh)
+                    .endpoint(PmEndpoint::new(7, EndpointFlags::SUBFLOW)),
+            )
+            .build()
+            .expect("a clean registry validates");
+        assert_eq!(cfg.path_manager().policy, PmPolicy::Fullmesh);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   (M2), buffer autotuning (M3), cwnd capping (M4, in the subflow TCP).
 //! * §4.3 — pluggable connection-level out-of-order queues.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use bytes::Bytes;
 use mptcp_netsim::{Duration, SimRng, SimTime};
@@ -35,6 +35,7 @@ use crate::api::{AbortReason, JoinError, ReadOutcome, SubflowError, SubflowId, W
 use crate::config::MptcpConfig;
 use crate::dsn::infer_full_dsn;
 use crate::mapping::{Consumed, MappingTracker};
+use crate::pm::{PathManager, PmAction, PmEvent};
 use crate::reorder::{make_queue, OooQueue};
 use crate::sched::{PathSnapshot, SchedCtx, SchedDecision, Scheduler};
 use crate::subflow::{JoinState, PathState, Subflow};
@@ -129,6 +130,18 @@ pub struct MptcpConnection {
 
     subflows: Vec<Subflow>,
     next_addr_id: u8,
+
+    /// The path-manager policy engine: decides which subflows to open,
+    /// what to advertise and how to react to address churn; this
+    /// connection executes its [`PmAction`]s.
+    pm: PathManager,
+    /// Peer-advertised addresses by addr_id (ADD_ADDR idempotency: a
+    /// repeat with the same address is ignored; a different address
+    /// replaces the mapping).
+    peer_adverts: HashMap<u8, (u32, Option<u16>)>,
+    /// Stable addr_id per locally-advertised address, so ADD_ADDR
+    /// retransmits re-use the id instead of minting a new one.
+    advertised_local: HashMap<u32, u8>,
 
     // --- Send side -----------------------------------------------------
     /// Next data sequence number to assign.
@@ -323,6 +336,7 @@ impl MptcpConnection {
         } else {
             (cfg.send_buf, cfg.recv_buf)
         };
+        let pm = PathManager::new(cfg.pm.clone());
         MptcpConnection {
             is_client,
             state: ConnState::Handshake,
@@ -332,6 +346,9 @@ impl MptcpConnection {
             checksum_on: cfg.checksum,
             subflows: Vec::new(),
             next_addr_id: 1,
+            pm,
+            peer_adverts: HashMap::new(),
+            advertised_local: HashMap::new(),
             snd_nxt: snd_start,
             snd_una: snd_start,
             snd_right_edge: snd_start,
@@ -676,6 +693,19 @@ impl MptcpConnection {
         remote: Endpoint,
         now: SimTime,
     ) -> Result<SubflowId, SubflowError> {
+        self.open_subflow_with(local, remote, false, now)
+    }
+
+    /// [`open_subflow`](MptcpConnection::open_subflow) with an explicit
+    /// backup priority: the MP_JOIN carries the B-flag and the subflow
+    /// starts in the scheduler's backup tier.
+    pub fn open_subflow_with(
+        &mut self,
+        local: Endpoint,
+        remote: Endpoint,
+        backup: bool,
+        now: SimTime,
+    ) -> Result<SubflowId, SubflowError> {
         if self.state != ConnState::Established && self.state != ConnState::AwaitingConfirm {
             return Err(SubflowError::WrongState);
         }
@@ -704,7 +734,7 @@ impl MptcpConnection {
             token: rk.token,
             nonce,
             addr_id,
-            backup: false,
+            backup,
         })];
         let mut sock = TcpSocket::client(
             self.cfg.tcp.clone(),
@@ -722,6 +752,7 @@ impl MptcpConnection {
             addr_id,
         );
         sf.nonce_local = nonce;
+        sf.backup = backup;
         self.subflows.push(sf);
         let id = SubflowId(self.subflows.len() - 1);
         self.telemetry
@@ -786,6 +817,9 @@ impl MptcpConnection {
         sf.nonce_remote = nonce;
         sf.backup = backup;
         self.subflows.push(sf);
+        // The peer joined toward this local address: if we had been
+        // advertising it, the join is the echo — stop retransmitting.
+        self.pm.mark_echoed(syn.tuple.dst.addr);
         self.telemetry
             .gauge_set(GaugeId::Subflows, self.alive_subflows() as u64);
         Ok(())
@@ -1074,20 +1108,14 @@ impl MptcpConnection {
                     if self.remote.is_none() {
                         self.set_remote_key(sender_key);
                     }
-                    self.confirmed = true;
-                    if self.state == ConnState::AwaitingConfirm {
-                        self.state = ConnState::Established;
-                    }
+                    self.confirm_established(now);
                 }
                 MptcpOption::Dss {
                     data_ack,
                     mapping,
                     data_fin,
                 } => {
-                    self.confirmed = true;
-                    if self.state == ConnState::AwaitingConfirm {
-                        self.state = ConnState::Established;
-                    }
+                    self.confirm_established(now);
                     // The server only speaks DSS on a join subflow after
                     // validating the client's HMAC: stop carrying it.
                     if self.subflows[idx].join == JoinState::ClientEstablished {
@@ -1110,6 +1138,15 @@ impl MptcpConnection {
                     }
                 }
                 MptcpOption::AddAddr(a) => {
+                    // Idempotency: ADD_ADDR is advertised repeatedly for
+                    // reliability, so a repeat of a known (id, address)
+                    // pair must not re-count, re-fire the event, or
+                    // trigger a duplicate join. A different address under
+                    // a known id replaces the mapping.
+                    if self.peer_adverts.get(&a.addr_id) == Some(&(a.addr, a.port)) {
+                        continue;
+                    }
+                    self.peer_adverts.insert(a.addr_id, (a.addr, a.port));
                     self.telemetry.count(CounterId::AddAddrsReceived);
                     let kind = EventKind::AddAddr {
                         addr: a.addr,
@@ -1118,10 +1155,32 @@ impl MptcpConnection {
                     };
                     self.telemetry.event(now.0, kind);
                     self.trace_span(now, SPAN_CONN_LEVEL, kind);
+                    let actions = self.pm.on_event(
+                        now,
+                        PmEvent::AddrAdvertised {
+                            addr_id: a.addr_id,
+                            addr: a.addr,
+                            port: a.port,
+                        },
+                    );
                     self.events.push_back(ConnEvent::PeerAddr(a));
+                    self.pm_apply(now, actions);
                 }
                 MptcpOption::RemoveAddr { addr_ids } => {
                     for id in addr_ids {
+                        // Reject withdrawals of ids we never learned —
+                        // a stray or forged REMOVE_ADDR must not touch
+                        // subflow state.
+                        let advertised = self.peer_adverts.remove(&id);
+                        let known = advertised.is_some()
+                            || self.subflows.iter().any(|s| !s.dead && s.addr_id == id);
+                        if !known {
+                            self.telemetry.count(CounterId::RemoveAddrUnknown);
+                            let kind = EventKind::RemoveAddrUnknown { id: u32::from(id) };
+                            self.telemetry.event(now.0, kind);
+                            self.trace_span(now, SPAN_CONN_LEVEL, kind);
+                            continue;
+                        }
                         self.telemetry.count(CounterId::RemoveAddrsReceived);
                         let kind = EventKind::RemoveAddr {
                             id: u32::from(id),
@@ -1129,7 +1188,28 @@ impl MptcpConnection {
                         };
                         self.telemetry.event(now.0, kind);
                         self.trace_span(now, SPAN_CONN_LEVEL, kind);
-                        self.kill_subflows_by_addr_id(now, id);
+                        // Affected subflows: those the peer opened under
+                        // this id, plus any we opened toward the
+                        // withdrawn address.
+                        let gone = advertised.map(|(addr, _)| addr);
+                        let affected: Vec<usize> = self
+                            .subflows
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| {
+                                !s.dead
+                                    && (s.addr_id == id || Some(s.sock.tuple().dst.addr) == gone)
+                            })
+                            .map(|(i, _)| i)
+                            .collect();
+                        let actions = self.pm.on_event(
+                            now,
+                            PmEvent::AddrWithdrawn {
+                                addr_id: id,
+                                affected,
+                            },
+                        );
+                        self.pm_apply(now, actions);
                     }
                 }
                 MptcpOption::MpJoinSynAck { mac, nonce, .. } => {
@@ -1199,6 +1279,24 @@ impl MptcpConnection {
             })]);
         sf.sock.request_ack();
         self.events.push_back(ConnEvent::SubflowUp(idx));
+        self.seed_new_subflow();
+    }
+
+    /// Under the redundant scheduler a subflow that joins mid-stream owes
+    /// copies of everything still outstanding: chunks pushed while it was
+    /// handshaking were duplicated only across the pre-existing paths.
+    /// Queue them for reinjection — the scheduler places each copy away
+    /// from the path already carrying it, so the newcomer catches up and
+    /// the every-chunk-on-every-path invariant holds from its first RTT.
+    fn seed_new_subflow(&mut self) {
+        if self.cfg.scheduler != crate::sched::SchedulerKind::Redundant {
+            return;
+        }
+        for &dsn in self.sent.keys() {
+            if !self.reinject.contains(&dsn) {
+                self.reinject.push_back(dsn);
+            }
+        }
     }
 
     fn handle_join_ack(&mut self, now: SimTime, idx: usize, mac: [u8; 20]) {
@@ -1239,6 +1337,7 @@ impl MptcpConnection {
         let sf = &mut self.subflows[idx];
         sf.join = JoinState::Active;
         self.events.push_back(ConnEvent::SubflowUp(idx));
+        self.seed_new_subflow();
     }
 
     fn kill_subflows_by_addr_id(&mut self, now: SimTime, addr_id: u8) {
@@ -1257,6 +1356,231 @@ impl MptcpConnection {
         if any_killed && self.alive_subflows() == 0 {
             self.abort_with(AbortReason::LastSubflowRemoved, now);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Path-manager integration: the PM decides, the connection executes.
+    // ------------------------------------------------------------------
+
+    /// The path manager's live state (admin plane, tests).
+    pub fn path_manager(&self) -> &PathManager {
+        &self.pm
+    }
+
+    /// MPTCP confirmed on this connection; on the first confirmation the
+    /// path manager learns the primary endpoints and starts advertising
+    /// and pairing.
+    fn confirm_established(&mut self, now: SimTime) {
+        self.confirmed = true;
+        if self.state == ConnState::AwaitingConfirm {
+            self.state = ConnState::Established;
+            let t = self.subflows[0].sock.tuple();
+            let actions = self.pm.on_event(
+                now,
+                PmEvent::Established {
+                    local: t.src,
+                    remote: t.dst,
+                },
+            );
+            self.pm_apply(now, actions);
+        }
+    }
+
+    /// Execute a batch of path-manager decisions.
+    fn pm_apply(&mut self, now: SimTime, actions: Vec<PmAction>) {
+        for act in actions {
+            match act {
+                PmAction::OpenSubflow {
+                    local,
+                    remote,
+                    backup,
+                } => {
+                    if !self.cfg.auto_join {
+                        continue; // the owner opens subflows manually
+                    }
+                    let kind = EventKind::PmOpenSubflow {
+                        local: local.addr,
+                        remote: remote.addr,
+                        backup: u32::from(backup),
+                    };
+                    self.telemetry.event(now.0, kind);
+                    self.trace_span(now, SPAN_CONN_LEVEL, kind);
+                    if self.open_subflow_with(local, remote, backup, now).is_ok() {
+                        self.telemetry.count(CounterId::PmSubflowsOpened);
+                    }
+                }
+                PmAction::Advertise { addr, port } => {
+                    self.pm_send_advert(now, addr, port);
+                }
+                PmAction::CloseSubflow { subflow } => {
+                    self.close_subflow(now, subflow);
+                }
+                PmAction::PromoteBackup { subflow } => {
+                    self.promote_backup(now, subflow);
+                }
+            }
+        }
+    }
+
+    /// Send (or retransmit) an ADD_ADDR for `addr` with a stable addr_id.
+    fn pm_send_advert(&mut self, now: SimTime, addr: u32, port: Option<u16>) {
+        let (addr_id, retx) = match self.advertised_local.get(&addr) {
+            Some(&id) => (id, true),
+            None => {
+                let id = self.next_addr_id;
+                self.next_addr_id += 1;
+                self.advertised_local.insert(addr, id);
+                (id, false)
+            }
+        };
+        let opt = TcpOption::Mptcp(MptcpOption::AddAddr(AdvertisedAddr {
+            addr_id,
+            addr,
+            port,
+        }));
+        if let Some(sf) = self.subflows.iter_mut().find(|s| s.usable()) {
+            sf.sock.queue_oneshot_options(vec![opt]);
+            if retx {
+                self.telemetry.count(CounterId::AddAddrRetransmits);
+            } else {
+                self.telemetry.count(CounterId::AddAddrsSent);
+            }
+            let kind = EventKind::PmAdvertise {
+                addr,
+                id: u32::from(addr_id),
+            };
+            self.telemetry.event(now.0, kind);
+            self.trace_span(now, SPAN_CONN_LEVEL, kind);
+        }
+    }
+
+    /// Tear down one subflow on PM orders (address withdrawn under it),
+    /// re-injecting its retained chunks; aborts the connection if it was
+    /// the last one standing.
+    fn close_subflow(&mut self, now: SimTime, idx: usize) {
+        if idx >= self.subflows.len() || self.subflows[idx].dead {
+            return;
+        }
+        self.subflows[idx].sock.abort();
+        self.subflows[idx].dead = true;
+        self.events.push_back(ConnEvent::SubflowDown(idx));
+        self.reinject_chunks_of_dead(now);
+        if self.alive_subflows() == 0 {
+            self.abort_with(AbortReason::LastSubflowRemoved, now);
+        }
+    }
+
+    /// Clear a subflow's backup priority and tell the peer via MP_PRIO —
+    /// the handover moment: the pre-opened backup becomes the workhorse.
+    fn promote_backup(&mut self, now: SimTime, idx: usize) {
+        if idx >= self.subflows.len() || self.subflows[idx].dead || !self.subflows[idx].backup {
+            return;
+        }
+        self.subflows[idx].backup = false;
+        let addr_id = self.subflows[idx].addr_id;
+        self.subflows[idx]
+            .sock
+            .queue_oneshot_options(vec![TcpOption::Mptcp(MptcpOption::MpPrio {
+                backup: false,
+                addr_id: Some(addr_id),
+            })]);
+        self.telemetry.count(CounterId::PmBackupPromotions);
+        let kind = EventKind::PmBackupPromoted {
+            subflow: idx as u32,
+        };
+        self.telemetry.event(now.0, kind);
+        self.trace_span(now, idx as u32, kind);
+    }
+
+    /// Live backup-priority subflows other than `except`, in index order
+    /// (the PM's promotion candidates).
+    fn backup_candidates(&self, except: usize) -> Vec<usize> {
+        self.subflows
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                *i != except && s.usable() && s.backup && s.path_state != PathState::Failed
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A local address went away (interface down, §3.4 mobility): tell
+    /// the peer via REMOVE_ADDR on a surviving subflow, tear down the
+    /// subflows riding it, and let the path manager migrate (promote a
+    /// pre-opened backup).
+    pub fn local_addr_down(&mut self, addr: u32, now: SimTime) {
+        if matches!(self.state, ConnState::Closed) {
+            return;
+        }
+        let affected: Vec<usize> = self
+            .subflows
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.dead && s.sock.tuple().src.addr == addr)
+            .map(|(i, _)| i)
+            .collect();
+        if self.state != ConnState::Fallback && !affected.is_empty() {
+            let mut ids: Vec<u8> = affected.iter().map(|&i| self.subflows[i].addr_id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let carrier = self
+                .subflows
+                .iter()
+                .position(|s| s.usable() && s.sock.tuple().src.addr != addr);
+            if let Some(c) = carrier {
+                self.subflows[c]
+                    .sock
+                    .queue_oneshot_options(vec![TcpOption::Mptcp(MptcpOption::RemoveAddr {
+                        addr_ids: ids.clone(),
+                    })]);
+                for id in ids {
+                    self.telemetry.count(CounterId::RemoveAddrsSent);
+                    let kind = EventKind::RemoveAddr {
+                        id: u32::from(id),
+                        sent: 1,
+                    };
+                    self.telemetry.event(now.0, kind);
+                    self.trace_span(now, SPAN_CONN_LEVEL, kind);
+                }
+            }
+        }
+        let backups = match affected.first() {
+            Some(_) => {
+                let aff = affected.clone();
+                self.subflows
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, s)| {
+                        !aff.contains(i)
+                            && s.usable()
+                            && s.backup
+                            && s.path_state != PathState::Failed
+                    })
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+        let actions = self.pm.on_event(
+            now,
+            PmEvent::LocalAddrDown {
+                addr,
+                affected,
+                backups,
+            },
+        );
+        self.pm_apply(now, actions);
+    }
+
+    /// A local address came (back) up: the path manager re-advertises it
+    /// if it is a signal endpoint.
+    pub fn local_addr_up(&mut self, addr: u32, now: SimTime) {
+        if matches!(self.state, ConnState::Closed | ConnState::Fallback) {
+            return;
+        }
+        let actions = self.pm.on_event(now, PmEvent::LocalAddrUp { addr });
+        self.pm_apply(now, actions);
     }
 
     fn on_data_ack(&mut self, _now: SimTime, ack: u64) {
@@ -1786,6 +2110,17 @@ impl MptcpConnection {
         };
         self.telemetry.event(now.0, kind);
         self.trace_span(now, idx as u32, kind);
+        // Failure feeds the path manager: it may promote a pre-opened
+        // backup so the scheduler's first tier is never empty.
+        let backups = self.backup_candidates(idx);
+        let actions = self.pm.on_event(
+            now,
+            PmEvent::SubflowFailed {
+                subflow: idx,
+                backups,
+            },
+        );
+        self.pm_apply(now, actions);
     }
 
     fn recover_path(&mut self, now: SimTime, idx: usize) {
@@ -1800,6 +2135,10 @@ impl MptcpConnection {
         };
         self.telemetry.event(now.0, kind);
         self.trace_span(now, idx as u32, kind);
+        let actions = self
+            .pm
+            .on_event(now, PmEvent::SubflowRecovered { subflow: idx });
+        self.pm_apply(now, actions);
     }
 
     // ------------------------------------------------------------------
@@ -1861,6 +2200,14 @@ impl MptcpConnection {
         if let Some(since) = self.all_failed_since {
             t = earliest(t, Some(since + self.cfg.failure.abort_deadline));
         }
+        // ADD_ADDR retransmits are serviced by `tick` only while MPTCP is
+        // operational; don't let a stale deadline pin the loop otherwise.
+        if matches!(
+            self.state,
+            ConnState::Established | ConnState::AwaitingConfirm
+        ) {
+            t = earliest(t, self.pm.poll_at());
+        }
         for sf in &self.subflows {
             if sf.dead {
                 continue;
@@ -1920,6 +2267,9 @@ impl MptcpConnection {
             if self.state == ConnState::Closed {
                 return; // abort deadline expired with every path Failed
             }
+            // Service the path manager's ADD_ADDR retransmit schedule.
+            let pm_actions = self.pm.tick(now);
+            self.pm_apply(now, pm_actions);
             self.refresh_coupling();
             self.push_data(now);
             self.maybe_send_data_fin(now);

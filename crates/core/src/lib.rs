@@ -36,6 +36,7 @@ pub mod conn;
 pub mod dsn;
 pub mod endpoint;
 pub mod mapping;
+pub mod pm;
 pub mod reorder;
 pub mod sched;
 pub mod subflow;
@@ -49,6 +50,9 @@ pub use conn::{ConnEvent, ConnState, ConnStats, MptcpConnection};
 pub use endpoint::MptcpListener;
 pub use mptcp_tcpstack::{CcAlgorithm, CoupledSignal, CoupledState, FlowView, TcpConfig};
 pub use mptcp_telemetry as telemetry;
+pub use pm::{
+    EndpointFlags, PathManager, PathManagerCfg, PmAction, PmEndpoint, PmEvent, PmLimits, PmPolicy,
+};
 pub use sched::{PathSnapshot, SchedCtx, SchedDecision, Scheduler, SchedulerKind};
 pub use subflow::PathState;
 pub use token::{KeyPool, KeySet, TokenTable};

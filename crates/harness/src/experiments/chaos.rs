@@ -19,7 +19,7 @@
 //!   connection never aborts under recoverable faults.
 
 use mptcp::telemetry::{CounterId, EventKind, TelemetrySnapshot, TraceConfig, TraceSnapshot};
-use mptcp::{AbortReason, FailureDetection, Mechanisms, MptcpConfig, PathState};
+use mptcp::{AbortReason, FailureDetection, Mechanisms, MptcpConfig, PathManagerCfg, PathState};
 use mptcp_netsim::{AppliedFault, Duration, FaultKind, SimRng, SimTime};
 
 use super::common::{wifi_3g_paths, Policy};
@@ -35,7 +35,8 @@ fn chaos_cfg(trace: bool, policy: Policy) -> MptcpConfig {
         .mechanisms(Mechanisms::M1_2)
         .checksum(false)
         .cc(policy.cc)
-        .scheduler(policy.sched);
+        .scheduler(policy.sched)
+        .path_manager(PathManagerCfg::new(policy.pm));
     if trace {
         b = b.trace(TraceConfig::enabled());
     }

@@ -1,7 +1,9 @@
 //! Shared experiment plumbing: bulk-transfer runs and measurement windows.
 
 use mptcp::telemetry::{TraceConfig, TraceSnapshot};
-use mptcp::{CcAlgorithm, Mechanisms, MptcpConfig, ReorderAlgo, SchedulerKind};
+use mptcp::{
+    CcAlgorithm, Mechanisms, MptcpConfig, PathManagerCfg, PmPolicy, ReorderAlgo, SchedulerKind,
+};
 use mptcp_netsim::{CaptureConfig, CaptureSnapshot, Duration, PacketCapture, Path, SimTime};
 use mptcp_tcpstack::TcpConfig;
 
@@ -9,27 +11,41 @@ use crate::hosts::{ClientApp, ServerApp};
 use crate::metrics::Rates;
 use crate::scenario::{Scenario, TransportKind};
 
-/// The (congestion-control, scheduler) policy pair a run uses.
+/// The (congestion-control, scheduler, path-manager) policy triple a run
+/// uses.
 ///
 /// Every experiment accepts one of these; the default — coupled LIA with
-/// the lowest-RTT scheduler — is the paper's deployable configuration.
+/// the lowest-RTT scheduler and the kernel-style default path manager —
+/// is the paper's deployable configuration.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Policy {
     /// Congestion-control algorithm installed on every subflow.
     pub cc: CcAlgorithm,
     /// Packet scheduler driving chunk placement.
     pub sched: SchedulerKind,
+    /// Path-manager policy driving subflow establishment.
+    pub pm: PmPolicy,
 }
 
 impl Policy {
-    /// A policy from explicit parts.
+    /// A policy from explicit cc + scheduler parts (default path manager).
     pub fn new(cc: CcAlgorithm, sched: SchedulerKind) -> Policy {
-        Policy { cc, sched }
+        Policy {
+            cc,
+            sched,
+            pm: PmPolicy::default(),
+        }
     }
 
-    /// `"lia+minrtt"`-style label for reports and table headers.
+    /// Replace the path-manager policy (builder style).
+    pub fn with_pm(mut self, pm: PmPolicy) -> Policy {
+        self.pm = pm;
+        self
+    }
+
+    /// `"lia+minrtt+default"`-style label for reports and table headers.
     pub fn label(&self) -> String {
-        format!("{}+{}", self.cc, self.sched)
+        format!("{}+{}+{}", self.cc, self.sched, self.pm)
     }
 }
 
@@ -94,6 +110,7 @@ impl Variant {
                     .checksum(false)
                     .cc(policy.cc)
                     .scheduler(policy.sched)
+                    .path_manager(PathManagerCfg::new(policy.pm))
                     .build()
                     .expect("experiment config is valid");
                 TransportKind::Mptcp(cfg)

@@ -17,5 +17,6 @@ pub mod fig6_scenarios;
 pub mod fig7_appdelay;
 pub mod fig8_reorder;
 pub mod fig9_wifi3g;
+pub mod handover;
 pub mod mbox;
 pub mod trace;

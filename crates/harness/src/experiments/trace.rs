@@ -144,7 +144,7 @@ pub fn run_with(scenario: TraceScenario, seed: u64, policy: Policy) -> TraceArti
         ),
     };
     let report = RunReport::new("trace", label, run.bulk.telemetry.clone())
-        .policy(policy.cc.name(), policy.sched.name())
+        .policy(policy.cc.name(), policy.sched.name(), policy.pm.name())
         .metric("goodput_mbps", run.bulk.goodput_mbps)
         .metric("throughput_mbps", run.bulk.throughput_mbps)
         .metric("capture_records", run.capture.records.len() as f64)

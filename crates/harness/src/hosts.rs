@@ -56,8 +56,6 @@ pub struct ConnFactory {
     pub local: Endpoint,
     /// Server address for the initial subflow.
     pub server: Endpoint,
-    /// Extra (local, server) pairs to join once established.
-    pub joins: Vec<(Endpoint, Endpoint)>,
     /// RNG for keys and ISNs.
     pub rng: SimRng,
 }
@@ -66,9 +64,6 @@ impl ConnFactory {
     fn make(&mut self, now: SimTime) -> Transport {
         let src_port = self.local.port;
         self.local.port = self.local.port.wrapping_add(1).max(1024);
-        for (l, _) in &mut self.joins {
-            l.port = l.port.wrapping_add(1).max(1024);
-        }
         let tuple = FourTuple {
             src: Endpoint::new(self.local.addr, src_port),
             dst: self.server,
@@ -98,7 +93,6 @@ pub struct ClientHost {
     /// The workload.
     pub app: ClientApp,
     factory: ConnFactory,
-    joined: bool,
     /// Block-send timestamps (Figure 7).
     pub block_sent: Vec<SimTime>,
     /// Total application bytes accepted by the transport.
@@ -117,7 +111,6 @@ impl ClientHost {
             transport,
             app,
             factory,
-            joined: false,
             block_sent: Vec::new(),
             app_bytes_sent: 0,
             app_bytes_received: 0,
@@ -157,24 +150,12 @@ impl ClientHost {
         if !self.transport.is_established() {
             return;
         }
-        // Open configured additional subflows once (MPTCP only).
-        if !self.joined {
-            self.joined = true;
-            let joins = self.factory.joins.clone();
-            if let Some(conn) = self.transport.as_mptcp() {
-                for (l, r) in joins {
-                    let _ = conn.open_subflow(l, r, now);
-                }
-            }
-        }
-        // React to ADD_ADDR advertisements.
+        // Joins are driven by the in-connection path manager (configured
+        // via `MptcpConfig::path_manager`); the host only drains events so
+        // the queue stays bounded.
         if let Some(conn) = self.transport.as_mptcp() {
-            let local = self.factory.local;
             for ev in conn.take_events() {
-                if let ConnEvent::PeerAddr(a) = ev {
-                    let remote = Endpoint::new(a.addr, a.port.unwrap_or(self.factory.server.port));
-                    let _ = conn.open_subflow(local, remote, now);
-                }
+                let _: ConnEvent = ev;
             }
         }
 
@@ -225,7 +206,6 @@ impl ClientHost {
                     self.transport.close();
                     // Closed loop: immediately reconnect.
                     self.transport = self.factory.make(now);
-                    self.joined = false;
                     *requested = false;
                 }
             }
@@ -240,7 +220,6 @@ impl ClientHost {
         if self.transport.failed() {
             if let ClientApp::HttpLoop { requested, .. } = &mut self.app {
                 self.transport = self.factory.make(now);
-                self.joined = false;
                 *requested = false;
             }
         }
@@ -267,6 +246,22 @@ impl Host for ClientHost {
 
     fn poll_at(&self, now: SimTime) -> Option<SimTime> {
         self.transport.poll_at(now)
+    }
+
+    fn addr_event(&mut self, now: SimTime, addr: u32, up: bool, out: &mut Outbox) {
+        if let Some(conn) = self.transport.as_mptcp() {
+            if up {
+                conn.local_addr_up(addr, now);
+            } else {
+                conn.local_addr_down(addr, now);
+            }
+        }
+        // Flush the REMOVE_ADDR (and any migrated data) immediately so it
+        // rides the surviving path in this same simulation instant.
+        self.drive_app(now);
+        while let Some(s) = self.transport.poll(now) {
+            out.send(s);
+        }
     }
 }
 
@@ -440,6 +435,21 @@ impl Host for ServerHost {
         }
     }
 
+    fn addr_event(&mut self, now: SimTime, addr: u32, up: bool, out: &mut Outbox) {
+        for conn in &mut self.listener.conns {
+            if up {
+                conn.local_addr_up(addr, now);
+            } else {
+                conn.local_addr_down(addr, now);
+            }
+        }
+        let mut segs = Vec::new();
+        self.listener.poll(now, &mut segs);
+        for s in segs {
+            out.send(s);
+        }
+    }
+
     fn poll_at(&self, now: SimTime) -> Option<SimTime> {
         let base = self.listener.poll_at(now);
         // A rate-limited reader must wake itself to keep draining (and to
@@ -485,6 +495,13 @@ impl Host for Node {
         match self {
             Node::Client(c) => c.poll_at(now),
             Node::Server(s) => s.poll_at(now),
+        }
+    }
+
+    fn addr_event(&mut self, now: SimTime, addr: u32, up: bool, out: &mut Outbox) {
+        match self {
+            Node::Client(c) => c.addr_event(now, addr, up, out),
+            Node::Server(s) => s.addr_event(now, addr, up, out),
         }
     }
 }

@@ -88,8 +88,8 @@ pub struct RunReport {
     pub experiment: String,
     /// Variant/cell label, e.g. `"MPTCP+M1,2 @ 200 KiB"`.
     pub label: String,
-    /// `(cc, scheduler)` policy names, when the run had one.
-    pub policy: Option<(String, String)>,
+    /// `(cc, scheduler, path-manager)` policy names, when the run had one.
+    pub policy: Option<(String, String, String)>,
     /// Scalar metrics in emission order, e.g. `("goodput_mbps", 8.4)`.
     pub metrics: Vec<(String, f64)>,
     /// Transport telemetry at the end of the run.
@@ -115,9 +115,15 @@ impl RunReport {
         }
     }
 
-    /// Record the congestion-control + scheduler policy (builder style).
-    pub fn policy(mut self, cc: impl Into<String>, sched: impl Into<String>) -> Self {
-        self.policy = Some((cc.into(), sched.into()));
+    /// Record the congestion-control + scheduler + path-manager policy
+    /// (builder style).
+    pub fn policy(
+        mut self,
+        cc: impl Into<String>,
+        sched: impl Into<String>,
+        pm: impl Into<String>,
+    ) -> Self {
+        self.policy = Some((cc.into(), sched.into(), pm.into()));
         self
     }
 
@@ -142,14 +148,15 @@ impl RunReport {
             json_str(&self.experiment),
             json_str(&self.label)
         ));
-        if let Some((cc, sched)) = &self.policy {
+        if let Some((cc, sched, pm)) = &self.policy {
             // Re-open the object: policy slots in before "metrics".
             let metrics_open = out.len() - "\"metrics\":{".len();
             out.truncate(metrics_open);
             out.push_str(&format!(
-                "\"policy\":{{\"cc\":{},\"sched\":{}}},\"metrics\":{{",
+                "\"policy\":{{\"cc\":{},\"sched\":{},\"pm\":{}}},\"metrics\":{{",
                 json_str(cc),
-                json_str(sched)
+                json_str(sched),
+                json_str(pm)
             ));
         }
         for (i, (name, value)) in self.metrics.iter().enumerate() {
@@ -252,11 +259,13 @@ mod tests {
     #[test]
     fn run_report_embeds_policy() {
         let json = RunReport::new("fig9", "MPTCP", TelemetrySnapshot::default())
-            .policy("olia", "redundant")
+            .policy("olia", "redundant", "fullmesh")
             .metric("goodput_mbps", 2.0)
             .to_json();
         assert!(
-            json.contains("\"policy\":{\"cc\":\"olia\",\"sched\":\"redundant\"}"),
+            json.contains(
+                "\"policy\":{\"cc\":\"olia\",\"sched\":\"redundant\",\"pm\":\"fullmesh\"}"
+            ),
             "{json}"
         );
         assert!(json.contains("\"goodput_mbps\":2"), "{json}");

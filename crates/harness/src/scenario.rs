@@ -6,7 +6,7 @@
 //! one address pair over several parallel paths (per-packet round-robin,
 //! like the Linux bonding driver in Figure 11).
 
-use mptcp::MptcpConfig;
+use mptcp::{EndpointFlags, MptcpConfig, PmEndpoint, PmPolicy};
 use mptcp_netsim::{Dir, Path, Sim, SimRng, SimTime};
 use mptcp_packet::Endpoint;
 use mptcp_tcpstack::TcpConfig;
@@ -74,9 +74,21 @@ impl Scenario {
         assert!((1..=3).contains(&npaths), "1..=3 paths supported");
         let mut sim: Sim<Node> = Sim::new(seed);
 
-        // Server first.
+        // Server first. For MPTCP the server advertises its extra
+        // interfaces (SIGNAL endpoints); the client's path manager pairs
+        // them against its own SUBFLOW endpoints and opens the joins —
+        // the kernel-PM flow, replacing hand-rolled host-side joins.
         let server_cfg = match &kind {
-            TransportKind::Mptcp(cfg) => cfg.clone(),
+            TransportKind::Mptcp(cfg) => {
+                let mut pm = cfg.path_manager().clone();
+                pm.endpoints = Endpoints::SERVER[1..npaths]
+                    .iter()
+                    .map(|a| PmEndpoint::new(*a, EndpointFlags::SIGNAL).with_port(Endpoints::PORT))
+                    .collect();
+                cfg.clone()
+                    .with_path_manager(pm)
+                    .expect("server PM config is valid")
+            }
             TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => MptcpConfig::builder()
                 .tcp(tcp.clone())
                 .send_buf(tcp.send_buf)
@@ -107,38 +119,37 @@ impl Scenario {
             }
         }
 
-        // Clients.
+        // Clients. A caller-specified endpoint registry wins (e.g. the
+        // handover scenario marks its cellular interface SUBFLOW|BACKUP);
+        // otherwise each extra interface becomes a plain SUBFLOW endpoint.
+        let client_cfg = match &kind {
+            TransportKind::Mptcp(cfg) if cfg.path_manager().endpoints.is_empty() => {
+                let mut pm = cfg.path_manager().clone();
+                pm.endpoints = Endpoints::CLIENT[1..npaths]
+                    .iter()
+                    .map(|a| PmEndpoint::new(*a, EndpointFlags::SUBFLOW))
+                    .collect();
+                Some(
+                    cfg.clone()
+                        .with_path_manager(pm)
+                        .expect("client PM config is valid"),
+                )
+            }
+            TransportKind::Mptcp(cfg) => Some(cfg.clone()),
+            _ => None,
+        };
         let mut clients = Vec::new();
         let mut seeder = SimRng::new(seed ^ 0xc11e);
         for (k, app) in apps.into_iter().enumerate() {
             let base_port = 10_000u16.wrapping_add((k as u16) * 500);
-            let joins = if matches!(kind, TransportKind::Mptcp(_)) {
-                (1..npaths)
-                    .map(|i| {
-                        (
-                            Endpoint::new(
-                                Endpoints::CLIENT[i],
-                                base_port.wrapping_add(i as u16 * 100),
-                            ),
-                            Endpoint::new(Endpoints::SERVER[i], Endpoints::PORT),
-                        )
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
             let factory = ConnFactory {
-                mptcp: match &kind {
-                    TransportKind::Mptcp(cfg) => Some(cfg.clone()),
-                    _ => None,
-                },
+                mptcp: client_cfg.clone(),
                 tcp_cfg: match &kind {
                     TransportKind::Tcp(t) | TransportKind::BondedTcp(t) => t.clone(),
                     TransportKind::Mptcp(cfg) => cfg.tcp().clone(),
                 },
                 local: Endpoint::new(Endpoints::CLIENT[0], base_port),
                 server: Endpoint::new(Endpoints::SERVER[0], Endpoints::PORT),
-                joins,
                 rng: seeder.fork(),
             };
             let id = sim.add_host(Node::Client(ClientHost::new(factory, app, SimTime::ZERO)));
@@ -173,7 +184,14 @@ impl Scenario {
     ) -> Scenario {
         let mut sim: Sim<Node> = Sim::new(seed);
         let server_cfg = match &kind {
-            TransportKind::Mptcp(cfg) => cfg.clone(),
+            TransportKind::Mptcp(cfg) => {
+                let mut pm = cfg.path_manager().clone();
+                pm.endpoints = vec![PmEndpoint::new(Endpoints::SERVER[1], EndpointFlags::SIGNAL)
+                    .with_port(Endpoints::PORT)];
+                cfg.clone()
+                    .with_path_manager(pm)
+                    .expect("server PM config is valid")
+            }
             TransportKind::Tcp(tcp) | TransportKind::BondedTcp(tcp) => MptcpConfig::builder()
                 .tcp(tcp.clone())
                 .build()
@@ -209,17 +227,17 @@ impl Scenario {
                     sim.add_route(Endpoints::SERVER[1], a2, p2, Dir::Rev);
                 }
             }
-            let joins = if matches!(kind, TransportKind::Mptcp(_)) {
-                vec![(
-                    Endpoint::new(a2, 20_000),
-                    Endpoint::new(Endpoints::SERVER[1], Endpoints::PORT),
-                )]
-            } else {
-                Vec::new()
-            };
             let factory = ConnFactory {
                 mptcp: match &kind {
-                    TransportKind::Mptcp(cfg) => Some(cfg.clone()),
+                    TransportKind::Mptcp(cfg) => {
+                        let mut pm = cfg.path_manager().clone();
+                        pm.endpoints = vec![PmEndpoint::new(a2, EndpointFlags::SUBFLOW)];
+                        Some(
+                            cfg.clone()
+                                .with_path_manager(pm)
+                                .expect("client PM config is valid"),
+                        )
+                    }
                     _ => None,
                 },
                 tcp_cfg: match &kind {
@@ -228,7 +246,6 @@ impl Scenario {
                 },
                 local: Endpoint::new(a1, 10_000),
                 server: Endpoint::new(Endpoints::SERVER[0], Endpoints::PORT),
-                joins,
                 rng: seeder.fork(),
             };
             let id = sim.add_host(Node::Client(ClientHost::new(
@@ -246,6 +263,78 @@ impl Scenario {
         Scenario {
             sim,
             clients,
+            server,
+        }
+    }
+
+    /// N×M full-mesh topology: the client owns `n_local` interfaces, the
+    /// server `n_remote`, with a dedicated [`Path`] routing every
+    /// interface pair. The client runs the fullmesh path-manager policy,
+    /// so 3×2 establishes all six subflows (primary + five joins) — the
+    /// structural stress test for PM-driven meshing.
+    pub fn mesh(
+        cfg: MptcpConfig,
+        app: ClientApp,
+        server_app: ServerApp,
+        n_local: usize,
+        n_remote: usize,
+        mk_path: impl Fn() -> Path,
+        seed: u64,
+    ) -> Scenario {
+        assert!((1..=3).contains(&n_local), "1..=3 client interfaces");
+        assert!((1..=3).contains(&n_remote), "1..=3 server interfaces");
+        let mut sim: Sim<Node> = Sim::new(seed);
+
+        let mut server_pm = cfg.path_manager().clone();
+        server_pm.endpoints = Endpoints::SERVER[1..n_remote]
+            .iter()
+            .map(|a| PmEndpoint::new(*a, EndpointFlags::SIGNAL).with_port(Endpoints::PORT))
+            .collect();
+        let server_cfg = cfg
+            .clone()
+            .with_path_manager(server_pm)
+            .expect("server PM config is valid");
+        let server = sim.add_host(Node::Server(ServerHost::new(
+            server_cfg,
+            server_app,
+            seed ^ 0x5e4,
+        )));
+        for addr in &Endpoints::SERVER[..n_remote] {
+            sim.bind_addr(*addr, server);
+        }
+
+        for i in 0..n_local {
+            for j in 0..n_remote {
+                let pid = sim.add_path(mk_path());
+                sim.add_route(Endpoints::CLIENT[i], Endpoints::SERVER[j], pid, Dir::Fwd);
+                sim.add_route(Endpoints::SERVER[j], Endpoints::CLIENT[i], pid, Dir::Rev);
+            }
+        }
+
+        let mut client_pm = cfg.path_manager().clone();
+        client_pm.policy = PmPolicy::Fullmesh;
+        client_pm.endpoints = Endpoints::CLIENT[1..n_local]
+            .iter()
+            .map(|a| PmEndpoint::new(*a, EndpointFlags::SUBFLOW | EndpointFlags::FULLMESH))
+            .collect();
+        let client_cfg = cfg
+            .with_path_manager(client_pm)
+            .expect("client PM config is valid");
+        let factory = ConnFactory {
+            tcp_cfg: client_cfg.tcp().clone(),
+            mptcp: Some(client_cfg),
+            local: Endpoint::new(Endpoints::CLIENT[0], 10_000),
+            server: Endpoint::new(Endpoints::SERVER[0], Endpoints::PORT),
+            rng: SimRng::new(seed ^ 0xc11e),
+        };
+        let client = sim.add_host(Node::Client(ClientHost::new(factory, app, SimTime::ZERO)));
+        for addr in &Endpoints::CLIENT[..n_local] {
+            sim.bind_addr(*addr, client);
+        }
+
+        Scenario {
+            sim,
+            clients: vec![client],
             server,
         }
     }

@@ -1,0 +1,91 @@
+//! N×M full-mesh matrix: the path manager's fullmesh policy must
+//! establish a subflow for every interface pair and the connection must
+//! deliver the byte stream exactly once across all of them.
+
+use mptcp::telemetry::CounterId;
+use mptcp::{Mechanisms, MptcpConfig, PathManagerCfg, PmPolicy};
+use mptcp_harness::experiments::common::tcp_cfg;
+use mptcp_harness::hosts::{ClientApp, ServerApp};
+use mptcp_harness::scenario::Scenario;
+use mptcp_netsim::{Duration, LinkCfg, Path, SimTime};
+
+const TOTAL: usize = 4_000_000;
+const DEADLINE: SimTime = SimTime::from_secs(60);
+
+fn mesh_cfg() -> MptcpConfig {
+    MptcpConfig::builder()
+        .buffers(512 * 1024)
+        .tcp(tcp_cfg(512 * 1024, false))
+        .mechanisms(Mechanisms::M1_2)
+        .checksum(false)
+        .path_manager(PathManagerCfg::new(PmPolicy::Fullmesh))
+        .build()
+        .expect("mesh config is valid")
+}
+
+/// Run an n_local × n_remote mesh to completion; return (delivered,
+/// established-subflow count, per-subflow bytes acked, pm-opened count).
+fn run_mesh(n_local: usize, n_remote: usize, seed: u64) -> (u64, usize, Vec<u64>, u64) {
+    let mut sc = Scenario::mesh(
+        mesh_cfg(),
+        ClientApp::Bulk {
+            total: TOTAL,
+            written: 0,
+            close_when_done: false,
+        },
+        ServerApp::Sink,
+        n_local,
+        n_remote,
+        || Path::symmetric(LinkCfg::wifi()),
+        seed,
+    );
+    while sc.sim.now < DEADLINE && sc.server().app_bytes_received < TOTAL as u64 {
+        sc.run_for(Duration::from_secs(1));
+    }
+    let delivered = sc.server().app_bytes_received;
+    let conn = sc.client_mut().transport.as_mptcp().expect("mptcp client");
+    let live: Vec<u64> = conn
+        .subflows()
+        .iter()
+        .filter(|s| !s.dead && s.sock.is_established())
+        .map(|s| s.sock.stats.bytes_acked)
+        .collect();
+    let pm_opened = conn.path_manager().subflows_opened() as u64;
+    let telemetry = sc.client_mut().transport.telemetry();
+    assert_eq!(
+        telemetry.counter(CounterId::PmSubflowsOpened),
+        pm_opened,
+        "PmSubflowsOpened counter disagrees with the PM's own join count"
+    );
+    (delivered, live.len(), live, pm_opened)
+}
+
+#[test]
+fn mesh_1x1_is_a_plain_connection() {
+    let (delivered, nsub, _, _) = run_mesh(1, 1, 11);
+    assert_eq!(delivered, TOTAL as u64, "exactly-once delivery violated");
+    assert_eq!(nsub, 1);
+}
+
+#[test]
+fn mesh_2x2_establishes_four_subflows() {
+    let (delivered, nsub, _, _) = run_mesh(2, 2, 22);
+    assert_eq!(delivered, TOTAL as u64, "exactly-once delivery violated");
+    assert_eq!(nsub, 4, "2×2 fullmesh must establish 4 subflows");
+}
+
+#[test]
+fn mesh_3x2_establishes_all_six_subflows_and_keeps_them_busy() {
+    let (delivered, nsub, bytes, pm_opened) = run_mesh(3, 2, 33);
+    assert_eq!(delivered, TOTAL as u64, "exactly-once delivery violated");
+    assert_eq!(nsub, 6, "3×2 fullmesh must establish all 6 subflows");
+    assert_eq!(
+        pm_opened, 5,
+        "PM should account the 5 joins beside the primary"
+    );
+    let busy = bytes.iter().filter(|&&b| b > 0).count();
+    assert_eq!(
+        busy, 6,
+        "all 6 subflows should carry data; per-subflow bytes: {bytes:?}"
+    );
+}

@@ -45,6 +45,13 @@ pub enum FaultKind {
     InsertMiddlebox(Box<dyn Middlebox>),
     /// Remove every chain element whose `name()` matches.
     RemoveMiddlebox { name: &'static str },
+    /// An interface loss: take the path down (like
+    /// [`FaultKind::LinkDown`]) *and* notify the host owning `addr` via
+    /// [`Host::addr_event`](crate::sim::Host::addr_event), so its
+    /// transport can withdraw the address (REMOVE_ADDR) and migrate.
+    AddrDown { addr: u32 },
+    /// The interface returns: path back up, owner notified.
+    AddrUp { addr: u32 },
 }
 
 impl FaultKind {
@@ -59,6 +66,8 @@ impl FaultKind {
             FaultKind::BandwidthDrop { .. } => "bandwidth_drop",
             FaultKind::InsertMiddlebox(_) => "insert_middlebox",
             FaultKind::RemoveMiddlebox { .. } => "remove_middlebox",
+            FaultKind::AddrDown { .. } => "addr_down",
+            FaultKind::AddrUp { .. } => "addr_up",
         }
     }
 }
@@ -98,6 +107,8 @@ pub struct FaultSchedule {
     pending: Vec<FaultEvent>,
     restores: Vec<(SimTime, PathId, Restore)>,
     applied: Vec<AppliedFault>,
+    /// `(addr, up)` notifications for the sim to hand to address owners.
+    addr_events: Vec<(u32, bool)>,
     telemetry: Recorder,
 }
 
@@ -223,6 +234,18 @@ impl FaultSchedule {
             FaultKind::RemoveMiddlebox { name } => {
                 path.chain.retain(|mb| mb.name() != name);
             }
+            FaultKind::AddrDown { addr } => {
+                path.fwd.up = false;
+                path.rev.up = false;
+                self.addr_events.push((addr, false));
+                self.telemetry
+                    .event(now.0, EventKind::BlackoutInjected { path: pid as u32 });
+            }
+            FaultKind::AddrUp { addr } => {
+                path.fwd.up = true;
+                path.rev.up = true;
+                self.addr_events.push((addr, true));
+            }
         }
         self.telemetry.count(CounterId::FaultsInjected);
         self.applied.push(AppliedFault {
@@ -246,6 +269,13 @@ impl FaultSchedule {
     /// Every fault and restore that has fired, in firing order.
     pub fn applied(&self) -> &[AppliedFault] {
         &self.applied
+    }
+
+    /// Drain `(addr, up)` notifications produced by fired
+    /// [`FaultKind::AddrDown`]/[`FaultKind::AddrUp`] events. The sim
+    /// dispatches them to the owning hosts right after faults apply.
+    pub fn take_addr_events(&mut self) -> Vec<(u32, bool)> {
+        std::mem::take(&mut self.addr_events)
     }
 
     /// Telemetry recorded by firing faults (`faults_injected`,
@@ -376,6 +406,36 @@ mod tests {
         assert!(paths[0].fwd.up);
         let names: Vec<&str> = sched.applied().iter().map(|a| a.name).collect();
         assert_eq!(names, vec!["link_down", "link_up"]);
+    }
+
+    #[test]
+    fn addr_faults_down_path_and_queue_host_events() {
+        let mut paths = vec![path()];
+        let mut sched = FaultSchedule::new();
+        sched.at(
+            SimTime::from_secs(1),
+            0,
+            FaultKind::AddrDown { addr: 0x0a00_0001 },
+        );
+        sched.at(
+            SimTime::from_secs(3),
+            0,
+            FaultKind::AddrUp { addr: 0x0a00_0001 },
+        );
+
+        sched.apply_due(SimTime::from_secs(1), &mut paths);
+        assert!(!paths[0].fwd.up);
+        assert!(!paths[0].rev.up);
+        assert_eq!(sched.take_addr_events(), vec![(0x0a00_0001, false)]);
+        // Drained: a second take yields nothing.
+        assert!(sched.take_addr_events().is_empty());
+
+        sched.apply_due(SimTime::from_secs(3), &mut paths);
+        assert!(paths[0].fwd.up);
+        assert_eq!(sched.take_addr_events(), vec![(0x0a00_0001, true)]);
+
+        let names: Vec<&str> = sched.applied().iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["addr_down", "addr_up"]);
     }
 
     #[test]

@@ -57,6 +57,15 @@ pub trait Host {
 
     /// The next instant this host needs to be polled (timer deadline).
     fn poll_at(&self, now: SimTime) -> Option<SimTime>;
+
+    /// One of this host's addresses changed state (interface up/down),
+    /// fired by [`FaultKind::AddrDown`](crate::fault::FaultKind::AddrDown)
+    /// / `AddrUp`. Hosts that track addresses (e.g. an MPTCP endpoint
+    /// withdrawing the address via REMOVE_ADDR) override this; the
+    /// default ignores it.
+    fn addr_event(&mut self, now: SimTime, addr: u32, up: bool, out: &mut Outbox) {
+        let _ = (now, addr, up, out);
+    }
 }
 
 struct RouteEntry {
@@ -223,6 +232,19 @@ impl<H: Host> Sim<H> {
         // Scheduled faults mutate paths before any traffic moves at this
         // instant, so a blackout swallows segments due "now".
         self.faults.apply_due(self.now, &mut self.paths);
+        // Interface events reach the owning host before traffic moves, so
+        // a REMOVE_ADDR triggered by the loss rides the surviving path at
+        // this same instant.
+        for (addr, up) in self.faults.take_addr_events() {
+            let Some(&owner) = self.addr_owner.get(&addr) else {
+                continue;
+            };
+            let mut out = Outbox::default();
+            self.hosts[owner].addr_event(self.now, addr, up, &mut out);
+            for s in out.segs {
+                self.route_segment(s);
+            }
+        }
         // Middlebox timers (e.g. coalescers releasing held segments).
         for pid in 0..self.paths.len() {
             if self.paths[pid].poll_at().is_some_and(|t| t <= self.now) {

@@ -451,6 +451,44 @@ fn render_paths(ctx: &AdminCtx<'_>) -> String {
             ctx.paths.routes_on(i),
         ));
     }
+    // Per-connection path-manager state: the endpoint registry with its
+    // kernel-style flags, the limits in force, and each outstanding
+    // ADD_ADDR's echo/retransmit progress.
+    for (i, conn) in ctx.listener.conns.iter().enumerate() {
+        if ctx.reaped.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let pm = conn.path_manager();
+        let lim = pm.cfg().limits;
+        out.push_str(&format!(
+            "pm {:08x}: policy {}  opened {}/{}  remotes {}/{} (+{} ignored)\n",
+            conn.local_token(),
+            pm.policy().name(),
+            pm.subflows_opened(),
+            lim.max_subflows,
+            pm.remotes_accepted(),
+            lim.add_addr_accepted,
+            pm.remotes_ignored(),
+        ));
+        for ep in &pm.cfg().endpoints {
+            out.push_str(&format!(
+                "  endpoint {:<15} port {:<5} flags {}\n",
+                ip(ep.addr),
+                ep.port
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "auto".to_string()),
+                ep.flags.label(),
+            ));
+        }
+        for (addr, echoed, rtx) in pm.advert_states() {
+            out.push_str(&format!(
+                "  advert {:<15} echoed {:<5} retransmits {}\n",
+                ip(addr),
+                echoed,
+                rtx,
+            ));
+        }
+    }
     out
 }
 

@@ -72,6 +72,15 @@ pub enum CounterId {
     RemoveAddrsSent,
     /// REMOVE_ADDR withdrawals received from the peer.
     RemoveAddrsReceived,
+    /// REMOVE_ADDR withdrawals rejected: the addr_id was never advertised
+    /// and no subflow uses it.
+    RemoveAddrUnknown,
+    /// ADD_ADDR advertisements retransmitted (unechoed past the interval).
+    AddAddrRetransmits,
+    /// Subflows opened by a path-manager decision.
+    PmSubflowsOpened,
+    /// Backup subflows promoted to regular priority by the path manager.
+    PmBackupPromotions,
     // -- core::conn: path-failure detection and recovery ---------------------
     /// Subflows demoted Active -> Suspect (consecutive RTOs / no progress).
     PathSuspects,
@@ -171,6 +180,10 @@ impl CounterId {
         CounterId::AddAddrsReceived,
         CounterId::RemoveAddrsSent,
         CounterId::RemoveAddrsReceived,
+        CounterId::RemoveAddrUnknown,
+        CounterId::AddAddrRetransmits,
+        CounterId::PmSubflowsOpened,
+        CounterId::PmBackupPromotions,
         CounterId::PathSuspects,
         CounterId::PathFailures,
         CounterId::PathRecoveries,
@@ -226,6 +239,10 @@ impl CounterId {
             CounterId::AddAddrsReceived => "add_addrs_received",
             CounterId::RemoveAddrsSent => "remove_addrs_sent",
             CounterId::RemoveAddrsReceived => "remove_addrs_received",
+            CounterId::RemoveAddrUnknown => "remove_addr_unknown",
+            CounterId::AddAddrRetransmits => "add_addr_retransmits",
+            CounterId::PmSubflowsOpened => "pm_subflows_opened",
+            CounterId::PmBackupPromotions => "pm_backup_promotions",
             CounterId::PathSuspects => "path_suspects",
             CounterId::PathFailures => "path_failures",
             CounterId::PathRecoveries => "path_recoveries",
@@ -282,6 +299,10 @@ impl CounterId {
             CounterId::AddAddrsReceived => "ADD_ADDR advertisements received",
             CounterId::RemoveAddrsSent => "REMOVE_ADDR withdrawals sent",
             CounterId::RemoveAddrsReceived => "REMOVE_ADDR withdrawals received",
+            CounterId::RemoveAddrUnknown => "REMOVE_ADDR withdrawals rejected for unknown addr_id",
+            CounterId::AddAddrRetransmits => "ADD_ADDR advertisements retransmitted until echoed",
+            CounterId::PmSubflowsOpened => "subflows opened by a path-manager decision",
+            CounterId::PmBackupPromotions => "backup subflows promoted by the path manager",
             CounterId::PathSuspects => "subflows demoted Active to Suspect",
             CounterId::PathFailures => "subflows declared Failed",
             CounterId::PathRecoveries => "subflows recovered back to Active",
@@ -319,7 +340,7 @@ impl CounterId {
 }
 
 /// Number of counter slots in a [`Recorder`].
-pub const NUM_COUNTERS: usize = 50;
+pub const NUM_COUNTERS: usize = 54;
 
 /// Instantaneous values tracked with a high-water mark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -482,6 +503,20 @@ pub enum EventKind {
     /// REMOVE_ADDR: address identifier `id` withdrawn.
     /// `sent` is 1 when we withdrew, 0 when the peer did.
     RemoveAddr { id: u32, sent: u32 },
+    /// REMOVE_ADDR for an unknown address identifier `id` was rejected.
+    RemoveAddrUnknown { id: u32 },
+    /// The path manager opened a subflow `local` -> `remote`
+    /// (`backup` is 1 for backup-priority joins).
+    PmOpenSubflow {
+        local: u32,
+        remote: u32,
+        backup: u32,
+    },
+    /// The path manager advertised local address `addr` as `id`.
+    PmAdvertise { addr: u32, id: u32 },
+    /// The path manager promoted backup subflow `subflow` to regular
+    /// priority (MP_PRIO sent to the peer).
+    PmBackupPromoted { subflow: u32 },
     /// The scheduler entered a stall: work was queued but no subflow had
     /// cwnd or send-buffer headroom. Recorded on the transition only.
     SchedulerStall {
@@ -523,6 +558,10 @@ impl EventKind {
             EventKind::TcpFastRetransmit { .. } => "tcp_fast_retransmit",
             EventKind::AddAddr { .. } => "add_addr",
             EventKind::RemoveAddr { .. } => "remove_addr",
+            EventKind::RemoveAddrUnknown { .. } => "remove_addr_unknown",
+            EventKind::PmOpenSubflow { .. } => "pm_open_subflow",
+            EventKind::PmAdvertise { .. } => "pm_advertise",
+            EventKind::PmBackupPromoted { .. } => "pm_backup_promoted",
             EventKind::SchedulerStall { .. } => "scheduler_stall",
             EventKind::PathSuspect { .. } => "path_suspect",
             EventKind::PathFailed { .. } => "path_failed",
@@ -580,6 +619,20 @@ impl EventKind {
             EventKind::RemoveAddr { id, sent } => {
                 vec![("id", id as u64), ("sent", sent as u64)]
             }
+            EventKind::RemoveAddrUnknown { id } => vec![("id", id as u64)],
+            EventKind::PmOpenSubflow {
+                local,
+                remote,
+                backup,
+            } => vec![
+                ("local", local as u64),
+                ("remote", remote as u64),
+                ("backup", backup as u64),
+            ],
+            EventKind::PmAdvertise { addr, id } => {
+                vec![("addr", addr as u64), ("id", id as u64)]
+            }
+            EventKind::PmBackupPromoted { subflow } => vec![("subflow", subflow as u64)],
             EventKind::SchedulerStall {
                 pending_bytes,
                 reinject_queued,
